@@ -1,0 +1,79 @@
+"""ABL-1: chase variant ablations — standard vs oblivious, and the core.
+
+Quantifies the design choices DESIGN.md calls out: the standard variant's
+extension check suppresses redundant nulls; the core computation removes
+whatever redundancy remains.  Sizes are asserted, timings benchmarked.
+"""
+
+from repro.chase import chase_snapshot, core_of
+from repro.concrete import c_chase
+from repro.dependencies import DataExchangeSetting
+from repro.relational import Instance, Schema, fact
+from repro.workloads import exchange_setting_join, random_employment_history
+
+from conftest import emit
+
+SETTING = exchange_setting_join()
+
+# A mapping where the variants genuinely diverge: an existential tgd that
+# fires once per matching fact under "oblivious", once per key otherwise.
+WIDE_SETTING = DataExchangeSetting.create(
+    Schema.of(R=("K", "V")),
+    Schema.of(T=("K", "Z")),
+    st_tgds=["R(k, v) -> EXISTS z . T(k, z)"],
+)
+
+
+def wide_snapshot(keys: int, values_per_key: int) -> Instance:
+    return Instance(
+        fact("R", f"k{key}", f"v{value}")
+        for key in range(keys)
+        for value in range(values_per_key)
+    )
+
+
+def test_ablation_standard_vs_oblivious_size(benchmark):
+    snapshot = wide_snapshot(keys=10, values_per_key=5)
+    standard = chase_snapshot(snapshot, WIDE_SETTING, variant="standard")
+    oblivious = chase_snapshot(snapshot, WIDE_SETTING, variant="oblivious")
+    assert len(standard.target) == 10  # one per key
+    assert len(oblivious.target) == 50  # one per fact
+    emit(
+        "ABL-1a: tgd firing policy (10 keys × 5 values)",
+        f"  standard:  {len(standard.target)} target facts\n"
+        f"  oblivious: {len(oblivious.target)} target facts\n"
+        f"  core(oblivious): {len(core_of(oblivious.target))} facts",
+    )
+    benchmark(lambda: chase_snapshot(snapshot, WIDE_SETTING, variant="standard"))
+
+
+def test_ablation_oblivious_timing(benchmark):
+    snapshot = wide_snapshot(keys=10, values_per_key=5)
+    benchmark(lambda: chase_snapshot(snapshot, WIDE_SETTING, variant="oblivious"))
+
+
+def test_ablation_core_recovers_standard(benchmark):
+    snapshot = wide_snapshot(keys=8, values_per_key=4)
+    oblivious = chase_snapshot(snapshot, WIDE_SETTING, variant="oblivious").target
+    core = benchmark(lambda: core_of(oblivious))
+    standard = chase_snapshot(snapshot, WIDE_SETTING, variant="standard").target
+    # The core of the oblivious result has the size of the standard one.
+    assert len(core) == len(standard)
+
+
+def test_ablation_cchase_variants_on_history(benchmark):
+    workload = random_employment_history(people=4, timeline=30, seed=13)
+    standard = c_chase(workload.instance, SETTING, variant="standard")
+    oblivious = c_chase(workload.instance, SETTING, variant="oblivious")
+    assert standard.succeeded and oblivious.succeeded
+    assert len(standard.target) <= len(oblivious.target)
+    emit(
+        "ABL-1b: c-chase firing policy on a generated history",
+        f"  standard:  {len(standard.target)} facts, "
+        f"{len(standard.trace.tgd_steps)} tgd steps\n"
+        f"  oblivious: {len(oblivious.target)} facts, "
+        f"{len(oblivious.trace.tgd_steps)} tgd steps",
+    )
+    benchmark(
+        lambda: c_chase(workload.instance, SETTING, variant="oblivious")
+    )

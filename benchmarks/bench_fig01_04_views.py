@@ -1,0 +1,76 @@
+"""FIG-1 and FIG-4: the two views of the employment database.
+
+Regenerates Figure 4 (the concrete instance) and Figure 1 (its abstract
+snapshots), asserts exact agreement with the paper, and times snapshot
+materialization — the ⟦·⟧ operation everything else builds on.
+"""
+
+from repro.abstract_view import semantics
+from repro.relational import Instance, fact
+from repro.serialize import render_abstract_snapshots, render_concrete_instance
+from repro.temporal import Interval, interval
+from repro.concrete import concrete_fact
+from repro.workloads import employment_source_concrete
+
+from conftest import emit
+
+FIGURE_1_EXPECTED = {
+    2012: Instance([fact("E", "Ada", "IBM")]),
+    2013: Instance(
+        [fact("E", "Ada", "IBM"), fact("S", "Ada", "18k"), fact("E", "Bob", "IBM")]
+    ),
+    2014: Instance(
+        [fact("E", "Ada", "Google"), fact("S", "Ada", "18k"), fact("E", "Bob", "IBM")]
+    ),
+    2015: Instance(
+        [
+            fact("E", "Ada", "Google"),
+            fact("S", "Ada", "18k"),
+            fact("E", "Bob", "IBM"),
+            fact("S", "Bob", "13k"),
+        ]
+    ),
+    2018: Instance(
+        [fact("E", "Ada", "Google"), fact("S", "Ada", "18k"), fact("S", "Bob", "13k")]
+    ),
+}
+
+FIGURE_4_EXPECTED = {
+    concrete_fact("E", "Ada", "IBM", interval=Interval(2012, 2014)),
+    concrete_fact("E", "Ada", "Google", interval=interval(2014)),
+    concrete_fact("E", "Bob", "IBM", interval=Interval(2013, 2018)),
+    concrete_fact("S", "Ada", "18k", interval=interval(2013)),
+    concrete_fact("S", "Bob", "13k", interval=interval(2015)),
+}
+
+
+def test_fig04_concrete_source(benchmark, setting):
+    """Figure 4: build and validate the concrete source instance."""
+
+    def build():
+        instance = employment_source_concrete()
+        assert instance.is_coalesced()
+        return instance
+
+    instance = benchmark(build)
+    assert instance.facts() == FIGURE_4_EXPECTED
+    emit(
+        "FIG-4 (paper Figure 4): concrete source instance Ic",
+        render_concrete_instance(instance, setting.lifted_source_schema()),
+    )
+
+
+def test_fig01_abstract_snapshots(benchmark, source):
+    """Figure 1: materialize the abstract snapshots of ⟦Ic⟧."""
+    abstract = semantics(source)
+
+    def materialize():
+        return {year: abstract.snapshot(year) for year in range(2012, 2020)}
+
+    snapshots = benchmark(materialize)
+    for year, expected in FIGURE_1_EXPECTED.items():
+        assert snapshots[year] == expected
+    emit(
+        "FIG-1 (paper Figure 1): abstract snapshots of ⟦Ic⟧",
+        render_abstract_snapshots(abstract, range(2012, 2019)),
+    )

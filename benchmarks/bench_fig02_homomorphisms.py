@@ -1,0 +1,66 @@
+"""FIG-2: Example 2's homomorphism (a)symmetry between J1 and J2.
+
+Regenerates the two instances of Figure 2 and re-proves, by search, that
+J2 ↦ J1 exists while J1 ↦ J2 does not; the benchmark times the decision
+procedure for abstract homomorphisms (condition 2 included).
+"""
+
+from repro.abstract_view import (
+    AbstractInstance,
+    TemplateFact,
+    has_abstract_homomorphism,
+)
+from repro.relational import Constant, LabeledNull
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval
+
+from conftest import emit
+
+
+def j1() -> AbstractInstance:
+    return AbstractInstance(
+        [
+            TemplateFact(
+                "Emp",
+                (Constant("Ada"), Constant("IBM"), LabeledNull("N")),
+                Interval(0, 2),
+            )
+        ]
+    )
+
+
+def j2() -> AbstractInstance:
+    return AbstractInstance(
+        [
+            TemplateFact(
+                "Emp",
+                (
+                    Constant("Ada"),
+                    Constant("IBM"),
+                    AnnotatedNull("M", Interval(0, 2)),
+                ),
+                Interval(0, 2),
+            )
+        ]
+    )
+
+
+def test_fig02_homomorphism_asymmetry(benchmark):
+    """Decide both directions of Example 2, repeatedly."""
+    one, two = j1(), j2()
+
+    def decide():
+        return (
+            has_abstract_homomorphism(two, one),
+            has_abstract_homomorphism(one, two),
+        )
+
+    forward, backward = benchmark(decide)
+    assert forward is True  # J2 ↦ J1 exists
+    assert backward is False  # J1 ↦ J2 does not (condition 2)
+    emit(
+        "FIG-2 (paper Figure 2 / Example 2): instances with nulls",
+        "J1: db0 = db1 = {Emp(Ada, IBM, N)}            (same null twice)\n"
+        "J2: db0 = {Emp(Ada, IBM, M@0)}, db1 = {Emp(Ada, IBM, M@1)}\n"
+        f"hom J2 -> J1: {forward}   |   hom J1 -> J2: {backward}",
+    )

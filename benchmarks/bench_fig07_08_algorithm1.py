@@ -1,0 +1,55 @@
+"""FIG-7/8: Algorithm 1 end to end on Example 14's R+/P+/S+ instance.
+
+Regenerates Figure 8 exactly (13 facts; f4 untouched) together with the
+algorithm's internal account (3 matched sets, 2 components), and times
+norm(Ic, Φ+) on this input.
+"""
+
+from repro.concrete import concrete_fact, normalize_with_report
+from repro.serialize import render_concrete_instance
+from repro.temporal import Interval, interval
+from repro.workloads import (
+    algorithm1_example_conjunctions,
+    algorithm1_example_instance,
+)
+
+from conftest import emit
+
+FIGURE_8 = {
+    concrete_fact("R", "a", interval=Interval(5, 7)),
+    concrete_fact("R", "a", interval=Interval(7, 8)),
+    concrete_fact("R", "a", interval=Interval(8, 10)),
+    concrete_fact("R", "a", interval=Interval(10, 11)),
+    concrete_fact("P", "a", interval=Interval(8, 10)),
+    concrete_fact("P", "a", interval=Interval(10, 11)),
+    concrete_fact("P", "a", interval=Interval(11, 15)),
+    concrete_fact("P", "b", interval=Interval(20, 25)),
+    concrete_fact("S", "a", interval=Interval(7, 8)),
+    concrete_fact("S", "a", interval=Interval(8, 10)),
+    concrete_fact("S", "b", interval=Interval(18, 20)),
+    concrete_fact("S", "b", interval=Interval(20, 25)),
+    concrete_fact("S", "b", interval=interval(25)),
+}
+
+
+def test_fig07_08_algorithm1(benchmark):
+    instance = algorithm1_example_instance()
+    conjunctions = algorithm1_example_conjunctions()
+
+    output, report = benchmark(
+        lambda: normalize_with_report(instance, conjunctions)
+    )
+    assert output.facts() == FIGURE_8
+    assert report.matched_sets == 3  # S = {{f1,f2},{f2,f3},{f4,f5}}
+    assert report.components == 2  # after merging: {f1,f2,f3}, {f4,f5}
+    assert report.facts_fragmented == 4  # f4 = P+(b,[20,25)) untouched
+    emit(
+        "FIG-7 (paper Figure 7): input of the normalization algorithm",
+        render_concrete_instance(instance),
+    )
+    emit(
+        "FIG-8 (paper Figure 8): output of the normalization algorithm "
+        f"({report.input_size} -> {report.output_size} facts, "
+        f"{report.components} components)",
+        render_concrete_instance(output),
+    )

@@ -1,0 +1,54 @@
+"""SCALE-1: chase scaling on generated employment histories.
+
+The paper's motivation for the concrete view is that abstract snapshots
+repeat data; this benchmark quantifies it.  The c-chase works on the
+compact interval representation, while the abstract chase must visit one
+region per breakpoint — the sweep prints facts/regions/chase sizes and
+the benchmarks time both at a fixed size.
+"""
+
+import pytest
+
+from repro.abstract_view import abstract_chase, semantics
+from repro.concrete import c_chase
+from repro.workloads import exchange_setting_join, random_employment_history
+
+from conftest import emit
+
+SETTING = exchange_setting_join()
+
+
+@pytest.mark.parametrize("people", [2, 4, 8])
+def test_scale_cchase(benchmark, people):
+    workload = random_employment_history(people=people, timeline=40, seed=17)
+    result = benchmark(lambda: c_chase(workload.instance, SETTING))
+    assert result.succeeded
+
+
+@pytest.mark.parametrize("people", [2, 4, 8])
+def test_scale_abstract_chase(benchmark, people):
+    workload = random_employment_history(people=people, timeline=40, seed=17)
+    abstract = semantics(workload.instance)
+    result = benchmark(lambda: abstract_chase(abstract, SETTING))
+    assert result.succeeded
+
+
+def test_scale_summary_table(benchmark):
+    rows = []
+    for people in (2, 4, 8, 16):
+        workload = random_employment_history(
+            people=people, timeline=40, seed=17
+        )
+        abstract = semantics(workload.instance)
+        concrete_result = c_chase(workload.instance, SETTING)
+        abstract_result = abstract_chase(abstract, SETTING)
+        assert concrete_result.succeeded and abstract_result.succeeded
+        rows.append(
+            f"  people={people:>3}  source facts={len(workload.instance):>4}  "
+            f"regions={len(abstract.regions()):>3}  "
+            f"c-chase facts={len(concrete_result.target):>4}  "
+            f"abstract templates={len(abstract_result.target):>4}"
+        )
+    emit("SCALE-1: exchange size sweep (concrete vs abstract)", "\n".join(rows))
+    workload = random_employment_history(people=4, timeline=40, seed=17)
+    benchmark(lambda: c_chase(workload.instance, SETTING))

@@ -1,0 +1,74 @@
+"""THM-13: the O(n²) worst case of normalization, measured.
+
+Theorem 13 bounds the normalized instance by O(n²) facts when every fact
+must fragment at every endpoint.  The nested-overlap workload realizes
+that worst case; the staircase workload realizes the benign linear
+regime.  The sweep prints n vs output size for both, checks the
+quadratic/linear shapes, and the benchmark times Algorithm 1 at a fixed
+adversarial size.
+"""
+
+import pytest
+
+from repro.concrete import naive_normalize, normalize
+from repro.workloads import (
+    nested_overlap_conjunctions,
+    nested_overlap_instance,
+    staircase_instance,
+)
+
+from conftest import emit
+
+
+def nested_output_size(n: int) -> int:
+    instance = nested_overlap_instance(n)
+    return len(normalize(instance, nested_overlap_conjunctions()))
+
+
+def staircase_output_size(n: int) -> int:
+    instance = staircase_instance(n)
+    return len(normalize(instance, nested_overlap_conjunctions()))
+
+
+def test_thm13_quadratic_vs_linear_shapes(benchmark):
+    """The sweep: nested grows quadratically, staircase linearly."""
+    sizes = [4, 8, 16, 32]
+    nested = {n: nested_output_size(n) for n in sizes}
+    stairs = {n: staircase_output_size(n) for n in sizes}
+
+    # Nested worst case: fact i fragments at every interior endpoint, so
+    # the exact count is sum over facts — quadratic.  Doubling n must
+    # roughly quadruple the output (ratio > 3 suffices for the shape).
+    assert nested[8] / nested[4] > 3
+    assert nested[16] / nested[8] > 3
+    assert nested[32] / nested[16] > 3
+    # Staircase: doubling n roughly doubles the output (ratio < 3).
+    assert stairs[8] / stairs[4] < 3
+    assert stairs[16] / stairs[8] < 3
+    assert stairs[32] / stairs[16] < 3
+    # And the quadratic bound of Theorem 13 holds everywhere.
+    for n in sizes:
+        assert nested[n] <= n * (2 * n - 1)
+
+    rows = "\n".join(
+        f"  n={n:>3}   nested → {nested[n]:>5} facts   "
+        f"staircase → {stairs[n]:>4} facts   bound n(2n-1) = {n * (2 * n - 1)}"
+        for n in sizes
+    )
+    emit("THM-13: normalized-size sweep (worst case vs benign)", rows)
+
+    benchmark(lambda: nested_output_size(16))
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_thm13_naive_vs_algorithm1_size(benchmark, n):
+    """On the worst case both algorithms fragment everything — the naïve
+    one is no smaller, confirming Algorithm 1 is never worse in size."""
+    instance = nested_overlap_instance(n)
+    conjunctions = nested_overlap_conjunctions()
+
+    smart = normalize(instance, conjunctions)
+    naive = naive_normalize(instance)
+    assert len(smart) <= len(naive)
+
+    benchmark(lambda: naive_normalize(instance))

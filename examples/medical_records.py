@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Medical-records exchange: unknowns, failure detection, queries.
+
+The paper's introduction motivates temporal data exchange with medical
+systems.  This example exchanges admissions/diagnoses/physicians into a
+case registry and shows three things the framework gives you:
+
+1. interval-annotated nulls standing for *not-yet-diagnosed* periods,
+2. a hard failure (no solution) when overlapping contradictory diagnoses
+   hit the case egd — Theorem 19(2) in action,
+3. certain answers that are robust across all possible solutions.
+
+Run:  python examples/medical_records.py
+"""
+
+from repro import ConjunctiveQuery, c_chase, certain_answers_concrete
+from repro.serialize import render_concrete_instance
+from repro.workloads import medical_conflicting_scenario, medical_scenario
+
+
+def main() -> None:
+    scenario = medical_scenario()
+    print(f"=== Scenario: {scenario.description} ===")
+    print(render_concrete_instance(scenario.source))
+
+    print("\n=== Exchanged case registry (c-chase result) ===")
+    result = c_chase(scenario.source, scenario.setting)
+    assert result.succeeded
+    print(render_concrete_instance(result.target))
+    unknowns = sorted(str(null) for null in result.target.nulls())
+    print(f"\nUnknown values introduced by the exchange: {unknowns}")
+    print("(alice's condition in days 1-3 is unknown — and the annotation")
+    print(" says the unknown may differ day to day, as the semantics demands)")
+
+    print("\n=== Querying: which ward treated which condition, when? ===")
+    query = ConjunctiveQuery.parse("q(w, c) :- Case(p, w, c)")
+    answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+    for row, support in answers:
+        values = ", ".join(str(v) for v in row)
+        print(f"  ({values})  during {support}")
+
+    print("\n=== A contradictory source: the exchange must fail ===")
+    conflict = medical_conflicting_scenario()
+    failed = c_chase(conflict.source, conflict.setting)
+    print(f"chase failed: {failed.failed}")
+    print(f"reason: {failed.failure}")
+    print("By Theorem 19(2), no target instance satisfies the mapping —")
+    print("the overlapping diagnoses contradict the one-condition egd.")
+
+
+if __name__ == "__main__":
+    main()

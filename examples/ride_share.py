@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Taxi/bicycle rides: the intro's "temporality of facts" domain.
+
+Deployments, driver shifts and fares are exchanged into a fleet log.
+This example highlights how the exchange distinguishes what is *certain*
+(the cab's metered rates, the driver handover at hour 9) from what is
+*unknown* (the bike has no meter — its rate is an interval-annotated
+null, so it appears in no certain answer), and prints the trace of the
+egd steps that merged the σ1-nulls with the recorded fares.
+
+Run:  python examples/ride_share.py
+"""
+
+from repro import ConjunctiveQuery, c_chase, certain_answers_concrete
+from repro.serialize import render_concrete_instance
+from repro.workloads import ride_share_scenario
+
+
+def main() -> None:
+    scenario = ride_share_scenario()
+    print(f"=== Scenario: {scenario.description} ===")
+    print(render_concrete_instance(scenario.source))
+
+    print("\n=== Exchanged fleet log ===")
+    result = c_chase(scenario.source, scenario.setting)
+    assert result.succeeded
+    print(render_concrete_instance(result.target))
+
+    print("\n=== egd steps that merged unknowns with recorded fares ===")
+    for step in result.trace.egd_steps:
+        print(f"  {step}")
+
+    print("\n=== Certain answers ===")
+    for text in [
+        "rates(r) :- Fleet('cab7', z, r)",
+        "zones(z) :- Fleet('bike3', z, r)",
+        "bike_rate(r) :- Fleet('bike3', z, r)",
+        "drivers(d) :- Operates('cab7', d)",
+    ]:
+        query = ConjunctiveQuery.parse(text)
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        print(f"  {text}")
+        if not answers:
+            print("    (no certain answers — the value is unknown)")
+        for row, support in answers:
+            values = ", ".join(str(v) for v in row)
+            print(f"    ({values})  during {support}")
+
+
+if __name__ == "__main__":
+    main()

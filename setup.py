@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists only so
+that ``pip install -e .`` works in offline environments whose setuptools
+lacks PEP 517 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

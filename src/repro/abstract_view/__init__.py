@@ -1,0 +1,35 @@
+"""The abstract view: snapshot sequences, their chase, and homomorphisms.
+
+The abstract view supplies the *semantics* of temporal data exchange
+(Section 3); the concrete view in :mod:`repro.concrete` supplies the
+implementation, and :func:`repro.abstract_view.semantics.semantics`
+(⟦·⟧) ties the two together.
+"""
+
+from repro.abstract_view.abstract_chase import AbstractChaseResult, abstract_chase
+from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
+from repro.abstract_view.hom import (
+    AbstractHomomorphism,
+    combined_regions,
+    find_abstract_homomorphism,
+    has_abstract_homomorphism,
+    homomorphically_equivalent,
+)
+from repro.abstract_view.semantics import abstract_view_of, semantics
+from repro.abstract_view.solution import is_solution, is_universal_solution
+
+__all__ = [
+    "AbstractChaseResult",
+    "abstract_chase",
+    "AbstractInstance",
+    "TemplateFact",
+    "AbstractHomomorphism",
+    "combined_regions",
+    "find_abstract_homomorphism",
+    "has_abstract_homomorphism",
+    "homomorphically_equivalent",
+    "abstract_view_of",
+    "semantics",
+    "is_solution",
+    "is_universal_solution",
+]

@@ -1,0 +1,107 @@
+"""The abstract chase: classical chase applied snapshot-wise (Section 3).
+
+With non-temporal s-t tgds and egds every snapshot is chased
+independently::
+
+    chase(Ia, M) = ⟨chase(db0, M), chase(db1, M), …⟩
+
+and the fresh nulls of one snapshot are distinct from every other
+snapshot's.  On the finite representation this collapses to chasing one
+*representative* snapshot per constancy region: within a region all
+snapshots are equal (abstract source instances are complete), so their
+chase results are equal up to the per-snapshot renaming of fresh nulls —
+which is exactly what an interval-annotated null family over the region
+denotes.
+
+Proposition 4: a successful abstract chase yields a universal solution;
+a failure on any snapshot means no solution exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ChaseFailureError, InstanceError
+from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
+from repro.chase.nulls import NullFactory
+from repro.chase.standard import ChaseVariant, SnapshotChaseResult, chase_snapshot
+from repro.chase.trace import FailureRecord
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.terms import AnnotatedNull, Constant, LabeledNull
+from repro.temporal.interval import Interval
+
+__all__ = ["AbstractChaseResult", "abstract_chase"]
+
+
+@dataclass
+class AbstractChaseResult:
+    """Outcome of the snapshot-wise chase over the whole timeline."""
+
+    target: AbstractInstance
+    failed: bool = False
+    failure: FailureRecord | None = None
+    failed_region: Interval | None = None
+    region_results: dict[Interval, SnapshotChaseResult] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failed
+
+    def unwrap(self) -> AbstractInstance:
+        """The universal solution, raising on failure."""
+        if self.failed:
+            assert self.failure is not None
+            raise ChaseFailureError(
+                self.failure.dependency,
+                self.failure.left,
+                self.failure.right,
+                context=f"snapshots {self.failed_region}",
+            )
+        return self.target
+
+
+def abstract_chase(
+    source: AbstractInstance,
+    setting: DataExchangeSetting,
+    null_factory: NullFactory | None = None,
+    variant: ChaseVariant = "standard",
+) -> AbstractChaseResult:
+    """``chase(Ia, M)`` on the finite representation.
+
+    The source must be complete (constants only), as the paper assumes for
+    source instances.  One shared null factory keeps fresh null names
+    globally distinct across regions, mirroring the paper's requirement
+    that nulls of different snapshots never coincide.
+    """
+    if not source.is_complete:
+        raise InstanceError(
+            "abstract source instances must be complete (constants only)"
+        )
+    nulls = null_factory if null_factory is not None else NullFactory()
+    templates: list[TemplateFact] = []
+    region_results: dict[Interval, SnapshotChaseResult] = {}
+
+    for region in source.regions():
+        snapshot = source.snapshot(region.start)
+        result = chase_snapshot(snapshot, setting, null_factory=nulls, variant=variant)
+        region_results[region] = result
+        if result.failed:
+            return AbstractChaseResult(
+                target=AbstractInstance(templates),
+                failed=True,
+                failure=result.failure,
+                failed_region=region,
+                region_results=region_results,
+            )
+        for item in result.target.facts():
+            args = tuple(
+                AnnotatedNull(value.name, region)
+                if isinstance(value, LabeledNull)
+                else value
+                for value in item.args
+            )
+            templates.append(TemplateFact(item.relation, args, region))
+
+    return AbstractChaseResult(
+        target=AbstractInstance(templates), region_results=region_results
+    )

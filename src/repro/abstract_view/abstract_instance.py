@@ -1,0 +1,271 @@
+"""Finite representations of abstract temporal instances (Section 2).
+
+An abstract instance is conceptually an *infinite* sequence of snapshots
+``⟨db0, db1, …⟩`` obeying the finite change condition.  We represent it
+finitely as a set of **template facts** — interval-stamped facts whose
+terms are:
+
+* constants — the same value in every covered snapshot;
+* *rigid* labeled nulls — the same unknown in every covered snapshot
+  (instance ``J1`` of Figure 2);
+* interval-annotated nulls — a *fresh* unknown per covered snapshot
+  (instance ``J2`` of Figure 2): at snapshot ℓ the null materializes as
+  ``Π_ℓ(N^[s,e)) = N@ℓ``.
+
+``snapshot(ℓ)`` materializes the relational instance at any time point,
+and the representation makes the finite change condition hold by
+construction: beyond the largest finite endpoint all snapshots are
+"the same up to the index ℓ".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import InstanceError, TemporalError
+from repro.relational.fact import Fact
+from repro.relational.instance import Instance
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    LabeledNull,
+    term_sort_key,
+)
+from repro.temporal.interval import Interval
+from repro.temporal.interval_set import IntervalSet
+from repro.temporal.timepoint import INFINITY, Infinity, TimePoint
+
+__all__ = ["TemplateFact", "AbstractInstance"]
+
+
+@dataclass(frozen=True, slots=True)
+class TemplateFact:
+    """One interval-stamped fact template of an abstract instance."""
+
+    relation: str
+    args: tuple[GroundTerm, ...]
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise InstanceError("template fact relation name must be non-empty")
+        for value in self.args:
+            if isinstance(value, AnnotatedNull):
+                if value.annotation != self.interval:
+                    raise InstanceError(
+                        f"per-snapshot null {value} must be annotated with the "
+                        f"template's interval {self.interval}"
+                    )
+            elif isinstance(value, LabeledNull):
+                # '@' is reserved for projected per-snapshot nulls; a rigid
+                # null named like a projection would defeat the finite
+                # region-probing used by snapshot comparison and hom search.
+                if "@" in value.name:
+                    raise InstanceError(
+                        f"rigid null names must not contain '@': {value.name!r}"
+                    )
+            elif not isinstance(value, Constant):
+                raise InstanceError(
+                    f"template arguments must be constants, rigid nulls or "
+                    f"annotated nulls, got {value!r}"
+                )
+
+    def at(self, point: int) -> Fact:
+        """The snapshot-level fact at time ℓ."""
+        if point not in self.interval:
+            raise TemporalError(f"{point} outside {self.interval} in {self}")
+        args = tuple(
+            v.project(point) if isinstance(v, AnnotatedNull) else v
+            for v in self.args
+        )
+        return Fact(self.relation, args)
+
+    def rigid_nulls(self) -> tuple[LabeledNull, ...]:
+        return tuple(v for v in self.args if isinstance(v, LabeledNull))
+
+    def per_snapshot_nulls(self) -> tuple[AnnotatedNull, ...]:
+        return tuple(v for v in self.args if isinstance(v, AnnotatedNull))
+
+    def sort_key(self) -> tuple:
+        return (
+            self.relation,
+            tuple(term_sort_key(v) for v in self.args),
+            self.interval.sort_key(),
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(v) for v in self.args)
+        return f"{self.relation}({rendered}) @ {self.interval}"
+
+
+class AbstractInstance:
+    """An abstract temporal instance as a finite set of template facts."""
+
+    __slots__ = ("_templates",)
+
+    def __init__(self, templates: Iterable[TemplateFact] = ()):
+        self._templates: frozenset[TemplateFact] = frozenset(templates)
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def from_snapshot_runs(
+        cls, runs: Iterable[tuple[Instance, Interval]]
+    ) -> "AbstractInstance":
+        """Build from (snapshot, interval) runs with *rigid* semantics.
+
+        Every fact of the snapshot holds — with the same constants and the
+        same (rigid) nulls — at every time point of the interval.  This is
+        how instances like ``J1`` of Figure 2 are written down.
+        """
+        templates: list[TemplateFact] = []
+        for snapshot, stamp in runs:
+            for item in snapshot.facts():
+                templates.append(TemplateFact(item.relation, item.args, stamp))
+        return cls(templates)
+
+    @classmethod
+    def empty(cls) -> "AbstractInstance":
+        return cls(())
+
+    # -- structure ---------------------------------------------------------------
+    @property
+    def templates(self) -> frozenset[TemplateFact]:
+        return self._templates
+
+    def __iter__(self) -> Iterator[TemplateFact]:
+        return iter(sorted(self._templates, key=TemplateFact.sort_key))
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __bool__(self) -> bool:
+        return bool(self._templates)
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted({t.relation for t in self._templates}))
+
+    def rigid_nulls(self) -> frozenset[LabeledNull]:
+        found: set[LabeledNull] = set()
+        for template in self._templates:
+            found.update(template.rigid_nulls())
+        return frozenset(found)
+
+    def per_snapshot_nulls(self) -> frozenset[AnnotatedNull]:
+        found: set[AnnotatedNull] = set()
+        for template in self._templates:
+            found.update(template.per_snapshot_nulls())
+        return frozenset(found)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` iff no nulls of either kind occur."""
+        return not self.rigid_nulls() and not self.per_snapshot_nulls()
+
+    # -- timeline ------------------------------------------------------------------
+    def breakpoints(self) -> tuple[int, ...]:
+        """All distinct finite interval endpoints, ascending, always
+        including 0 so that the region partition covers the whole line."""
+        points: set[int] = {0}
+        for template in self._templates:
+            points.add(template.interval.start)
+            if not isinstance(template.interval.end, Infinity):
+                points.add(template.interval.end)
+        return tuple(sorted(points))
+
+    def horizon(self) -> int:
+        """The largest finite endpoint; snapshots at ℓ ≥ horizon are all
+        alike (finite change condition)."""
+        return self.breakpoints()[-1]
+
+    def regions(self) -> tuple[Interval, ...]:
+        """The canonical partition of ``[0, ∞)`` into maximal intervals on
+        which the set of covering templates is constant.
+
+        The last region is always the unbounded tail ``[horizon, ∞)``.
+        """
+        points = self.breakpoints()
+        pieces: list[Interval] = []
+        for left, right in zip(points, points[1:]):
+            pieces.append(Interval(left, right))
+        pieces.append(Interval(points[-1], INFINITY))
+        return tuple(pieces)
+
+    def representative_points(self) -> tuple[int, ...]:
+        """One probe point per region (each region's start)."""
+        return tuple(region.start for region in self.regions())
+
+    def rigid_null_span(self, null: LabeledNull) -> IntervalSet:
+        """The set of time points at which a rigid null occurs."""
+        stamps = [
+            template.interval
+            for template in self._templates
+            if null in template.rigid_nulls()
+        ]
+        return IntervalSet(stamps)
+
+    # -- semantics --------------------------------------------------------------------
+    def snapshot(self, point: int) -> Instance:
+        """The materialized snapshot ``db_ℓ``."""
+        result = Instance()
+        for template in self._templates:
+            if point in template.interval:
+                result.add(template.at(point))
+        return result
+
+    def snapshots(self, limit: int) -> list[Instance]:
+        """The materialized prefix ``db_0 … db_{limit-1}`` (tests, figures)."""
+        return [self.snapshot(point) for point in range(limit)]
+
+    def templates_at(self, point: int) -> tuple[TemplateFact, ...]:
+        return tuple(
+            template
+            for template in sorted(self._templates, key=TemplateFact.sort_key)
+            if point in template.interval
+        )
+
+    # -- combination --------------------------------------------------------------------
+    def union(self, other: "AbstractInstance") -> "AbstractInstance":
+        return AbstractInstance(self._templates | other._templates)
+
+    def restrict_to(self, relations: Iterable[str]) -> "AbstractInstance":
+        wanted = set(relations)
+        return AbstractInstance(
+            t for t in self._templates if t.relation in wanted
+        )
+
+    # -- comparison ----------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Representation equality (same template sets).
+
+        Semantic comparisons (same snapshots / homomorphic equivalence)
+        live in :mod:`repro.abstract_view.hom`.
+        """
+        if not isinstance(other, AbstractInstance):
+            return NotImplemented
+        return self._templates == other._templates
+
+    def __hash__(self) -> int:
+        return hash(self._templates)
+
+    def same_snapshots_as(self, other: "AbstractInstance") -> bool:
+        """Pointwise snapshot equality (exact, including null names).
+
+        Checked at the representatives of the *combined* region partition,
+        which is sound because both instances are homogeneous inside each
+        combined region.
+        """
+        points = sorted(set(self.breakpoints()) | set(other.breakpoints()))
+        probes = list(points) + [points[-1] + 1 if points else 1]
+        return all(
+            self.snapshot(point) == other.snapshot(point) for point in probes
+        )
+
+    def __str__(self) -> str:
+        if not self._templates:
+            return "⟨⟩"
+        return "⟨" + "; ".join(str(t) for t in self) + "⟩"
+
+    def __repr__(self) -> str:
+        return f"AbstractInstance({len(self._templates)} templates)"

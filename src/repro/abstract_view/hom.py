@@ -1,0 +1,232 @@
+"""Homomorphisms between abstract instances (Definition 3 of the paper).
+
+``h : Ia ↦ I'a`` requires (1) a per-snapshot homomorphism
+``h_ℓ : db_ℓ ↦ db'_ℓ`` for every ℓ, and (2) *global agreement*: any null
+that occurs in several snapshots must be mapped to one and the same value
+by all of them.  Example 2 of the paper shows why condition (2) matters —
+a rigid null spanning two snapshots cannot map onto per-snapshot nulls.
+
+Deciding this on the finite representation exploits homogeneity: refine
+both instances to their combined breakpoint partition.  Inside a region no
+template starts or ends, so snapshots differ only by the projection index
+of per-snapshot nulls; a homomorphism exists at every point of a region
+iff one exists at the region's start, *provided* rigid source nulls that
+occur at more than one time point never map to projected per-snapshot
+target nulls (such an image would differ from snapshot to snapshot,
+violating condition 2).  The search below therefore:
+
+* probes one representative point per combined region,
+* threads a global assignment ``G`` of rigid source nulls through the
+  regions, backtracking across regions,
+* forbids rigid nulls with multi-point spans from mapping to projected
+  nulls,
+
+which is sound and complete for finitely-represented instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.abstract_view.abstract_instance import AbstractInstance
+from repro.relational.fact import Fact
+from repro.relational.instance import Instance
+from repro.relational.terms import (
+    Constant,
+    GroundTerm,
+    LabeledNull,
+)
+from repro.temporal.interval import Interval
+from repro.temporal.timepoint import INFINITY
+
+__all__ = [
+    "AbstractHomomorphism",
+    "combined_regions",
+    "find_abstract_homomorphism",
+    "has_abstract_homomorphism",
+    "homomorphically_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class AbstractHomomorphism:
+    """A witness for ``source ↦ target``.
+
+    *rigid_mapping* is the global assignment of the source's rigid nulls
+    (condition 2 forces it to be shared by all per-snapshot maps); the
+    per-snapshot images of per-snapshot nulls are existentially verified
+    region by region and need not be materialized.
+    """
+
+    rigid_mapping: Mapping[LabeledNull, GroundTerm]
+
+    def __str__(self) -> str:
+        if not self.rigid_mapping:
+            return "{} (no rigid nulls to map)"
+        entries = ", ".join(
+            f"{key} ↦ {value}" for key, value in sorted(
+                self.rigid_mapping.items(), key=lambda kv: kv[0].name
+            )
+        )
+        return "{" + entries + "}"
+
+
+def combined_regions(
+    first: AbstractInstance, second: AbstractInstance
+) -> tuple[Interval, ...]:
+    """The coarsest partition of ``[0, ∞)`` refining both instances'
+    region partitions; both are homogeneous inside every piece."""
+    points = sorted(set(first.breakpoints()) | set(second.breakpoints()))
+    pieces = [Interval(p, q) for p, q in zip(points, points[1:])]
+    pieces.append(Interval(points[-1], INFINITY))
+    return tuple(pieces)
+
+
+def _projected_nulls(instance: AbstractInstance, point: int) -> frozenset[LabeledNull]:
+    """The snapshot-level nulls at *point* that stem from per-snapshot
+    families (these change name from snapshot to snapshot)."""
+    found: set[LabeledNull] = set()
+    for template in instance.templates_at(point):
+        for family in template.per_snapshot_nulls():
+            found.add(family.project(point))
+    return frozenset(found)
+
+
+def _iter_snapshot_homs(
+    source_snapshot: Instance,
+    target_snapshot: Instance,
+    fixed: Mapping[LabeledNull, GroundTerm],
+    multi_point_nulls: frozenset[LabeledNull],
+    projected_targets: frozenset[LabeledNull],
+) -> Iterator[dict[LabeledNull, GroundTerm]]:
+    """All homomorphisms ``source_snapshot → target_snapshot`` respecting
+
+    * *fixed* — pre-committed images of (rigid) nulls,
+    * the rule that nulls in *multi_point_nulls* never map into
+      *projected_targets*.
+
+    Yields the full null assignment (rigid and projected source nulls).
+    """
+    facts = sorted(source_snapshot.facts(), key=Fact.sort_key)
+    mapping: dict[LabeledNull, GroundTerm] = dict(fixed)
+
+    def bindings_for(item: Fact) -> dict[int, GroundTerm]:
+        bound: dict[int, GroundTerm] = {}
+        for position, arg in enumerate(item.args):
+            if isinstance(arg, Constant):
+                bound[position] = arg
+            elif isinstance(arg, LabeledNull) and arg in mapping:
+                bound[position] = mapping[arg]
+        return bound
+
+    def try_extend(item: Fact, image: Fact) -> list[LabeledNull] | None:
+        added: list[LabeledNull] = []
+        for arg, value in zip(item.args, image.args):
+            if isinstance(arg, Constant):
+                if arg != value:
+                    return None
+                continue
+            assert isinstance(arg, LabeledNull)
+            current = mapping.get(arg)
+            if current is None:
+                if arg in multi_point_nulls and value in projected_targets:
+                    # Condition 2: a multi-point rigid null cannot track a
+                    # per-snapshot null that is renamed at every snapshot.
+                    for rollback in added:
+                        del mapping[rollback]
+                    return None
+                mapping[arg] = value
+                added.append(arg)
+            elif current != value:
+                for rollback in added:
+                    del mapping[rollback]
+                return None
+        return added
+
+    def search(position: int) -> Iterator[dict[LabeledNull, GroundTerm]]:
+        if position == len(facts):
+            yield dict(mapping)
+            return
+        item = facts[position]
+        candidates = target_snapshot.lookup(item.relation, bindings_for(item))
+        for candidate in sorted(candidates, key=Fact.sort_key):
+            added = try_extend(item, candidate)
+            if added is None:
+                continue
+            yield from search(position + 1)
+            for rollback in added:
+                del mapping[rollback]
+
+    yield from search(0)
+
+
+def find_abstract_homomorphism(
+    source: AbstractInstance, target: AbstractInstance
+) -> AbstractHomomorphism | None:
+    """A homomorphism ``source ↦ target`` per Definition 3, or ``None``."""
+    regions = combined_regions(source, target)
+    rigid_nulls = source.rigid_nulls()
+    multi_point = frozenset(
+        null
+        for null in rigid_nulls
+        if source.rigid_null_span(null).total_duration() > 1
+    )
+    global_assignment: dict[LabeledNull, GroundTerm] = {}
+
+    def solve(index: int) -> bool:
+        if index == len(regions):
+            return True
+        region = regions[index]
+        representative = region.start
+        source_snapshot = source.snapshot(representative)
+        if not source_snapshot:
+            return solve(index + 1)
+        target_snapshot = target.snapshot(representative)
+        projected_targets = _projected_nulls(target, representative)
+        committed = {
+            null: image
+            for null, image in global_assignment.items()
+        }
+        for assignment in _iter_snapshot_homs(
+            source_snapshot,
+            target_snapshot,
+            fixed=committed,
+            multi_point_nulls=multi_point,
+            projected_targets=projected_targets,
+        ):
+            newly_committed = {
+                null: image
+                for null, image in assignment.items()
+                if null in rigid_nulls and null not in global_assignment
+            }
+            global_assignment.update(newly_committed)
+            if solve(index + 1):
+                return True
+            for null in newly_committed:
+                del global_assignment[null]
+        return False
+
+    if solve(0):
+        return AbstractHomomorphism(dict(global_assignment))
+    return None
+
+
+def has_abstract_homomorphism(
+    source: AbstractInstance, target: AbstractInstance
+) -> bool:
+    """``True`` iff some homomorphism ``source ↦ target`` exists."""
+    return find_abstract_homomorphism(source, target) is not None
+
+
+def homomorphically_equivalent(
+    first: AbstractInstance, second: AbstractInstance
+) -> bool:
+    """``first ∼ second``: homomorphisms exist in both directions.
+
+    This is the equivalence of Corollary 20 relating ``⟦c-chase(Ic)⟧`` and
+    ``chase(⟦Ic⟧)``.
+    """
+    return has_abstract_homomorphism(first, second) and has_abstract_homomorphism(
+        second, first
+    )

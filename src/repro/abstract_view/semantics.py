@@ -1,0 +1,28 @@
+"""The semantic mapping ⟦·⟧ from concrete to abstract instances.
+
+``⟦Ic⟧`` is the abstract instance whose snapshot at time ℓ contains
+``R(a, Π_ℓ(N))`` for every concrete fact ``R+(a, N, [s, e))`` with
+``s ≤ ℓ < e`` (Sections 2 and 4.1).  On our finite representations the
+mapping is a direct reinterpretation: every concrete fact *is* a template
+fact — constants stay constants and interval-annotated nulls stay
+per-snapshot null families.
+"""
+
+from __future__ import annotations
+
+from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
+from repro.concrete.concrete_instance import ConcreteInstance
+
+__all__ = ["semantics", "abstract_view_of"]
+
+
+def semantics(instance: ConcreteInstance) -> AbstractInstance:
+    """``⟦instance⟧``: the abstract instance the concrete one represents."""
+    return AbstractInstance(
+        TemplateFact(item.relation, item.data, item.interval)
+        for item in instance.facts()
+    )
+
+
+#: Alias emphasising direction when both views are in scope.
+abstract_view_of = semantics

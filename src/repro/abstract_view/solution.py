@@ -1,0 +1,68 @@
+"""Solutions and universal solutions on the abstract view (Section 3).
+
+A target abstract instance ``Ja`` is a *solution* for ``Ia`` w.r.t. a
+setting ``M`` when every snapshot pair satisfies ``Σst ∪ Σeg``; it is
+*universal* when, additionally, it maps homomorphically into every other
+solution (Definition 3).  Universality over the infinitude of solutions
+cannot be checked directly, so :func:`is_universal_solution` verifies the
+homomorphism property against a caller-supplied family of witness
+solutions — in tests these are hand-built alternative solutions, and by
+Proposition 4 the chase result must map into each of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.abstract_view.abstract_instance import AbstractInstance
+from repro.abstract_view.hom import combined_regions, has_abstract_homomorphism
+from repro.chase.standard import snapshot_satisfies
+from repro.dependencies.mapping import DataExchangeSetting
+
+__all__ = ["is_solution", "is_universal_solution"]
+
+
+def is_solution(
+    source: AbstractInstance,
+    target: AbstractInstance,
+    setting: DataExchangeSetting,
+) -> bool:
+    """``(Ia, Ja) |= Σst ∪ Σeg`` checked snapshot-wise.
+
+    Satisfaction is probed at one representative point per combined
+    region; inside a region the snapshot pair is constant up to the
+    uniform renaming of per-snapshot nulls, and dependency satisfaction is
+    invariant under isomorphism, so the probe is exact.
+    """
+    for region in combined_regions(source, target):
+        representative = region.start
+        if not snapshot_satisfies(
+            source.snapshot(representative),
+            target.snapshot(representative),
+            setting,
+        ):
+            return False
+    return True
+
+
+def is_universal_solution(
+    source: AbstractInstance,
+    target: AbstractInstance,
+    setting: DataExchangeSetting,
+    other_solutions: Iterable[AbstractInstance] = (),
+) -> bool:
+    """Solution check plus homomorphisms into each witness solution.
+
+    Universality quantifies over *all* solutions; callers provide the
+    witnesses to check against (each must itself be a solution, which is
+    verified too — a non-solution witness is a usage error worth failing
+    loudly on).
+    """
+    if not is_solution(source, target, setting):
+        return False
+    for witness in other_solutions:
+        if not is_solution(source, witness, setting):
+            return False
+        if not has_abstract_homomorphism(target, witness):
+            return False
+    return True

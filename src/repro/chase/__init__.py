@@ -1,0 +1,32 @@
+"""The classical chase machinery used snapshot-wise by both views."""
+
+from repro.chase.core import core_of, find_proper_endomorphism, is_core
+from repro.chase.nulls import NullFactory
+from repro.chase.standard import (
+    SnapshotChaseResult,
+    chase_snapshot,
+    snapshot_satisfies,
+)
+from repro.chase.trace import (
+    ChaseTrace,
+    EgdStepRecord,
+    FailureRecord,
+    TgdStepRecord,
+)
+from repro.chase.union_find import ConstantClashError, TermUnionFind
+
+__all__ = [
+    "core_of",
+    "find_proper_endomorphism",
+    "is_core",
+    "NullFactory",
+    "SnapshotChaseResult",
+    "chase_snapshot",
+    "snapshot_satisfies",
+    "ChaseTrace",
+    "EgdStepRecord",
+    "FailureRecord",
+    "TgdStepRecord",
+    "ConstantClashError",
+    "TermUnionFind",
+]

@@ -1,0 +1,117 @@
+"""Core computation for universal solutions (extension; Fagin-Kolaitis-Popa).
+
+The paper lists revisiting the *core* in the temporal setting as future
+work (Section 7).  We provide the classical snapshot-level building block:
+the core of an instance with nulls is its smallest retract — the unique
+(up to isomorphism) smallest universal solution.  The oblivious chase
+variant produces redundant nulls, and this module removes them; the
+ablation benchmark ``bench_ablation_chase_variants`` measures the effect.
+
+The algorithm repeatedly looks for a *proper endomorphism*: a homomorphism
+``h : J → J`` (identity on constants) whose image is a proper subinstance.
+Each application strictly shrinks the instance, so the loop terminates in
+at most ``|J|`` iterations; the search for an endomorphism is complete
+(plain backtracking over null assignments), so on termination no proper
+endomorphism exists and the result is the core.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.relational.fact import Fact
+from repro.relational.instance import Instance
+from repro.relational.terms import (
+    Constant,
+    GroundTerm,
+    Term,
+    term_sort_key,
+)
+
+__all__ = ["core_of", "is_core", "find_proper_endomorphism"]
+
+
+def _iter_endomorphisms(instance: Instance) -> Iterator[dict[Term, GroundTerm]]:
+    """All endomorphisms of *instance* (identity on constants).
+
+    Backtracks over the facts in deterministic order, unifying each fact
+    with a candidate image fact; null bindings accumulate.  The identity
+    is among the yielded maps.
+    """
+    facts = sorted(instance.facts(), key=Fact.sort_key)
+    mapping: dict[Term, GroundTerm] = {}
+
+    def bindings_for(item: Fact) -> dict[int, GroundTerm]:
+        bound: dict[int, GroundTerm] = {}
+        for position, arg in enumerate(item.args):
+            if isinstance(arg, Constant):
+                bound[position] = arg
+            elif arg in mapping:
+                bound[position] = mapping[arg]
+        return bound
+
+    def try_extend(item: Fact, image: Fact) -> list[Term] | None:
+        added: list[Term] = []
+        for arg, value in zip(item.args, image.args):
+            if isinstance(arg, Constant):
+                if arg != value:
+                    return None
+            else:
+                current = mapping.get(arg)
+                if current is None:
+                    mapping[arg] = value
+                    added.append(arg)
+                elif current != value:
+                    for rollback in added:
+                        del mapping[rollback]
+                    return None
+        return added
+
+    def search(position: int) -> Iterator[dict[Term, GroundTerm]]:
+        if position == len(facts):
+            yield dict(mapping)
+            return
+        item = facts[position]
+        candidates = instance.lookup(item.relation, bindings_for(item))
+        for candidate in sorted(candidates, key=Fact.sort_key):
+            added = try_extend(item, candidate)
+            if added is None:
+                continue
+            yield from search(position + 1)
+            for rollback in added:
+                del mapping[rollback]
+
+    yield from search(0)
+
+
+def find_proper_endomorphism(instance: Instance) -> dict[Term, GroundTerm] | None:
+    """An endomorphism whose image is a proper subinstance, or ``None``."""
+    all_facts = instance.facts()
+    for mapping in _iter_endomorphisms(instance):
+        if not mapping:
+            continue  # no nulls at all: only the identity exists
+        image = {item.substitute(mapping) for item in all_facts}
+        if image != all_facts:
+            return mapping
+    return None
+
+
+def core_of(instance: Instance) -> Instance:
+    """The core of *instance*: its smallest retract.
+
+    For a universal solution this is the smallest universal solution.
+    Instances without nulls are their own core.
+    """
+    current = instance.copy()
+    while True:
+        if current.is_complete:
+            return current
+        folding = find_proper_endomorphism(current)
+        if folding is None:
+            return current
+        current = current.substitute(folding)
+
+
+def is_core(instance: Instance) -> bool:
+    """``True`` iff *instance* admits no proper endomorphism."""
+    return find_proper_endomorphism(instance) is None

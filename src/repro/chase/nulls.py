@@ -1,0 +1,45 @@
+"""Deterministic factories for fresh nulls.
+
+Chase runs must be reproducible: the figures in the paper (and our tests
+that regenerate them byte-for-byte) name nulls ``N``, ``N'``, ``M`` …;
+we name them ``N1, N2, …`` in generation order.  A factory is scoped to
+one chase run so that parallel runs never share counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.relational.terms import AnnotatedNull, LabeledNull
+from repro.temporal.interval import Interval
+
+__all__ = ["NullFactory"]
+
+
+@dataclass
+class NullFactory:
+    """Issues fresh labeled / interval-annotated nulls with sequential names."""
+
+    prefix: str = "N"
+    _counter: int = field(default=0, repr=False)
+
+    def fresh_name(self) -> str:
+        self._counter += 1
+        return f"{self.prefix}{self._counter}"
+
+    def fresh(self) -> LabeledNull:
+        """A fresh snapshot-level labeled null."""
+        return LabeledNull(self.fresh_name())
+
+    def fresh_annotated(self, annotation: Interval) -> AnnotatedNull:
+        """A fresh interval-annotated null ``N^annotation``.
+
+        Used by s-t tgd c-chase steps (Definition 16): each existential
+        variable is assigned a fresh null annotated with ``h(t)``.
+        """
+        return AnnotatedNull(self.fresh_name(), annotation)
+
+    @property
+    def issued(self) -> int:
+        """How many nulls this factory has produced so far."""
+        return self._counter

@@ -1,0 +1,214 @@
+"""The classical snapshot chase (Fagin et al.), used per snapshot.
+
+Given a relational source instance and a setting ``M = (RS, RT, Σst,
+Σeg)``, the chase materializes a target instance in two phases:
+
+1. **s-t tgd phase** — for every tgd ``φ(x) → ∃y ψ(x, y)`` and every
+   homomorphism ``h : φ → I`` that has no extension to ``φ ∧ ψ`` over
+   ``(I, J)``, add ``ψ(h(x), N)`` with fresh labeled nulls ``N``.  Because
+   tgds are source-to-target, a single pass over all homomorphisms
+   suffices (new target facts never enable new lhs matches).  The
+   *oblivious* variant skips the extension check and always fires — an
+   ablation knob that produces a non-core universal solution.
+2. **egd phase** — while some egd ``φ(x) → x1 = x2`` has a homomorphism
+   with ``h(x1) ≠ h(x2)``: equate them.  Null/term pairs are merged via
+   union-find; equating two distinct constants fails the chase, which by
+   Theorem 3.3 of Fagin et al. (and Proposition 4 here) means *no solution
+   exists*.
+
+A successful chase returns a universal solution for the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.errors import ChaseFailureError
+from repro.chase.nulls import NullFactory
+from repro.chase.trace import (
+    ChaseTrace,
+    EgdStepRecord,
+    FailureRecord,
+    TgdStepRecord,
+)
+from repro.chase.union_find import ConstantClashError, TermUnionFind
+from repro.dependencies.dependency import EGD, SourceToTargetTGD
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.fact import Fact
+from repro.relational.homomorphism import (
+    find_homomorphism,
+    find_homomorphisms,
+    has_homomorphism,
+)
+from repro.relational.instance import Instance
+from repro.relational.terms import Constant, GroundTerm, Variable
+
+__all__ = ["SnapshotChaseResult", "chase_snapshot", "snapshot_satisfies"]
+
+ChaseVariant = Literal["standard", "oblivious"]
+
+
+@dataclass
+class SnapshotChaseResult:
+    """Outcome of chasing one snapshot.
+
+    ``failed`` distinguishes chase *failure* (no solution exists) from
+    success; on failure ``target`` holds the instance as of the failing
+    step, which is useful for diagnosis but is *not* a solution.
+    """
+
+    target: Instance
+    failed: bool = False
+    failure: FailureRecord | None = None
+    trace: ChaseTrace = field(default_factory=ChaseTrace)
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failed
+
+    def unwrap(self) -> Instance:
+        """The universal solution, raising on a failed chase."""
+        if self.failed:
+            assert self.failure is not None
+            raise ChaseFailureError(
+                self.failure.dependency, self.failure.left, self.failure.right
+            )
+        return self.target
+
+
+def _tgd_label(tgd: SourceToTargetTGD, index: int) -> str:
+    return tgd.name or f"σ{index}"
+
+
+def _egd_label(egd: EGD, index: int) -> str:
+    return egd.name or f"ε{index}"
+
+
+def _run_tgd_phase(
+    source: Instance,
+    target: Instance,
+    setting: DataExchangeSetting,
+    nulls: NullFactory,
+    variant: ChaseVariant,
+    trace: ChaseTrace,
+) -> None:
+    for index, tgd in enumerate(setting.st_tgds, start=1):
+        label = _tgd_label(tgd, index)
+        for assignment in find_homomorphisms(tgd.lhs, source):
+            if variant == "standard":
+                # Skip when h extends to φ ∧ ψ over (I, J): the rhs is
+                # target-only, so the extension is a hom of ψ into J that
+                # agrees with h on the exported variables.
+                if has_homomorphism(tgd.rhs, target, initial=assignment):
+                    continue
+            extension: dict[Variable, GroundTerm] = dict(assignment)
+            fresh: list[GroundTerm] = []
+            for variable in tgd.existential_variables:
+                null = nulls.fresh()
+                extension[variable] = null
+                fresh.append(null)
+            added = tgd.rhs.instantiate(extension)
+            new_facts = tuple(item for item in added if target.add(item))
+            trace.record(
+                TgdStepRecord(
+                    dependency=label,
+                    assignment=assignment,
+                    added_facts=new_facts,
+                    fresh_nulls=tuple(fresh),
+                )
+            )
+
+
+def _run_egd_phase(
+    target: Instance,
+    setting: DataExchangeSetting,
+    trace: ChaseTrace,
+) -> tuple[Instance, FailureRecord | None]:
+    """Chase the egds to fixpoint; returns (instance, failure-or-None)."""
+    union_find = TermUnionFind()
+    current = target
+    changed = True
+    while changed:
+        changed = False
+        for index, egd in enumerate(setting.egds, start=1):
+            label = _egd_label(egd, index)
+            for assignment in find_homomorphisms(egd.lhs, current):
+                left = assignment[egd.left_variable]
+                right = assignment[egd.right_variable]
+                if left == right:
+                    continue
+                try:
+                    winner = union_find.union(left, right)
+                except ConstantClashError as clash:
+                    failure = FailureRecord(label, clash.left, clash.right)
+                    trace.record(failure)
+                    return current, failure
+                # left and right come from the already-substituted instance,
+                # so both are class representatives and the winner is one of
+                # them; the other is replaced everywhere.
+                replaced = right if winner == left else left
+                current = current.substitute({replaced: winner})
+                trace.record(EgdStepRecord(label, replaced, winner))
+                changed = True
+                break  # homomorphisms must be recomputed on the new instance
+            if changed:
+                break
+    return current, None
+
+
+def chase_snapshot(
+    source: Instance,
+    setting: DataExchangeSetting,
+    null_factory: NullFactory | None = None,
+    variant: ChaseVariant = "standard",
+) -> SnapshotChaseResult:
+    """Chase one snapshot, producing a universal solution or a failure.
+
+    *variant* selects the s-t tgd firing policy (``"standard"`` checks for
+    an existing extension before firing; ``"oblivious"`` always fires).
+    """
+    nulls = null_factory if null_factory is not None else NullFactory()
+    trace = ChaseTrace()
+    # Target instances are kept schema-free internally; arity validation
+    # already happened at the dependency level where attributes are known.
+    target = Instance()
+    _run_tgd_phase(source, target, setting, nulls, variant, trace)
+    result_instance, failure = _run_egd_phase(target, setting, trace)
+    if failure is not None:
+        return SnapshotChaseResult(
+            target=result_instance, failed=True, failure=failure, trace=trace
+        )
+    return SnapshotChaseResult(target=result_instance, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# Dependency satisfaction (solution checking at the snapshot level)
+# ---------------------------------------------------------------------------
+
+
+def _tgd_satisfied(source: Instance, target: Instance, tgd: SourceToTargetTGD) -> bool:
+    for assignment in find_homomorphisms(tgd.lhs, source):
+        if not has_homomorphism(tgd.rhs, target, initial=assignment):
+            return False
+    return True
+
+
+def _egd_satisfied(target: Instance, egd: EGD) -> bool:
+    for assignment in find_homomorphisms(egd.lhs, target):
+        if assignment[egd.left_variable] != assignment[egd.right_variable]:
+            return False
+    return True
+
+
+def snapshot_satisfies(
+    source: Instance, target: Instance, setting: DataExchangeSetting
+) -> bool:
+    """``(db, db') |= Σst ∪ Σeg`` — is *target* a solution for *source*?
+
+    Nulls are treated as ordinary domain elements (naive-table semantics),
+    exactly as in the definition of solutions over instances with nulls.
+    """
+    return all(
+        _tgd_satisfied(source, target, tgd) for tgd in setting.st_tgds
+    ) and all(_egd_satisfied(target, egd) for egd in setting.egds)

@@ -1,0 +1,92 @@
+"""Provenance records for chase runs.
+
+Every chase step is recorded: which dependency fired, under which
+homomorphism, and what it did (facts added / terms equated / failure).
+Traces make chase behaviour inspectable in examples, power the ablation
+benchmarks (step counts), and give tests a precise handle on *how* a
+result was produced, not just what it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.relational.fact import Fact
+from repro.relational.terms import GroundTerm, Term, Variable
+
+__all__ = ["TgdStepRecord", "EgdStepRecord", "FailureRecord", "ChaseTrace"]
+
+
+@dataclass(frozen=True)
+class TgdStepRecord:
+    """One tgd chase step: dependency σ fired with h, adding facts."""
+
+    dependency: str
+    assignment: Mapping[Variable, GroundTerm]
+    added_facts: tuple[Fact, ...]
+    fresh_nulls: tuple[GroundTerm, ...] = ()
+
+    def __str__(self) -> str:
+        added = ", ".join(str(item) for item in self.added_facts)
+        return f"tgd {self.dependency}: added {{{added}}}"
+
+
+@dataclass(frozen=True)
+class EgdStepRecord:
+    """One successful egd chase step: *replaced* ↦ *replacement* everywhere."""
+
+    dependency: str
+    replaced: Term
+    replacement: Term
+
+    def __str__(self) -> str:
+        return f"egd {self.dependency}: {self.replaced} ↦ {self.replacement}"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """A failing egd step: two distinct constants were equated."""
+
+    dependency: str
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"egd {self.dependency} FAILED: {self.left} ≠ {self.right}"
+
+
+@dataclass
+class ChaseTrace:
+    """The ordered step log of one chase run."""
+
+    steps: list[TgdStepRecord | EgdStepRecord | FailureRecord] = field(
+        default_factory=list
+    )
+
+    def record(self, step: TgdStepRecord | EgdStepRecord | FailureRecord) -> None:
+        self.steps.append(step)
+
+    @property
+    def tgd_steps(self) -> tuple[TgdStepRecord, ...]:
+        return tuple(s for s in self.steps if isinstance(s, TgdStepRecord))
+
+    @property
+    def egd_steps(self) -> tuple[EgdStepRecord, ...]:
+        return tuple(s for s in self.steps if isinstance(s, EgdStepRecord))
+
+    @property
+    def failure(self) -> FailureRecord | None:
+        for step in self.steps:
+            if isinstance(step, FailureRecord):
+                return step
+        return None
+
+    def facts_added(self) -> int:
+        return sum(len(step.added_facts) for step in self.tgd_steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __str__(self) -> str:
+        return "\n".join(str(step) for step in self.steps)

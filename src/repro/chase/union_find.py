@@ -1,0 +1,112 @@
+"""Union-find over ground terms with constants as forced representatives.
+
+The egd phase of a chase repeatedly equates pairs of terms.  Merging
+through a union-find keeps that phase near-linear: each equivalence class
+tracks whether it contains a constant, in which case the constant is the
+class representative (nulls are always replaced *by* constants, never the
+other way around — Definition 16).  Attempting to merge two classes with
+distinct constants raises :class:`ConstantClashError`, which the chase
+translates into a failure result.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping, TypeVar
+
+from repro.errors import ReproError
+from repro.relational.terms import Constant, GroundTerm, term_sort_key
+
+__all__ = ["ConstantClashError", "TermUnionFind"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class ConstantClashError(ReproError):
+    """Two distinct constants were equated — the chase must fail."""
+
+    def __init__(self, left: Constant, right: Constant):
+        self.left = left
+        self.right = right
+        super().__init__(f"cannot equate distinct constants {left} and {right}")
+
+
+class TermUnionFind:
+    """Union-find over :class:`~repro.relational.terms.GroundTerm` values."""
+
+    def __init__(self) -> None:
+        self._parent: Dict[GroundTerm, GroundTerm] = {}
+        self._rank: Dict[GroundTerm, int] = {}
+
+    def _ensure(self, term: GroundTerm) -> None:
+        if term not in self._parent:
+            self._parent[term] = term
+            self._rank[term] = 0
+
+    def find(self, term: GroundTerm) -> GroundTerm:
+        """Representative of *term*'s class (path compression applied)."""
+        self._ensure(term)
+        root = term
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[term] != root:
+            self._parent[term], term = root, self._parent[term]
+        return root
+
+    def union(self, left: GroundTerm, right: GroundTerm) -> GroundTerm:
+        """Merge the classes of *left* and *right*; returns the representative.
+
+        Constants always win representative election; merging classes that
+        contain two distinct constants raises :class:`ConstantClashError`.
+        When both roots are nulls the smaller under
+        :func:`~repro.relational.terms.term_sort_key` wins, keeping chase
+        output deterministic.
+        """
+        root_left = self.find(left)
+        root_right = self.find(right)
+        if root_left == root_right:
+            return root_left
+
+        left_const = isinstance(root_left, Constant)
+        right_const = isinstance(root_right, Constant)
+        if left_const and right_const:
+            raise ConstantClashError(root_left, root_right)  # type: ignore[arg-type]
+        if left_const:
+            winner, loser = root_left, root_right
+        elif right_const:
+            winner, loser = root_right, root_left
+        elif term_sort_key(root_left) <= term_sort_key(root_right):
+            winner, loser = root_left, root_right
+        else:
+            winner, loser = root_right, root_left
+        self._parent[loser] = winner
+        self._rank[winner] = max(self._rank[winner], self._rank[loser] + 1)
+        return winner
+
+    def same_class(self, left: GroundTerm, right: GroundTerm) -> bool:
+        return self.find(left) == self.find(right)
+
+    def substitution(self) -> dict[GroundTerm, GroundTerm]:
+        """The induced replacement map term → representative (non-identity only)."""
+        mapping: dict[GroundTerm, GroundTerm] = {}
+        for term in self._parent:
+            root = self.find(term)
+            if root != term:
+                mapping[term] = root
+        return mapping
+
+    def classes(self) -> tuple[frozenset[GroundTerm], ...]:
+        """All non-singleton equivalence classes (for diagnostics)."""
+        grouped: dict[GroundTerm, set[GroundTerm]] = {}
+        for term in self._parent:
+            grouped.setdefault(self.find(term), set()).add(term)
+        return tuple(
+            frozenset(members)
+            for members in grouped.values()
+            if len(members) > 1
+        )
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)

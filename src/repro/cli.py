@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``chase``      — run the c-chase on a source instance and a mapping;
+* ``normalize``  — normalize an instance w.r.t. a mapping's lhs sets;
+* ``query``      — certain answers for a conjunctive query;
+* ``verify``     — check the Figure 10 correspondence on an input;
+* ``figures``    — print every regenerated figure of the paper.
+
+Instances and mappings travel as JSON in the :mod:`repro.serialize`
+format.  Exit status: 0 on success, 1 on chase failure (no solution),
+2 on bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.concrete import c_chase, naive_normalize, normalize
+from repro.correspondence import verify_correspondence
+from repro.errors import ReproError
+from repro.query import ConjunctiveQuery, UnionQuery, certain_answers_concrete
+from repro.serialize import (
+    concrete_instance_from_json,
+    concrete_instance_to_json,
+    render_concrete_instance,
+    setting_from_json,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_json(path: str) -> dict:
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read JSON from {path}: {exc}")
+
+
+def _load_instance(path: str):
+    return concrete_instance_from_json(_load_json(path))
+
+
+def _load_setting(path: str):
+    return setting_from_json(_load_json(path))
+
+
+def _write_instance(instance, out: str | None, pretty: bool) -> None:
+    payload = json.dumps(concrete_instance_to_json(instance), indent=2)
+    if out:
+        Path(out).write_text(payload + "\n")
+    elif pretty:
+        print(render_concrete_instance(instance))
+    else:
+        print(payload)
+
+
+def _cmd_chase(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.mapping)
+    source = _load_instance(args.source)
+    result = c_chase(
+        source,
+        setting,
+        normalization=args.normalization,
+        variant=args.variant,
+        coalesce_result=args.coalesce,
+    )
+    if result.failed:
+        print(f"chase failed: {result.failure}", file=sys.stderr)
+        return 1
+    _write_instance(result.target, args.out, args.pretty)
+    if args.trace:
+        print(f"-- {len(result.trace)} chase steps --", file=sys.stderr)
+        for step in result.trace.steps:
+            print(f"   {step}", file=sys.stderr)
+    return 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    source = _load_instance(args.source)
+    if args.naive:
+        normalized = naive_normalize(source)
+    else:
+        setting = _load_setting(args.mapping)
+        conjunctions = (
+            setting.lifted_egd_lhs_conjunctions()
+            if args.phase == "egd"
+            else setting.lifted_st_lhs_conjunctions()
+        )
+        normalized = normalize(source, conjunctions)
+    _write_instance(normalized, args.out, args.pretty)
+    print(
+        f"{len(source)} facts -> {len(normalized)} facts",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.mapping)
+    source = _load_instance(args.source)
+    rules = [rule for rule in args.query.split(";") if rule.strip()]
+    query: ConjunctiveQuery | UnionQuery
+    if len(rules) == 1:
+        query = ConjunctiveQuery.parse(rules[0])
+    else:
+        query = UnionQuery.of(*rules)
+    answers = certain_answers_concrete(query, source, setting)
+    for row, support in answers:
+        values = ", ".join(str(v) for v in row)
+        print(f"({values})\t{support}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    setting = _load_setting(args.mapping)
+    source = _load_instance(args.source)
+    report = verify_correspondence(source, setting)
+    if report.both_failed:
+        print("both chases fail: no solution exists (square commutes)")
+        return 0
+    if report.holds:
+        print("correspondence holds: ⟦c-chase(Ic)⟧ ∼ chase(⟦Ic⟧)")
+        return 0
+    print("CORRESPONDENCE VIOLATION — this is a bug, please report it")
+    return 1
+
+
+def _cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.abstract_view import abstract_chase, semantics
+    from repro.serialize import render_abstract_snapshots
+    from repro.workloads import (
+        algorithm1_example_conjunctions,
+        algorithm1_example_instance,
+        employment_setting,
+        employment_source_concrete,
+        salary_conjunction,
+    )
+
+    setting = employment_setting()
+    source = employment_source_concrete()
+    print("== Figure 1: abstract snapshots of ⟦Ic⟧ ==")
+    print(render_abstract_snapshots(semantics(source), range(2012, 2019)))
+    print("\n== Figure 4: concrete source instance Ic ==")
+    print(render_concrete_instance(source, setting.lifted_source_schema()))
+    print("\n== Figure 5: Algorithm 1 normalization ==")
+    print(
+        render_concrete_instance(
+            normalize(source, [salary_conjunction()]),
+            setting.lifted_source_schema(),
+        )
+    )
+    print("\n== Figure 6: naive normalization ==")
+    print(
+        render_concrete_instance(
+            naive_normalize(source), setting.lifted_source_schema()
+        )
+    )
+    print("\n== Figures 7/8: Example 14 ==")
+    example = algorithm1_example_instance()
+    print(render_concrete_instance(example))
+    print("   -- normalizes to --")
+    print(
+        render_concrete_instance(
+            normalize(example, algorithm1_example_conjunctions())
+        )
+    )
+    print("\n== Figure 9: c-chase(Ic) ==")
+    result = c_chase(source, setting)
+    print(render_concrete_instance(result.target, setting.lifted_target_schema()))
+    print("\n== Figure 3: chase(⟦Ic⟧) snapshots ==")
+    print(
+        render_abstract_snapshots(
+            abstract_chase(semantics(source), setting).unwrap(),
+            range(2012, 2019),
+        )
+    )
+    print("\n== Figure 10: correspondence ==")
+    print("holds:", verify_correspondence(source, setting).holds)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal data exchange (Golshanara & Chomicki)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    chase = commands.add_parser("chase", help="run the c-chase")
+    chase.add_argument("--mapping", required=True, help="mapping JSON file")
+    chase.add_argument("--source", required=True, help="source instance JSON file")
+    chase.add_argument("--out", help="write the solution JSON here")
+    chase.add_argument("--pretty", action="store_true", help="print ASCII tables")
+    chase.add_argument("--trace", action="store_true", help="print chase steps")
+    chase.add_argument(
+        "--normalization",
+        choices=["conjunction", "naive"],
+        default="conjunction",
+    )
+    chase.add_argument(
+        "--variant", choices=["standard", "oblivious"], default="standard"
+    )
+    chase.add_argument("--coalesce", action="store_true")
+    chase.set_defaults(handler=_cmd_chase)
+
+    norm = commands.add_parser("normalize", help="normalize an instance")
+    norm.add_argument("--source", required=True)
+    norm.add_argument("--mapping", help="mapping JSON (required unless --naive)")
+    norm.add_argument("--phase", choices=["st", "egd"], default="st")
+    norm.add_argument("--naive", action="store_true")
+    norm.add_argument("--out")
+    norm.add_argument("--pretty", action="store_true")
+    norm.set_defaults(handler=_cmd_normalize)
+
+    query = commands.add_parser("query", help="certain answers")
+    query.add_argument("--mapping", required=True)
+    query.add_argument("--source", required=True)
+    query.add_argument(
+        "--query",
+        required=True,
+        help="rule(s) like \"q(n,s) :- Emp(n,c,s)\"; ';'-separated for unions",
+    )
+    query.set_defaults(handler=_cmd_query)
+
+    verify = commands.add_parser(
+        "verify", help="check the Figure 10 correspondence"
+    )
+    verify.add_argument("--mapping", required=True)
+    verify.add_argument("--source", required=True)
+    verify.set_defaults(handler=_cmd_verify)
+
+    figures = commands.add_parser(
+        "figures", help="print every regenerated paper figure"
+    )
+    figures.set_defaults(handler=_cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "command", None) == "normalize":
+        if not args.naive and not args.mapping:
+            parser.error("normalize requires --mapping unless --naive is given")
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

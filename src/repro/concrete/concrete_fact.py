@@ -1,0 +1,171 @@
+"""Interval-stamped facts over the concrete schema ``R+``.
+
+A concrete fact ``R+(a1, …, an, [s, e))`` pairs data attribute values with
+a time interval.  Data values are constants or interval-annotated nulls;
+the paper's standing assumption — every annotated null in a fact carries
+the fact's own interval — is enforced as a construction invariant.
+
+Fragmentation (:meth:`ConcreteFact.fragment`) is the primitive both
+normalization algorithms are built from: splitting the stamp splits the
+fact, and the nulls are re-annotated to each fragment's stamp
+(Section 4.2, Example 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.errors import InstanceError, TemporalError
+from repro.relational.fact import Fact
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    LabeledNull,
+    Term,
+    term_sort_key,
+)
+from repro.temporal.interval import Interval
+from repro.temporal.timepoint import TimePoint
+
+__all__ = ["ConcreteFact", "concrete_fact"]
+
+
+@dataclass(frozen=True, slots=True)
+class ConcreteFact:
+    """An immutable concrete fact: relation, data values, time interval."""
+
+    relation: str
+    data: tuple[GroundTerm, ...]
+    interval: Interval
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise InstanceError("concrete fact relation name must be non-empty")
+        for value in self.data:
+            if isinstance(value, LabeledNull):
+                raise InstanceError(
+                    f"concrete facts use interval-annotated nulls, not labeled "
+                    f"nulls: {value!r} in {self.relation}"
+                )
+            if isinstance(value, AnnotatedNull):
+                if value.annotation != self.interval:
+                    raise InstanceError(
+                        f"annotated null {value} does not carry the fact's "
+                        f"interval {self.interval}"
+                    )
+            elif not isinstance(value, Constant):
+                raise InstanceError(
+                    f"concrete fact values must be constants or annotated "
+                    f"nulls, got {value!r}"
+                )
+
+    # -- accessors ---------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Data arity (the temporal attribute not counted)."""
+        return len(self.data)
+
+    def nulls(self) -> tuple[AnnotatedNull, ...]:
+        return tuple(v for v in self.data if isinstance(v, AnnotatedNull))
+
+    def constants(self) -> tuple[Constant, ...]:
+        return tuple(v for v in self.data if isinstance(v, Constant))
+
+    def has_nulls(self) -> bool:
+        return any(isinstance(v, AnnotatedNull) for v in self.data)
+
+    def data_shape(self) -> tuple:
+        """The data values with annotated nulls reduced to their base name.
+
+        Two facts with the same shape are fragments of one unknown-carrying
+        fact (or value-equal), which is the grouping key for null-aware
+        coalescing.
+        """
+        return tuple(
+            ("~null", v.base) if isinstance(v, AnnotatedNull) else v
+            for v in self.data
+        )
+
+    # -- temporal operations ----------------------------------------------------
+    def with_interval(self, stamp: Interval) -> "ConcreteFact":
+        """The same data over a *sub-interval*; nulls are re-annotated."""
+        if not self.interval.contains_interval(stamp):
+            raise TemporalError(
+                f"{stamp} is not a sub-interval of {self.interval} in {self}"
+            )
+        new_data = tuple(
+            v.reannotate(stamp) if isinstance(v, AnnotatedNull) else v
+            for v in self.data
+        )
+        return ConcreteFact(self.relation, new_data, stamp)
+
+    def fragment(self, points: Iterable[TimePoint]) -> tuple["ConcreteFact", ...]:
+        """Split the fact at the given time points (paper: the ``frg`` step).
+
+        Points outside the open interval are ignored; nulls of each
+        fragment are re-annotated to the fragment's stamp.
+        """
+        stamps = self.interval.split_at(points)
+        if len(stamps) == 1:
+            return (self,)
+        return tuple(self.with_interval(stamp) for stamp in stamps)
+
+    def at(self, point: int) -> Fact:
+        """The snapshot-level fact at time ℓ (annotated nulls projected)."""
+        if point not in self.interval:
+            raise TemporalError(f"{point} outside {self.interval} in {self}")
+        args = tuple(
+            v.project(point) if isinstance(v, AnnotatedNull) else v
+            for v in self.data
+        )
+        return Fact(self.relation, args)
+
+    def lifted(self) -> Fact:
+        """The fact as a flat relational tuple with the interval as the
+        last column (wrapped as a constant).
+
+        This drives homomorphism search on concrete instances: temporal
+        variables unify with ``Constant(interval)`` values, which is
+        exactly the paper's "intervals behave as constants" reading.
+        """
+        return Fact(self.relation, self.data + (Constant(self.interval),))
+
+    # -- transformation ----------------------------------------------------------
+    def substitute(self, mapping: dict[Term, Term]) -> "ConcreteFact":
+        """Replace data values per *mapping* (egd c-chase steps)."""
+        new_data = tuple(mapping.get(v, v) for v in self.data)
+        return ConcreteFact(self.relation, new_data, self.interval)  # type: ignore[arg-type]
+
+    # -- ordering and rendering --------------------------------------------------
+    def sort_key(self) -> tuple:
+        return (
+            self.relation,
+            tuple(term_sort_key(v) for v in self.data),
+            self.interval.sort_key(),
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(v) for v in self.data)
+        return f"{self.relation}+({rendered}, {self.interval})"
+
+    def __repr__(self) -> str:
+        return f"ConcreteFact({self.relation!r}, {self.data!r}, {self.interval!r})"
+
+
+def concrete_fact(
+    relation: str, *values: object, interval: Interval
+) -> ConcreteFact:
+    """Convenience constructor wrapping raw Python values as constants.
+
+    ``concrete_fact("E", "Ada", "IBM", interval=interval(2012, 2014))``
+    builds ``E+(Ada, IBM, [2012, 2014))``.  Term instances pass through.
+    """
+    data: list[GroundTerm] = []
+    for value in values:
+        if isinstance(value, Term):
+            data.append(value)  # type: ignore[arg-type]
+        else:
+            data.append(Constant(value))
+    return ConcreteFact(relation, tuple(data), interval)

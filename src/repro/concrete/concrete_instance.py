@@ -1,0 +1,297 @@
+"""Concrete temporal database instances (the implementable view).
+
+A :class:`ConcreteInstance` is a finite set of
+:class:`~repro.concrete.concrete_fact.ConcreteFact` objects.  It offers:
+
+* snapshot extraction — the ⟦·⟧ semantics pointwise (``snapshot(ℓ)``);
+* a *lifted* relational view in which the interval is an ordinary last
+  column, enabling reuse of the relational homomorphism machinery
+  ("intervals behave as constants");
+* coalescing and coalescedness checks (Section 2), including the
+  null-aware variant that merges fragments of one unknown back together;
+* substitution (egd c-chase steps) and fragmentation support.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import InstanceError, SchemaError
+from repro.concrete.concrete_fact import ConcreteFact
+from repro.relational.fact import Fact
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+from repro.relational.terms import AnnotatedNull, Constant, GroundTerm, Term
+from repro.temporal.coalesce import coalesce_intervals, is_coalesced_intervals
+from repro.temporal.interval import Interval
+from repro.temporal.interval_set import IntervalSet
+from repro.temporal.timepoint import INFINITY, Infinity, TimePoint
+
+__all__ = ["ConcreteInstance"]
+
+
+class ConcreteInstance:
+    """A mutable set of concrete facts with a cached lifted relational view."""
+
+    __slots__ = ("_facts_by_relation", "_lifted", "schema")
+
+    def __init__(
+        self,
+        facts: Iterable[ConcreteFact] = (),
+        schema: Schema | None = None,
+    ):
+        self._facts_by_relation: dict[str, set[ConcreteFact]] = {}
+        self._lifted: Instance | None = None
+        self.schema = schema
+        for item in facts:
+            self.add(item)
+
+    # -- mutation ------------------------------------------------------------
+    def add(self, item: ConcreteFact) -> bool:
+        """Insert a fact; returns ``True`` iff it was not already present."""
+        if self.schema is not None:
+            if item.relation not in self.schema:
+                raise SchemaError(
+                    f"fact {item} uses relation {item.relation!r} absent from schema"
+                )
+            # The schema may be given in lifted form (with the temporal
+            # attribute) or in data-only form; accept either arity.
+            expected = self.schema[item.relation].arity
+            if item.arity not in (expected, expected - 1):
+                raise SchemaError(
+                    f"relation {item.relation} expects {expected} attributes "
+                    f"(incl. temporal) but fact has {item.arity} data values"
+                )
+        bucket = self._facts_by_relation.setdefault(item.relation, set())
+        if item in bucket:
+            return False
+        bucket.add(item)
+        self._lifted = None
+        return True
+
+    def add_all(self, items: Iterable[ConcreteFact]) -> int:
+        return sum(1 for item in items if self.add(item))
+
+    def discard(self, item: ConcreteFact) -> bool:
+        bucket = self._facts_by_relation.get(item.relation)
+        if bucket is None or item not in bucket:
+            return False
+        bucket.remove(item)
+        if not bucket:
+            del self._facts_by_relation[item.relation]
+        self._lifted = None
+        return True
+
+    def replace(
+        self, item: ConcreteFact, replacements: Iterable[ConcreteFact]
+    ) -> None:
+        """Swap *item* for its fragments (the normalization update step)."""
+        self.discard(item)
+        self.add_all(replacements)
+
+    # -- basic queries -----------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if not isinstance(item, ConcreteFact):
+            return False
+        return item in self._facts_by_relation.get(item.relation, ())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._facts_by_relation.values())
+
+    def __iter__(self) -> Iterator[ConcreteFact]:
+        for relation in sorted(self._facts_by_relation):
+            yield from sorted(
+                self._facts_by_relation[relation], key=ConcreteFact.sort_key
+            )
+
+    def __bool__(self) -> bool:
+        return any(self._facts_by_relation.values())
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._facts_by_relation))
+
+    def facts_of(self, relation: str) -> frozenset[ConcreteFact]:
+        return frozenset(self._facts_by_relation.get(relation, ()))
+
+    def facts(self) -> frozenset[ConcreteFact]:
+        return frozenset(
+            item for bucket in self._facts_by_relation.values() for item in bucket
+        )
+
+    # -- terms ----------------------------------------------------------------------
+    def nulls(self) -> frozenset[AnnotatedNull]:
+        found: set[AnnotatedNull] = set()
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                found.update(item.nulls())
+        return frozenset(found)
+
+    def constants(self) -> frozenset[Constant]:
+        found: set[Constant] = set()
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                found.update(item.constants())
+        return frozenset(found)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` iff the instance contains no (annotated) nulls."""
+        return not self.nulls()
+
+    # -- temporal structure -----------------------------------------------------------
+    def intervals(self) -> tuple[Interval, ...]:
+        return tuple(item.interval for item in self)
+
+    def breakpoints(self) -> tuple[int, ...]:
+        """All distinct finite endpoints, ascending."""
+        points: set[int] = set()
+        for item in self.facts():
+            points.add(item.interval.start)
+            if not isinstance(item.interval.end, Infinity):
+                points.add(item.interval.end)
+        return tuple(sorted(points))
+
+    def horizon(self) -> int:
+        """The largest finite endpoint (0 for the empty instance).
+
+        Beyond the horizon every snapshot is identical — the finite change
+        condition made concrete.
+        """
+        points = self.breakpoints()
+        return points[-1] if points else 0
+
+    def active_time(self) -> IntervalSet:
+        """The set of time points at which at least one fact holds."""
+        return IntervalSet(self.intervals())
+
+    # -- semantics ------------------------------------------------------------------
+    def snapshot(self, point: int) -> Instance:
+        """The snapshot ``db_ℓ`` of ⟦·⟧ at time ℓ (Section 2 / 4.1)."""
+        result = Instance()
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                if point in item.interval:
+                    result.add(item.at(point))
+        return result
+
+    def facts_at(self, point: int) -> tuple[ConcreteFact, ...]:
+        """The concrete facts whose stamp covers ℓ (deterministic order)."""
+        return tuple(item for item in self if point in item.interval)
+
+    # -- the lifted relational view ------------------------------------------------------
+    def lifted(self) -> Instance:
+        """The instance as flat relational tuples, interval as last column.
+
+        Cached; invalidated on mutation.  Temporal homomorphisms over the
+        concrete instance are plain relational homomorphisms over this
+        view, with temporal variables binding to ``Constant(interval)``.
+        """
+        if self._lifted is None:
+            lifted = Instance()
+            for bucket in self._facts_by_relation.values():
+                for item in bucket:
+                    lifted.add(item.lifted())
+            self._lifted = lifted
+        return self._lifted
+
+    @staticmethod
+    def from_lifted_fact(item: Fact) -> ConcreteFact:
+        """Inverse of :meth:`ConcreteFact.lifted` for one fact."""
+        last = item.args[-1]
+        if not (isinstance(last, Constant) and isinstance(last.value, Interval)):
+            raise InstanceError(f"lifted fact {item} has no interval column")
+        return ConcreteFact(item.relation, item.args[:-1], last.value)
+
+    # -- coalescing (Section 2) ------------------------------------------------------
+    def is_coalesced(self) -> bool:
+        """Facts with identical data values have disjoint, non-adjacent stamps.
+
+        Annotated nulls are compared by *base name* (data_shape): fragments
+        of one unknown count as identical data values.
+        """
+        grouped: dict[tuple, list[Interval]] = {}
+        for item in self.facts():
+            grouped.setdefault((item.relation, item.data_shape()), []).append(
+                item.interval
+            )
+        return all(is_coalesced_intervals(stamps) for stamps in grouped.values())
+
+    def coalesce(self) -> "ConcreteInstance":
+        """The unique coalesced instance with the same ⟦·⟧ semantics.
+
+        Value-equivalent facts over overlapping or adjacent stamps merge;
+        annotated nulls sharing a base merge into a null annotated with the
+        merged stamp (the inverse of fragmentation).
+        """
+        grouped: dict[tuple, list[ConcreteFact]] = {}
+        for item in self.facts():
+            grouped.setdefault((item.relation, item.data_shape()), []).append(item)
+        result = ConcreteInstance(schema=self.schema)
+        for (relation, shape), members in grouped.items():
+            merged = coalesce_intervals([m.interval for m in members])
+            template = members[0]
+            for stamp in merged:
+                data = tuple(
+                    AnnotatedNull(v.base, stamp)
+                    if isinstance(v, AnnotatedNull)
+                    else v
+                    for v in template.data
+                )
+                result.add(ConcreteFact(relation, data, stamp))
+        return result
+
+    # -- transformation ----------------------------------------------------------------
+    def copy(self) -> "ConcreteInstance":
+        clone = ConcreteInstance(schema=self.schema)
+        for relation, bucket in self._facts_by_relation.items():
+            clone._facts_by_relation[relation] = set(bucket)
+        return clone
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "ConcreteInstance":
+        """Replace data terms everywhere (egd c-chase step).
+
+        Facts that become equal after replacement merge silently, exactly
+        as in the set-based semantics.
+        """
+        if not mapping:
+            return self.copy()
+        result = ConcreteInstance(schema=self.schema)
+        lookup = dict(mapping)
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                result.add(item.substitute(lookup))
+        return result
+
+    def map_facts(
+        self, mapper: Callable[[ConcreteFact], ConcreteFact]
+    ) -> "ConcreteInstance":
+        result = ConcreteInstance(schema=self.schema)
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                result.add(mapper(item))
+        return result
+
+    def union(self, other: "ConcreteInstance") -> "ConcreteInstance":
+        result = self.copy()
+        result.add_all(other.facts())
+        return result
+
+    # -- comparison and rendering ---------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConcreteInstance):
+            return NotImplemented
+        return self.facts() == other.facts()
+
+    def __hash__(self) -> int:
+        return hash(self.facts())
+
+    def __str__(self) -> str:
+        if not self:
+            return "{}"
+        return "{" + ", ".join(str(item) for item in self) + "}"
+
+    def __repr__(self) -> str:
+        return (
+            f"ConcreteInstance({len(self)} facts over "
+            f"{list(self.relation_names())})"
+        )

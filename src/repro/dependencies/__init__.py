@@ -1,0 +1,6 @@
+"""Schema mappings: s-t tgds, egds and the data exchange setting."""
+
+from repro.dependencies.dependency import EGD, Dependency, SourceToTargetTGD
+from repro.dependencies.mapping import DataExchangeSetting
+
+__all__ = ["EGD", "Dependency", "SourceToTargetTGD", "DataExchangeSetting"]

@@ -1,0 +1,158 @@
+"""Schema-mapping dependencies: s-t tgds and egds (paper, Section 2).
+
+A *source-to-target tuple generating dependency* (s-t tgd) has the form
+``∀x φ(x) → ∃y ψ(x, y)`` with φ over the source schema and ψ over the
+target schema.  An *equality generating dependency* (egd) has the form
+``∀x φ(x) → x1 = x2`` with φ over the target schema.
+
+Both classes are non-temporal: they speak about one snapshot.  Their
+concrete lifting σ+ augments every atom with one shared universally
+quantified temporal variable ``t`` — the dependencies remain *implicitly
+non-temporal* because ``t`` cannot relate distinct intervals
+(Section 4, Example 6).  :meth:`lift` produces the lifted left-hand
+side/right-hand side as :class:`~repro.relational.formulas.TemporalConjunction`
+objects, which the c-chase and the normalization algorithms consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+from repro.relational.formulas import Atom, Conjunction, TemporalConjunction
+from repro.relational.parser import parse_implication
+from repro.relational.schema import Schema
+from repro.relational.terms import Variable
+
+__all__ = ["Dependency", "SourceToTargetTGD", "EGD"]
+
+
+class Dependency:
+    """Common base class for s-t tgds and egds."""
+
+    lhs: Conjunction
+
+    def lift_lhs(self, temporal_variable: Variable | None = None) -> TemporalConjunction:
+        """The left-hand side of σ+: every atom carries the shared ``t``."""
+        return TemporalConjunction.from_conjunction(self.lhs, temporal_variable)
+
+
+@dataclass(frozen=True)
+class SourceToTargetTGD(Dependency):
+    """``∀x φ(x) → ∃y ψ(x, y)`` — a source-to-target tgd.
+
+    *existential_variables* lists ``y``; every rhs variable must either
+    occur in the lhs (universally quantified, exported) or be existential.
+    """
+
+    lhs: Conjunction
+    rhs: Conjunction
+    existential_variables: tuple[Variable, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        lhs_vars = self.lhs.variable_set()
+        existential = frozenset(self.existential_variables)
+        overlap = lhs_vars & existential
+        if overlap:
+            raise FormulaError(
+                f"existential variables also occur in the lhs: {sorted(map(str, overlap))}"
+            )
+        for var in self.rhs.variables():
+            if var not in lhs_vars and var not in existential:
+                raise FormulaError(
+                    f"rhs variable {var} is neither universal nor existential "
+                    f"in tgd {self.lhs} -> {self.rhs}"
+                )
+        # Safety: every existential variable should actually appear in the rhs.
+        rhs_vars = self.rhs.variable_set()
+        for var in self.existential_variables:
+            if var not in rhs_vars:
+                raise FormulaError(
+                    f"declared existential variable {var} does not occur in the rhs"
+                )
+
+    # -- accessors -----------------------------------------------------------
+    @property
+    def universal_variables(self) -> tuple[Variable, ...]:
+        """The lhs variables (``x``), in first-occurrence order."""
+        return self.lhs.variables()
+
+    @property
+    def exported_variables(self) -> tuple[Variable, ...]:
+        """Lhs variables that also occur in the rhs."""
+        rhs_vars = self.rhs.variable_set()
+        return tuple(var for var in self.lhs.variables() if var in rhs_vars)
+
+    def lift_rhs(self, temporal_variable: Variable | None = None) -> TemporalConjunction:
+        """The right-hand side of σ+ (shared ``t`` on every atom)."""
+        return TemporalConjunction.from_conjunction(self.rhs, temporal_variable)
+
+    def validate_against(self, source_schema: Schema, target_schema: Schema) -> None:
+        """Check φ over the source schema and ψ over the target schema."""
+        self.lhs.validate_against(source_schema)
+        self.rhs.validate_against(target_schema)
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "SourceToTargetTGD":
+        """Parse e.g. ``"E(n,c) -> EXISTS s . Emp(n,c,s)"``.
+
+        Existential variables may be declared with ``EXISTS`` or left
+        implicit (any rhs-only variable is existential).
+        """
+        skeleton = parse_implication(text)
+        if skeleton.is_equality or skeleton.rhs is None:
+            raise FormulaError(f"not a tgd (rhs is an equality): {text!r}")
+        return cls(
+            lhs=skeleton.lhs,
+            rhs=skeleton.rhs,
+            existential_variables=skeleton.existential_variables,
+            name=name,
+        )
+
+    def __str__(self) -> str:
+        prefix = ""
+        if self.existential_variables:
+            bound = ", ".join(str(var) for var in self.existential_variables)
+            prefix = f"∃{bound} . "
+        return f"{self.lhs} → {prefix}{self.rhs}"
+
+
+@dataclass(frozen=True)
+class EGD(Dependency):
+    """``∀x φ(x) → x1 = x2`` — an equality generating dependency."""
+
+    lhs: Conjunction
+    left_variable: Variable
+    right_variable: Variable
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        lhs_vars = self.lhs.variable_set()
+        for var in (self.left_variable, self.right_variable):
+            if var not in lhs_vars:
+                raise FormulaError(
+                    f"equated variable {var} does not occur in the egd lhs {self.lhs}"
+                )
+        if self.left_variable == self.right_variable:
+            raise FormulaError(
+                f"egd equates a variable with itself: {self.left_variable}"
+            )
+
+    def validate_against(self, target_schema: Schema) -> None:
+        """Egds constrain the target schema only."""
+        self.lhs.validate_against(target_schema)
+
+    @classmethod
+    def parse(cls, text: str, name: str = "") -> "EGD":
+        """Parse e.g. ``"Emp(n,c,s) & Emp(n,c,s2) -> s = s2"``."""
+        skeleton = parse_implication(text)
+        if not skeleton.is_equality:
+            raise FormulaError(f"not an egd (rhs is not an equality): {text!r}")
+        assert skeleton.equality is not None
+        left, right = skeleton.equality
+        return cls(lhs=skeleton.lhs, left_variable=left, right_variable=right, name=name)
+
+    def __str__(self) -> str:
+        return f"{self.lhs} → {self.left_variable} = {self.right_variable}"

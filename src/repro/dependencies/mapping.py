@@ -1,0 +1,117 @@
+"""The data exchange setting ``M = (RS, RT, Σst, Σeg)`` (paper, Section 2).
+
+:class:`DataExchangeSetting` bundles disjoint source and target schemas
+with the s-t tgds and egds.  The same object serves both views:
+
+* the **abstract** chase uses the non-temporal dependencies directly on
+  snapshots;
+* the **concrete** c-chase uses their lifting ``M+`` — each dependency
+  augmented with the shared temporal variable ``t`` — obtained through
+  :meth:`lifted_st_lhs_conjunctions` / :meth:`lifted_egd_lhs_conjunctions`,
+  which also feed the normalization algorithms (the instance must be
+  normalized w.r.t. the lhs of Σst before s-t steps and w.r.t. the lhs of
+  Σeg before egd steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.dependencies.dependency import EGD, SourceToTargetTGD
+from repro.relational.formulas import TemporalConjunction
+from repro.relational.schema import Schema
+
+__all__ = ["DataExchangeSetting"]
+
+
+@dataclass(frozen=True)
+class DataExchangeSetting:
+    """A schema mapping: source/target schemas, s-t tgds and egds."""
+
+    source_schema: Schema
+    target_schema: Schema
+    st_tgds: tuple[SourceToTargetTGD, ...] = ()
+    egds: tuple[EGD, ...] = ()
+
+    def __post_init__(self) -> None:
+        # The paper requires disjoint source and target schemas.
+        overlap = set(self.source_schema.relation_names()) & set(
+            self.target_schema.relation_names()
+        )
+        if overlap:
+            raise SchemaError(
+                f"source and target schemas must be disjoint; shared: {sorted(overlap)}"
+            )
+        for tgd in self.st_tgds:
+            tgd.validate_against(self.source_schema, self.target_schema)
+        for egd in self.egds:
+            egd.validate_against(self.target_schema)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        source_schema: Schema,
+        target_schema: Schema,
+        st_tgds: Iterable[SourceToTargetTGD | str] = (),
+        egds: Iterable[EGD | str] = (),
+    ) -> "DataExchangeSetting":
+        """Build a setting, parsing any dependency given as text."""
+        parsed_tgds = tuple(
+            SourceToTargetTGD.parse(item) if isinstance(item, str) else item
+            for item in st_tgds
+        )
+        parsed_egds = tuple(
+            EGD.parse(item) if isinstance(item, str) else item for item in egds
+        )
+        return cls(source_schema, target_schema, parsed_tgds, parsed_egds)
+
+    # -- lifted (concrete) forms ------------------------------------------------
+    def lifted_st_lhs_conjunctions(self) -> tuple[TemporalConjunction, ...]:
+        """The lhs of every σ+ in Σ+st — the Φ+ for source normalization."""
+        return tuple(tgd.lift_lhs() for tgd in self.st_tgds)
+
+    def lifted_egd_lhs_conjunctions(self) -> tuple[TemporalConjunction, ...]:
+        """The lhs of every σ+ in Σ+eg — the Φ+ for target normalization."""
+        return tuple(egd.lift_lhs() for egd in self.egds)
+
+    def lifted_source_schema(self) -> Schema:
+        """``R+S``: the source schema with the temporal attribute added."""
+        return self.source_schema.lift()
+
+    def lifted_target_schema(self) -> Schema:
+        """``R+T``: the target schema with the temporal attribute added."""
+        return self.target_schema.lift()
+
+    # -- conveniences --------------------------------------------------------------
+    @property
+    def dependencies(self) -> tuple[SourceToTargetTGD | EGD, ...]:
+        return self.st_tgds + self.egds
+
+    def target_relations_used(self) -> frozenset[str]:
+        """Target relations mentioned by some dependency."""
+        used: set[str] = set()
+        for tgd in self.st_tgds:
+            used.update(tgd.rhs.relations())
+        for egd in self.egds:
+            used.update(egd.lhs.relations())
+        return frozenset(used)
+
+    def describe(self) -> str:
+        """A multi-line human-readable rendering of the setting."""
+        lines = [
+            f"source schema: {self.source_schema}",
+            f"target schema: {self.target_schema}",
+        ]
+        for index, tgd in enumerate(self.st_tgds, start=1):
+            label = tgd.name or f"σ{index}"
+            lines.append(f"  s-t tgd {label}: {tgd}")
+        for index, egd in enumerate(self.egds, start=1):
+            label = egd.name or f"ε{index}"
+            lines.append(f"  egd {label}: {egd}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.describe()

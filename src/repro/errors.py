@@ -1,0 +1,73 @@
+"""Exception hierarchy for the temporal data exchange library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures without catching programming errors.
+The chase-specific errors mirror the paper's failure modes: an egd chase
+step that tries to equate two distinct constants makes the whole exchange
+fail (Definition 16; Theorem 19, part 2).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TemporalError(ReproError):
+    """Invalid temporal value, e.g. an empty or negative interval."""
+
+
+class SchemaError(ReproError):
+    """Schema violation: unknown relation, wrong arity, or name clash."""
+
+
+class FormulaError(ReproError):
+    """Malformed formula or dependency (unsafe variables, bad sorts)."""
+
+
+class ParseError(ReproError):
+    """The textual syntax for atoms/dependencies/queries failed to parse."""
+
+    def __init__(self, message: str, text: str = "", position: int | None = None):
+        self.text = text
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position} in {text!r})"
+        super().__init__(message)
+
+
+class InstanceError(ReproError):
+    """Invalid instance construction, e.g. a variable used as a fact value."""
+
+
+class ChaseFailureError(ReproError):
+    """An egd chase step equated two distinct constants.
+
+    Per the paper (Definition 16 and Theorem 19, part 2) this means the
+    source instance has *no solution* under the given schema mapping.
+    The offending values and the dependency are retained for diagnosis.
+    """
+
+    def __init__(self, dependency, left, right, context: str = ""):
+        self.dependency = dependency
+        self.left = left
+        self.right = right
+        self.context = context
+        detail = f"egd chase step failed: cannot equate constants {left!r} and {right!r}"
+        if context:
+            detail = f"{detail} ({context})"
+        super().__init__(detail)
+
+
+class NotNormalizedError(ReproError):
+    """An operation required a normalized concrete instance but got one
+    violating the empty intersection property (Definition 10)."""
+
+
+class SolutionError(ReproError):
+    """A purported solution fails the schema mapping it claims to satisfy."""
+
+
+class SerializationError(ReproError):
+    """JSON/CSV payload cannot be decoded into library objects."""

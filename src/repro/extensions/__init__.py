@@ -1,0 +1,17 @@
+"""Extensions beyond the paper's core results (its Section 7 directions)."""
+
+from repro.extensions.temporal_mappings import (
+    PastChaseResult,
+    PastTGD,
+    past_chase,
+    satisfies_always_past,
+    satisfies_past_tgd,
+)
+
+__all__ = [
+    "PastChaseResult",
+    "PastTGD",
+    "past_chase",
+    "satisfies_always_past",
+    "satisfies_past_tgd",
+]

@@ -1,0 +1,155 @@
+"""Answer containers for temporal query evaluation.
+
+Query answers on a temporal database are themselves temporal: an answer
+tuple holds over a *set* of time points.  Two containers are provided:
+
+* :class:`ConcreteAnswerSet` — the raw output of concrete naïve
+  evaluation, ``(tuple, interval)`` pairs (Section 5's ``q+(Jc)↓``);
+* :class:`TemporalAnswerSet` — the canonical form: each tuple mapped to
+  the coalesced :class:`~repro.temporal.interval_set.IntervalSet` at
+  which it holds.  Equality of canonical forms coincides with equality
+  of the per-snapshot answer sequences, which is what Theorem 21 equates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.relational.terms import Constant, GroundTerm, term_sort_key
+from repro.temporal.interval import Interval
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = ["AnswerTuple", "ConcreteAnswerSet", "TemporalAnswerSet"]
+
+#: An answer tuple is a tuple of constants (naive evaluation drops nulls).
+AnswerTuple = tuple[GroundTerm, ...]
+
+
+def _tuple_key(item: AnswerTuple) -> tuple:
+    return tuple(term_sort_key(value) for value in item)
+
+
+@dataclass(frozen=True)
+class ConcreteAnswerSet:
+    """Interval-stamped answers: the literal output of ``q+(Jc)↓``."""
+
+    rows: frozenset[tuple[AnswerTuple, Interval]]
+
+    def __init__(self, rows: Iterable[tuple[AnswerTuple, Interval]] = ()):
+        object.__setattr__(self, "rows", frozenset(rows))
+
+    def __iter__(self) -> Iterator[tuple[AnswerTuple, Interval]]:
+        return iter(
+            sorted(self.rows, key=lambda row: (_tuple_key(row[0]), row[1].sort_key()))
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def tuples(self) -> frozenset[AnswerTuple]:
+        return frozenset(item for item, _stamp in self.rows)
+
+    def to_temporal(self) -> "TemporalAnswerSet":
+        """Canonicalize: group by tuple, coalesce the stamps."""
+        grouped: dict[AnswerTuple, list[Interval]] = {}
+        for item, stamp in self.rows:
+            grouped.setdefault(item, []).append(stamp)
+        return TemporalAnswerSet(
+            {item: IntervalSet(stamps) for item, stamps in grouped.items()}
+        )
+
+    def __str__(self) -> str:
+        rendered = ", ".join(
+            "(" + ", ".join(str(v) for v in item) + f") @ {stamp}"
+            for item, stamp in self
+        )
+        return "{" + rendered + "}"
+
+
+@dataclass(frozen=True)
+class TemporalAnswerSet:
+    """Canonical temporal answers: tuple → set of time points.
+
+    This finitely represents the per-snapshot answer sequence
+    ``⟨q(db0)↓, q(db1)↓, …⟩``; :meth:`at` recovers any single snapshot's
+    answer set.
+    """
+
+    answers: Mapping[AnswerTuple, IntervalSet]
+
+    def __init__(self, answers: Mapping[AnswerTuple, IntervalSet] | None = None):
+        cleaned = {
+            item: stamps
+            for item, stamps in (answers or {}).items()
+            if not stamps.is_empty
+        }
+        object.__setattr__(self, "answers", cleaned)
+
+    # -- snapshot access ------------------------------------------------------
+    def at(self, point: int) -> frozenset[AnswerTuple]:
+        """The answer set of the snapshot at time ℓ."""
+        return frozenset(
+            item for item, stamps in self.answers.items() if point in stamps
+        )
+
+    def support(self, item: AnswerTuple) -> IntervalSet:
+        """When *item* is an answer (empty set when never)."""
+        return self.answers.get(item, IntervalSet.empty())
+
+    # -- set-like behaviour ------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[AnswerTuple, IntervalSet]]:
+        return iter(sorted(self.answers.items(), key=lambda kv: _tuple_key(kv[0])))
+
+    def __len__(self) -> int:
+        return len(self.answers)
+
+    def __bool__(self) -> bool:
+        return bool(self.answers)
+
+    def __contains__(self, item: object) -> bool:
+        return item in self.answers
+
+    def union(self, other: "TemporalAnswerSet") -> "TemporalAnswerSet":
+        merged: dict[AnswerTuple, IntervalSet] = dict(self.answers)
+        for item, stamps in other.answers.items():
+            existing = merged.get(item)
+            merged[item] = stamps if existing is None else existing.union(stamps)
+        return TemporalAnswerSet(merged)
+
+    def intersect(self, other: "TemporalAnswerSet") -> "TemporalAnswerSet":
+        common: dict[AnswerTuple, IntervalSet] = {}
+        for item, stamps in self.answers.items():
+            if item in other.answers:
+                overlap = stamps.intersect(other.answers[item])
+                if not overlap.is_empty:
+                    common[item] = overlap
+        return TemporalAnswerSet(common)
+
+    def is_subset_of(self, other: "TemporalAnswerSet") -> bool:
+        """Pointwise containment: every answer holds in *other* whenever
+        it holds here."""
+        return all(
+            other.support(item).covers(stamps)
+            for item, stamps in self.answers.items()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalAnswerSet):
+            return NotImplemented
+        return dict(self.answers) == dict(other.answers)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.answers.items()))
+
+    def __str__(self) -> str:
+        if not self.answers:
+            return "{}"
+        rendered = ", ".join(
+            "(" + ", ".join(str(v) for v in item) + f") @ {stamps}"
+            for item, stamps in self
+        )
+        return "{" + rendered + "}"

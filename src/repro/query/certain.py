@@ -1,0 +1,95 @@
+"""Certain answers in temporal data exchange (Section 5).
+
+``certain(q, Ia, M)`` is, snapshot by snapshot, the intersection of
+``q(db')`` over every solution ``db'`` — and by the classical result
+(Fagin et al., inherited through Proposition 4), it equals the naive
+evaluation of ``q`` on any universal solution.  Corollary 22 transfers
+this to the concrete view: ``certain(q, ⟦Ic⟧, M) = ⟦q+(Jc)↓⟧`` where
+``Jc`` is the c-chase result.
+
+Both routes are implemented, plus a falsification helper used by tests:
+certain answers must be contained in the (plain) answers of every witness
+solution.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import ChaseFailureError
+from repro.abstract_view.abstract_chase import abstract_chase
+from repro.abstract_view.abstract_instance import AbstractInstance
+from repro.abstract_view.semantics import semantics
+from repro.concrete.cchase import c_chase
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.query.answers import TemporalAnswerSet
+from repro.query.naive_eval import (
+    evaluate_snapshot,
+    naive_evaluate_abstract,
+    naive_evaluate_concrete,
+)
+from repro.query.query import ConjunctiveQuery, UnionQuery
+from repro.relational.terms import LabeledNull, AnnotatedNull
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = [
+    "certain_answers_abstract",
+    "certain_answers_concrete",
+    "certain_contained_in_solution",
+]
+
+
+def certain_answers_abstract(
+    query: ConjunctiveQuery | UnionQuery,
+    source: AbstractInstance,
+    setting: DataExchangeSetting,
+) -> TemporalAnswerSet:
+    """``certain(q, Ia, M)`` via the abstract chase's universal solution.
+
+    Raises :class:`~repro.errors.ChaseFailureError` when no solution
+    exists (certain answers are then vacuously everything; following the
+    data exchange literature we surface the failure instead).
+    """
+    result = abstract_chase(source, setting)
+    universal = result.unwrap()
+    return naive_evaluate_abstract(query, universal)
+
+
+def certain_answers_concrete(
+    query: ConjunctiveQuery | UnionQuery,
+    source: ConcreteInstance,
+    setting: DataExchangeSetting,
+) -> TemporalAnswerSet:
+    """``certain(q, ⟦Ic⟧, M)`` computed wholly on the concrete side.
+
+    Runs the c-chase and naive-evaluates ``q+`` on the concrete solution
+    (Corollary 22).  Agreement with :func:`certain_answers_abstract` is a
+    theorem — and a test in this repository.
+    """
+    result = c_chase(source, setting)
+    solution = result.unwrap()
+    return naive_evaluate_concrete(query, solution).to_temporal()
+
+
+def certain_contained_in_solution(
+    certain: TemporalAnswerSet,
+    query: ConjunctiveQuery | UnionQuery,
+    solution: AbstractInstance,
+) -> bool:
+    """Soundness probe: certain answers must hold in *solution* too.
+
+    Evaluates ``q`` (plain, nulls allowed) region-wise on the witness
+    solution and checks pointwise containment of the certain answers.
+    Used by tests to falsify the certain-answer computation against
+    hand-built alternative solutions.
+    """
+    witness: dict = {}
+    for region in solution.regions():
+        snapshot = solution.snapshot(region.start)
+        for item in evaluate_snapshot(query, snapshot):
+            if any(isinstance(v, (LabeledNull, AnnotatedNull)) for v in item):
+                continue
+            existing = witness.get(item, IntervalSet.empty())
+            witness[item] = existing.union(region)
+    return certain.is_subset_of(TemporalAnswerSet(witness))

@@ -1,0 +1,124 @@
+"""Conjunctive-query containment, equivalence and minimization.
+
+The classical Chandra–Merlin homomorphism theorem: ``q1 ⊑ q2`` (every
+answer of q1 is an answer of q2, on every instance) iff there is a
+homomorphism from q2's *canonical instance* to q1's that maps head to
+head.  This is the static-analysis companion to certain answers: two
+equivalent queries have the same certain answers over every exchanged
+instance, and a minimized body evaluates faster under naive evaluation.
+
+The canonical instance construction freezes variables into labeled
+nulls; head variables are frozen into *constants* so that the
+homomorphism fixes them — the standard trick.  Minimization deletes one
+redundant atom at a time until the body is a core, reusing the same
+machinery.
+"""
+
+from __future__ import annotations
+
+from repro.query.query import ConjunctiveQuery, UnionQuery
+from repro.relational.fact import Fact
+from repro.relational.homomorphism import find_homomorphisms
+from repro.relational.instance import Instance
+from repro.relational.terms import Constant, GroundTerm, LabeledNull, Variable
+
+__all__ = [
+    "canonical_instance",
+    "is_contained_in",
+    "are_equivalent",
+    "minimize",
+]
+
+
+def _freezing(query: ConjunctiveQuery) -> dict[Variable, GroundTerm]:
+    """Variables → frozen terms: head variables become marked constants
+    (the homomorphism must fix them), others become labeled nulls."""
+    frozen: dict[Variable, GroundTerm] = {}
+    for variable in query.head:
+        frozen[variable] = Constant(("frozen-head", variable.name))
+    for variable in query.body.variables():
+        if variable not in frozen:
+            frozen[variable] = LabeledNull(f"frz_{variable.name}")
+    return frozen
+
+
+def canonical_instance(query: ConjunctiveQuery) -> tuple[Instance, tuple[GroundTerm, ...]]:
+    """The frozen body of *query* plus the frozen head tuple."""
+    frozen = _freezing(query)
+    instance = Instance()
+    for atom in query.body.atoms:
+        args = tuple(
+            frozen[arg] if isinstance(arg, Variable) else arg
+            for arg in atom.args
+        )
+        instance.add(Fact(atom.relation, args))
+    head = tuple(frozen[variable] for variable in query.head)
+    return instance, head
+
+
+def is_contained_in(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """``first ⊑ second`` by the homomorphism theorem.
+
+    Looks for a homomorphism from *second*'s body into *first*'s frozen
+    body that maps *second*'s head tuple onto *first*'s frozen head.
+    """
+    if first.arity != second.arity:
+        return False
+    frozen_body, frozen_head = canonical_instance(first)
+    initial = dict(zip(second.head, frozen_head))
+    for _assignment in find_homomorphisms(
+        second.body, frozen_body, initial=initial
+    ):
+        return True
+    return False
+
+
+def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """Containment both ways."""
+    return is_contained_in(first, second) and is_contained_in(second, first)
+
+
+def minimize(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """An equivalent query with a minimal body (the query's core).
+
+    Repeatedly drops an atom whose removal leaves an equivalent query;
+    the classical result guarantees the fixpoint is unique up to variable
+    renaming.  Queries whose body is a single atom are already minimal.
+    """
+    from repro.relational.formulas import Conjunction
+
+    atoms = list(query.body.atoms)
+    changed = True
+    while changed and len(atoms) > 1:
+        changed = False
+        for index in range(len(atoms)):
+            reduced_atoms = atoms[:index] + atoms[index + 1 :]
+            remaining_vars = {
+                var for atom in reduced_atoms for var in atom.variables()
+            }
+            if any(variable not in remaining_vars for variable in query.head):
+                continue  # dropping this atom would unsafely lose a head var
+            candidate = ConjunctiveQuery(
+                head=query.head,
+                body=Conjunction(tuple(reduced_atoms)),
+                name=query.name,
+            )
+            if are_equivalent(query, candidate):
+                atoms = reduced_atoms
+                changed = True
+                break
+    return ConjunctiveQuery(
+        head=query.head, body=Conjunction(tuple(atoms)), name=query.name
+    )
+
+
+def union_contained_in(first: UnionQuery, second: UnionQuery) -> bool:
+    """UCQ containment: every disjunct of *first* is contained in some
+    disjunct of *second* (sound and complete for unions of CQs)."""
+    return all(
+        any(is_contained_in(d1, d2) for d2 in second.disjuncts)
+        for d1 in first.disjuncts
+    )
+
+
+__all__.append("union_contained_in")

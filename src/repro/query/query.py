@@ -1,0 +1,144 @@
+"""Conjunctive queries and unions thereof over the target schema.
+
+Queries are *non-temporal* (they speak about single snapshots); their
+concrete lifting ``q+`` augments every body atom with one shared free
+temporal variable ``t`` (Section 5).  The datalog-ish surface syntax::
+
+    q(n, c) :- Emp(n, c, s)
+
+names the output variables in the head; a union of conjunctive queries is
+a list of rules sharing a head arity.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import FormulaError, ParseError
+from repro.relational.formulas import Conjunction, TemporalConjunction
+from repro.relational.parser import parse_conjunction, tokenize
+from repro.relational.schema import Schema
+from repro.relational.terms import Variable
+
+__all__ = ["ConjunctiveQuery", "UnionQuery"]
+
+_RULE_PATTERN = re.compile(r"^\s*(?P<head>[^:]+?)\s*:-\s*(?P<body>.+)$", re.DOTALL)
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """``q(x̄) :- body`` with distinguished (head) variables ``x̄``."""
+
+    head: tuple[Variable, ...]
+    body: Conjunction
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        body_vars = self.body.variable_set()
+        for var in self.head:
+            if var not in body_vars:
+                raise FormulaError(
+                    f"head variable {var} does not occur in the query body "
+                    f"(unsafe query)"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def existential_variables(self) -> tuple[Variable, ...]:
+        """Body variables not exported through the head."""
+        head_vars = frozenset(self.head)
+        return tuple(
+            var for var in self.body.variables() if var not in head_vars
+        )
+
+    def lift(self, temporal_variable: Variable | None = None) -> TemporalConjunction:
+        """``q+``: each body atom gains the shared free variable ``t``."""
+        return TemporalConjunction.from_conjunction(self.body, temporal_variable)
+
+    def validate_against(self, schema: Schema) -> None:
+        self.body.validate_against(schema)
+
+    @classmethod
+    def parse(cls, text: str) -> "ConjunctiveQuery":
+        """Parse ``"q(n, c) :- Emp(n, c, s)"``."""
+        match = _RULE_PATTERN.match(text)
+        if match is None:
+            raise ParseError("query rule must have the form head :- body", text)
+        head_atom = parse_conjunction(match.group("head"))
+        if len(head_atom.atoms) != 1:
+            raise ParseError("query head must be a single atom", text)
+        head = head_atom.atoms[0]
+        head_vars: list[Variable] = []
+        for arg in head.args:
+            if not isinstance(arg, Variable):
+                raise ParseError(
+                    "query heads list output variables only "
+                    f"(got constant {arg})",
+                    text,
+                )
+            head_vars.append(arg)
+        body = parse_conjunction(match.group("body"))
+        return cls(head=tuple(head_vars), body=body, name=head.relation)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(var) for var in self.head)
+        return f"{self.name}({rendered}) :- {self.body}"
+
+
+@dataclass(frozen=True)
+class UnionQuery:
+    """A union of conjunctive queries of equal arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __post_init__(self) -> None:
+        if not self.disjuncts:
+            raise FormulaError("a union query needs at least one disjunct")
+        arity = self.disjuncts[0].arity
+        for disjunct in self.disjuncts[1:]:
+            if disjunct.arity != arity:
+                raise FormulaError(
+                    "all disjuncts of a union query must share one arity: "
+                    f"{arity} vs {disjunct.arity}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    @property
+    def name(self) -> str:
+        return self.disjuncts[0].name
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self.disjuncts)
+
+    def __len__(self) -> int:
+        return len(self.disjuncts)
+
+    @classmethod
+    def of(cls, *queries: ConjunctiveQuery | str) -> "UnionQuery":
+        """Build from query objects and/or rule strings."""
+        parsed = tuple(
+            ConjunctiveQuery.parse(item) if isinstance(item, str) else item
+            for item in queries
+        )
+        return cls(parsed)
+
+    @classmethod
+    def parse(cls, text: str) -> "UnionQuery":
+        """Parse newline- or semicolon-separated rules into a union."""
+        rules = [piece.strip() for piece in re.split(r"[;\n]+", text) if piece.strip()]
+        return cls.of(*rules)
+
+    def validate_against(self, schema: Schema) -> None:
+        for disjunct in self.disjuncts:
+            disjunct.validate_against(schema)
+
+    def __str__(self) -> str:
+        return " ∪ ".join(str(disjunct) for disjunct in self.disjuncts)

@@ -1,0 +1,68 @@
+"""Relational substrate: terms, facts, schemas, instances, homomorphisms.
+
+This is the classical (non-temporal) relational machinery the paper builds
+on: naive-table instances over constants and labeled nulls, conjunctive
+formulas, and the homomorphism searches that power the chase and query
+answering.
+"""
+
+from repro.relational.fact import Fact, fact
+from repro.relational.formulas import Atom, Conjunction, TemporalConjunction
+from repro.relational.homomorphism import (
+    find_homomorphism,
+    find_homomorphisms,
+    find_homomorphisms_with_images,
+    find_instance_homomorphism,
+    has_homomorphism,
+    has_instance_homomorphism,
+    is_homomorphism,
+)
+from repro.relational.instance import Instance
+from repro.relational.parser import (
+    ImplicationSkeleton,
+    parse_atom,
+    parse_conjunction,
+    parse_implication,
+)
+from repro.relational.schema import TEMPORAL_ATTRIBUTE, RelationSchema, Schema
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    LabeledNull,
+    Term,
+    Variable,
+    is_ground,
+    term_sort_key,
+)
+
+__all__ = [
+    "Fact",
+    "fact",
+    "Atom",
+    "Conjunction",
+    "TemporalConjunction",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "find_homomorphisms_with_images",
+    "find_instance_homomorphism",
+    "has_homomorphism",
+    "has_instance_homomorphism",
+    "is_homomorphism",
+    "Instance",
+    "ImplicationSkeleton",
+    "parse_atom",
+    "parse_conjunction",
+    "parse_implication",
+    "TEMPORAL_ATTRIBUTE",
+    "RelationSchema",
+    "Schema",
+    "AnnotatedNull",
+    "Constant",
+    "GroundTerm",
+    "LabeledNull",
+    "Term",
+    "Variable",
+    "is_ground",
+    "term_sort_key",
+]

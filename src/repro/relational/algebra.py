@@ -1,0 +1,209 @@
+"""A small relational algebra over instances — an independent evaluator.
+
+The homomorphism search in :mod:`repro.relational.homomorphism` is the
+engine the chase uses; this module provides the textbook alternative:
+named-column relations with selection, projection, natural join, rename,
+union and difference.  :func:`evaluate_conjunction` compiles a
+conjunctive formula into an algebra plan (one selection+rename per atom,
+then a left-deep natural join), giving the test suite a second,
+independently-written evaluator to cross-check the homomorphism engine
+against — a classic differential-testing setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import FormulaError, InstanceError
+from repro.relational.fact import Fact
+from repro.relational.formulas import Atom, Conjunction
+from repro.relational.instance import Instance
+from repro.relational.terms import Constant, GroundTerm, Variable
+
+__all__ = ["Relation", "evaluate_conjunction", "answers_via_algebra"]
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable named-column relation (a set of same-length rows)."""
+
+    columns: tuple[str, ...]
+    rows: frozenset[tuple[GroundTerm, ...]]
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise InstanceError(f"duplicate column names: {self.columns}")
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise InstanceError(
+                    f"row width {len(row)} does not match columns {self.columns}"
+                )
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls, columns: Sequence[str], rows: Iterable[Sequence[GroundTerm]]
+    ) -> "Relation":
+        return cls(tuple(columns), frozenset(tuple(row) for row in rows))
+
+    @classmethod
+    def from_instance(cls, instance: Instance, relation: str) -> "Relation":
+        """Positional columns ``_1, _2, …`` over one relation's tuples."""
+        facts = instance.facts_of(relation)
+        arity = next(iter(facts)).arity if facts else 0
+        columns = tuple(f"_{index + 1}" for index in range(arity))
+        return cls(columns, frozenset(item.args for item in facts))
+
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        return cls(tuple(columns), frozenset())
+
+    # -- structure ------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[GroundTerm, ...]]:
+        return iter(sorted(self.rows, key=lambda row: tuple(map(repr, row))))
+
+    def index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError as exc:
+            raise InstanceError(
+                f"unknown column {column!r}; have {self.columns}"
+            ) from exc
+
+    # -- operators ---------------------------------------------------------------
+    def select(self, predicate: Callable[[tuple[GroundTerm, ...]], bool]) -> "Relation":
+        """σ: keep the rows satisfying *predicate*."""
+        return Relation(self.columns, frozenset(r for r in self.rows if predicate(r)))
+
+    def select_eq(self, column: str, value: GroundTerm) -> "Relation":
+        """σ[column = value]."""
+        position = self.index_of(column)
+        return self.select(lambda row: row[position] == value)
+
+    def select_same(self, first: str, second: str) -> "Relation":
+        """σ[first = second] for two columns (self-join conditions)."""
+        i, j = self.index_of(first), self.index_of(second)
+        return self.select(lambda row: row[i] == row[j])
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """π: keep (and reorder to) the given columns; duplicates collapse."""
+        positions = [self.index_of(column) for column in columns]
+        return Relation(
+            tuple(columns),
+            frozenset(tuple(row[p] for p in positions) for row in self.rows),
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "Relation":
+        """ρ: rename columns; unmentioned columns keep their names."""
+        return Relation(
+            tuple(mapping.get(column, column) for column in self.columns),
+            self.rows,
+        )
+
+    def natural_join(self, other: "Relation") -> "Relation":
+        """⋈: join on all shared column names (cross product if none)."""
+        shared = [c for c in self.columns if c in other.columns]
+        other_only = [c for c in other.columns if c not in shared]
+        my_positions = [self.index_of(c) for c in shared]
+        their_positions = [other.index_of(c) for c in shared]
+        their_rest = [other.index_of(c) for c in other_only]
+
+        # Hash join on the shared-column key.
+        buckets: dict[tuple, list[tuple[GroundTerm, ...]]] = {}
+        for row in other.rows:
+            key = tuple(row[p] for p in their_positions)
+            buckets.setdefault(key, []).append(row)
+        joined: set[tuple[GroundTerm, ...]] = set()
+        for row in self.rows:
+            key = tuple(row[p] for p in my_positions)
+            for match in buckets.get(key, ()):
+                joined.add(row + tuple(match[p] for p in their_rest))
+        return Relation(self.columns + tuple(other_only), frozenset(joined))
+
+    def union(self, other: "Relation") -> "Relation":
+        if self.columns != other.columns:
+            raise InstanceError(
+                f"union requires identical headers: {self.columns} vs {other.columns}"
+            )
+        return Relation(self.columns, self.rows | other.rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        if self.columns != other.columns:
+            raise InstanceError(
+                f"difference requires identical headers: {self.columns} vs "
+                f"{other.columns}"
+            )
+        return Relation(self.columns, self.rows - other.rows)
+
+
+def _atom_to_relation(atom: Atom, instance: Instance, atom_index: int) -> Relation:
+    """Compile one atom: scan, select constants/repeats, project variables."""
+    base = Relation.from_instance(instance, atom.relation)
+    if base.columns and len(base.columns) != atom.arity:
+        raise FormulaError(
+            f"atom {atom} has arity {atom.arity}, relation has "
+            f"{len(base.columns)} columns"
+        )
+    if not base.columns and atom.arity:
+        base = Relation.empty(tuple(f"_{i + 1}" for i in range(atom.arity)))
+
+    seen: dict[Variable, str] = {}
+    keep: list[str] = []
+    renames: dict[str, str] = {}
+    for position, arg in enumerate(atom.args):
+        column = f"_{position + 1}"
+        if isinstance(arg, Constant):
+            base = base.select_eq(column, arg)
+        else:
+            assert isinstance(arg, Variable)
+            if arg in seen:
+                base = base.select_same(seen[arg], column)
+            else:
+                seen[arg] = column
+                keep.append(column)
+                renames[column] = arg.name
+    return base.project(keep).rename(renames)
+
+
+def evaluate_conjunction(
+    conjunction: Conjunction | Sequence[Atom], instance: Instance
+) -> Relation:
+    """Evaluate a conjunctive formula as a left-deep natural-join plan.
+
+    The result's columns are the formula's variables (by name); shared
+    variables across atoms turn into natural-join conditions, exactly as
+    in the homomorphism reading.
+    """
+    atoms = (
+        conjunction.atoms
+        if isinstance(conjunction, Conjunction)
+        else tuple(conjunction)
+    )
+    if not atoms:
+        raise FormulaError("cannot evaluate an empty conjunction")
+    plan = _atom_to_relation(atoms[0], instance, 0)
+    for index, atom in enumerate(atoms[1:], start=1):
+        plan = plan.natural_join(_atom_to_relation(atom, instance, index))
+    return plan
+
+
+def answers_via_algebra(
+    head: Sequence[Variable],
+    body: Conjunction,
+    instance: Instance,
+) -> frozenset[tuple[GroundTerm, ...]]:
+    """Evaluate a conjunctive query through the algebra plan.
+
+    Returns the same tuples as homomorphism-based evaluation — asserted
+    by the differential tests in ``tests/unit/test_algebra.py``.
+    """
+    result = evaluate_conjunction(body, instance)
+    projected = result.project([variable.name for variable in head])
+    return frozenset(projected.rows)

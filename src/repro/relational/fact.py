@@ -1,0 +1,97 @@
+"""Snapshot-level facts ``R(a1, …, an)``.
+
+A fact is a relation name applied to ground terms (constants or nulls).
+These populate the snapshots of the abstract view; concrete, interval-
+stamped facts live in :mod:`repro.concrete.concrete_fact`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import InstanceError
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    LabeledNull,
+    Term,
+    is_ground,
+    term_sort_key,
+)
+
+__all__ = ["Fact", "fact"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """An immutable relational fact over ground terms."""
+
+    relation: str
+    args: tuple[GroundTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise InstanceError("fact relation name must be non-empty")
+        for arg in self.args:
+            if not is_ground(arg):
+                raise InstanceError(
+                    f"fact argument must be ground (constant or null), got {arg!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def nulls(self) -> Iterator[LabeledNull | AnnotatedNull]:
+        """The nulls occurring in this fact, in argument order."""
+        for arg in self.args:
+            if isinstance(arg, (LabeledNull, AnnotatedNull)):
+                yield arg
+
+    def constants(self) -> Iterator[Constant]:
+        """The constants occurring in this fact, in argument order."""
+        for arg in self.args:
+            if isinstance(arg, Constant):
+                yield arg
+
+    def has_nulls(self) -> bool:
+        return any(True for _ in self.nulls())
+
+    def map_args(self, mapper: Callable[[GroundTerm], Term]) -> "Fact":
+        """Apply *mapper* to every argument, producing a new fact."""
+        return Fact(self.relation, tuple(mapper(arg) for arg in self.args))  # type: ignore[arg-type]
+
+    def substitute(self, mapping: dict[Term, Term]) -> "Fact":
+        """Replace arguments per *mapping* (identity where unmapped)."""
+        return self.map_args(lambda arg: mapping.get(arg, arg))  # type: ignore[arg-type,return-value]
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering for stable rendering of instances."""
+        return (self.relation, tuple(term_sort_key(arg) for arg in self.args))
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(arg) for arg in self.args)
+        return f"{self.relation}({rendered})"
+
+    def __repr__(self) -> str:
+        return f"Fact({self.relation!r}, {self.args!r})"
+
+
+def fact(relation: str, *values: object) -> Fact:
+    """Convenience constructor wrapping raw Python values as constants.
+
+    ``fact("E", "Ada", "IBM")`` builds ``E(Ada, IBM)``.  Term instances
+    pass through unchanged, so nulls can be mixed in:
+    ``fact("Emp", "Ada", "IBM", LabeledNull("N"))``.
+    """
+    args: list[GroundTerm] = []
+    for value in values:
+        if isinstance(value, Term):
+            if not is_ground(value):
+                raise InstanceError(f"fact() arguments must be ground, got {value!r}")
+            args.append(value)  # type: ignore[arg-type]
+        else:
+            args.append(Constant(value))
+    return Fact(relation, tuple(args))

@@ -1,0 +1,245 @@
+"""Atoms and conjunctions — the formula layer under dependencies and queries.
+
+An :class:`Atom` is a relation applied to variables and constants; a
+:class:`Conjunction` is a finite set of atoms read conjunctively.  Both are
+*non-temporal*: they speak about single snapshots.  Their temporal lifting
+(the shared universally quantified variable ``t`` of Section 2, and the
+per-atom temporal variables of the normalized form ``N(Φ+)`` of
+Section 4.2) is :class:`TemporalConjunction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import count
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import FormulaError
+from repro.relational.fact import Fact
+from repro.relational.schema import Schema
+from repro.relational.terms import Constant, GroundTerm, Term, Variable, is_ground
+
+__all__ = ["Atom", "Conjunction", "TemporalConjunction"]
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``R(u1, …, un)`` over variables and constants."""
+
+    relation: str
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise FormulaError("atom relation name must be non-empty")
+        for arg in self.args:
+            if not isinstance(arg, (Variable, Constant)):
+                raise FormulaError(
+                    f"atom arguments must be variables or constants, got {arg!r}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """The variables of the atom, in positional order with duplicates."""
+        return tuple(arg for arg in self.args if isinstance(arg, Variable))
+
+    def variable_set(self) -> frozenset[Variable]:
+        return frozenset(self.variables())
+
+    def constants(self) -> tuple[Constant, ...]:
+        return tuple(arg for arg in self.args if isinstance(arg, Constant))
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Atom":
+        """Replace variables per *mapping*; unmapped variables persist."""
+        new_args = tuple(
+            mapping.get(arg, arg) if isinstance(arg, Variable) else arg
+            for arg in self.args
+        )
+        return Atom(self.relation, new_args)
+
+    def instantiate(self, mapping: Mapping[Variable, GroundTerm]) -> Fact:
+        """Apply a *total* assignment, producing a fact.
+
+        Raises :class:`FormulaError` when some variable stays unassigned.
+        """
+        args: list[GroundTerm] = []
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                if arg not in mapping:
+                    raise FormulaError(
+                        f"variable {arg} of atom {self} is unassigned"
+                    )
+                value = mapping[arg]
+                if not is_ground(value):
+                    raise FormulaError(
+                        f"assignment for {arg} is not ground: {value!r}"
+                    )
+                args.append(value)
+            else:
+                args.append(arg)  # a constant
+        return Fact(self.relation, tuple(args))
+
+    def validate_against(self, schema: Schema) -> None:
+        """Arity/existence check against a schema."""
+        schema.validate_arity(self.relation, self.arity)
+
+    def __str__(self) -> str:
+        body = ", ".join(
+            str(arg) if isinstance(arg, Variable) else repr(arg.value)
+            if isinstance(arg.value, str)
+            else str(arg)
+            for arg in self.args
+        )
+        return f"{self.relation}({body})"
+
+
+@dataclass(frozen=True, slots=True)
+class Conjunction:
+    """A conjunction of atoms ``R1(..) ∧ … ∧ Rk(..)`` (order preserved)."""
+
+    atoms: tuple[Atom, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise FormulaError("conjunction must contain at least one atom")
+
+    def __len__(self) -> int:
+        """``|φ|``: the number of atoms, as used by Algorithm 1."""
+        return len(self.atoms)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self.atoms)
+
+    def variables(self) -> tuple[Variable, ...]:
+        """All variables in order of first occurrence, without duplicates."""
+        seen: dict[Variable, None] = {}
+        for atom in self.atoms:
+            for var in atom.variables():
+                seen.setdefault(var, None)
+        return tuple(seen)
+
+    def variable_set(self) -> frozenset[Variable]:
+        return frozenset(self.variables())
+
+    def relations(self) -> tuple[str, ...]:
+        return tuple(atom.relation for atom in self.atoms)
+
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Conjunction":
+        return Conjunction(tuple(atom.substitute(mapping) for atom in self.atoms))
+
+    def instantiate(self, mapping: Mapping[Variable, GroundTerm]) -> tuple[Fact, ...]:
+        """Apply a total assignment atom-wise, producing facts."""
+        return tuple(atom.instantiate(mapping) for atom in self.atoms)
+
+    def validate_against(self, schema: Schema) -> None:
+        for atom in self.atoms:
+            atom.validate_against(schema)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(atom) for atom in self.atoms)
+
+
+@dataclass(frozen=True, slots=True)
+class TemporalConjunction:
+    """A conjunction whose atoms each carry a temporal variable.
+
+    ``φ+(x, t)`` of the paper is the *shared* form: every atom carries the
+    same variable ``t`` (one time interval for all atoms).  The normalized
+    form ``φ* ∈ N(Φ+)`` gives each atom its own temporal variable, so the
+    atoms may match facts with different stamps (Section 4.2, Example 9).
+
+    The data atoms stay non-temporal :class:`Atom` objects; the pairing
+    with per-atom temporal variables is maintained positionally.
+    """
+
+    atoms: tuple[Atom, ...]
+    temporal_variables: tuple[Variable, ...]
+
+    def __post_init__(self) -> None:
+        if not self.atoms:
+            raise FormulaError("temporal conjunction must contain at least one atom")
+        if len(self.atoms) != len(self.temporal_variables):
+            raise FormulaError(
+                "need exactly one temporal variable per atom: "
+                f"{len(self.atoms)} atoms, {len(self.temporal_variables)} variables"
+            )
+        data_vars = {var for atom in self.atoms for var in atom.variables()}
+        for tvar in self.temporal_variables:
+            if tvar in data_vars:
+                raise FormulaError(
+                    f"temporal variable {tvar} also occurs as a data variable"
+                )
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def shared(
+        cls, atoms: Sequence[Atom], temporal_variable: Variable | None = None
+    ) -> "TemporalConjunction":
+        """The lifted form ``φ+(x, t)``: one ``t`` shared by every atom."""
+        tvar = temporal_variable if temporal_variable is not None else Variable("t")
+        return cls(tuple(atoms), tuple(tvar for _ in atoms))
+
+    @classmethod
+    def from_conjunction(
+        cls, conjunction: Conjunction, temporal_variable: Variable | None = None
+    ) -> "TemporalConjunction":
+        return cls.shared(conjunction.atoms, temporal_variable)
+
+    # -- the N(·) transformation (Section 4.2) --------------------------------
+    def normalized(self, prefix: str = "t_") -> "TemporalConjunction":
+        """``N(φ+)``: replace each temporal occurrence with a fresh variable.
+
+        After normalization the temporal variable of every atom is distinct,
+        so a homomorphism may map each atom to a fact with a different
+        stamp — the matching mode Algorithm 1 uses to build its set ``S``.
+        """
+        data_vars = {var.name for atom in self.atoms for var in atom.variables()}
+        names = count(1)
+        fresh: list[Variable] = []
+        for _ in self.atoms:
+            name = f"{prefix}{next(names)}"
+            while name in data_vars:
+                name = f"{prefix}{next(names)}"
+            fresh.append(Variable(name))
+        return TemporalConjunction(self.atoms, tuple(fresh))
+
+    @property
+    def is_shared(self) -> bool:
+        """``True`` iff all atoms carry one and the same temporal variable."""
+        return len(set(self.temporal_variables)) == 1
+
+    @property
+    def shared_variable(self) -> Variable:
+        if not self.is_shared:
+            raise FormulaError("temporal conjunction does not share one variable")
+        return self.temporal_variables[0]
+
+    def data_conjunction(self) -> Conjunction:
+        """Drop the temporal variables: the snapshot-level ``φ(x)``."""
+        return Conjunction(self.atoms)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __iter__(self) -> Iterator[tuple[Atom, Variable]]:
+        return iter(zip(self.atoms, self.temporal_variables))
+
+    def variables(self) -> tuple[Variable, ...]:
+        """Data variables then temporal variables, first-occurrence order."""
+        seen: dict[Variable, None] = {}
+        for atom in self.atoms:
+            for var in atom.variables():
+                seen.setdefault(var, None)
+        for tvar in self.temporal_variables:
+            seen.setdefault(tvar, None)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{atom.relation}+({', '.join(map(str, atom.args + (tvar,)))})"
+            for atom, tvar in zip(self.atoms, self.temporal_variables)
+        ]
+        return " ∧ ".join(parts)

@@ -1,0 +1,263 @@
+"""Homomorphism search: formulas into instances, instances into instances.
+
+Two flavors, both central to the paper:
+
+* **formula → instance** (:func:`find_homomorphisms`): assignments of the
+  variables of a conjunction to ground terms of an instance such that every
+  atom's image is a fact.  This drives chase steps, dependency-satisfaction
+  checks and query evaluation.
+* **instance → instance** (:func:`find_instance_homomorphism`): a map on
+  terms that is the identity on constants and sends every fact to a fact.
+  This is the homomorphism of Section 2 used to define universal solutions,
+  and it also powers the core computation.
+
+The search is plain backtracking with two optimizations that matter at
+benchmark scale: candidate facts are fetched through the instance's
+``(position, value)`` hash index, and the next atom is always the one with
+the fewest unbound variables (a greedy join order).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.fact import Fact
+from repro.relational.formulas import Atom, Conjunction
+from repro.relational.instance import Instance
+from repro.relational.terms import (
+    Constant,
+    GroundTerm,
+    Term,
+    Variable,
+)
+
+__all__ = [
+    "find_homomorphisms",
+    "find_homomorphism",
+    "has_homomorphism",
+    "find_homomorphisms_with_images",
+    "find_instance_homomorphism",
+    "has_instance_homomorphism",
+    "is_homomorphism",
+]
+
+
+def _atom_bindings(
+    atom: Atom, assignment: Mapping[Variable, GroundTerm]
+) -> dict[int, GroundTerm]:
+    """Positions of *atom* whose value is already forced."""
+    bound: dict[int, GroundTerm] = {}
+    for position, arg in enumerate(atom.args):
+        if isinstance(arg, Constant):
+            bound[position] = arg
+        elif isinstance(arg, Variable) and arg in assignment:
+            bound[position] = assignment[arg]
+    return bound
+
+
+def _unify_atom(
+    atom: Atom, fact: Fact, assignment: dict[Variable, GroundTerm]
+) -> dict[Variable, GroundTerm] | None:
+    """Extend *assignment* so that atom ↦ fact, or ``None`` on clash."""
+    if atom.relation != fact.relation or atom.arity != fact.arity:
+        return None
+    extension = dict(assignment)
+    for arg, value in zip(atom.args, fact.args):
+        if isinstance(arg, Constant):
+            if arg != value:
+                return None
+        else:  # variable
+            current = extension.get(arg)
+            if current is None:
+                extension[arg] = value
+            elif current != value:
+                return None
+    return extension
+
+
+def _select_atom(
+    remaining: Sequence[int],
+    atoms: Sequence[Atom],
+    assignment: Mapping[Variable, GroundTerm],
+) -> int:
+    """Pick the most-bound remaining atom (greedy join ordering)."""
+    best = remaining[0]
+    best_unbound = sum(
+        1 for v in atoms[best].variables() if v not in assignment
+    )
+    for index in remaining[1:]:
+        unbound = sum(1 for v in atoms[index].variables() if v not in assignment)
+        if unbound < best_unbound:
+            best, best_unbound = index, unbound
+            if unbound == 0:
+                break
+    return best
+
+
+def find_homomorphisms_with_images(
+    atoms: Sequence[Atom] | Conjunction,
+    instance: Instance,
+    initial: Mapping[Variable, GroundTerm] | None = None,
+) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
+    """Yield every homomorphism together with the per-atom image facts.
+
+    The image tuple is aligned with the input atom order — Algorithm 1
+    needs to know *which* fact each atom mapped to, not just the variable
+    assignment.  Enumeration order is deterministic.
+    """
+    atom_list: tuple[Atom, ...] = (
+        atoms.atoms if isinstance(atoms, Conjunction) else tuple(atoms)
+    )
+    base: dict[Variable, GroundTerm] = dict(initial or {})
+    images: list[Fact | None] = [None] * len(atom_list)
+
+    def search(
+        remaining: list[int], assignment: dict[Variable, GroundTerm]
+    ) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
+        if not remaining:
+            yield dict(assignment), tuple(images)  # type: ignore[arg-type]
+            return
+        chosen = _select_atom(remaining, atom_list, assignment)
+        rest = [index for index in remaining if index != chosen]
+        atom = atom_list[chosen]
+        candidates = instance.lookup(atom.relation, _atom_bindings(atom, assignment))
+        for candidate in sorted(candidates, key=Fact.sort_key):
+            extended = _unify_atom(atom, candidate, assignment)
+            if extended is None:
+                continue
+            images[chosen] = candidate
+            yield from search(rest, extended)
+        images[chosen] = None
+
+    yield from search(list(range(len(atom_list))), base)
+
+
+def find_homomorphisms(
+    atoms: Sequence[Atom] | Conjunction,
+    instance: Instance,
+    initial: Mapping[Variable, GroundTerm] | None = None,
+) -> Iterator[dict[Variable, GroundTerm]]:
+    """Yield every assignment mapping the conjunction into the instance."""
+    for assignment, _images in find_homomorphisms_with_images(
+        atoms, instance, initial
+    ):
+        yield assignment
+
+
+def find_homomorphism(
+    atoms: Sequence[Atom] | Conjunction,
+    instance: Instance,
+    initial: Mapping[Variable, GroundTerm] | None = None,
+) -> dict[Variable, GroundTerm] | None:
+    """The first homomorphism, or ``None`` when none exists."""
+    for assignment in find_homomorphisms(atoms, instance, initial):
+        return assignment
+    return None
+
+
+def has_homomorphism(
+    atoms: Sequence[Atom] | Conjunction,
+    instance: Instance,
+    initial: Mapping[Variable, GroundTerm] | None = None,
+) -> bool:
+    """``True`` iff some homomorphism exists."""
+    return find_homomorphism(atoms, instance, initial) is not None
+
+
+# ---------------------------------------------------------------------------
+# Instance-to-instance homomorphisms (Section 2)
+# ---------------------------------------------------------------------------
+
+
+def find_instance_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: Mapping[Term, GroundTerm] | None = None,
+    frozen_nulls: Iterable[Term] = (),
+) -> dict[Term, GroundTerm] | None:
+    """A homomorphism ``h : source → target``, or ``None``.
+
+    * constants map to themselves,
+    * nulls map to arbitrary ground terms of the target,
+    * every source fact's image must be a target fact.
+
+    *fixed* pre-binds some nulls (used by the abstract-view search to keep
+    a global assignment of rigid nulls consistent across snapshots);
+    *frozen_nulls* lists nulls that must map to themselves (used by the
+    core computation to test foldings that fix a sub-instance).
+    """
+    mapping: dict[Term, GroundTerm] = dict(fixed or {})
+    for null in frozen_nulls:
+        mapping.setdefault(null, null)  # type: ignore[arg-type]
+
+    source_facts = sorted(source.facts(), key=Fact.sort_key)
+
+    def fact_bindings(item: Fact) -> dict[int, GroundTerm]:
+        bound: dict[int, GroundTerm] = {}
+        for position, arg in enumerate(item.args):
+            if isinstance(arg, Constant):
+                bound[position] = arg
+            elif arg in mapping:
+                bound[position] = mapping[arg]
+        return bound
+
+    def extend(item: Fact, image: Fact) -> list[Term] | None:
+        """Bind unbound nulls of *item* to the values in *image*."""
+        newly_bound: list[Term] = []
+        for arg, value in zip(item.args, image.args):
+            if isinstance(arg, Constant):
+                if arg != value:
+                    return None
+            else:
+                current = mapping.get(arg)
+                if current is None:
+                    mapping[arg] = value
+                    newly_bound.append(arg)
+                elif current != value:
+                    for bound_arg in newly_bound:
+                        del mapping[bound_arg]
+                    return None
+        return newly_bound
+
+    def search(position: int) -> bool:
+        if position == len(source_facts):
+            return True
+        item = source_facts[position]
+        candidates = target.lookup(item.relation, fact_bindings(item))
+        for candidate in sorted(candidates, key=Fact.sort_key):
+            newly_bound = extend(item, candidate)
+            if newly_bound is None:
+                continue
+            if search(position + 1):
+                return True
+            for bound_arg in newly_bound:
+                del mapping[bound_arg]
+        return False
+
+    if search(0):
+        return mapping
+    return None
+
+
+def has_instance_homomorphism(source: Instance, target: Instance) -> bool:
+    """``True`` iff some homomorphism ``source → target`` exists."""
+    return find_instance_homomorphism(source, target) is not None
+
+
+def is_homomorphism(
+    mapping: Mapping[Term, Term], source: Instance, target: Instance
+) -> bool:
+    """Verify that *mapping* is a homomorphism ``source → target``.
+
+    Checks the two defining conditions: identity on constants (constants
+    may simply be absent from the mapping) and fact preservation.
+    """
+    for term, image in mapping.items():
+        if isinstance(term, Constant) and image != term:
+            return False
+    lookup = dict(mapping)
+    for item in source.facts():
+        mapped = item.substitute(lookup)
+        if mapped not in target:
+            return False
+    return True

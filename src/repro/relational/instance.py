@@ -1,0 +1,234 @@
+"""In-memory relational instances (the snapshots of the abstract view).
+
+An :class:`Instance` stores facts grouped by relation with hash indexes
+``(position, value) → facts`` built lazily for the homomorphism search.
+Instances compare by their fact sets, support substitution (used by egd
+chase steps), and report their nulls/constants (used by solution checks
+and naïve evaluation).
+
+Instances may optionally carry a :class:`~repro.relational.schema.Schema`;
+when present, every added fact is validated against it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.errors import InstanceError, SchemaError
+from repro.relational.fact import Fact
+from repro.relational.schema import Schema
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    LabeledNull,
+    Term,
+)
+
+__all__ = ["Instance"]
+
+
+class Instance:
+    """A mutable set of snapshot-level facts with per-relation indexes."""
+
+    __slots__ = ("_facts_by_relation", "_index", "schema")
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        schema: Schema | None = None,
+    ):
+        self._facts_by_relation: dict[str, set[Fact]] = {}
+        self._index: dict[str, dict[tuple[int, GroundTerm], set[Fact]]] = {}
+        self.schema = schema
+        for item in facts:
+            self.add(item)
+
+    # -- mutation -----------------------------------------------------------
+    def add(self, item: Fact) -> bool:
+        """Insert a fact; returns ``True`` iff it was not already present."""
+        if self.schema is not None:
+            if item.relation not in self.schema:
+                raise SchemaError(
+                    f"fact {item} uses relation {item.relation!r} "
+                    f"absent from schema {self.schema}"
+                )
+            self.schema.validate_arity(item.relation, item.arity)
+        bucket = self._facts_by_relation.setdefault(item.relation, set())
+        if item in bucket:
+            return False
+        bucket.add(item)
+        self._index.pop(item.relation, None)
+        return True
+
+    def add_all(self, items: Iterable[Fact]) -> int:
+        """Insert many facts; returns the number actually added."""
+        return sum(1 for item in items if self.add(item))
+
+    def discard(self, item: Fact) -> bool:
+        """Remove a fact if present; returns ``True`` iff it was removed."""
+        bucket = self._facts_by_relation.get(item.relation)
+        if bucket is None or item not in bucket:
+            return False
+        bucket.remove(item)
+        if not bucket:
+            del self._facts_by_relation[item.relation]
+        self._index.pop(item.relation, None)
+        return True
+
+    # -- basic queries ---------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if not isinstance(item, Fact):
+            return False
+        return item in self._facts_by_relation.get(item.relation, ())
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._facts_by_relation.values())
+
+    def __iter__(self) -> Iterator[Fact]:
+        for relation in sorted(self._facts_by_relation):
+            yield from sorted(self._facts_by_relation[relation], key=Fact.sort_key)
+
+    def __bool__(self) -> bool:
+        return any(self._facts_by_relation.values())
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._facts_by_relation))
+
+    def facts_of(self, relation: str) -> frozenset[Fact]:
+        """All facts of one relation (empty set when the relation is absent)."""
+        return frozenset(self._facts_by_relation.get(relation, ()))
+
+    def facts(self) -> frozenset[Fact]:
+        """All facts of the instance as a frozen set."""
+        return frozenset(
+            item for bucket in self._facts_by_relation.values() for item in bucket
+        )
+
+    # -- index-backed lookup (homomorphism search) ------------------------------
+    def _index_for(self, relation: str) -> dict[tuple[int, GroundTerm], set[Fact]]:
+        cached = self._index.get(relation)
+        if cached is not None:
+            return cached
+        built: dict[tuple[int, GroundTerm], set[Fact]] = {}
+        for item in self._facts_by_relation.get(relation, ()):
+            for position, value in enumerate(item.args):
+                built.setdefault((position, value), set()).add(item)
+        self._index[relation] = built
+        return built
+
+    def lookup(
+        self, relation: str, bindings: Mapping[int, GroundTerm]
+    ) -> frozenset[Fact]:
+        """Facts of *relation* whose argument at each position matches.
+
+        With empty *bindings* this is :meth:`facts_of`.  The most selective
+        bound position drives the index probe; remaining positions filter.
+        """
+        bucket = self._facts_by_relation.get(relation)
+        if not bucket:
+            return frozenset()
+        if not bindings:
+            return frozenset(bucket)
+        index = self._index_for(relation)
+        probes = [
+            index.get((position, value), set())
+            for position, value in bindings.items()
+        ]
+        smallest = min(probes, key=len)
+        result = {
+            item
+            for item in smallest
+            if all(item.args[pos] == val for pos, val in bindings.items())
+        }
+        return frozenset(result)
+
+    # -- term-level queries -------------------------------------------------------
+    def nulls(self) -> frozenset[LabeledNull | AnnotatedNull]:
+        """``Null(db)``: every null occurring anywhere in the instance."""
+        found: set[LabeledNull | AnnotatedNull] = set()
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                found.update(item.nulls())
+        return frozenset(found)
+
+    def constants(self) -> frozenset[Constant]:
+        """Every constant occurring anywhere in the instance."""
+        found: set[Constant] = set()
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                found.update(item.constants())
+        return frozenset(found)
+
+    def active_domain(self) -> frozenset[GroundTerm]:
+        """All ground terms occurring in the instance."""
+        found: set[GroundTerm] = set()
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                found.update(item.args)
+        return frozenset(found)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` iff no nulls occur (paper: a *complete* instance)."""
+        return not self.nulls()
+
+    # -- transformation --------------------------------------------------------
+    def copy(self) -> "Instance":
+        clone = Instance(schema=self.schema)
+        for relation, bucket in self._facts_by_relation.items():
+            clone._facts_by_relation[relation] = set(bucket)
+        return clone
+
+    def substitute(self, mapping: Mapping[Term, Term]) -> "Instance":
+        """A new instance with every term replaced per *mapping*.
+
+        Used by egd chase steps: replacing a null everywhere may merge
+        facts, which the set-based storage handles automatically.
+        """
+        if not mapping:
+            return self.copy()
+        result = Instance(schema=self.schema)
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                result.add(item.substitute(dict(mapping)))
+        return result
+
+    def map_facts(self, mapper: Callable[[Fact], Fact]) -> "Instance":
+        """A new instance built by transforming every fact."""
+        result = Instance(schema=self.schema)
+        for bucket in self._facts_by_relation.values():
+            for item in bucket:
+                result.add(mapper(item))
+        return result
+
+    def union(self, other: "Instance") -> "Instance":
+        """A new instance containing the facts of both."""
+        result = self.copy()
+        result.add_all(other.facts())
+        return result
+
+    def restrict_to(self, relations: Iterable[str]) -> "Instance":
+        """Projection of the instance onto a subset of relation names."""
+        wanted = set(relations)
+        result = Instance(schema=self.schema)
+        for relation in wanted:
+            result.add_all(self._facts_by_relation.get(relation, ()))
+        return result
+
+    # -- comparison and rendering ----------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self.facts() == other.facts()
+
+    def __hash__(self) -> int:
+        return hash(self.facts())
+
+    def __str__(self) -> str:
+        if not self:
+            return "{}"
+        return "{" + ", ".join(str(item) for item in self) + "}"
+
+    def __repr__(self) -> str:
+        return f"Instance({len(self)} facts over {list(self.relation_names())})"

@@ -1,0 +1,243 @@
+"""Textual syntax for atoms, conjunctions and dependency skeletons.
+
+The library is usable purely programmatically, but examples and tests read
+far better with a concise surface syntax:
+
+* atoms — ``Emp(n, c, s)``; bare identifiers are variables, quoted
+  strings (``'IBM'``) and numbers are constants;
+* conjunctions — atoms joined with ``&``, ``/\\``, ``∧`` or ``AND``;
+* implications — ``lhs -> rhs`` where the right-hand side is either a
+  conjunction (optionally prefixed ``EXISTS s, r .``) or an equality
+  ``x = y``.  Rhs variables absent from the lhs are implicitly
+  existential, matching the paper's convention of dropping quantifiers.
+
+This module only builds formula-level objects; the dependency classes in
+:mod:`repro.dependencies` and queries in :mod:`repro.query` layer their
+own ``parse`` constructors on top of :func:`parse_implication`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from repro.errors import ParseError
+from repro.relational.formulas import Atom, Conjunction
+from repro.relational.terms import Constant, Term, Variable
+
+__all__ = [
+    "tokenize",
+    "parse_atom",
+    "parse_conjunction",
+    "parse_implication",
+    "ImplicationSkeleton",
+]
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<ARROW>->|→)
+  | (?P<AND>&&?|/\\|∧|\bAND\b)
+  | (?P<EXISTS>\bEXISTS\b|∃)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.)
+  | (?P<EQUALS>=)
+  | (?P<STRING>'[^']*'|"[^"]*")
+  | (?P<NUMBER>\d+)
+  | (?P<IDENT>[A-Za-z_][A-Za-z0-9_+']*)
+    """,
+    re.VERBOSE,
+)
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split *text* into tokens, raising :class:`ParseError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError("unexpected character", text, position)
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+@dataclass
+class _TokenStream:
+    """A cursor over the token list with one-token lookahead."""
+
+    tokens: list[Token]
+    text: str
+    index: int = 0
+
+    def peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {token.kind} ({token.text!r})",
+                self.text,
+                token.position,
+            )
+        return token
+
+    def accept(self, kind: str) -> Token | None:
+        token = self.peek()
+        if token is not None and token.kind == kind:
+            self.index += 1
+            return token
+        return None
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def _parse_term(stream: _TokenStream) -> Term:
+    token = stream.next()
+    if token.kind == "IDENT":
+        return Variable(token.text)
+    if token.kind == "NUMBER":
+        return Constant(int(token.text))
+    if token.kind == "STRING":
+        return Constant(token.text[1:-1])
+    raise ParseError(
+        f"expected a term, got {token.kind} ({token.text!r})",
+        stream.text,
+        token.position,
+    )
+
+
+def _parse_atom(stream: _TokenStream) -> Atom:
+    name = stream.expect("IDENT")
+    stream.expect("LPAREN")
+    args: list[Term] = []
+    if stream.peek() is not None and stream.peek().kind != "RPAREN":  # type: ignore[union-attr]
+        args.append(_parse_term(stream))
+        while stream.accept("COMMA"):
+            args.append(_parse_term(stream))
+    stream.expect("RPAREN")
+    return Atom(name.text, tuple(args))
+
+
+def _parse_conjunction(stream: _TokenStream) -> Conjunction:
+    atoms = [_parse_atom(stream)]
+    while stream.accept("AND"):
+        atoms.append(_parse_atom(stream))
+    return Conjunction(tuple(atoms))
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``"Emp(n, 'IBM', s)"``."""
+    stream = _TokenStream(tokenize(text), text)
+    atom = _parse_atom(stream)
+    if not stream.at_end():
+        leftover = stream.peek()
+        raise ParseError("trailing input after atom", text, leftover.position)  # type: ignore[union-attr]
+    return atom
+
+
+def parse_conjunction(text: str) -> Conjunction:
+    """Parse a conjunction, e.g. ``"E(n,c) & S(n,s)"``."""
+    stream = _TokenStream(tokenize(text), text)
+    conjunction = _parse_conjunction(stream)
+    if not stream.at_end():
+        leftover = stream.peek()
+        raise ParseError("trailing input after conjunction", text, leftover.position)  # type: ignore[union-attr]
+    return conjunction
+
+
+@dataclass(frozen=True)
+class ImplicationSkeleton:
+    """The parsed shape of ``lhs -> rhs`` before dependency classification.
+
+    * For a tgd-shaped implication, *rhs* is a conjunction and
+      *existential_variables* holds the declared (or inferred) existential
+      variables of the right-hand side.
+    * For an egd-shaped implication, *equality* holds the two variables.
+    """
+
+    lhs: Conjunction
+    rhs: Conjunction | None
+    existential_variables: tuple[Variable, ...]
+    equality: tuple[Variable, Variable] | None
+
+    @property
+    def is_equality(self) -> bool:
+        return self.equality is not None
+
+
+def parse_implication(text: str) -> ImplicationSkeleton:
+    """Parse ``lhs -> rhs`` into an :class:`ImplicationSkeleton`.
+
+    Right-hand sides:
+
+    * ``EXISTS s, r . Emp(n,c,s) & Rank(n,r)`` — explicit existentials;
+    * ``Emp(n,c,s)`` — existentials inferred as the rhs-only variables;
+    * ``s = s2`` — an equality (egd shape).
+    """
+    stream = _TokenStream(tokenize(text), text)
+    lhs = _parse_conjunction(stream)
+    stream.expect("ARROW")
+
+    # Equality right-hand side: IDENT '=' IDENT
+    saved = stream.index
+    first = stream.accept("IDENT")
+    if first is not None and stream.accept("EQUALS"):
+        second = stream.expect("IDENT")
+        if not stream.at_end():
+            leftover = stream.peek()
+            raise ParseError(
+                "trailing input after equality", text, leftover.position  # type: ignore[union-attr]
+            )
+        return ImplicationSkeleton(
+            lhs=lhs,
+            rhs=None,
+            existential_variables=(),
+            equality=(Variable(first.text), Variable(second.text)),
+        )
+    stream.index = saved
+
+    declared: list[Variable] = []
+    if stream.accept("EXISTS"):
+        declared.append(Variable(stream.expect("IDENT").text))
+        while stream.accept("COMMA"):
+            declared.append(Variable(stream.expect("IDENT").text))
+        stream.expect("DOT")
+    rhs = _parse_conjunction(stream)
+    if not stream.at_end():
+        leftover = stream.peek()
+        raise ParseError("trailing input after implication", text, leftover.position)  # type: ignore[union-attr]
+
+    if declared:
+        existentials = tuple(declared)
+    else:
+        lhs_vars = lhs.variable_set()
+        existentials = tuple(
+            var for var in rhs.variables() if var not in lhs_vars
+        )
+    return ImplicationSkeleton(
+        lhs=lhs, rhs=rhs, existential_variables=existentials, equality=None
+    )

@@ -1,0 +1,152 @@
+"""Database schemas and the lifting ``R → R+`` of Section 2.
+
+A :class:`RelationSchema` fixes a relation's name and attribute names;
+a :class:`Schema` is a named collection of relation schemas.  The paper
+associates with every schema ``R`` the *concrete* schema ``R+`` in which
+each n-ary relation gains an (n+1)-th temporal attribute ``T`` ranging
+over time intervals.  :meth:`Schema.lift` performs that transformation.
+
+Schemas are optional almost everywhere in the library — instances can be
+built schema-free — but they drive validation and provide the attribute
+headers used when regenerating the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+
+__all__ = ["RelationSchema", "Schema", "TEMPORAL_ATTRIBUTE"]
+
+#: Conventional name of the temporal attribute added by lifting.
+TEMPORAL_ATTRIBUTE = "Time"
+
+
+@dataclass(frozen=True, slots=True)
+class RelationSchema:
+    """A relation name together with its ordered attribute names."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SchemaError(
+                f"duplicate attribute names in relation {self.name}: {self.attributes}"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def lift(self, temporal_attribute: str = TEMPORAL_ATTRIBUTE) -> "RelationSchema":
+        """The concrete relation ``R+(A1, …, An, T)`` for this ``R``."""
+        if temporal_attribute in self.attributes:
+            raise SchemaError(
+                f"relation {self.name} already has an attribute named "
+                f"{temporal_attribute!r}; cannot lift"
+            )
+        return RelationSchema(self.name, self.attributes + (temporal_attribute,))
+
+    def position_of(self, attribute: str) -> int:
+        """Index of *attribute*, raising :class:`SchemaError` if absent."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name} has no attribute {attribute!r}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An immutable collection of relation schemas keyed by name."""
+
+    relations: Mapping[str, RelationSchema] = field(default_factory=dict)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        by_name: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in by_name:
+                raise SchemaError(f"duplicate relation name {rel.name!r} in schema")
+            by_name[rel.name] = rel
+        object.__setattr__(self, "relations", by_name)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def of(cls, **relations: Iterable[str]) -> "Schema":
+        """Keyword-style construction.
+
+        ``Schema.of(E=("name", "company"), S=("name", "salary"))``
+        """
+        return cls(
+            RelationSchema(name, tuple(attrs)) for name, attrs in relations.items()
+        )
+
+    def lift(self, temporal_attribute: str = TEMPORAL_ATTRIBUTE) -> "Schema":
+        """The concrete schema ``R+``: every relation gains attribute ``T``."""
+        return Schema(rel.lift(temporal_attribute) for rel in self)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Disjoint union of two schemas (source ∪ target).
+
+        Raises :class:`SchemaError` on a name clash — the paper requires
+        source and target schemas to be disjoint.
+        """
+        overlap = set(self.relations) & set(other.relations)
+        if overlap:
+            raise SchemaError(
+                f"schemas are not disjoint; shared relation names: {sorted(overlap)}"
+            )
+        return Schema(list(self) + list(other))
+
+    # -- lookups ------------------------------------------------------------
+    def __contains__(self, name: object) -> bool:
+        return name in self.relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self.relations[name]
+        except KeyError as exc:
+            raise SchemaError(f"unknown relation {name!r}") from exc
+
+    def get(self, name: str) -> RelationSchema | None:
+        return self.relations.get(name)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self.relations)
+
+    def arity_of(self, name: str) -> int:
+        return self[name].arity
+
+    def validate_arity(self, relation: str, arity: int) -> None:
+        """Check that *relation* exists with the given arity."""
+        expected = self[relation].arity
+        if arity != expected:
+            raise SchemaError(
+                f"relation {relation} has arity {expected}, got {arity} arguments"
+            )
+
+    def __str__(self) -> str:
+        return "{" + "; ".join(str(rel) for rel in self) + "}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return dict(self.relations) == dict(other.relations)
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((name, rel.attributes) for name, rel in self.relations.items())))

@@ -1,0 +1,191 @@
+"""Terms: constants, variables, labeled nulls, interval-annotated nulls.
+
+The paper distinguishes four kinds of values:
+
+* **constants** — the ordinary data values of source instances;
+* **variables** — placeholders in dependencies and queries;
+* **labeled nulls** — the unknowns produced by the classical chase in a
+  single snapshot (Fagin et al.);
+* **interval-annotated nulls** ``N^[s,e)`` (Section 4.1) — the unknowns
+  produced by the c-chase on the concrete view.  ``N^[s,e)`` stands for
+  the *sequence* of distinct labeled nulls ``⟨Ns, …, Ne−1⟩``: projecting
+  on a time point ℓ (``Π_ℓ``) selects the snapshot-level null ``N@ℓ``.
+
+All terms are immutable and hashable so they can live in facts, sets and
+dictionaries.  Identity of an annotated null is the pair *(base name,
+annotation interval)* — fragmenting a fact re-annotates its nulls, and the
+fragments' nulls are *different* unknowns (paper, Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import InstanceError, TemporalError
+from repro.temporal.interval import Interval
+
+__all__ = [
+    "Term",
+    "Constant",
+    "Variable",
+    "LabeledNull",
+    "AnnotatedNull",
+    "GroundTerm",
+    "is_ground",
+    "term_sort_key",
+]
+
+
+class Term:
+    """Abstract base class of all term kinds."""
+
+    __slots__ = ()
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    @property
+    def is_variable(self) -> bool:
+        return isinstance(self, Variable)
+
+    @property
+    def is_null(self) -> bool:
+        return isinstance(self, (LabeledNull, AnnotatedNull))
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """An ordinary data value; homomorphisms are the identity on constants."""
+
+    value: object
+
+    def __post_init__(self) -> None:
+        try:
+            hash(self.value)
+        except TypeError as exc:
+            raise InstanceError(
+                f"constant value must be hashable, got {self.value!r}"
+            ) from exc
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A variable occurring in a dependency or query (never in instances)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InstanceError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledNull(Term):
+    """A classical labeled null, the unknown of a single snapshot."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise InstanceError("null name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"LabeledNull({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedNull(Term):
+    """An interval-annotated null ``N^[s,e)`` (paper, Section 4.1).
+
+    Represents the sequence of *distinct* labeled nulls
+    ``⟨N@s, N@s+1, …⟩``, one per snapshot in the annotation.  Two
+    annotated nulls are the same unknown only when both base name and
+    annotation coincide.
+    """
+
+    base: str
+    annotation: Interval
+
+    def __post_init__(self) -> None:
+        if not self.base:
+            raise InstanceError("annotated null base name must be non-empty")
+        if "@" in self.base:
+            raise InstanceError(
+                "annotated null base names must not contain '@' (reserved "
+                f"for snapshot projection): {self.base!r}"
+            )
+
+    def project(self, point: int) -> LabeledNull:
+        """``Π_ℓ(N^[s,e)) = N@ℓ`` — select the snapshot-level null at ℓ.
+
+        Raises :class:`TemporalError` when ℓ lies outside the annotation.
+        """
+        if point not in self.annotation:
+            raise TemporalError(
+                f"cannot project {self} on time point {point}: "
+                f"outside annotation {self.annotation}"
+            )
+        return LabeledNull(f"{self.base}@{point}")
+
+    def reannotate(self, stamp: Interval) -> "AnnotatedNull":
+        """The null for a fragment of the original fact.
+
+        Fragmentation keeps the base but narrows the annotation to the
+        fragment's stamp; the paper requires the annotation to always equal
+        the time interval of the containing fact.
+        """
+        if not self.annotation.contains_interval(stamp):
+            raise TemporalError(
+                f"cannot re-annotate {self} with {stamp}: "
+                f"not a sub-interval of {self.annotation}"
+            )
+        return AnnotatedNull(self.base, stamp)
+
+    def __str__(self) -> str:
+        return f"{self.base}^{self.annotation}"
+
+    def __repr__(self) -> str:
+        return f"AnnotatedNull({self.base!r}, {self.annotation!r})"
+
+
+#: Terms that may appear in instances (facts must be variable-free).
+GroundTerm = Union[Constant, LabeledNull, AnnotatedNull]
+
+
+def is_ground(term: Term) -> bool:
+    """``True`` iff *term* may appear in an instance (not a variable)."""
+    return isinstance(term, (Constant, LabeledNull, AnnotatedNull))
+
+
+def term_sort_key(term: Term) -> tuple:
+    """A deterministic ordering over mixed terms, used for stable output.
+
+    Orders constants before labeled nulls before annotated nulls before
+    variables; within a kind, lexicographically by rendered value.
+    """
+    if isinstance(term, Constant):
+        return (0, type(term.value).__name__, str(term.value))
+    if isinstance(term, LabeledNull):
+        return (1, "", term.name)
+    if isinstance(term, AnnotatedNull):
+        return (2, term.base, str(term.annotation))
+    if isinstance(term, Variable):
+        return (3, "", term.name)
+    raise InstanceError(f"unknown term kind: {term!r}")

@@ -1,0 +1,49 @@
+"""Rendering (paper-figure layout), JSON and CSV serialization."""
+
+from repro.serialize.csvio import (
+    instance_from_csv_dict,
+    instance_to_csv_dict,
+    relation_from_csv,
+    relation_to_csv,
+)
+from repro.serialize.jsonio import (
+    concrete_instance_from_json,
+    concrete_instance_to_json,
+    dumps,
+    instance_from_json,
+    instance_to_json,
+    loads,
+    setting_from_json,
+    setting_to_json,
+    term_from_json,
+    term_to_json,
+)
+from repro.serialize.render import (
+    render_abstract_snapshots,
+    render_concrete_instance,
+    render_concrete_relation,
+    render_snapshot,
+    render_table,
+)
+
+__all__ = [
+    "instance_from_csv_dict",
+    "instance_to_csv_dict",
+    "relation_from_csv",
+    "relation_to_csv",
+    "concrete_instance_from_json",
+    "concrete_instance_to_json",
+    "dumps",
+    "instance_from_json",
+    "instance_to_json",
+    "loads",
+    "setting_from_json",
+    "setting_to_json",
+    "term_from_json",
+    "term_to_json",
+    "render_abstract_snapshots",
+    "render_concrete_instance",
+    "render_concrete_relation",
+    "render_snapshot",
+    "render_table",
+]

@@ -1,0 +1,125 @@
+"""CSV import/export of concrete relations.
+
+Concrete relations are natural CSV citizens: data columns followed by two
+temporal columns ``start`` and ``end`` (``end`` may be ``inf``).  Nulls
+round-trip through a sigil syntax in data cells:
+
+* ``~N`` — the interval-annotated null with base ``N`` annotated with the
+  row's own interval (the only annotation a well-formed fact permits).
+
+Values are otherwise read back as strings, except integer-looking cells
+which become integer constants (CSV erases types; this matches how the
+generators build data).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, Sequence
+
+from repro.errors import SerializationError
+from repro.concrete.concrete_fact import ConcreteFact
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.relational.terms import AnnotatedNull, Constant, GroundTerm
+from repro.temporal.interval import Interval
+from repro.temporal.timepoint import parse_time_point
+
+__all__ = [
+    "relation_to_csv",
+    "relation_from_csv",
+    "instance_to_csv_dict",
+    "instance_from_csv_dict",
+]
+
+
+def _cell_for(value: GroundTerm) -> str:
+    if isinstance(value, AnnotatedNull):
+        return f"~{value.base}"
+    assert isinstance(value, Constant)
+    return str(value.value)
+
+
+def _value_for(cell: str, stamp: Interval) -> GroundTerm:
+    if cell.startswith("~"):
+        base = cell[1:]
+        if not base:
+            raise SerializationError("null sigil '~' without a base name")
+        return AnnotatedNull(base, stamp)
+    stripped = cell.strip()
+    if stripped.lstrip("-").isdigit():
+        return Constant(int(stripped))
+    return Constant(cell)
+
+
+def relation_to_csv(
+    instance: ConcreteInstance,
+    relation: str,
+    headers: Sequence[str] | None = None,
+) -> str:
+    """One relation as CSV text (data columns, then ``start``, ``end``)."""
+    facts = sorted(instance.facts_of(relation), key=lambda f: f.sort_key())
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    if facts:
+        arity = facts[0].arity
+        if headers is None:
+            headers = [f"a{i + 1}" for i in range(arity)]
+        elif len(headers) != arity:
+            raise SerializationError(
+                f"{len(headers)} headers for arity-{arity} relation {relation}"
+            )
+        writer.writerow(list(headers) + ["start", "end"])
+    for item in facts:
+        row = [_cell_for(value) for value in item.data]
+        row.append(str(item.interval.start))
+        row.append(str(item.interval.end))
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def relation_from_csv(relation: str, text: str) -> ConcreteInstance:
+    """Parse CSV text (with the header row) into one relation's facts."""
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        return ConcreteInstance()
+    header, *body = rows
+    if len(header) < 3 or header[-2:] != ["start", "end"]:
+        raise SerializationError(
+            f"CSV for {relation} must end with 'start','end' columns, "
+            f"got {header!r}"
+        )
+    result = ConcreteInstance()
+    for line_number, row in enumerate(body, start=2):
+        if len(row) != len(header):
+            raise SerializationError(
+                f"row {line_number} of {relation} has {len(row)} cells, "
+                f"expected {len(header)}"
+            )
+        start = parse_time_point(row[-2])
+        end = parse_time_point(row[-1])
+        if not isinstance(start, int):
+            raise SerializationError(
+                f"row {line_number} of {relation}: start must be finite"
+            )
+        stamp = Interval(start, end)
+        data = tuple(_value_for(cell, stamp) for cell in row[:-2])
+        result.add(ConcreteFact(relation, data, stamp))
+    return result
+
+
+def instance_to_csv_dict(instance: ConcreteInstance) -> dict[str, str]:
+    """The whole instance as ``{relation: csv_text}``."""
+    return {
+        relation: relation_to_csv(instance, relation)
+        for relation in instance.relation_names()
+    }
+
+
+def instance_from_csv_dict(tables: dict[str, str]) -> ConcreteInstance:
+    """Inverse of :func:`instance_to_csv_dict`."""
+    result = ConcreteInstance()
+    for relation, text in tables.items():
+        result.add_all(relation_from_csv(relation, text).facts())
+    return result

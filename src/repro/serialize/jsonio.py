@@ -1,0 +1,233 @@
+"""JSON round-tripping of the library's value types.
+
+The wire format is explicit about term kinds so decoding is lossless::
+
+    {"kind": "const", "value": "Ada"}
+    {"kind": "null", "name": "N1"}                         # labeled null
+    {"kind": "anull", "base": "N1", "interval": "[2, 5)"}  # annotated null
+
+Intervals serialize as their surface syntax (``"[2, 5)"``, ``"[4, inf)"``)
+and instances as fact lists.  Schema mappings serialize dependencies in
+the textual syntax of :mod:`repro.relational.parser`, which the decoder
+re-parses — keeping the JSON readable and the codec small.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+from repro.concrete.concrete_fact import ConcreteFact
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.dependencies.dependency import EGD, SourceToTargetTGD
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.fact import Fact
+from repro.relational.instance import Instance
+from repro.relational.schema import RelationSchema, Schema
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    LabeledNull,
+)
+from repro.temporal.interval import Interval
+
+__all__ = [
+    "term_to_json",
+    "term_from_json",
+    "concrete_instance_to_json",
+    "concrete_instance_from_json",
+    "instance_to_json",
+    "instance_from_json",
+    "setting_to_json",
+    "setting_from_json",
+    "dumps",
+    "loads",
+]
+
+
+# -- terms ---------------------------------------------------------------------
+
+
+def term_to_json(term: GroundTerm) -> dict[str, Any]:
+    if isinstance(term, Constant):
+        return {"kind": "const", "value": term.value}
+    if isinstance(term, LabeledNull):
+        return {"kind": "null", "name": term.name}
+    if isinstance(term, AnnotatedNull):
+        return {
+            "kind": "anull",
+            "base": term.base,
+            "interval": str(term.annotation),
+        }
+    raise SerializationError(f"cannot serialize term {term!r}")
+
+
+def term_from_json(payload: dict[str, Any]) -> GroundTerm:
+    kind = payload.get("kind")
+    if kind == "const":
+        return Constant(payload["value"])
+    if kind == "null":
+        return LabeledNull(payload["name"])
+    if kind == "anull":
+        return AnnotatedNull(payload["base"], Interval.parse(payload["interval"]))
+    raise SerializationError(f"unknown term kind {kind!r} in {payload!r}")
+
+
+# -- concrete instances -----------------------------------------------------------
+
+
+def concrete_fact_to_json(item: ConcreteFact) -> dict[str, Any]:
+    return {
+        "relation": item.relation,
+        "data": [term_to_json(value) for value in item.data],
+        "interval": str(item.interval),
+    }
+
+
+def concrete_fact_from_json(payload: dict[str, Any]) -> ConcreteFact:
+    try:
+        return ConcreteFact(
+            payload["relation"],
+            tuple(term_from_json(value) for value in payload["data"]),
+            Interval.parse(payload["interval"]),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"missing field {exc} in concrete fact") from exc
+
+
+def concrete_instance_to_json(instance: ConcreteInstance) -> dict[str, Any]:
+    return {"facts": [concrete_fact_to_json(item) for item in instance]}
+
+
+def concrete_instance_from_json(payload: dict[str, Any]) -> ConcreteInstance:
+    facts = payload.get("facts")
+    if facts is None:
+        raise SerializationError("concrete instance payload lacks 'facts'")
+    return ConcreteInstance(concrete_fact_from_json(item) for item in facts)
+
+
+# -- snapshot instances --------------------------------------------------------------
+
+
+def instance_to_json(instance: Instance) -> dict[str, Any]:
+    return {
+        "facts": [
+            {
+                "relation": item.relation,
+                "args": [term_to_json(value) for value in item.args],
+            }
+            for item in instance
+        ]
+    }
+
+
+def instance_from_json(payload: dict[str, Any]) -> Instance:
+    facts = payload.get("facts")
+    if facts is None:
+        raise SerializationError("instance payload lacks 'facts'")
+    return Instance(
+        Fact(
+            item["relation"],
+            tuple(term_from_json(value) for value in item["args"]),
+        )
+        for item in facts
+    )
+
+
+# -- schemas and settings ----------------------------------------------------------------
+
+
+def schema_to_json(schema: Schema) -> dict[str, Any]:
+    return {
+        "relations": [
+            {"name": rel.name, "attributes": list(rel.attributes)}
+            for rel in schema
+        ]
+    }
+
+
+def schema_from_json(payload: dict[str, Any]) -> Schema:
+    return Schema(
+        RelationSchema(entry["name"], tuple(entry["attributes"]))
+        for entry in payload["relations"]
+    )
+
+
+def setting_to_json(setting: DataExchangeSetting) -> dict[str, Any]:
+    return {
+        "source_schema": schema_to_json(setting.source_schema),
+        "target_schema": schema_to_json(setting.target_schema),
+        "st_tgds": [
+            {"name": tgd.name, "rule": _tgd_text(tgd)} for tgd in setting.st_tgds
+        ],
+        "egds": [
+            {"name": egd.name, "rule": _egd_text(egd)} for egd in setting.egds
+        ],
+    }
+
+
+def _atom_text(atom) -> str:
+    parts = []
+    for arg in atom.args:
+        if isinstance(arg, Constant):
+            value = arg.value
+            parts.append(f"'{value}'" if isinstance(value, str) else str(value))
+        else:
+            parts.append(str(arg))
+    return f"{atom.relation}({', '.join(parts)})"
+
+
+def _conjunction_text(conjunction) -> str:
+    return " & ".join(_atom_text(atom) for atom in conjunction.atoms)
+
+
+def _tgd_text(tgd: SourceToTargetTGD) -> str:
+    rhs = _conjunction_text(tgd.rhs)
+    if tgd.existential_variables:
+        bound = ", ".join(str(v) for v in tgd.existential_variables)
+        rhs = f"EXISTS {bound} . {rhs}"
+    return f"{_conjunction_text(tgd.lhs)} -> {rhs}"
+
+
+def _egd_text(egd: EGD) -> str:
+    return (
+        f"{_conjunction_text(egd.lhs)} -> "
+        f"{egd.left_variable} = {egd.right_variable}"
+    )
+
+
+def setting_from_json(payload: dict[str, Any]) -> DataExchangeSetting:
+    try:
+        return DataExchangeSetting(
+            source_schema=schema_from_json(payload["source_schema"]),
+            target_schema=schema_from_json(payload["target_schema"]),
+            st_tgds=tuple(
+                SourceToTargetTGD.parse(entry["rule"], name=entry.get("name", ""))
+                for entry in payload.get("st_tgds", [])
+            ),
+            egds=tuple(
+                EGD.parse(entry["rule"], name=entry.get("name", ""))
+                for entry in payload.get("egds", [])
+            ),
+        )
+    except KeyError as exc:
+        raise SerializationError(f"missing field {exc} in setting payload") from exc
+
+
+# -- convenience string forms -------------------------------------------------------------
+
+
+def dumps(instance: ConcreteInstance, indent: int | None = 2) -> str:
+    """A concrete instance as a JSON string."""
+    return json.dumps(concrete_instance_to_json(instance), indent=indent)
+
+
+def loads(text: str) -> ConcreteInstance:
+    """Inverse of :func:`dumps`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return concrete_instance_from_json(payload)

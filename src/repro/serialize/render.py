@@ -1,0 +1,106 @@
+"""ASCII rendering of instances — the layout of the paper's figures.
+
+Concrete instances render as per-relation tables with the temporal
+attribute last (Figures 4–9); abstract instances render as a year-indexed
+list of snapshots (Figures 1 and 3).  The figure benchmarks print these
+renderings so the regenerated artifacts can be eyeballed against the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.abstract_view.abstract_instance import AbstractInstance
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.relational.instance import Instance
+from repro.relational.schema import Schema
+
+__all__ = [
+    "render_table",
+    "render_concrete_relation",
+    "render_concrete_instance",
+    "render_snapshot",
+    "render_abstract_snapshots",
+]
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[str]]
+) -> str:
+    """A fixed-width ASCII table with a title line."""
+    materialized = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    parts = [title, separator, line(headers), separator]
+    for row in materialized:
+        parts.append(line(row))
+    parts.append(separator)
+    return "\n".join(parts)
+
+
+def _headers_for(
+    instance: ConcreteInstance, relation: str, schema: Schema | None
+) -> list[str]:
+    sample = next(iter(instance.facts_of(relation)))
+    arity = sample.arity
+    if schema is not None and relation in schema:
+        attributes = list(schema[relation].attributes)
+        if len(attributes) == arity:  # data-only schema
+            attributes.append("Time")
+        return attributes
+    return [f"A{i + 1}" for i in range(arity)] + ["Time"]
+
+
+def render_concrete_relation(
+    instance: ConcreteInstance, relation: str, schema: Schema | None = None
+) -> str:
+    """One relation as a Figure 4-style table (``R+`` title)."""
+    facts = sorted(instance.facts_of(relation), key=lambda f: f.sort_key())
+    if not facts:
+        return f"{relation}+ (empty)"
+    headers = _headers_for(instance, relation, schema)
+    rows = [
+        [str(value) for value in item.data] + [str(item.interval)]
+        for item in facts
+    ]
+    return render_table(f"{relation}+", headers, rows)
+
+
+def render_concrete_instance(
+    instance: ConcreteInstance, schema: Schema | None = None
+) -> str:
+    """Every relation of the instance, one table after another."""
+    if not instance:
+        return "(empty concrete instance)"
+    tables = [
+        render_concrete_relation(instance, relation, schema)
+        for relation in instance.relation_names()
+    ]
+    return "\n\n".join(tables)
+
+
+def render_snapshot(snapshot: Instance) -> str:
+    """One snapshot as the set notation of Figures 1 and 3."""
+    if not snapshot:
+        return "{}"
+    return "{" + ", ".join(str(item) for item in snapshot) + "}"
+
+
+def render_abstract_snapshots(
+    instance: AbstractInstance, points: Iterable[int]
+) -> str:
+    """Selected snapshots, one line per time point (Figure 1/3 layout)."""
+    lines = []
+    for point in points:
+        lines.append(f"{point}  {render_snapshot(instance.snapshot(point))}")
+    return "\n".join(lines)

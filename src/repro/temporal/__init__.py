@@ -1,0 +1,51 @@
+"""Temporal substrate: time points, intervals, interval sets, coalescing.
+
+This package implements the time domain of the paper (Section 2): time
+points are non-negative integers extended with ``∞``, and the temporal
+attribute of concrete relations ranges over half-open intervals ``[s, e)``.
+"""
+
+from repro.temporal.allen import AllenRelation, allen_relation, requires_fragmentation
+from repro.temporal.coalesce import (
+    coalesce_intervals,
+    coalesce_pairs,
+    group_is_coalesced,
+    is_coalesced_intervals,
+)
+from repro.temporal.interval import Interval, interval, span_of
+from repro.temporal.interval_set import IntervalSet, refine_breakpoints
+from repro.temporal.timepoint import (
+    INFINITY,
+    Infinity,
+    TimePoint,
+    check_time_point,
+    is_time_point,
+    max_point,
+    min_point,
+    parse_time_point,
+    time_point_to_str,
+)
+
+__all__ = [
+    "AllenRelation",
+    "allen_relation",
+    "requires_fragmentation",
+    "coalesce_intervals",
+    "coalesce_pairs",
+    "group_is_coalesced",
+    "is_coalesced_intervals",
+    "Interval",
+    "interval",
+    "span_of",
+    "IntervalSet",
+    "refine_breakpoints",
+    "INFINITY",
+    "Infinity",
+    "TimePoint",
+    "check_time_point",
+    "is_time_point",
+    "max_point",
+    "min_point",
+    "parse_time_point",
+    "time_point_to_str",
+]

@@ -1,0 +1,112 @@
+"""Allen's interval algebra over the paper's half-open intervals.
+
+The thirteen basic relations of Allen (1983) classify how two intervals
+relate on the time line.  The library uses them in tests and in the
+normalization diagnostics: Example 12 of the paper enumerates the four
+*proper overlap* cases that force fragmentation, and those are exactly the
+Allen relations ``OVERLAPS``, ``OVERLAPPED_BY``, ``CONTAINS``/``DURING``
+plus the endpoint-sharing variants.
+
+Half-open ``[s, e)`` semantics: "meets" corresponds to adjacency
+(``e1 == s2``), which shares no time point.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.temporal.interval import Interval
+
+__all__ = ["AllenRelation", "allen_relation", "requires_fragmentation"]
+
+
+class AllenRelation(Enum):
+    """The 13 basic Allen relations, named from the first interval's view."""
+
+    BEFORE = "before"
+    MEETS = "meets"
+    OVERLAPS = "overlaps"
+    STARTS = "starts"
+    DURING = "during"
+    FINISHES = "finishes"
+    EQUALS = "equals"
+    FINISHED_BY = "finished-by"
+    CONTAINS = "contains"
+    STARTED_BY = "started-by"
+    OVERLAPPED_BY = "overlapped-by"
+    MET_BY = "met-by"
+    AFTER = "after"
+
+    @property
+    def inverse(self) -> "AllenRelation":
+        """The converse relation (how the second interval sees the first)."""
+        return _INVERSES[self]
+
+    @property
+    def shares_points(self) -> bool:
+        """``True`` iff the relation implies a non-empty intersection."""
+        return self not in (
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+            AllenRelation.MEETS,
+            AllenRelation.MET_BY,
+        )
+
+
+_INVERSES = {
+    AllenRelation.BEFORE: AllenRelation.AFTER,
+    AllenRelation.AFTER: AllenRelation.BEFORE,
+    AllenRelation.MEETS: AllenRelation.MET_BY,
+    AllenRelation.MET_BY: AllenRelation.MEETS,
+    AllenRelation.OVERLAPS: AllenRelation.OVERLAPPED_BY,
+    AllenRelation.OVERLAPPED_BY: AllenRelation.OVERLAPS,
+    AllenRelation.STARTS: AllenRelation.STARTED_BY,
+    AllenRelation.STARTED_BY: AllenRelation.STARTS,
+    AllenRelation.DURING: AllenRelation.CONTAINS,
+    AllenRelation.CONTAINS: AllenRelation.DURING,
+    AllenRelation.FINISHES: AllenRelation.FINISHED_BY,
+    AllenRelation.FINISHED_BY: AllenRelation.FINISHES,
+    AllenRelation.EQUALS: AllenRelation.EQUALS,
+}
+
+
+def allen_relation(first: Interval, second: Interval) -> AllenRelation:
+    """Classify how *first* relates to *second*.
+
+    Endpoint comparisons treat ``∞ == ∞`` as equal endpoints, matching the
+    extensional reading of unbounded intervals as point sets.
+    """
+    s1, e1 = first.start, first.end
+    s2, e2 = second.start, second.end
+
+    if e1 < s2:
+        return AllenRelation.BEFORE
+    if e1 == s2:
+        return AllenRelation.MEETS
+    if e2 < s1:
+        return AllenRelation.AFTER
+    if e2 == s1:
+        return AllenRelation.MET_BY
+
+    # Intervals share at least one point from here on.
+    if s1 == s2 and e1 == e2:
+        return AllenRelation.EQUALS
+    if s1 == s2:
+        return AllenRelation.STARTS if e1 < e2 else AllenRelation.STARTED_BY
+    if e1 == e2:
+        return AllenRelation.FINISHES if s1 > s2 else AllenRelation.FINISHED_BY
+    if s1 < s2:
+        return AllenRelation.CONTAINS if e1 > e2 else AllenRelation.OVERLAPS
+    # s1 > s2
+    return AllenRelation.DURING if e1 < e2 else AllenRelation.OVERLAPPED_BY
+
+
+def requires_fragmentation(first: Interval, second: Interval) -> bool:
+    """``True`` iff two facts with these stamps violate the empty
+    intersection property (Definition 10): they intersect but are unequal.
+
+    These are precisely the overlap configurations of Example 12 that the
+    normalization algorithms must resolve by fragmenting.
+    """
+    rel = allen_relation(first, second)
+    return rel.shares_points and rel is not AllenRelation.EQUALS

@@ -1,0 +1,68 @@
+"""Generic coalescing of interval-stamped items (Böhlen, Snodgrass & Soo).
+
+A concrete instance is *coalesced* when facts with identical data-attribute
+values carry disjoint, non-adjacent intervals (paper, Section 2).  Any
+abstract database has a unique coalesced concrete representation, and the
+paper assumes source instances are coalesced.
+
+This module implements coalescing generically over ``(key, interval)``
+pairs so the same machinery serves concrete facts, query answers and
+abstract-instance templates.  :mod:`repro.concrete.concrete_instance`
+builds its null-aware fact coalescing on top of these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+
+from repro.temporal.interval import Interval
+from repro.temporal.interval_set import IntervalSet
+
+__all__ = [
+    "coalesce_intervals",
+    "coalesce_pairs",
+    "is_coalesced_intervals",
+    "group_is_coalesced",
+]
+
+K = TypeVar("K", bound=Hashable)
+
+
+def coalesce_intervals(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Merge overlapping or adjacent intervals into canonical disjoint form.
+
+    The result is sorted by start point and is the unique minimal set of
+    disjoint, non-adjacent intervals with the same point set.
+    """
+    return IntervalSet(intervals).intervals
+
+
+def coalesce_pairs(
+    pairs: Iterable[tuple[K, Interval]],
+) -> dict[K, tuple[Interval, ...]]:
+    """Coalesce interval-stamped items grouped by key.
+
+    ``[("ada", [2012,2014)), ("ada", [2014,2016))]`` coalesces to
+    ``{"ada": ([2012,2016),)}``: same data value over adjacent stamps is a
+    single fact in the coalesced representation.
+    """
+    grouped: dict[K, list[Interval]] = {}
+    for key, stamp in pairs:
+        grouped.setdefault(key, []).append(stamp)
+    return {key: coalesce_intervals(stamps) for key, stamps in grouped.items()}
+
+
+def is_coalesced_intervals(intervals: Sequence[Interval]) -> bool:
+    """``True`` iff the intervals are pairwise disjoint and non-adjacent."""
+    ordered = sorted(intervals, key=Interval.sort_key)
+    for left, right in zip(ordered, ordered[1:]):
+        if left.overlaps(right) or left.adjacent(right):
+            return False
+    return True
+
+
+def group_is_coalesced(
+    groups: Mapping[K, Sequence[Interval]],
+) -> bool:
+    """``True`` iff every key's stamps are coalesced."""
+    return all(is_coalesced_intervals(stamps) for stamps in groups.values())

@@ -1,0 +1,234 @@
+"""Half-open time intervals ``[s, e)`` — the temporal attribute domain.
+
+The paper time-stamps every concrete fact with an interval ``[s, e)``
+where ``s, e ∈ N0`` and ``e`` may be ``∞`` (Section 2, footnote 1).  An
+interval denotes the set of snapshots ``{ℓ | s <= ℓ < e}``; ``[2010, 2014)``
+denotes the years 2010..2013 and ``[2014, ∞)`` every year from 2014 on.
+
+:class:`Interval` is immutable and hashable so it can appear inside facts
+and interval-annotated nulls.  Besides the set-theoretic operations the
+normalization algorithms need (overlap, intersection, splitting at time
+points), it offers adjacency (used by coalescing) and containment tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TemporalError
+from repro.temporal.timepoint import (
+    INFINITY,
+    Infinity,
+    TimePoint,
+    check_time_point,
+    parse_time_point,
+)
+
+__all__ = ["Interval", "interval", "span_of"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty half-open interval ``[start, end)`` over the time domain.
+
+    Invariants (enforced at construction):
+
+    * ``start`` is a finite non-negative integer,
+    * ``end`` is a non-negative integer or :data:`INFINITY`,
+    * ``start < end`` (intervals are never empty).
+    """
+
+    start: int
+    end: TimePoint
+
+    def __post_init__(self) -> None:
+        check_time_point(self.start, role="interval start")
+        if isinstance(self.start, Infinity):
+            raise TemporalError("interval start must be finite")
+        check_time_point(self.end, role="interval end")
+        if not self.start < self.end:
+            raise TemporalError(
+                f"empty interval [{self.start}, {self.end}): start must be < end"
+            )
+
+    # -- basic predicates ----------------------------------------------
+    @property
+    def is_finite(self) -> bool:
+        """``True`` iff the right endpoint is finite."""
+        return not isinstance(self.end, Infinity)
+
+    @property
+    def is_unbounded(self) -> bool:
+        """``True`` iff the interval extends to ``∞``."""
+        return isinstance(self.end, Infinity)
+
+    def duration(self) -> TimePoint:
+        """Number of snapshots covered (``∞`` for unbounded intervals)."""
+        if self.is_unbounded:
+            return INFINITY
+        return self.end - self.start  # type: ignore[operator]
+
+    def __contains__(self, point: object) -> bool:
+        """``ℓ in interval`` iff ``start <= ℓ < end``."""
+        if isinstance(point, Infinity):
+            return False
+        if not isinstance(point, int) or isinstance(point, bool):
+            return False
+        return self.start <= point < self.end
+
+    def contains_interval(self, other: "Interval") -> bool:
+        """``True`` iff *other* ⊆ *self* as sets of time points."""
+        return self.start <= other.start and other.end <= self.end
+
+    # -- relationships ---------------------------------------------------
+    def overlaps(self, other: "Interval") -> bool:
+        """``True`` iff the two intervals share at least one time point."""
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """The common sub-interval, or ``None`` when disjoint."""
+        start = max(self.start, other.start)
+        end = self.end if self.end <= other.end else other.end
+        if start < end:
+            return Interval(start, end)
+        return None
+
+    def adjacent(self, other: "Interval") -> bool:
+        """Adjacency per the paper: ``s' = e`` or ``s = e'``.
+
+        Adjacent intervals do not overlap but their union is an interval;
+        coalescing merges value-equivalent facts over adjacent intervals.
+        """
+        return other.start == self.end or self.start == other.end
+
+    def union(self, other: "Interval") -> "Interval":
+        """Union of overlapping or adjacent intervals.
+
+        Raises :class:`TemporalError` when the union is not an interval.
+        """
+        if not (self.overlaps(other) or self.adjacent(other)):
+            raise TemporalError(
+                f"union of {self} and {other} is not an interval "
+                "(neither overlapping nor adjacent)"
+            )
+        start = min(self.start, other.start)
+        end = self.end if self.end >= other.end else other.end
+        return Interval(start, end)
+
+    def difference(self, other: "Interval") -> tuple["Interval", ...]:
+        """Set difference *self* − *other* as 0, 1 or 2 intervals."""
+        common = self.intersect(other)
+        if common is None:
+            return (self,)
+        pieces: list[Interval] = []
+        if self.start < common.start:
+            pieces.append(Interval(self.start, common.start))
+        if common.end < self.end:
+            pieces.append(Interval(common.end, self.end))  # type: ignore[arg-type]
+        return tuple(pieces)
+
+    def precedes(self, other: "Interval") -> bool:
+        """``True`` iff every point of *self* is before every point of *other*."""
+        return self.end <= other.start
+
+    # -- splitting (the workhorse of normalization) ----------------------
+    def split_at(self, points: Iterable[TimePoint]) -> tuple["Interval", ...]:
+        """Fragment the interval at the given time points.
+
+        Only points strictly inside ``(start, end)`` have an effect; the
+        result is the ordered tuple of sub-intervals whose concatenation
+        is *self*.  This realizes the fact-fragmentation step of the
+        normalization algorithms (paper, Section 4.2): a fact stamped
+        ``[5, 11)`` split at ``{7, 8, 10}`` yields stamps
+        ``[5,7) [7,8) [8,10) [10,11)``.
+        """
+        cuts = sorted(
+            {p for p in points if isinstance(p, int) and self.start < p < self.end}
+        )
+        if not cuts:
+            return (self,)
+        bounds: list[TimePoint] = [self.start, *cuts, self.end]
+        return tuple(
+            Interval(bounds[i], bounds[i + 1])  # type: ignore[arg-type]
+            for i in range(len(bounds) - 1)
+        )
+
+    def endpoints(self) -> tuple[TimePoint, TimePoint]:
+        """The pair ``(start, end)``."""
+        return (self.start, self.end)
+
+    # -- iteration --------------------------------------------------------
+    def points(self, limit: TimePoint | None = None) -> Iterator[int]:
+        """Iterate the covered time points.
+
+        For unbounded intervals a finite *limit* (exclusive) is required.
+        """
+        end = self.end
+        if isinstance(end, Infinity):
+            if limit is None:
+                raise TemporalError(
+                    f"cannot enumerate the points of unbounded interval {self} "
+                    "without a limit"
+                )
+            end = limit
+        elif limit is not None and limit < end:
+            end = limit
+        return iter(range(self.start, end))  # type: ignore[arg-type]
+
+    # -- ordering and rendering -------------------------------------------
+    def sort_key(self) -> tuple[int, int, TimePoint]:
+        """Stable ordering: by start, then bounded-before-unbounded, then end."""
+        return (self.start, 1 if self.is_unbounded else 0, self.end)
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+    def __repr__(self) -> str:
+        return f"Interval({self.start}, {self.end!r})"
+
+    # -- parsing ------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "Interval":
+        """Parse ``"[s, e)"`` (or bare ``"s,e"``) into an interval.
+
+        Accepts ``inf``/``∞`` as the right endpoint.
+        """
+        body = text.strip()
+        if body.startswith("["):
+            body = body[1:]
+        if body.endswith(")"):
+            body = body[:-1]
+        parts = body.split(",")
+        if len(parts) != 2:
+            raise TemporalError(f"cannot parse interval from {text!r}")
+        start = parse_time_point(parts[0])
+        if isinstance(start, Infinity):
+            raise TemporalError("interval start must be finite")
+        end = parse_time_point(parts[1])
+        return cls(start, end)
+
+
+def interval(start: int, end: TimePoint | str | None = None) -> Interval:
+    """Convenience constructor.
+
+    ``interval(3, 7)`` is ``[3, 7)``; ``interval(3)`` and
+    ``interval(3, "inf")`` are ``[3, ∞)``.
+    """
+    if end is None:
+        return Interval(start, INFINITY)
+    if isinstance(end, str):
+        return Interval(start, parse_time_point(end))
+    return Interval(start, end)
+
+
+def span_of(intervals: Sequence[Interval]) -> Interval | None:
+    """Smallest single interval containing every input, ``None`` if empty."""
+    if not intervals:
+        return None
+    start = min(item.start for item in intervals)
+    end = intervals[0].end
+    for item in intervals[1:]:
+        if item.end >= end:
+            end = item.end
+    return Interval(start, end)

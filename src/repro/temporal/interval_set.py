@@ -1,0 +1,214 @@
+"""Finite unions of disjoint intervals over the time domain.
+
+Several constructions in the library manipulate *sets* of time points that
+are not single intervals: the set of snapshots at which two abstract
+instances differ, the domain where a query answer holds, the complement of
+a fact's lifespan.  :class:`IntervalSet` represents such sets canonically —
+as a sorted tuple of pairwise disjoint, non-adjacent intervals — so that
+equality of interval sets coincides with equality of the point sets they
+denote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import TemporalError
+from repro.temporal.interval import Interval
+from repro.temporal.timepoint import INFINITY, Infinity, TimePoint
+
+__all__ = ["IntervalSet"]
+
+
+def _canonicalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort and merge overlapping/adjacent intervals into canonical form."""
+    items = sorted(intervals, key=Interval.sort_key)
+    merged: list[Interval] = []
+    for item in items:
+        if merged and (merged[-1].overlaps(item) or merged[-1].adjacent(item)):
+            merged[-1] = merged[-1].union(item)
+        else:
+            merged.append(item)
+    return tuple(merged)
+
+
+@dataclass(frozen=True)
+class IntervalSet:
+    """An immutable, canonical union of disjoint non-adjacent intervals."""
+
+    intervals: tuple[Interval, ...]
+
+    def __init__(self, intervals: Iterable[Interval] = ()):
+        object.__setattr__(self, "intervals", _canonicalize(intervals))
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        """The empty set of time points."""
+        return cls(())
+
+    @classmethod
+    def all_time(cls) -> "IntervalSet":
+        """The full time line ``[0, ∞)``."""
+        return cls((Interval(0, INFINITY),))
+
+    @classmethod
+    def of(cls, *intervals: Interval) -> "IntervalSet":
+        """Build from explicitly listed intervals."""
+        return cls(intervals)
+
+    @classmethod
+    def point(cls, time_point: int) -> "IntervalSet":
+        """The singleton set ``{ℓ}`` as ``[ℓ, ℓ+1)``."""
+        return cls((Interval(time_point, time_point + 1),))
+
+    # -- predicates --------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.intervals
+
+    @property
+    def is_unbounded(self) -> bool:
+        """``True`` iff the set contains arbitrarily late time points."""
+        return bool(self.intervals) and self.intervals[-1].is_unbounded
+
+    def __contains__(self, point: object) -> bool:
+        return any(point in piece for piece in self.intervals)
+
+    def __bool__(self) -> bool:
+        return not self.is_empty
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def total_duration(self) -> TimePoint:
+        """Number of covered time points (``∞`` when unbounded)."""
+        if self.is_unbounded:
+            return INFINITY
+        total = 0
+        for piece in self.intervals:
+            total += piece.duration()  # type: ignore[operator]
+        return total
+
+    # -- set algebra ---------------------------------------------------------
+    def union(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        other_intervals = (other,) if isinstance(other, Interval) else other.intervals
+        return IntervalSet(self.intervals + tuple(other_intervals))
+
+    def intersect(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        other_intervals = (other,) if isinstance(other, Interval) else other.intervals
+        pieces: list[Interval] = []
+        for mine in self.intervals:
+            for theirs in other_intervals:
+                common = mine.intersect(theirs)
+                if common is not None:
+                    pieces.append(common)
+        return IntervalSet(pieces)
+
+    def difference(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        other_intervals = (other,) if isinstance(other, Interval) else other.intervals
+        pieces: list[Interval] = list(self.intervals)
+        for theirs in other_intervals:
+            next_pieces: list[Interval] = []
+            for mine in pieces:
+                next_pieces.extend(mine.difference(theirs))
+            pieces = next_pieces
+        return IntervalSet(pieces)
+
+    def complement(self) -> "IntervalSet":
+        """Complement with respect to the full time line ``[0, ∞)``."""
+        return IntervalSet.all_time().difference(self)
+
+    def symmetric_difference(self, other: "IntervalSet") -> "IntervalSet":
+        return self.difference(other).union(other.difference(self))
+
+    # -- queries ---------------------------------------------------------------
+    def covers(self, other: "IntervalSet | Interval") -> bool:
+        """``True`` iff *other* ⊆ *self*."""
+        other_set = IntervalSet((other,)) if isinstance(other, Interval) else other
+        return other_set.difference(self).is_empty
+
+    def min_point(self) -> int:
+        """Earliest covered time point."""
+        if self.is_empty:
+            raise TemporalError("empty interval set has no minimum point")
+        return self.intervals[0].start
+
+    def max_finite_bound(self) -> int | None:
+        """Largest finite endpoint mentioned, or ``None`` for the empty set.
+
+        For ``[2, 5) ∪ [9, ∞)`` this is ``9``; every structural change in
+        the set happens before this bound.
+        """
+        if self.is_empty:
+            return None
+        bound = self.intervals[0].start
+        for piece in self.intervals:
+            bound = max(bound, piece.start)
+            if not isinstance(piece.end, Infinity):
+                bound = max(bound, piece.end)
+        return bound
+
+    def breakpoints(self) -> tuple[TimePoint, ...]:
+        """All distinct endpoints in ascending order (∞ included if present)."""
+        seen: set[TimePoint] = set()
+        for piece in self.intervals:
+            seen.add(piece.start)
+            seen.add(piece.end)
+        finite = sorted(p for p in seen if isinstance(p, int))
+        if INFINITY in seen:
+            return tuple(finite) + (INFINITY,)
+        return tuple(finite)
+
+    def points(self, limit: TimePoint | None = None) -> Iterator[int]:
+        """Iterate covered time points; unbounded sets require *limit*."""
+        for piece in self.intervals:
+            yield from piece.points(limit=limit)
+
+    # -- rendering ------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.is_empty:
+            return "{}"
+        return " ∪ ".join(str(piece) for piece in self.intervals)
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({list(self.intervals)!r})"
+
+
+def refine_breakpoints(intervals: Sequence[Interval]) -> tuple[Interval, ...]:
+    """Partition the union of *intervals* into maximal pieces that never
+    straddle an endpoint of any input interval.
+
+    This is the common-refinement step used when aligning two concrete
+    instances or abstract-instance representations on a shared timeline.
+    """
+    if not intervals:
+        return ()
+    points: set[int] = set()
+    unbounded = False
+    for item in intervals:
+        points.add(item.start)
+        if isinstance(item.end, Infinity):
+            unbounded = True
+        else:
+            points.add(item.end)
+    ordered: list[TimePoint] = sorted(points)
+    if unbounded:
+        ordered.append(INFINITY)
+    pieces: list[Interval] = []
+    covered = IntervalSet(intervals)
+    for index in range(len(ordered) - 1):
+        start = ordered[index]
+        end = ordered[index + 1]
+        assert isinstance(start, int)
+        candidate = Interval(start, end)
+        if start in covered:
+            pieces.append(candidate)
+    return tuple(pieces)
+
+
+__all__.append("refine_breakpoints")

@@ -1,0 +1,165 @@
+"""The time-point domain of the paper: N0 extended with positive infinity.
+
+The paper (Section 2) fixes the domain of time points to a totally ordered
+set isomorphic to the non-negative integers.  Interval endpoints come from
+``N0 ∪ {∞}``: a right endpoint of ``∞`` encodes an interval that is open
+into the indefinite future, e.g. ``[2014, ∞)``.
+
+We model finite time points as plain ``int`` and infinity as the singleton
+:data:`INFINITY`, an instance of :class:`Infinity` that compares strictly
+greater than every integer, supports the arithmetic the library needs
+(saturating addition/subtraction), hashes, and renders as ``"inf"``.
+
+Plain integers are deliberately kept as the finite representation — every
+arithmetic path in the library stays on native ints, and only endpoint
+comparisons need to be infinity-aware.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import TemporalError
+
+__all__ = [
+    "Infinity",
+    "INFINITY",
+    "TimePoint",
+    "is_time_point",
+    "check_time_point",
+    "time_point_to_str",
+    "parse_time_point",
+    "min_point",
+    "max_point",
+]
+
+
+class Infinity:
+    """Positive infinity for the time domain.
+
+    A singleton: ``Infinity() is INFINITY`` always holds, which lets the
+    rest of the library compare with ``is`` as well as ``==``.
+    """
+
+    _instance: "Infinity | None" = None
+
+    def __new__(cls) -> "Infinity":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    # -- ordering -------------------------------------------------------
+    def __lt__(self, other: object) -> bool:
+        if isinstance(other, (int, Infinity)):
+            return False
+        return NotImplemented
+
+    def __le__(self, other: object) -> bool:
+        if isinstance(other, Infinity):
+            return True
+        if isinstance(other, int):
+            return False
+        return NotImplemented
+
+    def __gt__(self, other: object) -> bool:
+        if isinstance(other, Infinity):
+            return False
+        if isinstance(other, int):
+            return True
+        return NotImplemented
+
+    def __ge__(self, other: object) -> bool:
+        if isinstance(other, (int, Infinity)):
+            return True
+        return NotImplemented
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Infinity)
+
+    def __ne__(self, other: object) -> bool:
+        return not isinstance(other, Infinity)
+
+    def __hash__(self) -> int:
+        return hash("repro.temporal.INFINITY")
+
+    # -- arithmetic (saturating) ---------------------------------------
+    def __add__(self, other: object) -> "Infinity":
+        if isinstance(other, (int, Infinity)):
+            return self
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __sub__(self, other: object):
+        if isinstance(other, int):
+            return self
+        if isinstance(other, Infinity):
+            raise TemporalError("infinity - infinity is undefined")
+        return NotImplemented
+
+    def __rsub__(self, other: object):
+        if isinstance(other, int):
+            raise TemporalError("finite - infinity is undefined in the time domain")
+        return NotImplemented
+
+    # -- misc -----------------------------------------------------------
+    def __repr__(self) -> str:
+        return "INFINITY"
+
+    def __str__(self) -> str:
+        return "inf"
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __reduce__(self):
+        # Keep the singleton property across pickling.
+        return (Infinity, ())
+
+
+#: The unique positive-infinity time point.
+INFINITY = Infinity()
+
+#: A time point is a non-negative integer or :data:`INFINITY`.
+TimePoint = Union[int, Infinity]
+
+
+def is_time_point(value: object) -> bool:
+    """Return ``True`` iff *value* is a valid time point (``N0 ∪ {∞}``)."""
+    if isinstance(value, Infinity):
+        return True
+    return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+
+
+def check_time_point(value: object, role: str = "time point") -> TimePoint:
+    """Validate *value* as a time point, raising :class:`TemporalError` otherwise."""
+    if not is_time_point(value):
+        raise TemporalError(f"invalid {role}: {value!r} (expected n >= 0 or INFINITY)")
+    return value  # type: ignore[return-value]
+
+
+def time_point_to_str(value: TimePoint) -> str:
+    """Render a time point; infinity renders as ``"inf"``."""
+    return str(value)
+
+
+def parse_time_point(text: str) -> TimePoint:
+    """Parse ``"7"`` to ``7`` and any of ``"inf"/"∞"/"infinity"`` to INFINITY."""
+    stripped = text.strip().lower()
+    if stripped in {"inf", "infinity", "∞", "oo"}:
+        return INFINITY
+    try:
+        value = int(stripped)
+    except ValueError as exc:
+        raise TemporalError(f"cannot parse time point from {text!r}") from exc
+    return check_time_point(value)
+
+
+def min_point(first: TimePoint, second: TimePoint) -> TimePoint:
+    """Minimum of two time points under the extended order."""
+    return first if first <= second else second
+
+
+def max_point(first: TimePoint, second: TimePoint) -> TimePoint:
+    """Maximum of two time points under the extended order."""
+    return first if first >= second else second

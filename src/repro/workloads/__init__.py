@@ -1,0 +1,51 @@
+"""Workload builders: the paper's examples, domains, and generators."""
+
+from repro.workloads.employment import (
+    algorithm1_example_conjunctions,
+    algorithm1_example_instance,
+    employment_setting,
+    employment_source_abstract,
+    employment_source_concrete,
+    salary_conjunction,
+)
+from repro.workloads.generators import (
+    EmploymentWorkload,
+    exchange_setting_copy,
+    exchange_setting_decompose,
+    exchange_setting_join,
+    nested_overlap_conjunctions,
+    nested_overlap_instance,
+    random_concrete_instance,
+    random_employment_history,
+    staircase_instance,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    medical_conflicting_scenario,
+    medical_scenario,
+    ride_share_scenario,
+    scheduling_scenario,
+)
+
+__all__ = [
+    "algorithm1_example_conjunctions",
+    "algorithm1_example_instance",
+    "employment_setting",
+    "employment_source_abstract",
+    "employment_source_concrete",
+    "salary_conjunction",
+    "EmploymentWorkload",
+    "exchange_setting_copy",
+    "exchange_setting_decompose",
+    "exchange_setting_join",
+    "nested_overlap_conjunctions",
+    "nested_overlap_instance",
+    "random_concrete_instance",
+    "random_employment_history",
+    "staircase_instance",
+    "Scenario",
+    "medical_conflicting_scenario",
+    "medical_scenario",
+    "ride_share_scenario",
+    "scheduling_scenario",
+]

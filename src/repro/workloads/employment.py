@@ -1,0 +1,94 @@
+"""The paper's running example as reusable builders.
+
+Figures 1 and 4 describe one temporal database about Ada's and Bob's
+employment; Example 1/6 give the schema mapping.  These builders are the
+single source of truth used by the paper-figure tests, the figure
+benchmarks and the quickstart example.
+"""
+
+from __future__ import annotations
+
+from repro.abstract_view.abstract_instance import AbstractInstance
+from repro.abstract_view.semantics import semantics
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.concrete.concrete_fact import concrete_fact
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.formulas import TemporalConjunction
+from repro.relational.parser import parse_conjunction
+from repro.relational.schema import Schema
+from repro.temporal.interval import interval
+
+__all__ = [
+    "employment_setting",
+    "employment_source_concrete",
+    "employment_source_abstract",
+    "salary_conjunction",
+    "algorithm1_example_instance",
+    "algorithm1_example_conjunctions",
+]
+
+
+def employment_setting() -> DataExchangeSetting:
+    """Example 1/6: copy employees, join in salaries, salary is unique.
+
+    * ``σ1 : E(n,c) → ∃s Emp(n,c,s)``
+    * ``σ2 : E(n,c) ∧ S(n,s) → Emp(n,c,s)``
+    * ``ε1 : Emp(n,c,s) ∧ Emp(n,c,s') → s = s'``
+    """
+    source_schema = Schema.of(E=("Name", "Company"), S=("Name", "Salary"))
+    target_schema = Schema.of(Emp=("Name", "Company", "Salary"))
+    return DataExchangeSetting.create(
+        source_schema,
+        target_schema,
+        st_tgds=[
+            "E(n, c) -> EXISTS s . Emp(n, c, s)",
+            "E(n, c) & S(n, s) -> Emp(n, c, s)",
+        ],
+        egds=["Emp(n, c, s) & Emp(n, c, s2) -> s = s2"],
+    )
+
+
+def employment_source_concrete() -> ConcreteInstance:
+    """Figure 4: the coalesced concrete source instance ``Ic``."""
+    return ConcreteInstance(
+        [
+            concrete_fact("E", "Ada", "IBM", interval=interval(2012, 2014)),
+            concrete_fact("E", "Ada", "Google", interval=interval(2014)),
+            concrete_fact("E", "Bob", "IBM", interval=interval(2013, 2018)),
+            concrete_fact("S", "Ada", "18k", interval=interval(2013)),
+            concrete_fact("S", "Bob", "13k", interval=interval(2015)),
+        ]
+    )
+
+
+def employment_source_abstract() -> AbstractInstance:
+    """Figure 1: the abstract view ``⟦Ic⟧`` of the same database."""
+    return semantics(employment_source_concrete())
+
+
+def salary_conjunction() -> TemporalConjunction:
+    """``E+(n,c,t) ∧ S+(n,s,t)`` — the lhs of σ2+, Figure 5's Φ+."""
+    return TemporalConjunction.from_conjunction(
+        parse_conjunction("E(n, c) & S(n, s)")
+    )
+
+
+def algorithm1_example_instance() -> ConcreteInstance:
+    """Figure 7 (Example 14): five facts over R+, P+, S+."""
+    return ConcreteInstance(
+        [
+            concrete_fact("R", "a", interval=interval(5, 11)),
+            concrete_fact("P", "a", interval=interval(8, 15)),
+            concrete_fact("P", "b", interval=interval(20, 25)),
+            concrete_fact("S", "a", interval=interval(7, 10)),
+            concrete_fact("S", "b", interval=interval(18)),
+        ]
+    )
+
+
+def algorithm1_example_conjunctions() -> tuple[TemporalConjunction, ...]:
+    """Example 14's Φ+: ``R+(x,t) ∧ P+(y,t)`` and ``P+(x,t) ∧ S+(y,t)``."""
+    return (
+        TemporalConjunction.from_conjunction(parse_conjunction("R(x) & P(y)")),
+        TemporalConjunction.from_conjunction(parse_conjunction("P(x) & S(y)")),
+    )

@@ -1,0 +1,238 @@
+"""Seeded synthetic workload generators for benchmarks and stress tests.
+
+The paper quantifies its algorithms asymptotically (Theorem 13's ``O(n²)``
+fragment bound, the ``O(n log n)`` naïve normalization) rather than on a
+measured corpus, so the benchmarks need synthetic workloads with
+controllable size and overlap structure.  Everything here is deterministic
+given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.concrete.concrete_fact import concrete_fact
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.formulas import TemporalConjunction
+from repro.relational.parser import parse_conjunction
+from repro.relational.schema import Schema
+from repro.temporal.interval import Interval, interval
+from repro.temporal.timepoint import INFINITY
+
+__all__ = [
+    "EmploymentWorkload",
+    "random_employment_history",
+    "nested_overlap_instance",
+    "nested_overlap_conjunctions",
+    "staircase_instance",
+    "random_concrete_instance",
+    "exchange_setting_copy",
+    "exchange_setting_join",
+    "exchange_setting_decompose",
+]
+
+
+# ---------------------------------------------------------------------------
+# Employment-style histories (the paper's motivating domain, scaled up)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EmploymentWorkload:
+    """A generated employment history plus its generation parameters."""
+
+    instance: ConcreteInstance
+    people: int
+    timeline: int
+    seed: int
+
+    @property
+    def size(self) -> int:
+        return len(self.instance)
+
+
+def random_employment_history(
+    people: int,
+    timeline: int = 40,
+    companies: int = 8,
+    salary_levels: int = 12,
+    seed: int = 0,
+) -> EmploymentWorkload:
+    """A coalesced E+/S+ history: job switches and salary raises.
+
+    Each person holds a chain of jobs over ``[0, timeline)`` (the last one
+    open-ended with probability 1/2) and a chain of salary periods that
+    changes value on each switch, so the instance is coalesced by
+    construction.
+    """
+    rng = random.Random(seed)
+    facts = []
+    for person_id in range(people):
+        name = f"p{person_id}"
+        # employment chain
+        cursor = rng.randrange(0, max(1, timeline // 4))
+        previous_company: int | None = None
+        while cursor < timeline:
+            duration = rng.randint(2, max(3, timeline // 3))
+            end = cursor + duration
+            choices = [c for c in range(companies) if c != previous_company]
+            company = rng.choice(choices)
+            open_ended = end >= timeline and rng.random() < 0.5
+            stamp = interval(cursor) if open_ended else interval(
+                cursor, min(end, timeline)
+            )
+            facts.append(
+                concrete_fact("E", name, f"co{company}", interval=stamp)
+            )
+            previous_company = company
+            if stamp.is_unbounded:
+                break
+            cursor = stamp.end + rng.randint(0, 2)  # type: ignore[operator]
+        # salary chain (independent periods, value changes each period)
+        cursor = rng.randrange(0, max(1, timeline // 3))
+        previous_level: int | None = None
+        while cursor < timeline:
+            duration = rng.randint(3, max(4, timeline // 2))
+            end = cursor + duration
+            choices = [s for s in range(salary_levels) if s != previous_level]
+            level = rng.choice(choices)
+            open_ended = end >= timeline and rng.random() < 0.5
+            stamp = interval(cursor) if open_ended else interval(
+                cursor, min(end, timeline)
+            )
+            facts.append(
+                concrete_fact("S", name, f"{10 + level}k", interval=stamp)
+            )
+            previous_level = level
+            if stamp.is_unbounded:
+                break
+            cursor = stamp.end + rng.randint(1, 3)  # type: ignore[operator]
+    return EmploymentWorkload(
+        instance=ConcreteInstance(facts),
+        people=people,
+        timeline=timeline,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Adversarial overlap structures (Theorem 13's worst case)
+# ---------------------------------------------------------------------------
+
+
+def nested_overlap_instance(n: int, relation: str = "R") -> ConcreteInstance:
+    """``n`` facts with pairwise-overlapping *nested* stamps.
+
+    Fact ``i`` is ``R+(a_i, [i, 2n−i))``: every pair of stamps overlaps
+    and all ``2n`` endpoints are distinct, so normalizing w.r.t.
+    ``R+(x,t1) ∧ R+(y,t2)`` fragments every fact at (almost) every
+    endpoint — the Theorem 13 worst case with ``Θ(n²)`` output facts.
+    """
+    return ConcreteInstance(
+        concrete_fact(relation, f"a{i}", interval=interval(i, 2 * n - i))
+        for i in range(n)
+    )
+
+
+def nested_overlap_conjunctions(relation: str = "R") -> tuple[TemporalConjunction, ...]:
+    """The pair conjunction driving the worst case: ``R(x) ∧ R(y)``."""
+    return (
+        TemporalConjunction.from_conjunction(
+            parse_conjunction(f"{relation}(x) & {relation}(y)")
+        ),
+    )
+
+
+def staircase_instance(
+    n: int, overlap: int = 1, relation: str = "R"
+) -> ConcreteInstance:
+    """``n`` facts whose stamps overlap only with their neighbours.
+
+    Fact ``i`` spans ``[i·step, i·step + step + overlap)``: each stamp
+    intersects the next one by *overlap* points.  With the pair
+    conjunction this fragments each fact into at most 3 pieces — a linear
+    regime contrasting the nested worst case.
+    """
+    step = overlap + 1
+    return ConcreteInstance(
+        concrete_fact(
+            relation,
+            f"a{i}",
+            interval=interval(i * step, i * step + step + overlap),
+        )
+        for i in range(n)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Generic random instances
+# ---------------------------------------------------------------------------
+
+
+def random_concrete_instance(
+    n_facts: int,
+    relations: Sequence[tuple[str, int]] = (("R", 2),),
+    domain_size: int = 20,
+    timeline: int = 50,
+    max_duration: int = 10,
+    open_ended_probability: float = 0.1,
+    seed: int = 0,
+) -> ConcreteInstance:
+    """Uniformly random facts over the given ``(name, data-arity)`` specs.
+
+    The result is *not* necessarily coalesced — call ``.coalesce()`` when
+    the paper's source assumption is needed.
+    """
+    rng = random.Random(seed)
+    result = ConcreteInstance()
+    while len(result) < n_facts:
+        relation, arity = relations[rng.randrange(len(relations))]
+        values = [f"v{rng.randrange(domain_size)}" for _ in range(arity)]
+        start = rng.randrange(timeline)
+        if rng.random() < open_ended_probability:
+            stamp: Interval = interval(start)
+        else:
+            stamp = interval(start, start + rng.randint(1, max_duration))
+        result.add(concrete_fact(relation, *values, interval=stamp))
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Mapping families
+# ---------------------------------------------------------------------------
+
+
+def exchange_setting_copy() -> DataExchangeSetting:
+    """Plain copy: ``R(x, y) → T(x, y)``."""
+    return DataExchangeSetting.create(
+        Schema.of(R=("A", "B")),
+        Schema.of(T=("A", "B")),
+        st_tgds=["R(x, y) -> T(x, y)"],
+    )
+
+
+def exchange_setting_join() -> DataExchangeSetting:
+    """The employment shape: copy with an unknown, join, key egd."""
+    return DataExchangeSetting.create(
+        Schema.of(E=("Name", "Company"), S=("Name", "Salary")),
+        Schema.of(Emp=("Name", "Company", "Salary")),
+        st_tgds=[
+            "E(n, c) -> EXISTS s . Emp(n, c, s)",
+            "E(n, c) & S(n, s) -> Emp(n, c, s)",
+        ],
+        egds=["Emp(n, c, s) & Emp(n, c, s2) -> s = s2"],
+    )
+
+
+def exchange_setting_decompose() -> DataExchangeSetting:
+    """Vertical decomposition with an invented key:
+    ``F(n, c, s) → ∃k (Works(k, n, c) ∧ Earns(k, s))`` plus a key egd."""
+    return DataExchangeSetting.create(
+        Schema.of(F=("Name", "Company", "Salary")),
+        Schema.of(Works=("Key", "Name", "Company"), Earns=("Key", "Salary")),
+        st_tgds=["F(n, c, s) -> EXISTS k . Works(k, n, c) & Earns(k, s)"],
+        egds=["Works(k, n, c) & Works(k2, n, c) -> k = k2"],
+    )

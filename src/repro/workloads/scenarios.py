@@ -1,0 +1,213 @@
+"""Domain scenarios from the paper's introduction: medicine and planning.
+
+The introduction motivates temporal data exchange with "planning,
+scheduling, medical and fraud detection systems".  These builders provide
+two fully-worked domains — hospital records and project staffing — used
+by the domain examples and the integration tests.  Each returns a setting
+together with a coalesced concrete source instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.concrete.concrete_fact import concrete_fact
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.schema import Schema
+from repro.temporal.interval import interval
+
+__all__ = [
+    "Scenario",
+    "medical_scenario",
+    "medical_conflicting_scenario",
+    "scheduling_scenario",
+    "ride_share_scenario",
+]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named data exchange task: setting plus concrete source."""
+
+    name: str
+    setting: DataExchangeSetting
+    source: ConcreteInstance
+    description: str = ""
+
+
+def _medical_setting() -> DataExchangeSetting:
+    source_schema = Schema.of(
+        Adm=("Patient", "Ward"),
+        Diag=("Patient", "Condition"),
+        Doc=("Patient", "Physician"),
+    )
+    target_schema = Schema.of(
+        Case=("Patient", "Ward", "Condition"),
+        Attending=("Patient", "Physician"),
+    )
+    return DataExchangeSetting.create(
+        source_schema,
+        target_schema,
+        st_tgds=[
+            # Every admission opens a case, condition possibly unknown.
+            "Adm(p, w) -> EXISTS c . Case(p, w, c)",
+            # A diagnosis during an admission fixes the case's condition.
+            "Adm(p, w) & Diag(p, c) -> Case(p, w, c)",
+            # The treating physician carries over.
+            "Doc(p, d) -> Attending(p, d)",
+        ],
+        egds=[
+            # One condition per patient and ward at a time.
+            "Case(p, w, c) & Case(p, w, c2) -> c = c2",
+            # One attending physician per patient at a time.
+            "Attending(p, d) & Attending(p, d2) -> d = d2",
+        ],
+    )
+
+
+def medical_scenario() -> Scenario:
+    """Hospital admissions/diagnoses exchanged into a case registry.
+
+    Alice is admitted to cardiology for days 1–9 but her diagnosis only
+    lands on day 4 — the exchanged case carries an interval-annotated
+    unknown for days 1–3.  Bob's record exercises the open-ended case.
+    """
+    source = ConcreteInstance(
+        [
+            concrete_fact("Adm", "alice", "cardio", interval=interval(1, 10)),
+            concrete_fact("Diag", "alice", "arrhythmia", interval=interval(4, 10)),
+            concrete_fact("Doc", "alice", "dr_wu", interval=interval(1, 10)),
+            concrete_fact("Adm", "bob", "neuro", interval=interval(6)),
+            concrete_fact("Diag", "bob", "migraine", interval=interval(8, 12)),
+            concrete_fact("Doc", "bob", "dr_silva", interval=interval(6, 9)),
+            concrete_fact("Doc", "bob", "dr_kaur", interval=interval(9)),
+        ]
+    )
+    return Scenario(
+        name="medical",
+        setting=_medical_setting(),
+        source=source,
+        description="admissions + diagnoses → case registry (with unknowns)",
+    )
+
+
+def medical_conflicting_scenario() -> Scenario:
+    """A variant whose exchange must FAIL: two diagnoses overlap in time.
+
+    Alice is recorded with both 'arrhythmia' and 'flutter' during days
+    5–7 while admitted, so the case egd equates two distinct constants —
+    by Theorem 19(2) no solution exists, and the c-chase reports failure.
+    """
+    base = medical_scenario().source.copy()
+    base.add(
+        concrete_fact("Diag", "alice", "flutter", interval=interval(5, 8))
+    )
+    return Scenario(
+        name="medical-conflict",
+        setting=_medical_setting(),
+        source=base,
+        description="overlapping contradictory diagnoses → chase failure",
+    )
+
+
+def scheduling_scenario() -> Scenario:
+    """Project-planning data exchanged into a staffing schema.
+
+    Tasks have phases and assignments; the target wants, per engineer, a
+    staffing row with the project (known) and the rate (often unknown —
+    only contracted engineers have one).
+    """
+    source_schema = Schema.of(
+        Task=("Project", "Phase"),
+        Assigned=("Engineer", "Project"),
+        Rate=("Engineer", "Fee"),
+    )
+    target_schema = Schema.of(
+        Staff=("Engineer", "Project", "Fee"),
+        Active=("Project", "Phase"),
+    )
+    setting = DataExchangeSetting.create(
+        source_schema,
+        target_schema,
+        st_tgds=[
+            "Assigned(e, p) -> EXISTS f . Staff(e, p, f)",
+            "Assigned(e, p) & Rate(e, f) -> Staff(e, p, f)",
+            "Task(p, ph) -> Active(p, ph)",
+        ],
+        egds=[
+            "Staff(e, p, f) & Staff(e, p, f2) -> f = f2",
+            "Active(p, ph) & Active(p, ph2) -> ph = ph2",
+        ],
+    )
+    source = ConcreteInstance(
+        [
+            concrete_fact("Task", "apollo", "design", interval=interval(0, 6)),
+            concrete_fact("Task", "apollo", "build", interval=interval(6, 14)),
+            concrete_fact("Task", "apollo", "test", interval=interval(14, 18)),
+            concrete_fact("Task", "hermes", "design", interval=interval(4, 9)),
+            concrete_fact("Task", "hermes", "build", interval=interval(9)),
+            concrete_fact("Assigned", "mira", "apollo", interval=interval(0, 14)),
+            concrete_fact("Assigned", "mira", "hermes", interval=interval(14)),
+            concrete_fact("Assigned", "noor", "apollo", interval=interval(2, 18)),
+            concrete_fact("Assigned", "ravi", "hermes", interval=interval(4)),
+            concrete_fact("Rate", "mira", "120", interval=interval(0, 10)),
+            concrete_fact("Rate", "mira", "140", interval=interval(10)),
+            concrete_fact("Rate", "ravi", "95", interval=interval(6)),
+        ]
+    )
+    return Scenario(
+        name="scheduling",
+        setting=setting,
+        source=source,
+        description="tasks + assignments → staffing with partly-unknown fees",
+    )
+
+
+def ride_share_scenario() -> Scenario:
+    """Taxi/bicycle rides — the temporality-of-facts domain of the intro.
+
+    Vehicle deployments and driver shifts are exchanged into a fleet
+    log; fares only exist for metered vehicles, so bike rows carry
+    interval-annotated unknowns, and the one-driver-per-vehicle egd
+    merges shift unknowns with recorded assignments.
+    """
+    source_schema = Schema.of(
+        Deployed=("Vehicle", "Zone"),
+        Shift=("Driver", "Vehicle"),
+        Fare=("Vehicle", "Rate"),
+    )
+    target_schema = Schema.of(
+        Fleet=("Vehicle", "Zone", "Rate"),
+        Operates=("Vehicle", "Driver"),
+    )
+    setting = DataExchangeSetting.create(
+        source_schema,
+        target_schema,
+        st_tgds=[
+            "Deployed(v, z) -> EXISTS r . Fleet(v, z, r)",
+            "Deployed(v, z) & Fare(v, r) -> Fleet(v, z, r)",
+            "Shift(d, v) -> Operates(v, d)",
+        ],
+        egds=[
+            "Fleet(v, z, r) & Fleet(v, z, r2) -> r = r2",
+            "Operates(v, d) & Operates(v, d2) -> d = d2",
+        ],
+    )
+    source = ConcreteInstance(
+        [
+            concrete_fact("Deployed", "cab7", "downtown", interval=interval(0, 12)),
+            concrete_fact("Deployed", "cab7", "airport", interval=interval(12)),
+            concrete_fact("Deployed", "bike3", "riverside", interval=interval(2, 20)),
+            concrete_fact("Fare", "cab7", "2.40", interval=interval(0, 8)),
+            concrete_fact("Fare", "cab7", "3.10", interval=interval(8)),
+            concrete_fact("Shift", "dana", "cab7", interval=interval(0, 9)),
+            concrete_fact("Shift", "errol", "cab7", interval=interval(9)),
+        ]
+    )
+    return Scenario(
+        name="ride-share",
+        setting=setting,
+        source=source,
+        description="taxi/bike deployments → fleet log with unmetered unknowns",
+    )

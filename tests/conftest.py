@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's running example and scenario builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    ConcreteInstance,
+    DataExchangeSetting,
+)
+from repro.workloads import (
+    employment_setting,
+    employment_source_abstract,
+    employment_source_concrete,
+    medical_scenario,
+    scheduling_scenario,
+)
+
+
+@pytest.fixture
+def setting() -> DataExchangeSetting:
+    """Example 1/6: the employment schema mapping."""
+    return employment_setting()
+
+
+@pytest.fixture
+def source() -> ConcreteInstance:
+    """Figure 4: the concrete employment source instance."""
+    return employment_source_concrete()
+
+
+@pytest.fixture
+def abstract_source():
+    """Figure 1: the abstract view of the employment source."""
+    return employment_source_abstract()
+
+
+@pytest.fixture
+def medical():
+    return medical_scenario()
+
+
+@pytest.fixture
+def scheduling():
+    return scheduling_scenario()

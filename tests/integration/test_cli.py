@@ -1,0 +1,171 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serialize import concrete_instance_to_json, setting_to_json
+from repro.workloads import (
+    employment_setting,
+    employment_source_concrete,
+    medical_conflicting_scenario,
+)
+
+
+@pytest.fixture
+def mapping_file(tmp_path):
+    path = tmp_path / "mapping.json"
+    path.write_text(json.dumps(setting_to_json(employment_setting())))
+    return str(path)
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "source.json"
+    path.write_text(
+        json.dumps(concrete_instance_to_json(employment_source_concrete()))
+    )
+    return str(path)
+
+
+class TestChaseCommand:
+    def test_writes_solution(self, mapping_file, source_file, tmp_path, capsys):
+        out = tmp_path / "solution.json"
+        code = main(
+            [
+                "chase",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert len(payload["facts"]) == 5  # Figure 9
+
+    def test_pretty_prints_tables(self, mapping_file, source_file, capsys):
+        code = main(
+            ["chase", "--mapping", mapping_file, "--source", source_file, "--pretty"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Emp+" in output and "[2013, 2014)" in output
+
+    def test_trace_flag(self, mapping_file, source_file, capsys):
+        code = main(
+            ["chase", "--mapping", mapping_file, "--source", source_file, "--trace"]
+        )
+        assert code == 0
+        assert "chase steps" in capsys.readouterr().err
+
+    def test_failure_exit_code(self, tmp_path, capsys):
+        scenario = medical_conflicting_scenario()
+        mapping = tmp_path / "m.json"
+        mapping.write_text(json.dumps(setting_to_json(scenario.setting)))
+        source = tmp_path / "s.json"
+        source.write_text(
+            json.dumps(concrete_instance_to_json(scenario.source))
+        )
+        code = main(
+            ["chase", "--mapping", str(mapping), "--source", str(source)]
+        )
+        assert code == 1
+        assert "chase failed" in capsys.readouterr().err
+
+    def test_missing_file_exits(self, mapping_file):
+        with pytest.raises(SystemExit):
+            main(["chase", "--mapping", mapping_file, "--source", "/nope.json"])
+
+
+class TestNormalizeCommand:
+    def test_conjunction_normalization(self, mapping_file, source_file, capsys):
+        code = main(
+            ["normalize", "--mapping", mapping_file, "--source", source_file]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "5 facts -> 9 facts" in captured.err  # Figure 5
+        assert len(json.loads(captured.out)["facts"]) == 9
+
+    def test_naive_normalization(self, source_file, capsys):
+        code = main(["normalize", "--naive", "--source", source_file])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "5 facts -> 14 facts" in captured.err  # Figure 6
+
+    def test_mapping_required_without_naive(self, source_file):
+        with pytest.raises(SystemExit):
+            main(["normalize", "--source", source_file])
+
+
+class TestQueryCommand:
+    def test_certain_answers(self, mapping_file, source_file, capsys):
+        code = main(
+            [
+                "query",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--query",
+                "q(n, s) :- Emp(n, c, s)",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "(Ada, 18k)" in output and "[2013, inf)" in output
+        assert "(Bob, 13k)" in output
+
+    def test_union_query(self, mapping_file, source_file, capsys):
+        code = main(
+            [
+                "query",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--query",
+                "q(n) :- Emp(n, 'IBM', s); q(n) :- Emp(n, 'Google', s)",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "(Ada)" in output and "(Bob)" in output
+
+
+class TestVerifyAndFigures:
+    def test_verify_success(self, mapping_file, source_file, capsys):
+        code = main(
+            ["verify", "--mapping", mapping_file, "--source", source_file]
+        )
+        assert code == 0
+        assert "correspondence holds" in capsys.readouterr().out
+
+    def test_verify_reports_joint_failure(self, tmp_path, capsys):
+        scenario = medical_conflicting_scenario()
+        mapping = tmp_path / "m.json"
+        mapping.write_text(json.dumps(setting_to_json(scenario.setting)))
+        source = tmp_path / "s.json"
+        source.write_text(json.dumps(concrete_instance_to_json(scenario.source)))
+        code = main(["verify", "--mapping", str(mapping), "--source", str(source)])
+        assert code == 0
+        assert "both chases fail" in capsys.readouterr().out
+
+    def test_figures_prints_everything(self, capsys):
+        code = main(["figures"])
+        assert code == 0
+        output = capsys.readouterr().out
+        for marker in [
+            "Figure 1",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 9",
+            "Figure 10",
+            "holds: True",
+        ]:
+            assert marker in output

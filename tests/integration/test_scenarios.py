@@ -1,0 +1,110 @@
+"""Integration tests over the domain scenarios (intro of the paper)."""
+
+import pytest
+
+from repro.abstract_view import semantics
+from repro.concrete import c_chase
+from repro.correspondence import concrete_is_solution, verify_correspondence
+from repro.query import (
+    ConjunctiveQuery,
+    certain_answers_concrete,
+    verify_evaluation_correspondence,
+)
+from repro.relational import Constant
+from repro.temporal import Interval, IntervalSet, interval
+from repro.workloads import (
+    medical_scenario,
+    ride_share_scenario,
+    scheduling_scenario,
+)
+
+ALL_SCENARIOS = [medical_scenario, scheduling_scenario, ride_share_scenario]
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+class TestScenarioPipelines:
+    @pytest.mark.parametrize("builder", ALL_SCENARIOS)
+    def test_exchange_produces_solution(self, builder):
+        scenario = builder()
+        result = c_chase(scenario.source, scenario.setting)
+        assert result.succeeded
+        assert concrete_is_solution(scenario.source, result.target, scenario.setting)
+
+    @pytest.mark.parametrize("builder", ALL_SCENARIOS)
+    def test_correspondence(self, builder):
+        scenario = builder()
+        assert verify_correspondence(scenario.source, scenario.setting).holds
+
+    @pytest.mark.parametrize("builder", ALL_SCENARIOS)
+    def test_source_is_coalesced(self, builder):
+        scenario = builder()
+        assert scenario.source.is_coalesced()
+
+
+class TestMedicalAnswers:
+    def test_diagnosis_timeline(self):
+        scenario = medical_scenario()
+        query = ConjunctiveQuery.parse("q(c) :- Case('alice', w, c)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        # Diagnosed from day 4 only; days 1-3 are unknown.
+        assert answers.support(row("arrhythmia")) == IntervalSet.of(Interval(4, 10))
+
+    def test_attending_certain(self):
+        scenario = medical_scenario()
+        query = ConjunctiveQuery.parse("q(p, d) :- Attending(p, d)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert answers.support(row("bob", "dr_silva")) == IntervalSet.of(
+            Interval(6, 9)
+        )
+        assert answers.support(row("bob", "dr_kaur")) == IntervalSet.of(interval(9))
+
+
+class TestRideShareAnswers:
+    def test_metered_rates_certain(self):
+        scenario = ride_share_scenario()
+        query = ConjunctiveQuery.parse("q(r) :- Fleet('cab7', z, r)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert answers.support(row("2.40")) == IntervalSet.of(Interval(0, 8))
+        assert answers.support(row("3.10")) == IntervalSet.of(interval(8))
+
+    def test_unmetered_bike_has_no_certain_rate(self):
+        scenario = ride_share_scenario()
+        query = ConjunctiveQuery.parse("q(r) :- Fleet('bike3', z, r)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert len(answers) == 0
+
+    def test_bike_deployment_itself_certain(self):
+        scenario = ride_share_scenario()
+        query = ConjunctiveQuery.parse("q(z) :- Fleet('bike3', z, r)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert answers.support(row("riverside")) == IntervalSet.of(Interval(2, 20))
+
+    def test_driver_handover(self):
+        scenario = ride_share_scenario()
+        query = ConjunctiveQuery.parse("q(d) :- Operates('cab7', d)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert answers.support(row("dana")) == IntervalSet.of(Interval(0, 9))
+        assert answers.support(row("errol")) == IntervalSet.of(interval(9))
+
+    def test_theorem21_on_ride_share(self):
+        scenario = ride_share_scenario()
+        solution = c_chase(scenario.source, scenario.setting).unwrap()
+        query = ConjunctiveQuery.parse("q(v, z) :- Fleet(v, z, r)")
+        assert verify_evaluation_correspondence(query, solution)
+
+
+class TestSchedulingAnswers:
+    def test_phase_certain(self):
+        scenario = scheduling_scenario()
+        query = ConjunctiveQuery.parse("q(ph) :- Active('apollo', ph)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert answers.support(row("build")) == IntervalSet.of(Interval(6, 14))
+
+    def test_uncontracted_engineer_not_certain(self):
+        scenario = scheduling_scenario()
+        query = ConjunctiveQuery.parse("q(f) :- Staff('noor', p, f)")
+        answers = certain_answers_concrete(query, scenario.source, scenario.setting)
+        assert len(answers) == 0

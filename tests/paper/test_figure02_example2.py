@@ -1,0 +1,79 @@
+"""Figure 2 / Example 2: why condition 2 of abstract homomorphisms matters.
+
+J1 carries the SAME labeled null N in snapshots db0 and db1; J2 carries
+distinct nulls M1, M2.  The paper proves: a homomorphism J2 → J1 exists,
+but none exists J1 → J2.
+"""
+
+from repro.abstract_view import (
+    AbstractInstance,
+    TemplateFact,
+    find_abstract_homomorphism,
+    has_abstract_homomorphism,
+)
+from repro.relational import Constant, LabeledNull
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval
+
+
+def j1() -> AbstractInstance:
+    """Emp(Ada, IBM, N) at db0 and db1 — one rigid unknown."""
+    return AbstractInstance(
+        [
+            TemplateFact(
+                "Emp",
+                (Constant("Ada"), Constant("IBM"), LabeledNull("N")),
+                Interval(0, 2),
+            )
+        ]
+    )
+
+
+def j2() -> AbstractInstance:
+    """Emp(Ada, IBM, M1) at db0, Emp(Ada, IBM, M2) at db1 — fresh per snapshot."""
+    return AbstractInstance(
+        [
+            TemplateFact(
+                "Emp",
+                (
+                    Constant("Ada"),
+                    Constant("IBM"),
+                    AnnotatedNull("M", Interval(0, 2)),
+                ),
+                Interval(0, 2),
+            )
+        ]
+    )
+
+
+class TestExample2:
+    def test_snapshots_have_the_claimed_shape(self):
+        one, two = j1(), j2()
+        # J1: same null at both snapshots.
+        assert one.snapshot(0).nulls() == one.snapshot(1).nulls()
+        # J2: disjoint nulls across snapshots.
+        assert two.snapshot(0).nulls().isdisjoint(two.snapshot(1).nulls())
+
+    def test_hom_exists_from_j2_to_j1(self):
+        assert has_abstract_homomorphism(j2(), j1())
+
+    def test_no_hom_from_j1_to_j2(self):
+        assert not has_abstract_homomorphism(j1(), j2())
+
+    def test_per_snapshot_homs_exist_but_disagree(self):
+        # The crux of the example: snapshot-wise homs h0, h1 exist from J1
+        # to J2, but h0(N) = M@0 ≠ M@1 = h1(N) violates condition 2.
+        from repro.relational.homomorphism import find_instance_homomorphism
+
+        one, two = j1(), j2()
+        h0 = find_instance_homomorphism(one.snapshot(0), two.snapshot(0))
+        h1 = find_instance_homomorphism(one.snapshot(1), two.snapshot(1))
+        assert h0 is not None and h1 is not None
+        assert h0[LabeledNull("N")] != h1[LabeledNull("N")]
+
+    def test_witness_mapping_from_j2_to_j1(self):
+        hom = find_abstract_homomorphism(j2(), j1())
+        assert hom is not None
+        # J2 has no rigid nulls, so the global mapping is empty — all the
+        # work happens per snapshot (M@ℓ ↦ N).
+        assert hom.rigid_mapping == {}

@@ -1,0 +1,142 @@
+"""Exact reproduction of Figures 1–4 of the paper.
+
+* Figure 1 — snapshots of the abstract employment instance;
+* Figure 2 — the two abstract instances with nulls (via Example 2 tests
+  in test_figure02_example2.py);
+* Figure 3 — the abstract chase result, snapshot by snapshot;
+* Figure 4 — the concrete source instance Ic.
+"""
+
+from repro.abstract_view import abstract_chase
+from repro.concrete import concrete_fact
+from repro.relational import Constant, Instance, LabeledNull, fact
+from repro.temporal import Interval, interval
+
+
+class TestFigure1:
+    """The abstract view of the employment database, year by year."""
+
+    def test_2012(self, abstract_source):
+        assert abstract_source.snapshot(2012) == Instance(
+            [fact("E", "Ada", "IBM")]
+        )
+
+    def test_2013(self, abstract_source):
+        assert abstract_source.snapshot(2013) == Instance(
+            [
+                fact("E", "Ada", "IBM"),
+                fact("S", "Ada", "18k"),
+                fact("E", "Bob", "IBM"),
+            ]
+        )
+
+    def test_2014(self, abstract_source):
+        assert abstract_source.snapshot(2014) == Instance(
+            [
+                fact("E", "Ada", "Google"),
+                fact("S", "Ada", "18k"),
+                fact("E", "Bob", "IBM"),
+            ]
+        )
+
+    def test_2015_through_2017(self, abstract_source):
+        expected = Instance(
+            [
+                fact("E", "Ada", "Google"),
+                fact("S", "Ada", "18k"),
+                fact("E", "Bob", "IBM"),
+                fact("S", "Bob", "13k"),
+            ]
+        )
+        for year in (2015, 2016, 2017):
+            assert abstract_source.snapshot(year) == expected
+
+    def test_2018_and_beyond(self, abstract_source):
+        expected = Instance(
+            [
+                fact("E", "Ada", "Google"),
+                fact("S", "Ada", "18k"),
+                fact("S", "Bob", "13k"),
+            ]
+        )
+        assert abstract_source.snapshot(2018) == expected
+        assert abstract_source.snapshot(2050) == expected  # finite change
+
+    def test_before_2012_empty(self, abstract_source):
+        assert not abstract_source.snapshot(2011)
+
+
+class TestFigure3:
+    """chase(Ia, M) — the abstract universal solution, per Example 5."""
+
+    def test_2012_unknown_salary(self, abstract_source, setting):
+        target = abstract_chase(abstract_source, setting).unwrap()
+        snap = target.snapshot(2012)
+        (row,) = snap.facts_of("Emp")
+        assert row.args[0] == Constant("Ada")
+        assert row.args[1] == Constant("IBM")
+        assert isinstance(row.args[2], LabeledNull)
+
+    def test_2013_ada_known_bob_unknown(self, abstract_source, setting):
+        target = abstract_chase(abstract_source, setting).unwrap()
+        snap = target.snapshot(2013)
+        assert fact("Emp", "Ada", "IBM", "18k") in snap
+        (bob,) = [
+            f for f in snap.facts_of("Emp") if f.args[0] == Constant("Bob")
+        ]
+        assert isinstance(bob.args[2], LabeledNull)
+        assert len(snap) == 2
+
+    def test_2014_bob_null_differs_from_2013(self, abstract_source, setting):
+        # Figure 3 writes N' at 2013 and M at 2014: distinct unknowns.
+        target = abstract_chase(abstract_source, setting).unwrap()
+        bob_2013 = [
+            f
+            for f in target.snapshot(2013).facts_of("Emp")
+            if f.args[0] == Constant("Bob")
+        ][0]
+        bob_2014 = [
+            f
+            for f in target.snapshot(2014).facts_of("Emp")
+            if f.args[0] == Constant("Bob")
+        ][0]
+        assert bob_2013.args[2] != bob_2014.args[2]
+
+    def test_2015_all_known(self, abstract_source, setting):
+        target = abstract_chase(abstract_source, setting).unwrap()
+        assert target.snapshot(2015) == Instance(
+            [
+                fact("Emp", "Ada", "Google", "18k"),
+                fact("Emp", "Bob", "IBM", "13k"),
+            ]
+        )
+
+    def test_2018_only_ada(self, abstract_source, setting):
+        target = abstract_chase(abstract_source, setting).unwrap()
+        assert target.snapshot(2018) == Instance(
+            [fact("Emp", "Ada", "Google", "18k")]
+        )
+
+
+class TestFigure4:
+    """The concrete source instance Ic, row by row."""
+
+    def test_exact_contents(self, source):
+        assert source.facts() == {
+            concrete_fact("E", "Ada", "IBM", interval=Interval(2012, 2014)),
+            concrete_fact("E", "Ada", "Google", interval=interval(2014)),
+            concrete_fact("E", "Bob", "IBM", interval=Interval(2013, 2018)),
+            concrete_fact("S", "Ada", "18k", interval=interval(2013)),
+            concrete_fact("S", "Bob", "13k", interval=interval(2015)),
+        }
+
+    def test_coalesced_as_the_paper_assumes(self, source):
+        assert source.is_coalesced()
+
+    def test_complete_as_the_paper_assumes(self, source):
+        assert source.is_complete
+
+    def test_semantics_is_figure1(self, source, abstract_source):
+        from repro.abstract_view import semantics
+
+        assert semantics(source) == abstract_source

@@ -1,0 +1,79 @@
+"""Exact reproduction of Example 14 (Figures 7 and 8): Algorithm 1.
+
+Five facts over R+, P+, S+ and Φ+ = {R∧P, P∧S}; the algorithm finds
+S = {{f1,f2}, {f2,f3}, {f4,f5}}, merges the first two sets, and fragments
+both components at their endpoint sequences TP∆1 = ⟨5,7,8,10,11,15⟩ and
+TP∆2 = ⟨18,20,25,∞⟩.
+"""
+
+from repro.concrete import concrete_fact, is_normalized, normalize_with_report
+from repro.temporal import Interval, interval
+from repro.workloads import (
+    algorithm1_example_conjunctions,
+    algorithm1_example_instance,
+)
+
+
+def figure8_expected() -> set:
+    return {
+        # f1 = R+(a, [5,11)) fragments into four pieces
+        concrete_fact("R", "a", interval=Interval(5, 7)),
+        concrete_fact("R", "a", interval=Interval(7, 8)),
+        concrete_fact("R", "a", interval=Interval(8, 10)),
+        concrete_fact("R", "a", interval=Interval(10, 11)),
+        # f2 = P+(a, [8,15)) fragments into three pieces
+        concrete_fact("P", "a", interval=Interval(8, 10)),
+        concrete_fact("P", "a", interval=Interval(10, 11)),
+        concrete_fact("P", "a", interval=Interval(11, 15)),
+        # f4 = P+(b, [20,25)) is NOT fragmented (its subsequence is ⟨20,25⟩)
+        concrete_fact("P", "b", interval=Interval(20, 25)),
+        # f3 = S+(a, [7,10)) fragments into two pieces
+        concrete_fact("S", "a", interval=Interval(7, 8)),
+        concrete_fact("S", "a", interval=Interval(8, 10)),
+        # f5 = S+(b, [18,∞)) fragments into three pieces
+        concrete_fact("S", "b", interval=Interval(18, 20)),
+        concrete_fact("S", "b", interval=Interval(20, 25)),
+        concrete_fact("S", "b", interval=interval(25)),
+    }
+
+
+class TestFigure7Input:
+    def test_exact_input(self):
+        inst = algorithm1_example_instance()
+        assert inst.facts() == {
+            concrete_fact("R", "a", interval=Interval(5, 11)),
+            concrete_fact("P", "a", interval=Interval(8, 15)),
+            concrete_fact("P", "b", interval=Interval(20, 25)),
+            concrete_fact("S", "a", interval=Interval(7, 10)),
+            concrete_fact("S", "b", interval=interval(18)),
+        }
+
+
+class TestFigure8Output:
+    def test_exact_rows(self):
+        output, _report = normalize_with_report(
+            algorithm1_example_instance(), algorithm1_example_conjunctions()
+        )
+        assert output.facts() == figure8_expected()
+
+    def test_thirteen_facts(self):
+        output, _report = normalize_with_report(
+            algorithm1_example_instance(), algorithm1_example_conjunctions()
+        )
+        assert len(output) == 13
+
+    def test_algorithm_trace_matches_example(self):
+        # S has three matched sets; merging leaves two components.
+        _output, report = normalize_with_report(
+            algorithm1_example_instance(), algorithm1_example_conjunctions()
+        )
+        assert report.matched_sets == 3
+        assert report.components == 2
+        assert report.facts_fragmented == 4  # f1, f2, f3, f5 (not f4)
+        assert report.input_size == 5 and report.output_size == 13
+
+    def test_theorem15_result_normalized(self):
+        output, _report = normalize_with_report(
+            algorithm1_example_instance(), algorithm1_example_conjunctions()
+        )
+        assert is_normalized(output, algorithm1_example_conjunctions())

@@ -1,0 +1,146 @@
+"""Property-based tests for the chase machinery itself."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chase import chase_snapshot, core_of, is_core, snapshot_satisfies
+from repro.chase.union_find import ConstantClashError, TermUnionFind
+from repro.relational import Constant, Instance, LabeledNull, fact
+from repro.workloads import exchange_setting_join
+
+from .strategies import employment_instances
+
+SETTING = exchange_setting_join()
+
+
+@st.composite
+def snapshots(draw):
+    """Random E/S snapshots for the employment mapping."""
+    count = draw(st.integers(min_value=0, max_value=6))
+    names = ("ada", "bob", "cyd")
+    companies = ("ibm", "hp")
+    salaries = ("10k", "20k")
+    instance = Instance()
+    for _ in range(count):
+        if draw(st.booleans()):
+            instance.add(
+                fact(
+                    "E",
+                    draw(st.sampled_from(names)),
+                    draw(st.sampled_from(companies)),
+                )
+            )
+        else:
+            instance.add(
+                fact(
+                    "S",
+                    draw(st.sampled_from(names)),
+                    draw(st.sampled_from(salaries)),
+                )
+            )
+    return instance
+
+
+class TestSnapshotChaseProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots())
+    def test_successful_chase_satisfies_dependencies(self, snapshot):
+        result = chase_snapshot(snapshot, SETTING)
+        if result.succeeded:
+            assert snapshot_satisfies(snapshot, result.target, SETTING)
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots())
+    def test_chase_deterministic(self, snapshot):
+        first = chase_snapshot(snapshot, SETTING)
+        second = chase_snapshot(snapshot, SETTING)
+        assert first.failed == second.failed
+        if first.succeeded:
+            assert first.target == second.target
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots())
+    def test_join_setting_never_fails_on_single_salary_values(self, snapshot):
+        # Failure needs two distinct salaries for one (name, company) —
+        # possible here, so just assert the failure witness is honest.
+        result = chase_snapshot(snapshot, SETTING)
+        if result.failed:
+            assert result.failure is not None
+            assert isinstance(result.failure.left, Constant)
+            assert isinstance(result.failure.right, Constant)
+            assert result.failure.left != result.failure.right
+
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_oblivious_result_maps_onto_standard(self, snapshot):
+        from repro.relational.homomorphism import has_instance_homomorphism
+
+        standard = chase_snapshot(snapshot, SETTING, variant="standard")
+        oblivious = chase_snapshot(snapshot, SETTING, variant="oblivious")
+        if standard.succeeded and oblivious.succeeded:
+            # Both are universal solutions: homomorphic both ways.
+            assert has_instance_homomorphism(oblivious.target, standard.target)
+            assert has_instance_homomorphism(standard.target, oblivious.target)
+
+
+class TestCoreProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_core_is_core(self, snapshot):
+        result = chase_snapshot(snapshot, SETTING, variant="oblivious")
+        if result.succeeded:
+            assert is_core(core_of(result.target))
+
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_core_never_larger(self, snapshot):
+        result = chase_snapshot(snapshot, SETTING, variant="oblivious")
+        if result.succeeded:
+            assert len(core_of(result.target)) <= len(result.target)
+
+    @settings(max_examples=40, deadline=None)
+    @given(snapshots())
+    def test_core_homomorphically_equivalent(self, snapshot):
+        from repro.relational.homomorphism import has_instance_homomorphism
+
+        result = chase_snapshot(snapshot, SETTING, variant="oblivious")
+        if result.succeeded:
+            core = core_of(result.target)
+            assert has_instance_homomorphism(core, result.target)
+            assert has_instance_homomorphism(result.target, core)
+
+
+class TestUnionFindProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            max_size=20,
+        )
+    )
+    def test_merges_form_equivalence(self, pairs):
+        uf = TermUnionFind()
+        nulls = [LabeledNull(f"n{i}") for i in range(9)]
+        for a, b in pairs:
+            uf.union(nulls[a], nulls[b])
+        # Reflexive, symmetric, transitive via representative equality.
+        for a, b in pairs:
+            assert uf.same_class(nulls[a], nulls[b])
+        for i in range(9):
+            assert uf.same_class(nulls[i], nulls[i])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.integers(0, 5), min_size=1, max_size=10),
+        st.integers(0, 5),
+    )
+    def test_constant_always_wins(self, members, anchor):
+        uf = TermUnionFind()
+        nulls = [LabeledNull(f"n{i}") for i in range(6)]
+        constant = Constant("c")
+        uf.union(nulls[anchor], constant)
+        for member in members:
+            uf.union(nulls[member], nulls[anchor])
+        assert uf.find(nulls[anchor]) == constant
+        for member in members:
+            assert uf.find(nulls[member]) == constant

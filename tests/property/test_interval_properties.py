@@ -1,0 +1,130 @@
+"""Property-based tests for the temporal substrate.
+
+The ground truth is the point-set reading of intervals: every operation
+is compared against explicit point sets over a finite probe window (the
+window is chosen past every finite endpoint, so unbounded tails are
+represented faithfully by their prefix).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.temporal import INFINITY, Interval, IntervalSet
+from repro.temporal.coalesce import coalesce_intervals
+
+from .strategies import interval_lists, intervals
+
+PROBE = 60  # beyond any finite endpoint the strategies can produce
+
+
+def points_of(item: Interval) -> set[int]:
+    return set(item.points(limit=PROBE))
+
+
+def points_of_set(items: IntervalSet) -> set[int]:
+    return set(items.points(limit=PROBE))
+
+
+class TestIntervalPointSemantics:
+    @given(intervals(), intervals())
+    def test_overlap_agrees_with_point_sets(self, a, b):
+        assert a.overlaps(b) == bool(points_of(a) & points_of(b))
+
+    @given(intervals(), intervals())
+    def test_intersect_agrees_with_point_sets(self, a, b):
+        common = a.intersect(b)
+        expected = points_of(a) & points_of(b)
+        assert (set() if common is None else points_of(common)) == expected
+
+    @given(intervals(), intervals())
+    def test_difference_agrees_with_point_sets(self, a, b):
+        got = set()
+        for piece in a.difference(b):
+            got |= points_of(piece)
+        assert got == points_of(a) - points_of(b)
+
+    @given(intervals(), st.lists(st.integers(0, 40), max_size=5))
+    def test_split_partitions_points(self, item, cuts):
+        pieces = item.split_at(cuts)
+        union = set()
+        for piece in pieces:
+            piece_points = points_of(piece)
+            assert not (union & piece_points)  # pairwise disjoint
+            union |= piece_points
+        assert union == points_of(item)
+
+    @given(intervals(), st.lists(st.integers(0, 40), max_size=5))
+    def test_split_pieces_are_contiguous(self, item, cuts):
+        pieces = item.split_at(cuts)
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.end == right.start
+
+    @given(intervals(), intervals())
+    def test_adjacent_iff_disjoint_with_interval_union(self, a, b):
+        if a.adjacent(b):
+            assert not a.overlaps(b)
+            assert points_of(a.union(b)) == points_of(a) | points_of(b)
+
+
+class TestIntervalSetAlgebra:
+    @given(interval_lists(), interval_lists())
+    def test_union(self, xs, ys):
+        a, b = IntervalSet(xs), IntervalSet(ys)
+        assert points_of_set(a.union(b)) == points_of_set(a) | points_of_set(b)
+
+    @given(interval_lists(), interval_lists())
+    def test_intersection(self, xs, ys):
+        a, b = IntervalSet(xs), IntervalSet(ys)
+        assert points_of_set(a.intersect(b)) == points_of_set(a) & points_of_set(b)
+
+    @given(interval_lists(), interval_lists())
+    def test_difference(self, xs, ys):
+        a, b = IntervalSet(xs), IntervalSet(ys)
+        assert points_of_set(a.difference(b)) == points_of_set(a) - points_of_set(b)
+
+    @given(interval_lists())
+    def test_complement_partitions_timeline(self, xs):
+        a = IntervalSet(xs)
+        comp = a.complement()
+        assert not (points_of_set(a) & points_of_set(comp))
+        assert points_of_set(a) | points_of_set(comp) == set(range(PROBE))
+
+    @given(interval_lists())
+    def test_canonical_form_is_coalesced(self, xs):
+        canonical = IntervalSet(xs).intervals
+        for left, right in zip(canonical, canonical[1:]):
+            assert not left.overlaps(right)
+            assert not left.adjacent(right)
+            assert left.start < right.start
+
+    @given(interval_lists(), interval_lists())
+    def test_equality_is_extensional(self, xs, ys):
+        a, b = IntervalSet(xs), IntervalSet(ys)
+        assert (a == b) == (points_of_set(a) == points_of_set(b)) or (
+            a.is_unbounded != b.is_unbounded
+        )
+
+    @given(interval_lists())
+    def test_covers_reflexive(self, xs):
+        a = IntervalSet(xs)
+        assert a.covers(a)
+
+
+class TestCoalescing:
+    @given(interval_lists())
+    def test_idempotent(self, xs):
+        once = coalesce_intervals(xs)
+        assert coalesce_intervals(once) == once
+
+    @given(interval_lists())
+    def test_point_preserving(self, xs):
+        merged = IntervalSet(coalesce_intervals(xs))
+        assert points_of_set(merged) == points_of_set(IntervalSet(xs))
+
+    @given(interval_lists())
+    def test_minimal_piece_count(self, xs):
+        # No smaller family of intervals can denote the same point set:
+        # the canonical pieces are separated by true gaps.
+        pieces = coalesce_intervals(xs)
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.end < right.start

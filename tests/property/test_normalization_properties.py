@@ -1,0 +1,106 @@
+"""Property-based tests for normalization (Theorems 11, 13, 15)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.abstract_view import semantics
+from repro.concrete import (
+    has_empty_intersection_property,
+    is_normalized,
+    naive_normalize,
+    normalize,
+)
+from repro.relational import TemporalConjunction, parse_conjunction
+
+from .strategies import concrete_instances
+
+PAIR = TemporalConjunction.from_conjunction(parse_conjunction("R(x) & S(y)"))
+SELF_JOIN = TemporalConjunction.from_conjunction(parse_conjunction("R(x) & R(y)"))
+JOINED = TemporalConjunction.from_conjunction(parse_conjunction("R(x) & S(x)"))
+CONJUNCTION_SETS = [[PAIR], [SELF_JOIN], [JOINED], [PAIR, SELF_JOIN]]
+
+
+class TestTheorem15:
+    """Algorithm 1's output is normalized, for arbitrary inputs."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances(), st.sampled_from(CONJUNCTION_SETS))
+    def test_output_is_normalized(self, instance, conjunctions):
+        assert is_normalized(normalize(instance, conjunctions), conjunctions)
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances(), st.sampled_from(CONJUNCTION_SETS))
+    def test_idempotent(self, instance, conjunctions):
+        once = normalize(instance, conjunctions)
+        assert normalize(once, conjunctions) == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances(), st.sampled_from(CONJUNCTION_SETS))
+    def test_semantics_preserved(self, instance, conjunctions):
+        normalized = normalize(instance, conjunctions)
+        assert semantics(normalized).same_snapshots_as(semantics(instance))
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances(), st.sampled_from(CONJUNCTION_SETS))
+    def test_never_larger_than_naive(self, instance, conjunctions):
+        # Algorithm 1 fragments only matched components, at a subset of
+        # the endpoints the naive algorithm uses.
+        assert len(normalize(instance, conjunctions)) <= len(
+            naive_normalize(instance)
+        )
+
+
+class TestTheorem11:
+    """Normalization property ⇔ empty intersection property."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances(), st.sampled_from(CONJUNCTION_SETS))
+    def test_checker_equivalence(self, instance, conjunctions):
+        # is_normalized is *defined* via the empty intersection property;
+        # this asserts the two public entry points never diverge.
+        assert is_normalized(instance, conjunctions) == (
+            has_empty_intersection_property(instance, conjunctions)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances())
+    def test_trivially_normalized_wrt_nothing(self, instance):
+        assert is_normalized(instance, [])
+
+
+class TestNaiveNormalization:
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances(), st.sampled_from(CONJUNCTION_SETS))
+    def test_normalized_wrt_any_conjunctions(self, instance, conjunctions):
+        assert is_normalized(naive_normalize(instance), conjunctions)
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances())
+    def test_idempotent(self, instance):
+        once = naive_normalize(instance)
+        assert naive_normalize(once) == once
+
+    @settings(max_examples=40, deadline=None)
+    @given(concrete_instances())
+    def test_semantics_preserved(self, instance):
+        assert semantics(naive_normalize(instance)).same_snapshots_as(
+            semantics(instance)
+        )
+
+
+class TestTheorem13Bound:
+    """Output size stays within the O(n²) worst-case bound."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(concrete_instances(max_facts=6), st.sampled_from(CONJUNCTION_SETS))
+    def test_quadratic_bound(self, instance, conjunctions):
+        n = len(instance)
+        output = normalize(instance, conjunctions)
+        # Each fact fragments into at most 2n - 1 pieces (Theorem 13).
+        assert len(output) <= max(n, n * (2 * n - 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(concrete_instances(max_facts=6))
+    def test_naive_bound(self, instance):
+        n = len(instance)
+        assert len(naive_normalize(instance)) <= max(n, n * (2 * n - 1))

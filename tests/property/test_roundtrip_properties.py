@@ -1,0 +1,81 @@
+"""Property-based round-trip tests: serialization and coalescing."""
+
+from hypothesis import given, settings
+
+from repro.abstract_view import semantics
+from repro.concrete import c_chase
+from repro.serialize import (
+    concrete_instance_from_json,
+    concrete_instance_to_json,
+    instance_from_csv_dict,
+    instance_to_csv_dict,
+)
+from repro.workloads import exchange_setting_join
+
+from .strategies import concrete_instances, employment_instances
+
+
+class TestSerializationRoundtrips:
+    @settings(max_examples=50, deadline=None)
+    @given(concrete_instances())
+    def test_json_roundtrip(self, instance):
+        payload = concrete_instance_to_json(instance)
+        assert concrete_instance_from_json(payload) == instance
+
+    @settings(max_examples=50, deadline=None)
+    @given(concrete_instances())
+    def test_csv_roundtrip(self, instance):
+        tables = instance_to_csv_dict(instance)
+        assert instance_from_csv_dict(tables) == instance
+
+    @settings(max_examples=20, deadline=None)
+    @given(employment_instances())
+    def test_solution_with_nulls_roundtrips(self, instance):
+        result = c_chase(instance, exchange_setting_join())
+        if not result.succeeded:
+            return
+        solution = result.target
+        assert concrete_instance_from_json(
+            concrete_instance_to_json(solution)
+        ) == solution
+        assert instance_from_csv_dict(instance_to_csv_dict(solution)) == solution
+
+
+class TestCoalescingProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(concrete_instances())
+    def test_coalesce_idempotent(self, instance):
+        once = instance.coalesce()
+        assert once.coalesce() == once
+
+    @settings(max_examples=50, deadline=None)
+    @given(concrete_instances())
+    def test_coalesce_preserves_semantics(self, instance):
+        assert semantics(instance.coalesce()).same_snapshots_as(
+            semantics(instance)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(concrete_instances())
+    def test_coalesce_output_is_coalesced(self, instance):
+        assert instance.coalesce().is_coalesced()
+
+    @settings(max_examples=50, deadline=None)
+    @given(concrete_instances())
+    def test_coalesce_never_grows(self, instance):
+        assert len(instance.coalesce()) <= len(instance)
+
+    @settings(max_examples=20, deadline=None)
+    @given(employment_instances())
+    def test_chase_of_coalesced_source_equivalent(self, instance):
+        # Coalescing the source never changes the exchange semantics.
+        from repro.abstract_view import homomorphically_equivalent
+
+        setting = exchange_setting_join()
+        raw = c_chase(instance, setting)
+        merged = c_chase(instance.coalesce(), setting)
+        assert raw.failed == merged.failed
+        if raw.succeeded:
+            assert homomorphically_equivalent(
+                semantics(raw.target), semantics(merged.target)
+            )

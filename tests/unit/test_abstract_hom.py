@@ -1,0 +1,200 @@
+"""Unit tests for abstract homomorphisms (Definition 3, Example 2)."""
+
+from repro.abstract_view import (
+    AbstractInstance,
+    TemplateFact,
+    combined_regions,
+    find_abstract_homomorphism,
+    has_abstract_homomorphism,
+    homomorphically_equivalent,
+)
+from repro.relational import Constant, LabeledNull
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval, interval
+
+
+def rigid_instance(name: str, stamp: Interval) -> AbstractInstance:
+    """Emp(Ada, IBM, N) with the SAME null at every covered snapshot."""
+    return AbstractInstance(
+        [
+            TemplateFact(
+                "Emp",
+                (Constant("Ada"), Constant("IBM"), LabeledNull(name)),
+                stamp,
+            )
+        ]
+    )
+
+
+def family_instance(name: str, stamp: Interval) -> AbstractInstance:
+    """Emp(Ada, IBM, M_ℓ) with a fresh null per snapshot."""
+    return AbstractInstance(
+        [
+            TemplateFact(
+                "Emp",
+                (Constant("Ada"), Constant("IBM"), AnnotatedNull(name, stamp)),
+                stamp,
+            )
+        ]
+    )
+
+
+class TestExample2:
+    """The paper's Example 2: J1 (rigid N) vs J2 (per-snapshot M1, M2)."""
+
+    def test_no_hom_from_rigid_to_family(self):
+        j1 = rigid_instance("N", Interval(0, 2))
+        j2 = family_instance("M", Interval(0, 2))
+        assert not has_abstract_homomorphism(j1, j2)
+
+    def test_hom_from_family_to_rigid(self):
+        j1 = rigid_instance("N", Interval(0, 2))
+        j2 = family_instance("M", Interval(0, 2))
+        assert has_abstract_homomorphism(j2, j1)
+
+    def test_not_equivalent(self):
+        j1 = rigid_instance("N", Interval(0, 2))
+        j2 = family_instance("M", Interval(0, 2))
+        assert not homomorphically_equivalent(j1, j2)
+
+    def test_single_snapshot_rigid_maps_to_family(self):
+        # With only ONE snapshot, condition 2 is vacuous: N may map to M@0.
+        j1 = rigid_instance("N", Interval(0, 1))
+        j2 = family_instance("M", Interval(0, 1))
+        assert has_abstract_homomorphism(j1, j2)
+        assert homomorphically_equivalent(j1, j2)
+
+
+class TestBasicMappings:
+    def test_identity(self, abstract_source):
+        assert has_abstract_homomorphism(abstract_source, abstract_source)
+
+    def test_null_to_constant(self):
+        unknown = rigid_instance("N", Interval(0, 3))
+        known = AbstractInstance(
+            [
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("IBM"), Constant("18k")),
+                    Interval(0, 3),
+                )
+            ]
+        )
+        hom = find_abstract_homomorphism(unknown, known)
+        assert hom is not None
+        assert hom.rigid_mapping[LabeledNull("N")] == Constant("18k")
+        assert not has_abstract_homomorphism(known, unknown)
+
+    def test_family_to_constant(self):
+        unknown = family_instance("M", Interval(0, 3))
+        known = AbstractInstance(
+            [
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("IBM"), Constant("18k")),
+                    Interval(0, 3),
+                )
+            ]
+        )
+        assert has_abstract_homomorphism(unknown, known)
+
+    def test_constants_must_match(self):
+        a = AbstractInstance(
+            [TemplateFact("R", (Constant("a"),), Interval(0, 2))]
+        )
+        b = AbstractInstance(
+            [TemplateFact("R", (Constant("b"),), Interval(0, 2))]
+        )
+        assert not has_abstract_homomorphism(a, b)
+
+    def test_temporal_containment_required(self):
+        short = rigid_instance("N", Interval(0, 2))
+        long = rigid_instance("M", Interval(0, 5))
+        # long covers snapshots 2-4 where short has nothing to map onto...
+        # direction matters: short → long works, long → short does not.
+        assert has_abstract_homomorphism(short, long)
+        assert not has_abstract_homomorphism(long, short)
+
+    def test_empty_source_maps_anywhere(self, abstract_source):
+        assert has_abstract_homomorphism(AbstractInstance.empty(), abstract_source)
+
+    def test_unbounded_instances(self):
+        a = family_instance("N", interval(3))
+        b = family_instance("M", interval(3))
+        assert homomorphically_equivalent(a, b)
+
+    def test_unbounded_vs_bounded(self):
+        a = family_instance("N", interval(3))
+        b = family_instance("M", Interval(3, 100))
+        assert not has_abstract_homomorphism(a, b)
+        assert has_abstract_homomorphism(b, a)
+
+
+class TestGlobalConsistency:
+    def test_rigid_null_shared_across_regions(self):
+        # N occurs in two disjoint regions; its image must be consistent.
+        source = AbstractInstance(
+            [
+                TemplateFact("R", (LabeledNull("N"),), Interval(0, 2)),
+                TemplateFact("Q", (LabeledNull("N"),), Interval(5, 7)),
+            ]
+        )
+        consistent = AbstractInstance(
+            [
+                TemplateFact("R", (Constant("v"),), Interval(0, 2)),
+                TemplateFact("Q", (Constant("v"),), Interval(5, 7)),
+            ]
+        )
+        inconsistent = AbstractInstance(
+            [
+                TemplateFact("R", (Constant("v"),), Interval(0, 2)),
+                TemplateFact("Q", (Constant("w"),), Interval(5, 7)),
+            ]
+        )
+        assert has_abstract_homomorphism(source, consistent)
+        assert not has_abstract_homomorphism(source, inconsistent)
+
+    def test_backtracking_over_rigid_choices(self):
+        # In region [0,2), N could map to v or w; only w works at [5,7).
+        source = AbstractInstance(
+            [
+                TemplateFact("R", (LabeledNull("N"),), Interval(0, 2)),
+                TemplateFact("Q", (LabeledNull("N"),), Interval(5, 7)),
+            ]
+        )
+        target = AbstractInstance(
+            [
+                TemplateFact("R", (Constant("v"),), Interval(0, 2)),
+                TemplateFact("R", (Constant("w"),), Interval(0, 2)),
+                TemplateFact("Q", (Constant("w"),), Interval(5, 7)),
+            ]
+        )
+        hom = find_abstract_homomorphism(source, target)
+        assert hom is not None
+        assert hom.rigid_mapping[LabeledNull("N")] == Constant("w")
+
+    def test_two_rigid_nulls_may_merge(self):
+        source = AbstractInstance(
+            [
+                TemplateFact("R", (LabeledNull("N"), LabeledNull("M")), Interval(0, 2)),
+            ]
+        )
+        target = AbstractInstance(
+            [TemplateFact("R", (Constant("v"), Constant("v")), Interval(0, 2))]
+        )
+        assert has_abstract_homomorphism(source, target)
+
+
+class TestCombinedRegions:
+    def test_partition_respects_both(self, abstract_source):
+        other = AbstractInstance(
+            [TemplateFact("X", (Constant("z"),), Interval(2016, 2020))]
+        )
+        regions = combined_regions(abstract_source, other)
+        starts = [r.start for r in regions]
+        assert 2016 in starts and 2020 in starts and 2013 in starts
+        assert regions[-1].is_unbounded
+
+    def test_tail_region_always_present(self):
+        empty_pair = combined_regions(AbstractInstance.empty(), AbstractInstance.empty())
+        assert empty_pair == (interval(0),)

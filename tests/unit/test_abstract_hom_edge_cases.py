@@ -1,0 +1,201 @@
+"""Edge cases for abstract homomorphism search: spans, regions, mixing."""
+
+from repro.abstract_view import (
+    AbstractInstance,
+    TemplateFact,
+    find_abstract_homomorphism,
+    has_abstract_homomorphism,
+    homomorphically_equivalent,
+)
+from repro.relational import Constant, LabeledNull
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval, interval
+
+
+def tf(rel, args, stamp):
+    return TemplateFact(rel, tuple(args), stamp)
+
+
+class TestRigidSpanRules:
+    def test_long_region_rigid_cannot_track_family(self):
+        # One region of length 5: the rigid null would need to follow
+        # M@0..M@4, impossible under condition 2.
+        rigid = AbstractInstance([tf("R", (LabeledNull("N"),), Interval(0, 5))])
+        family = AbstractInstance(
+            [tf("R", (AnnotatedNull("M", Interval(0, 5)),), Interval(0, 5))]
+        )
+        assert not has_abstract_homomorphism(rigid, family)
+        assert has_abstract_homomorphism(family, rigid)
+
+    def test_span_union_of_two_single_point_templates(self):
+        # N occurs at times 1 and 3 (two length-1 templates): its span is
+        # 2 points, so it still may not map to per-snapshot nulls.
+        rigid = AbstractInstance(
+            [
+                tf("R", (LabeledNull("N"),), Interval(1, 2)),
+                tf("R", (LabeledNull("N"),), Interval(3, 4)),
+            ]
+        )
+        family = AbstractInstance(
+            [
+                tf("R", (AnnotatedNull("M", Interval(1, 2)),), Interval(1, 2)),
+                tf("R", (AnnotatedNull("M", Interval(3, 4)),), Interval(3, 4)),
+            ]
+        )
+        assert not has_abstract_homomorphism(rigid, family)
+
+    def test_single_point_rigid_tracks_family(self):
+        rigid = AbstractInstance([tf("R", (LabeledNull("N"),), Interval(3, 4))])
+        family = AbstractInstance(
+            [tf("R", (AnnotatedNull("M", Interval(3, 4)),), Interval(3, 4))]
+        )
+        assert homomorphically_equivalent(rigid, family)
+
+    def test_unbounded_rigid_span(self):
+        rigid = AbstractInstance([tf("R", (LabeledNull("N"),), interval(2))])
+        family = AbstractInstance(
+            [tf("R", (AnnotatedNull("M", interval(2)),), interval(2))]
+        )
+        constant = AbstractInstance([tf("R", (Constant("v"),), interval(2))])
+        assert not has_abstract_homomorphism(rigid, family)
+        assert has_abstract_homomorphism(rigid, constant)
+        assert has_abstract_homomorphism(family, constant)
+
+
+class TestMixedNullKinds:
+    def test_fact_with_both_kinds(self):
+        source = AbstractInstance(
+            [
+                tf(
+                    "R",
+                    (LabeledNull("N"), AnnotatedNull("M", Interval(0, 3))),
+                    Interval(0, 3),
+                )
+            ]
+        )
+        target = AbstractInstance(
+            [
+                tf(
+                    "R",
+                    (Constant("a"), AnnotatedNull("K", Interval(0, 3))),
+                    Interval(0, 3),
+                )
+            ]
+        )
+        hom = find_abstract_homomorphism(source, target)
+        assert hom is not None
+        assert hom.rigid_mapping[LabeledNull("N")] == Constant("a")
+
+    def test_family_may_collapse_to_rigid(self):
+        # Each M@ℓ maps to the same rigid null N — allowed, since every
+        # M@ℓ is a distinct null with no cross-snapshot constraint.
+        family = AbstractInstance(
+            [tf("R", (AnnotatedNull("M", Interval(0, 4)),), Interval(0, 4))]
+        )
+        rigid = AbstractInstance([tf("R", (LabeledNull("N"),), Interval(0, 4))])
+        assert has_abstract_homomorphism(family, rigid)
+
+    def test_repeated_null_within_fact(self):
+        source = AbstractInstance(
+            [tf("R", (LabeledNull("N"), LabeledNull("N")), Interval(0, 2))]
+        )
+        diagonal = AbstractInstance(
+            [tf("R", (Constant("a"), Constant("a")), Interval(0, 2))]
+        )
+        off_diagonal = AbstractInstance(
+            [tf("R", (Constant("a"), Constant("b")), Interval(0, 2))]
+        )
+        assert has_abstract_homomorphism(source, diagonal)
+        assert not has_abstract_homomorphism(source, off_diagonal)
+
+
+class TestRegionStructure:
+    def test_gap_regions_are_trivial(self):
+        # Source active on [0,2) and [10,12); the gap imposes nothing.
+        source = AbstractInstance(
+            [
+                tf("R", (Constant("a"),), Interval(0, 2)),
+                tf("R", (Constant("a"),), Interval(10, 12)),
+            ]
+        )
+        target = AbstractInstance(
+            [tf("R", (Constant("a"),), interval(0))]
+        )
+        assert has_abstract_homomorphism(source, target)
+
+    def test_target_misaligned_by_one_snapshot(self):
+        source = AbstractInstance([tf("R", (Constant("a"),), Interval(5, 8))])
+        target = AbstractInstance([tf("R", (Constant("a"),), Interval(6, 9))])
+        assert not has_abstract_homomorphism(source, target)
+
+    def test_three_region_backtracking(self):
+        # Region 1 offers two choices for N; only the second survives
+        # regions 2 and 3.
+        source = AbstractInstance(
+            [
+                tf("A", (LabeledNull("N"),), Interval(0, 1)),
+                tf("B", (LabeledNull("N"),), Interval(2, 3)),
+                tf("C", (LabeledNull("N"),), Interval(4, 5)),
+            ]
+        )
+        target = AbstractInstance(
+            [
+                tf("A", (Constant("x"),), Interval(0, 1)),
+                tf("A", (Constant("y"),), Interval(0, 1)),
+                tf("B", (Constant("x"),), Interval(2, 3)),
+                tf("B", (Constant("y"),), Interval(2, 3)),
+                tf("C", (Constant("y"),), Interval(4, 5)),
+            ]
+        )
+        hom = find_abstract_homomorphism(source, target)
+        assert hom is not None
+        assert hom.rigid_mapping[LabeledNull("N")] == Constant("y")
+
+    def test_two_nulls_cross_constraints(self):
+        source = AbstractInstance(
+            [
+                tf("P", (LabeledNull("N"), LabeledNull("M")), Interval(0, 2)),
+                tf("Q", (LabeledNull("M"),), Interval(5, 7)),
+            ]
+        )
+        target = AbstractInstance(
+            [
+                tf("P", (Constant("a"), Constant("b")), Interval(0, 2)),
+                tf("P", (Constant("c"), Constant("d")), Interval(0, 2)),
+                tf("Q", (Constant("b"),), Interval(5, 7)),
+            ]
+        )
+        hom = find_abstract_homomorphism(source, target)
+        assert hom is not None
+        assert hom.rigid_mapping[LabeledNull("N")] == Constant("a")
+        assert hom.rigid_mapping[LabeledNull("M")] == Constant("b")
+
+    def test_equivalence_of_differently_fragmented_families(self):
+        # One family over [0,4) vs two families over [0,2), [2,4): the
+        # per-snapshot semantics coincide.
+        whole = AbstractInstance(
+            [tf("R", (AnnotatedNull("M", Interval(0, 4)),), Interval(0, 4))]
+        )
+        split = AbstractInstance(
+            [
+                tf("R", (AnnotatedNull("A", Interval(0, 2)),), Interval(0, 2)),
+                tf("R", (AnnotatedNull("B", Interval(2, 4)),), Interval(2, 4)),
+            ]
+        )
+        assert homomorphically_equivalent(whole, split)
+
+    def test_rigid_split_is_weaker_than_whole(self):
+        # Rigid N over [0,4) vs rigid A over [0,2) + rigid B over [2,4):
+        # the whole maps nowhere (A ≠ B would be required), the split
+        # maps into the whole.
+        whole = AbstractInstance(
+            [tf("R", (LabeledNull("N"),), Interval(0, 4))]
+        )
+        split = AbstractInstance(
+            [
+                tf("R", (LabeledNull("A"),), Interval(0, 2)),
+                tf("R", (LabeledNull("B"),), Interval(2, 4)),
+            ]
+        )
+        assert has_abstract_homomorphism(split, whole)
+        assert not has_abstract_homomorphism(whole, split)

@@ -1,0 +1,183 @@
+"""Unit tests for abstract instances and template facts."""
+
+import pytest
+
+from repro.abstract_view import AbstractInstance, TemplateFact
+from repro.errors import InstanceError, TemporalError
+from repro.relational import Constant, Instance, LabeledNull, fact
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import INFINITY, Interval, IntervalSet, interval
+
+
+def template(rel: str, args, stamp: Interval) -> TemplateFact:
+    return TemplateFact(rel, tuple(args), stamp)
+
+
+class TestTemplateFact:
+    def test_constants_and_rigid_nulls_allowed(self):
+        template("R", (Constant("a"), LabeledNull("N")), Interval(0, 5))
+
+    def test_annotated_null_must_match_interval(self):
+        good = AnnotatedNull("N", Interval(0, 5))
+        template("R", (good,), Interval(0, 5))
+        with pytest.raises(InstanceError):
+            template("R", (good,), Interval(0, 6))
+
+    def test_rigid_null_with_at_sign_rejected(self):
+        with pytest.raises(InstanceError, match="@"):
+            template("R", (LabeledNull("N@3"),), Interval(0, 5))
+
+    def test_at_keeps_rigid_nulls(self):
+        rigid = LabeledNull("N")
+        item = template("R", (rigid,), Interval(0, 5))
+        assert item.at(0).args == (rigid,)
+        assert item.at(4).args == (rigid,)
+
+    def test_at_projects_families(self):
+        family = AnnotatedNull("N", Interval(0, 5))
+        item = template("R", (family,), Interval(0, 5))
+        assert item.at(2).args == (LabeledNull("N@2"),)
+        assert item.at(3).args == (LabeledNull("N@3"),)
+
+    def test_at_outside_raises(self):
+        item = template("R", (Constant("a"),), Interval(0, 5))
+        with pytest.raises(TemporalError):
+            item.at(5)
+
+
+class TestConstructionAndStructure:
+    def test_from_snapshot_runs_rigid_semantics(self):
+        run = Instance([fact("R", "a", LabeledNull("N"))])
+        inst = AbstractInstance.from_snapshot_runs([(run, Interval(0, 3))])
+        assert inst.snapshot(0) == inst.snapshot(2) == run
+
+    def test_relation_names(self, abstract_source):
+        assert abstract_source.relation_names() == ("E", "S")
+
+    def test_null_classification(self):
+        rigid = LabeledNull("N")
+        family = AnnotatedNull("M", Interval(0, 2))
+        inst = AbstractInstance(
+            [
+                template("R", (rigid,), Interval(0, 2)),
+                template("R", (family,), Interval(0, 2)),
+            ]
+        )
+        assert inst.rigid_nulls() == {rigid}
+        assert inst.per_snapshot_nulls() == {family}
+        assert not inst.is_complete
+
+    def test_complete(self, abstract_source):
+        assert abstract_source.is_complete
+
+
+class TestTimeline:
+    def test_breakpoints_include_zero(self, abstract_source):
+        assert abstract_source.breakpoints() == (
+            0,
+            2012,
+            2013,
+            2014,
+            2015,
+            2018,
+        )
+
+    def test_regions_partition_all_time(self, abstract_source):
+        regions = abstract_source.regions()
+        assert regions[0].start == 0
+        assert regions[-1].is_unbounded
+        for left, right in zip(regions, regions[1:]):
+            assert left.end == right.start
+
+    def test_horizon(self, abstract_source):
+        assert abstract_source.horizon() == 2018
+
+    def test_representative_points_one_per_region(self, abstract_source):
+        points = abstract_source.representative_points()
+        assert len(points) == len(abstract_source.regions())
+
+    def test_rigid_null_span(self):
+        rigid = LabeledNull("N")
+        inst = AbstractInstance(
+            [
+                template("R", (rigid,), Interval(0, 2)),
+                template("Q", (rigid,), Interval(5, 7)),
+            ]
+        )
+        assert inst.rigid_null_span(rigid) == IntervalSet.of(
+            Interval(0, 2), Interval(5, 7)
+        )
+        assert inst.rigid_null_span(LabeledNull("unused")).is_empty
+
+    def test_empty_instance_timeline(self):
+        empty = AbstractInstance.empty()
+        assert empty.breakpoints() == (0,)
+        assert empty.regions() == (interval(0),)
+
+
+class TestSnapshots:
+    def test_figure1_snapshots(self, abstract_source):
+        # Figure 1 of the paper, year by year.
+        assert abstract_source.snapshot(2012) == Instance([fact("E", "Ada", "IBM")])
+        assert abstract_source.snapshot(2013) == Instance(
+            [fact("E", "Ada", "IBM"), fact("S", "Ada", "18k"), fact("E", "Bob", "IBM")]
+        )
+        assert abstract_source.snapshot(2014) == Instance(
+            [
+                fact("E", "Ada", "Google"),
+                fact("S", "Ada", "18k"),
+                fact("E", "Bob", "IBM"),
+            ]
+        )
+        assert abstract_source.snapshot(2018) == Instance(
+            [
+                fact("E", "Ada", "Google"),
+                fact("S", "Ada", "18k"),
+                fact("S", "Bob", "13k"),
+            ]
+        )
+
+    def test_snapshots_prefix(self, abstract_source):
+        prefix = abstract_source.snapshots(3)
+        assert len(prefix) == 3
+        assert all(not snap for snap in prefix)  # nothing before 2012
+
+    def test_templates_at(self, abstract_source):
+        covering = abstract_source.templates_at(2013)
+        assert len(covering) == 3
+
+
+class TestComparison:
+    def test_same_snapshots_as_positive(self):
+        # One fact over [0,4) vs the same fact split in two templates.
+        whole = AbstractInstance(
+            [template("R", (Constant("a"),), Interval(0, 4))]
+        )
+        split = AbstractInstance(
+            [
+                template("R", (Constant("a"),), Interval(0, 2)),
+                template("R", (Constant("a"),), Interval(2, 4)),
+            ]
+        )
+        assert whole.same_snapshots_as(split)
+        assert whole != split  # representation inequality
+
+    def test_same_snapshots_as_negative(self):
+        a = AbstractInstance([template("R", (Constant("a"),), Interval(0, 4))])
+        b = AbstractInstance([template("R", (Constant("a"),), Interval(0, 5))])
+        assert not a.same_snapshots_as(b)
+
+    def test_rigid_vs_family_differ(self):
+        # J1 vs J2 of Figure 2 have different snapshots (N vs N@ℓ).
+        rigid = AbstractInstance(
+            [template("R", (LabeledNull("N"),), Interval(0, 2))]
+        )
+        family = AbstractInstance(
+            [template("R", (AnnotatedNull("N", Interval(0, 2)),), Interval(0, 2))]
+        )
+        assert not rigid.same_snapshots_as(family)
+
+    def test_union_and_restrict(self, abstract_source):
+        only_e = abstract_source.restrict_to(["E"])
+        only_s = abstract_source.restrict_to(["S"])
+        assert only_e.union(only_s) == abstract_source

@@ -1,0 +1,99 @@
+"""Unit tests for Allen's interval relations on half-open intervals."""
+
+import pytest
+
+from repro.temporal import Interval, interval
+from repro.temporal.allen import (
+    AllenRelation,
+    allen_relation,
+    requires_fragmentation,
+)
+
+
+class TestBasicRelations:
+    @pytest.mark.parametrize(
+        "first,second,expected",
+        [
+            (Interval(1, 3), Interval(5, 8), AllenRelation.BEFORE),
+            (Interval(1, 3), Interval(3, 8), AllenRelation.MEETS),
+            (Interval(1, 5), Interval(3, 8), AllenRelation.OVERLAPS),
+            (Interval(1, 3), Interval(1, 8), AllenRelation.STARTS),
+            (Interval(3, 5), Interval(1, 8), AllenRelation.DURING),
+            (Interval(5, 8), Interval(1, 8), AllenRelation.FINISHES),
+            (Interval(1, 8), Interval(1, 8), AllenRelation.EQUALS),
+            (Interval(1, 8), Interval(5, 8), AllenRelation.FINISHED_BY),
+            (Interval(1, 8), Interval(3, 5), AllenRelation.CONTAINS),
+            (Interval(1, 8), Interval(1, 3), AllenRelation.STARTED_BY),
+            (Interval(3, 8), Interval(1, 5), AllenRelation.OVERLAPPED_BY),
+            (Interval(3, 8), Interval(1, 3), AllenRelation.MET_BY),
+            (Interval(5, 8), Interval(1, 3), AllenRelation.AFTER),
+        ],
+    )
+    def test_all_thirteen(self, first, second, expected):
+        assert allen_relation(first, second) is expected
+
+    def test_exhaustive_inverse_consistency(self):
+        stamps = [
+            Interval(1, 3),
+            Interval(1, 8),
+            Interval(3, 5),
+            Interval(3, 8),
+            Interval(5, 8),
+            interval(3),
+            interval(6),
+        ]
+        for a in stamps:
+            for b in stamps:
+                assert allen_relation(a, b).inverse is allen_relation(b, a)
+
+    def test_unbounded_equals(self):
+        assert allen_relation(interval(3), interval(3)) is AllenRelation.EQUALS
+
+    def test_unbounded_starts(self):
+        assert allen_relation(Interval(3, 9), interval(3)) is AllenRelation.STARTS
+        assert allen_relation(interval(3), Interval(3, 9)) is AllenRelation.STARTED_BY
+
+    def test_unbounded_finishes(self):
+        assert allen_relation(interval(5), interval(2)) is AllenRelation.FINISHES
+
+
+class TestSharesPoints:
+    def test_disjoint_relations_share_nothing(self):
+        for rel in (
+            AllenRelation.BEFORE,
+            AllenRelation.AFTER,
+            AllenRelation.MEETS,
+            AllenRelation.MET_BY,
+        ):
+            assert not rel.shares_points
+
+    def test_overlap_relations_share(self):
+        assert AllenRelation.OVERLAPS.shares_points
+        assert AllenRelation.EQUALS.shares_points
+        assert AllenRelation.DURING.shares_points
+
+    def test_agreement_with_interval_overlap(self):
+        stamps = [Interval(1, 4), Interval(2, 6), Interval(4, 7), interval(5)]
+        for a in stamps:
+            for b in stamps:
+                assert allen_relation(a, b).shares_points == a.overlaps(b)
+
+
+class TestRequiresFragmentation:
+    def test_equal_stamps_do_not_fragment(self):
+        assert not requires_fragmentation(Interval(1, 5), Interval(1, 5))
+
+    def test_disjoint_stamps_do_not_fragment(self):
+        assert not requires_fragmentation(Interval(1, 3), Interval(5, 8))
+        assert not requires_fragmentation(Interval(1, 3), Interval(3, 8))
+
+    def test_example12_overlap_cases_fragment(self):
+        # The four proper-overlap orderings of Example 12.
+        assert requires_fragmentation(Interval(1, 5), Interval(3, 8))  # s1<s2<e1<e2
+        assert requires_fragmentation(Interval(3, 8), Interval(1, 5))  # s2<s1<e2<e1
+        assert requires_fragmentation(Interval(1, 8), Interval(3, 5))  # s1<s2<e2<e1
+        assert requires_fragmentation(Interval(3, 5), Interval(1, 8))  # s2<s1<e1<e2
+
+    def test_shared_endpoint_overlaps_fragment(self):
+        assert requires_fragmentation(Interval(1, 5), Interval(1, 8))
+        assert requires_fragmentation(Interval(1, 8), Interval(5, 8))

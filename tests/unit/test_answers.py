@@ -1,0 +1,99 @@
+"""Unit tests for temporal answer containers."""
+
+from repro.query.answers import ConcreteAnswerSet, TemporalAnswerSet
+from repro.relational import Constant
+from repro.temporal import Interval, IntervalSet, interval
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+class TestConcreteAnswerSet:
+    def test_set_semantics(self):
+        a = ConcreteAnswerSet([(row("x"), Interval(1, 3))])
+        b = ConcreteAnswerSet([(row("x"), Interval(1, 3))])
+        assert a == b and len(a) == 1
+
+    def test_tuples_projection(self):
+        answers = ConcreteAnswerSet(
+            [(row("x"), Interval(1, 3)), (row("x"), Interval(5, 7))]
+        )
+        assert answers.tuples() == {row("x")}
+
+    def test_to_temporal_coalesces(self):
+        answers = ConcreteAnswerSet(
+            [
+                (row("x"), Interval(1, 3)),
+                (row("x"), Interval(3, 7)),
+                (row("y"), Interval(0, 2)),
+            ]
+        )
+        temporal = answers.to_temporal()
+        assert temporal.support(row("x")) == IntervalSet.of(Interval(1, 7))
+        assert temporal.support(row("y")) == IntervalSet.of(Interval(0, 2))
+
+    def test_iteration_deterministic(self):
+        answers = ConcreteAnswerSet(
+            [(row("b"), Interval(1, 3)), (row("a"), Interval(1, 3))]
+        )
+        listed = [item for item, _ in answers]
+        assert listed == [row("a"), row("b")]
+
+
+class TestTemporalAnswerSet:
+    def test_at_recovers_snapshot_answers(self):
+        answers = TemporalAnswerSet(
+            {
+                row("x"): IntervalSet.of(Interval(1, 4)),
+                row("y"): IntervalSet.of(interval(3)),
+            }
+        )
+        assert answers.at(2) == {row("x")}
+        assert answers.at(3) == {row("x"), row("y")}
+        assert answers.at(100) == {row("y")}
+
+    def test_empty_supports_dropped(self):
+        answers = TemporalAnswerSet({row("x"): IntervalSet.empty()})
+        assert len(answers) == 0 and not answers
+
+    def test_support_of_absent_tuple(self):
+        answers = TemporalAnswerSet({})
+        assert answers.support(row("zzz")).is_empty
+
+    def test_union(self):
+        a = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(1, 3))})
+        b = TemporalAnswerSet(
+            {
+                row("x"): IntervalSet.of(Interval(3, 5)),
+                row("y"): IntervalSet.of(Interval(0, 1)),
+            }
+        )
+        merged = a.union(b)
+        assert merged.support(row("x")) == IntervalSet.of(Interval(1, 5))
+        assert row("y") in merged
+
+    def test_intersect(self):
+        a = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(1, 5))})
+        b = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(3, 9))})
+        common = a.intersect(b)
+        assert common.support(row("x")) == IntervalSet.of(Interval(3, 5))
+
+    def test_intersect_disjoint_drops_tuple(self):
+        a = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(1, 2))})
+        b = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(5, 9))})
+        assert len(a.intersect(b)) == 0
+
+    def test_subset(self):
+        small = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(2, 4))})
+        big = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(0, 9))})
+        assert small.is_subset_of(big)
+        assert not big.is_subset_of(small)
+
+    def test_equality_canonical(self):
+        a = TemporalAnswerSet(
+            {row("x"): IntervalSet.of(Interval(1, 3), Interval(3, 5))}
+        )
+        b = TemporalAnswerSet({row("x"): IntervalSet.of(Interval(1, 5))})
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,120 @@
+"""Unit tests for certain answers (Section 5, Corollary 22)."""
+
+import pytest
+
+from repro.abstract_view import AbstractInstance, TemplateFact, semantics
+from repro.errors import ChaseFailureError
+from repro.query import (
+    ConjunctiveQuery,
+    certain_answers_abstract,
+    certain_answers_concrete,
+    certain_contained_in_solution,
+)
+from repro.relational import Constant
+from repro.temporal import Interval, IntervalSet, interval
+from repro.workloads import medical_conflicting_scenario
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+class TestCertainAnswers:
+    def test_abstract_equals_concrete(self, setting, source):
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        assert certain_answers_abstract(
+            q, semantics(source), setting
+        ) == certain_answers_concrete(q, source, setting)
+
+    def test_known_values_certain(self, setting, source):
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        answers = certain_answers_concrete(q, source, setting)
+        assert answers.support(row("Ada", "18k")) == IntervalSet.of(interval(2013))
+        assert answers.support(row("Bob", "13k")) == IntervalSet.of(
+            Interval(2015, 2018)
+        )
+
+    def test_unknown_values_not_certain(self, setting, source):
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        answers = certain_answers_concrete(q, source, setting)
+        # Ada's pre-2013 salary and Bob's pre-2015 salary are unknown.
+        assert 2012 not in answers.support(row("Ada", "18k"))
+        assert 2014 not in answers.support(row("Bob", "13k"))
+
+    def test_existence_queries_certain_despite_unknowns(self, setting, source):
+        q = ConjunctiveQuery.parse("q(n, c) :- Emp(n, c, s)")
+        answers = certain_answers_concrete(q, source, setting)
+        # Employment itself is certain even where the salary is not.
+        assert answers.support(row("Ada", "IBM")) == IntervalSet.of(
+            Interval(2012, 2014)
+        )
+        assert answers.support(row("Bob", "IBM")) == IntervalSet.of(
+            Interval(2013, 2018)
+        )
+
+    def test_failure_propagates(self):
+        scenario = medical_conflicting_scenario()
+        q = ConjunctiveQuery.parse("q(p) :- Case(p, w, c)")
+        with pytest.raises(ChaseFailureError):
+            certain_answers_concrete(q, scenario.source, scenario.setting)
+
+
+class TestContainmentProbe:
+    def test_certain_contained_in_specializations(self, setting, source):
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        certain = certain_answers_concrete(q, source, setting)
+        # Any solution obtained by specializing the unknowns must contain
+        # every certain answer.
+        specialization = AbstractInstance(
+            [
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("IBM"), Constant("5k")),
+                    Interval(2012, 2013),
+                ),
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("IBM"), Constant("18k")),
+                    Interval(2013, 2014),
+                ),
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("Google"), Constant("18k")),
+                    interval(2014),
+                ),
+                TemplateFact(
+                    "Emp",
+                    (Constant("Bob"), Constant("IBM"), Constant("6k")),
+                    Interval(2013, 2015),
+                ),
+                TemplateFact(
+                    "Emp",
+                    (Constant("Bob"), Constant("IBM"), Constant("13k")),
+                    Interval(2015, 2018),
+                ),
+            ]
+        )
+        assert certain_contained_in_solution(certain, q, specialization)
+
+    def test_probe_detects_overclaim(self, setting, source):
+        from repro.query.answers import TemporalAnswerSet
+
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        overclaim = TemporalAnswerSet(
+            {row("Ada", "18k"): IntervalSet.of(interval(2012))}  # too early!
+        )
+        witness = AbstractInstance(
+            [
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("IBM"), Constant("5k")),
+                    Interval(2012, 2013),
+                ),
+                TemplateFact(
+                    "Emp",
+                    (Constant("Ada"), Constant("IBM"), Constant("18k")),
+                    interval(2013),
+                ),
+            ]
+        )
+        assert not certain_contained_in_solution(overclaim, q, witness)

@@ -1,0 +1,102 @@
+"""Unit tests for core computation (smallest universal solution)."""
+
+from repro.chase import chase_snapshot, core_of, find_proper_endomorphism, is_core
+from repro.dependencies import DataExchangeSetting
+from repro.relational import Instance, LabeledNull, Schema, fact
+
+
+def null(name: str) -> LabeledNull:
+    return LabeledNull(name)
+
+
+class TestProperEndomorphism:
+    def test_redundant_null_fact_found(self):
+        # R(a, N) folds onto R(a, b).
+        inst = Instance([fact("R", "a", "b"), fact("R", "a", null("N"))])
+        folding = find_proper_endomorphism(inst)
+        assert folding is not None
+
+    def test_complete_instance_has_none(self):
+        inst = Instance([fact("R", "a", "b"), fact("R", "b", "c")])
+        assert find_proper_endomorphism(inst) is None
+
+    def test_necessary_null_not_folded(self):
+        # Emp(Bob, IBM, N): the null is the only witness — no fold exists.
+        inst = Instance([fact("Emp", "Bob", "IBM", null("N"))])
+        assert find_proper_endomorphism(inst) is None
+
+    def test_chained_nulls_fold_together(self):
+        # R(N1, N2) folds onto R(a, b) only if both nulls move.
+        inst = Instance([fact("R", "a", "b"), fact("R", null("N1"), null("N2"))])
+        folding = find_proper_endomorphism(inst)
+        assert folding is not None
+        image = inst.substitute(folding)
+        assert image == Instance([fact("R", "a", "b")])
+
+
+class TestCoreOf:
+    def test_removes_redundant_fact(self):
+        inst = Instance([fact("R", "a", "b"), fact("R", "a", null("N"))])
+        core = core_of(inst)
+        assert core == Instance([fact("R", "a", "b")])
+        assert is_core(core)
+
+    def test_core_of_core_is_identity(self):
+        inst = Instance([fact("R", "a", "b"), fact("R", "a", null("N"))])
+        core = core_of(inst)
+        assert core_of(core) == core
+
+    def test_complete_instance_is_its_own_core(self):
+        inst = Instance([fact("R", "a"), fact("S", "b")])
+        assert core_of(inst) == inst
+        assert is_core(inst)
+
+    def test_multi_step_folding(self):
+        inst = Instance(
+            [
+                fact("R", "a", "b"),
+                fact("R", "a", null("N1")),
+                fact("R", null("N2"), "b"),
+            ]
+        )
+        core = core_of(inst)
+        assert core == Instance([fact("R", "a", "b")])
+
+    def test_blocks_fold_independently(self):
+        # Two independent redundant blocks, each folds onto its constant row.
+        inst = Instance(
+            [
+                fact("R", "a", "b"),
+                fact("R", "a", null("N")),
+                fact("Q", "c", "d"),
+                fact("Q", "c", null("M")),
+            ]
+        )
+        core = core_of(inst)
+        assert core == Instance([fact("R", "a", "b"), fact("Q", "c", "d")])
+
+    def test_original_untouched(self):
+        inst = Instance([fact("R", "a", "b"), fact("R", "a", null("N"))])
+        core_of(inst)
+        assert len(inst) == 2
+
+
+class TestCoreAfterChase:
+    def test_oblivious_chase_core_equals_standard_result(self, setting):
+        snapshot = Instance([fact("E", "Ada", "IBM"), fact("S", "Ada", "18k")])
+        no_egd = DataExchangeSetting(
+            setting.source_schema, setting.target_schema, setting.st_tgds, ()
+        )
+        oblivious = chase_snapshot(snapshot, no_egd, variant="oblivious").target
+        standard = chase_snapshot(snapshot, no_egd, variant="standard").target
+        # The oblivious run keeps Emp(Ada, IBM, N); its core drops it.
+        assert core_of(oblivious) == core_of(standard) == Instance(
+            [fact("Emp", "Ada", "IBM", "18k")]
+        )
+
+    def test_chase_with_egd_already_core_here(self, setting):
+        snapshot = Instance(
+            [fact("E", "Ada", "IBM"), fact("S", "Ada", "18k"), fact("E", "Bob", "IBM")]
+        )
+        result = chase_snapshot(snapshot, setting).target
+        assert is_core(result)

@@ -1,0 +1,84 @@
+"""Unit tests for generic coalescing (Böhlen et al.)."""
+
+from repro.temporal import Interval, interval
+from repro.temporal.coalesce import (
+    coalesce_intervals,
+    coalesce_pairs,
+    group_is_coalesced,
+    is_coalesced_intervals,
+)
+
+
+class TestCoalesceIntervals:
+    def test_merges_adjacent(self):
+        assert coalesce_intervals([Interval(1, 3), Interval(3, 6)]) == (
+            Interval(1, 6),
+        )
+
+    def test_merges_overlapping(self):
+        assert coalesce_intervals([Interval(1, 4), Interval(2, 6)]) == (
+            Interval(1, 6),
+        )
+
+    def test_keeps_separated(self):
+        assert coalesce_intervals([Interval(1, 3), Interval(5, 6)]) == (
+            Interval(1, 3),
+            Interval(5, 6),
+        )
+
+    def test_idempotent(self):
+        once = coalesce_intervals([Interval(1, 3), Interval(2, 8), interval(12)])
+        assert coalesce_intervals(once) == once
+
+    def test_unbounded(self):
+        assert coalesce_intervals([Interval(1, 5), interval(5)]) == (interval(1),)
+
+    def test_empty(self):
+        assert coalesce_intervals([]) == ()
+
+
+class TestCoalescePairs:
+    def test_groups_by_key(self):
+        result = coalesce_pairs(
+            [
+                ("ada", Interval(2012, 2014)),
+                ("ada", Interval(2014, 2016)),
+                ("bob", Interval(2013, 2015)),
+            ]
+        )
+        assert result == {
+            "ada": (Interval(2012, 2016),),
+            "bob": (Interval(2013, 2015),),
+        }
+
+    def test_different_keys_do_not_merge(self):
+        result = coalesce_pairs(
+            [("a", Interval(1, 3)), ("b", Interval(3, 5))]
+        )
+        assert result == {"a": (Interval(1, 3),), "b": (Interval(3, 5),)}
+
+
+class TestIsCoalesced:
+    def test_detects_adjacency(self):
+        assert not is_coalesced_intervals([Interval(1, 3), Interval(3, 5)])
+
+    def test_detects_overlap(self):
+        assert not is_coalesced_intervals([Interval(1, 4), Interval(3, 5)])
+
+    def test_accepts_separated(self):
+        assert is_coalesced_intervals([Interval(1, 3), Interval(4, 5)])
+
+    def test_accepts_single_and_empty(self):
+        assert is_coalesced_intervals([Interval(1, 3)])
+        assert is_coalesced_intervals([])
+
+    def test_order_insensitive(self):
+        assert not is_coalesced_intervals([Interval(3, 5), Interval(1, 3)])
+
+    def test_group_check(self):
+        assert group_is_coalesced(
+            {"a": [Interval(1, 3)], "b": [Interval(1, 3), Interval(5, 9)]}
+        )
+        assert not group_is_coalesced(
+            {"a": [Interval(1, 3), Interval(3, 9)]}
+        )

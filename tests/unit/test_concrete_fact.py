@@ -1,0 +1,127 @@
+"""Unit tests for interval-stamped concrete facts."""
+
+import pytest
+
+from repro.errors import InstanceError, TemporalError
+from repro.concrete import ConcreteFact, concrete_fact
+from repro.relational import Constant, Fact, LabeledNull
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval, interval
+
+
+@pytest.fixture
+def stamped() -> ConcreteFact:
+    return concrete_fact("E", "Ada", "IBM", interval=Interval(2012, 2014))
+
+
+class TestConstruction:
+    def test_builder(self, stamped):
+        assert stamped.relation == "E"
+        assert stamped.data == (Constant("Ada"), Constant("IBM"))
+        assert stamped.interval == Interval(2012, 2014)
+        assert stamped.arity == 2
+
+    def test_annotated_null_must_match_interval(self):
+        good = AnnotatedNull("N", Interval(1, 5))
+        ConcreteFact("R", (good,), Interval(1, 5))  # fine
+        with pytest.raises(InstanceError, match="interval"):
+            ConcreteFact("R", (good,), Interval(1, 6))
+
+    def test_labeled_null_rejected(self):
+        with pytest.raises(InstanceError, match="annotated"):
+            ConcreteFact("R", (LabeledNull("N"),), Interval(1, 5))
+
+    def test_variable_rejected(self):
+        from repro.relational import Variable
+
+        with pytest.raises(InstanceError):
+            ConcreteFact("R", (Variable("x"),), Interval(1, 5))
+
+    def test_value_semantics(self):
+        a = concrete_fact("E", "x", interval=Interval(1, 3))
+        b = concrete_fact("E", "x", interval=Interval(1, 3))
+        c = concrete_fact("E", "x", interval=Interval(1, 4))
+        assert a == b and a != c
+
+
+class TestAccessors:
+    def test_nulls_and_constants(self):
+        null = AnnotatedNull("N", Interval(1, 5))
+        item = ConcreteFact("R", (Constant("a"), null), Interval(1, 5))
+        assert item.nulls() == (null,)
+        assert item.constants() == (Constant("a"),)
+        assert item.has_nulls()
+
+    def test_data_shape_reduces_nulls_to_base(self):
+        a = ConcreteFact(
+            "R", (Constant("x"), AnnotatedNull("N", Interval(1, 3))), Interval(1, 3)
+        )
+        b = ConcreteFact(
+            "R", (Constant("x"), AnnotatedNull("N", Interval(3, 5))), Interval(3, 5)
+        )
+        assert a.data_shape() == b.data_shape()
+
+
+class TestTemporalOperations:
+    def test_with_interval_narrows(self, stamped):
+        narrowed = stamped.with_interval(Interval(2012, 2013))
+        assert narrowed.interval == Interval(2012, 2013)
+        assert narrowed.data == stamped.data
+
+    def test_with_interval_reannotates_nulls(self):
+        null = AnnotatedNull("N", Interval(1, 9))
+        item = ConcreteFact("R", (null,), Interval(1, 9))
+        narrowed = item.with_interval(Interval(3, 5))
+        assert narrowed.data == (AnnotatedNull("N", Interval(3, 5)),)
+
+    def test_with_interval_outside_raises(self, stamped):
+        with pytest.raises(TemporalError):
+            stamped.with_interval(Interval(2013, 2016))
+
+    def test_fragment(self):
+        item = concrete_fact("R", "a", interval=Interval(5, 11))
+        pieces = item.fragment([7, 8, 10])
+        assert [p.interval for p in pieces] == [
+            Interval(5, 7),
+            Interval(7, 8),
+            Interval(8, 10),
+            Interval(10, 11),
+        ]
+        assert all(p.data == item.data for p in pieces)
+
+    def test_fragment_noop_returns_same_fact(self):
+        item = concrete_fact("R", "a", interval=Interval(5, 11))
+        assert item.fragment([5, 11, 99]) == (item,)
+
+    def test_fragment_unbounded_with_null(self):
+        null = AnnotatedNull("N", interval(8))
+        item = ConcreteFact("R", (null,), interval(8))
+        pieces = item.fragment([10])
+        assert pieces[0].data == (AnnotatedNull("N", Interval(8, 10)),)
+        assert pieces[1].data == (AnnotatedNull("N", interval(10)),)
+
+    def test_at_projects_to_snapshot_fact(self):
+        null = AnnotatedNull("N", Interval(2, 5))
+        item = ConcreteFact("R", (Constant("a"), null), Interval(2, 5))
+        snap = item.at(3)
+        assert snap == Fact("R", (Constant("a"), LabeledNull("N@3")))
+
+    def test_at_outside_raises(self, stamped):
+        with pytest.raises(TemporalError):
+            stamped.at(2014)
+
+
+class TestLiftingAndSubstitution:
+    def test_lifted_appends_interval_constant(self, stamped):
+        lifted = stamped.lifted()
+        assert lifted.relation == "E"
+        assert lifted.args[-1] == Constant(Interval(2012, 2014))
+
+    def test_substitute(self):
+        null = AnnotatedNull("N", Interval(1, 5))
+        item = ConcreteFact("R", (Constant("a"), null), Interval(1, 5))
+        replaced = item.substitute({null: Constant("b")})
+        assert replaced.data == (Constant("a"), Constant("b"))
+
+    def test_str(self, stamped):
+        assert str(stamped) == "E+(Ada, IBM, [2012, 2014))"

@@ -1,0 +1,131 @@
+"""Unit tests for CQ containment, equivalence and minimization."""
+
+import pytest
+
+from repro.query import ConjunctiveQuery, UnionQuery
+from repro.query.containment import (
+    are_equivalent,
+    canonical_instance,
+    is_contained_in,
+    minimize,
+    union_contained_in,
+)
+
+
+def q(text: str) -> ConjunctiveQuery:
+    return ConjunctiveQuery.parse(text)
+
+
+class TestCanonicalInstance:
+    def test_head_variables_frozen_to_constants(self):
+        instance, head = canonical_instance(q("q(x) :- R(x, y)"))
+        assert len(instance) == 1
+        assert head[0].is_constant
+
+    def test_existential_variables_frozen_to_nulls(self):
+        instance, _head = canonical_instance(q("q(x) :- R(x, y)"))
+        assert len(instance.nulls()) == 1
+
+    def test_body_constants_survive(self):
+        instance, _head = canonical_instance(q("q(x) :- R(x, 'v')"))
+        (item,) = instance.facts()
+        assert str(item.args[1]) == "v"
+
+
+class TestContainment:
+    def test_reflexive(self):
+        query = q("q(x) :- R(x, y) & S(y)")
+        assert is_contained_in(query, query)
+
+    def test_more_constrained_contained_in_less(self):
+        tight = q("q(x) :- R(x, y) & S(y)")
+        loose = q("q(x) :- R(x, y)")
+        assert is_contained_in(tight, loose)
+        assert not is_contained_in(loose, tight)
+
+    def test_constant_specializes_variable(self):
+        special = q("q(x) :- R(x, 'v')")
+        general = q("q(x) :- R(x, y)")
+        assert is_contained_in(special, general)
+        assert not is_contained_in(general, special)
+
+    def test_self_join_vs_single_atom(self):
+        # R(x,y) ∧ R(y,x) is contained in R(x,y)... with head (x):
+        pair = q("q(x) :- R(x, y) & R(y, x)")
+        single = q("q(x) :- R(x, y)")
+        assert is_contained_in(pair, single)
+        assert not is_contained_in(single, pair)
+
+    def test_different_relations_incomparable(self):
+        assert not is_contained_in(q("q(x) :- R(x)"), q("q(x) :- S(x)"))
+
+    def test_arity_mismatch(self):
+        assert not is_contained_in(q("q(x) :- R(x, y)"), q("q(x, y) :- R(x, y)"))
+
+    def test_head_permutation_matters(self):
+        forward = q("q(x, y) :- R(x, y)")
+        backward = q("q(y, x) :- R(x, y)")
+        assert not is_contained_in(forward, backward)
+
+
+class TestEquivalence:
+    def test_redundant_atom_equivalent(self):
+        redundant = q("q(x) :- R(x, y) & R(x, z)")
+        lean = q("q(x) :- R(x, y)")
+        assert are_equivalent(redundant, lean)
+
+    def test_renamed_variables_equivalent(self):
+        assert are_equivalent(
+            q("q(a) :- R(a, b) & S(b)"),
+            q("q(x) :- R(x, y) & S(y)"),
+        )
+
+    def test_nonequivalent(self):
+        assert not are_equivalent(
+            q("q(x) :- R(x, y)"), q("q(x) :- R(x, y) & S(y)")
+        )
+
+
+class TestMinimize:
+    def test_drops_redundant_atom(self):
+        minimized = minimize(q("q(x) :- R(x, y) & R(x, z)"))
+        assert len(minimized.body) == 1
+        assert are_equivalent(minimized, q("q(x) :- R(x, y)"))
+
+    def test_keeps_necessary_atoms(self):
+        query = q("q(x) :- R(x, y) & S(y)")
+        assert len(minimize(query).body) == 2
+
+    def test_already_minimal_unchanged(self):
+        query = q("q(x) :- R(x, y)")
+        assert minimize(query).body == query.body
+
+    def test_triangle_with_shortcut(self):
+        # R(x,y) ∧ R(y,z) ∧ R(x,w): the dangling R(x,w) folds into R(x,y).
+        query = q("q(x) :- R(x, y) & R(y, z) & R(x, w)")
+        minimized = minimize(query)
+        assert len(minimized.body) == 2
+        assert are_equivalent(minimized, query)
+
+    def test_head_variables_protected(self):
+        # Both atoms bind head variables; nothing may be dropped.
+        query = q("q(x, w) :- R(x, y) & R(w, z)")
+        assert len(minimize(query).body) == 2
+
+    def test_minimized_query_same_certain_answers(self, setting, source):
+        from repro.query import certain_answers_concrete
+
+        redundant = q("q(n, s) :- Emp(n, c, s) & Emp(n, c2, s2)")
+        minimized = minimize(redundant)
+        assert len(minimized.body) < len(redundant.body)
+        assert certain_answers_concrete(
+            redundant, source, setting
+        ) == certain_answers_concrete(minimized, source, setting)
+
+
+class TestUnionContainment:
+    def test_disjunct_wise(self):
+        small = UnionQuery.of("q(x) :- R(x, 'v')")
+        big = UnionQuery.of("q(x) :- R(x, y)", "q(x) :- S(x)")
+        assert union_contained_in(small, big)
+        assert not union_contained_in(big, small)

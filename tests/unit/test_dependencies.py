@@ -1,0 +1,133 @@
+"""Unit tests for s-t tgds, egds and data exchange settings."""
+
+import pytest
+
+from repro.errors import FormulaError, SchemaError
+from repro.dependencies import EGD, DataExchangeSetting, SourceToTargetTGD
+from repro.relational import Schema, Variable
+
+
+class TestSourceToTargetTGD:
+    def test_parse_and_structure(self):
+        tgd = SourceToTargetTGD.parse("E(n, c) -> EXISTS s . Emp(n, c, s)")
+        assert tgd.universal_variables == (Variable("n"), Variable("c"))
+        assert tgd.existential_variables == (Variable("s"),)
+        assert tgd.exported_variables == (Variable("n"), Variable("c"))
+
+    def test_full_export(self):
+        tgd = SourceToTargetTGD.parse("E(n, c) & S(n, s) -> Emp(n, c, s)")
+        assert tgd.existential_variables == ()
+        assert set(tgd.exported_variables) == {
+            Variable("n"),
+            Variable("c"),
+            Variable("s"),
+        }
+
+    def test_unsafe_rhs_variable_rejected(self):
+        # z occurs neither universally nor existentially.
+        with pytest.raises(FormulaError):
+            SourceToTargetTGD.parse("E(n) -> EXISTS s . T(n, s, z)")
+        # ... but implicit existential inference accepts it when unclaimed.
+        tgd = SourceToTargetTGD.parse("E(n) -> T(n, s, z)")
+        assert set(tgd.existential_variables) == {Variable("s"), Variable("z")}
+
+    def test_existential_overlapping_lhs_rejected(self):
+        with pytest.raises(FormulaError):
+            SourceToTargetTGD.parse("E(n) -> EXISTS n . T(n)")
+
+    def test_declared_existential_missing_from_rhs_rejected(self):
+        with pytest.raises(FormulaError):
+            SourceToTargetTGD.parse("E(n) -> EXISTS s . T(n)")
+
+    def test_parse_egd_shape_rejected(self):
+        with pytest.raises(FormulaError):
+            SourceToTargetTGD.parse("E(n, m) -> n = m")
+
+    def test_lift_lhs_shares_t(self):
+        tgd = SourceToTargetTGD.parse("E(n, c) & S(n, s) -> Emp(n, c, s)")
+        lifted = tgd.lift_lhs()
+        assert lifted.is_shared
+        assert len(lifted) == 2
+
+    def test_validate_against_schemas(self):
+        tgd = SourceToTargetTGD.parse("E(n, c) -> EXISTS s . Emp(n, c, s)")
+        tgd.validate_against(
+            Schema.of(E=("Name", "Company")),
+            Schema.of(Emp=("Name", "Company", "Salary")),
+        )
+        with pytest.raises(SchemaError):
+            tgd.validate_against(
+                Schema.of(E=("Name",)),  # wrong arity
+                Schema.of(Emp=("Name", "Company", "Salary")),
+            )
+
+    def test_str_shows_quantifier(self):
+        tgd = SourceToTargetTGD.parse("E(n, c) -> EXISTS s . Emp(n, c, s)")
+        assert "∃s" in str(tgd)
+
+
+class TestEGD:
+    def test_parse(self):
+        egd = EGD.parse("Emp(n, c, s) & Emp(n, c, s2) -> s = s2")
+        assert egd.left_variable == Variable("s")
+        assert egd.right_variable == Variable("s2")
+
+    def test_equated_variables_must_occur(self):
+        with pytest.raises(FormulaError):
+            EGD.parse("Emp(n, c, s) -> s = z")
+
+    def test_self_equation_rejected(self):
+        with pytest.raises(FormulaError):
+            EGD.parse("Emp(n, c, s) -> s = s")
+
+    def test_parse_tgd_shape_rejected(self):
+        with pytest.raises(FormulaError):
+            EGD.parse("E(n) -> T(n)")
+
+    def test_validate_against_target_schema(self):
+        egd = EGD.parse("Emp(n, c, s) & Emp(n, c, s2) -> s = s2")
+        egd.validate_against(Schema.of(Emp=("N", "C", "S")))
+        with pytest.raises(SchemaError):
+            egd.validate_against(Schema.of(Emp=("N", "C")))
+
+
+class TestDataExchangeSetting:
+    def test_create_parses_strings(self):
+        setting = DataExchangeSetting.create(
+            Schema.of(E=("N", "C")),
+            Schema.of(T=("N", "C")),
+            st_tgds=["E(n, c) -> T(n, c)"],
+            egds=["T(n, c) & T(n, c2) -> c = c2"],
+        )
+        assert len(setting.st_tgds) == 1
+        assert len(setting.egds) == 1
+        assert len(setting.dependencies) == 2
+
+    def test_schemas_must_be_disjoint(self):
+        with pytest.raises(SchemaError, match="disjoint"):
+            DataExchangeSetting.create(Schema.of(E=("A",)), Schema.of(E=("A",)))
+
+    def test_dependencies_validated_on_construction(self):
+        with pytest.raises(SchemaError):
+            DataExchangeSetting.create(
+                Schema.of(E=("N",)),
+                Schema.of(T=("N",)),
+                st_tgds=["E(n, c) -> T(n)"],  # E arity mismatch
+            )
+
+    def test_lifted_conjunctions(self, setting):
+        st = setting.lifted_st_lhs_conjunctions()
+        eg = setting.lifted_egd_lhs_conjunctions()
+        assert len(st) == 2 and len(eg) == 1
+        assert all(conj.is_shared for conj in st + eg)
+
+    def test_lifted_schemas_gain_temporal_attribute(self, setting):
+        assert setting.lifted_source_schema()["E"].arity == 3
+        assert setting.lifted_target_schema()["Emp"].arity == 4
+
+    def test_target_relations_used(self, setting):
+        assert setting.target_relations_used() == {"Emp"}
+
+    def test_describe_mentions_everything(self, setting):
+        text = setting.describe()
+        assert "σ1" in text and "ε1" in text and "Emp" in text

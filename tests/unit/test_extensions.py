@@ -1,0 +1,153 @@
+"""Unit tests for the ♦⁻ (sometime-in-the-past) extension."""
+
+import pytest
+
+from repro.abstract_view import AbstractInstance, TemplateFact
+from repro.errors import FormulaError
+from repro.extensions import (
+    PastTGD,
+    past_chase,
+    satisfies_always_past,
+    satisfies_past_tgd,
+)
+from repro.relational import Constant, Instance, fact
+from repro.temporal import Interval, interval
+
+
+@pytest.fixture
+def phd_dependency() -> PastTGD:
+    return PastTGD.parse("PhDgrad(n) -> EXISTS adv, top . PhDCan(n, adv, top)")
+
+
+def grads(*runs) -> AbstractInstance:
+    """runs: (name, interval) pairs of PhDgrad facts."""
+    return AbstractInstance.from_snapshot_runs(
+        [(Instance([fact("PhDgrad", name)]), stamp) for name, stamp in runs]
+    )
+
+
+class TestPastTGD:
+    def test_parse(self, phd_dependency):
+        assert len(phd_dependency.lhs) == 1
+        assert len(phd_dependency.existential_variables) == 2
+        assert "♦⁻" in str(phd_dependency)
+
+    def test_equality_shape_rejected(self):
+        with pytest.raises(FormulaError):
+            PastTGD.parse("R(x, y) -> x = y")
+
+    def test_safety_validated(self):
+        with pytest.raises(FormulaError):
+            PastTGD.parse("R(x) -> EXISTS x . T(x)")
+
+
+class TestSatisfaction:
+    def test_witness_before_firing_satisfies(self, phd_dependency):
+        source = grads(("maya", interval(6)))
+        target = AbstractInstance(
+            [
+                TemplateFact(
+                    "PhDCan",
+                    (Constant("maya"), Constant("prof"), Constant("chase")),
+                    Interval(3, 5),
+                )
+            ]
+        )
+        assert satisfies_past_tgd(source, target, phd_dependency)
+
+    def test_witness_only_after_firing_fails(self, phd_dependency):
+        source = grads(("maya", Interval(6, 8)))
+        target = AbstractInstance(
+            [
+                TemplateFact(
+                    "PhDCan",
+                    (Constant("maya"), Constant("prof"), Constant("chase")),
+                    Interval(9, 12),
+                )
+            ]
+        )
+        assert not satisfies_past_tgd(source, target, phd_dependency)
+
+    def test_simultaneous_witness_not_past(self, phd_dependency):
+        # t' < t is strict: a witness AT the graduation snapshot only
+        # does not satisfy ♦⁻ at the first graduation snapshot.
+        source = grads(("maya", Interval(6, 7)))
+        target = AbstractInstance(
+            [
+                TemplateFact(
+                    "PhDCan",
+                    (Constant("maya"), Constant("p"), Constant("t")),
+                    Interval(6, 7),
+                )
+            ]
+        )
+        assert not satisfies_past_tgd(source, target, phd_dependency)
+
+    def test_empty_source_vacuously_satisfied(self, phd_dependency):
+        assert satisfies_past_tgd(
+            AbstractInstance.empty(), AbstractInstance.empty(), phd_dependency
+        )
+
+    def test_always_past_requires_total_coverage(self, phd_dependency):
+        source = grads(("maya", Interval(4, 6)))
+        partial = AbstractInstance(
+            [
+                TemplateFact(
+                    "PhDCan",
+                    (Constant("maya"), Constant("p"), Constant("t")),
+                    Interval(2, 4),
+                )
+            ]
+        )
+        total = AbstractInstance(
+            [
+                TemplateFact(
+                    "PhDCan",
+                    (Constant("maya"), Constant("p"), Constant("t")),
+                    Interval(0, 6),
+                )
+            ]
+        )
+        assert satisfies_past_tgd(source, partial, phd_dependency)
+        assert not satisfies_always_past(source, partial, phd_dependency)
+        assert satisfies_always_past(source, total, phd_dependency)
+
+
+class TestPastChase:
+    def test_witness_placed_immediately_before(self, phd_dependency):
+        source = grads(("maya", interval(6)))
+        result = past_chase(source, [phd_dependency])
+        assert result.succeeded and result.witnesses_placed == 1
+        snap = result.target.snapshot(5)
+        assert len(snap.facts_of("PhDCan")) == 1
+        assert not result.target.snapshot(4)
+
+    def test_result_satisfies_dependency(self, phd_dependency):
+        source = grads(("maya", interval(6)), ("tom", Interval(9, 12)))
+        result = past_chase(source, [phd_dependency])
+        assert satisfies_past_tgd(source, result.target, phd_dependency)
+
+    def test_one_witness_per_match(self, phd_dependency):
+        # The same person graduating over a long interval needs ONE witness.
+        source = grads(("maya", Interval(6, 100)))
+        result = past_chase(source, [phd_dependency])
+        assert result.witnesses_placed == 1
+
+    def test_distinct_matches_get_distinct_witnesses(self, phd_dependency):
+        source = grads(("maya", interval(6)), ("tom", interval(6)))
+        result = past_chase(source, [phd_dependency])
+        assert result.witnesses_placed == 2
+        # Their unknowns are distinct nulls.
+        assert len(result.target.per_snapshot_nulls()) == 4
+
+    def test_firing_at_zero_fails(self, phd_dependency):
+        source = grads(("eve", interval(0)))
+        result = past_chase(source, [phd_dependency])
+        assert result.failed
+        assert result.unsatisfiable_at_zero
+
+    def test_exported_constants_propagate(self, phd_dependency):
+        source = grads(("maya", interval(6)))
+        result = past_chase(source, [phd_dependency])
+        (witness,) = result.target.snapshot(5).facts_of("PhDCan")
+        assert witness.args[0] == Constant("maya")

@@ -1,0 +1,84 @@
+"""Unit tests for snapshot-level facts."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.relational import Constant, Fact, LabeledNull, Variable, fact
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval
+
+
+class TestConstruction:
+    def test_builder_wraps_constants(self):
+        item = fact("E", "Ada", "IBM")
+        assert item.relation == "E"
+        assert item.args == (Constant("Ada"), Constant("IBM"))
+
+    def test_builder_passes_terms_through(self):
+        null = LabeledNull("N")
+        item = fact("Emp", "Ada", null)
+        assert item.args == (Constant("Ada"), null)
+
+    def test_variables_rejected(self):
+        with pytest.raises(InstanceError):
+            Fact("E", (Variable("x"),))
+        with pytest.raises(InstanceError):
+            fact("E", Variable("x"))
+
+    def test_empty_relation_rejected(self):
+        with pytest.raises(InstanceError):
+            fact("")
+
+    def test_nullary_fact_allowed(self):
+        assert fact("Alive").arity == 0
+
+    def test_value_semantics(self):
+        assert fact("E", "a") == fact("E", "a")
+        assert fact("E", "a") != fact("F", "a")
+        assert fact("E", "a") != fact("E", "a", "b")
+
+
+class TestAccessors:
+    def test_nulls_and_constants(self):
+        null = LabeledNull("N")
+        anull = AnnotatedNull("M", Interval(0, 2))
+        item = fact("R", "a", null, anull)
+        assert list(item.nulls()) == [null, anull]
+        assert list(item.constants()) == [Constant("a")]
+        assert item.has_nulls()
+
+    def test_no_nulls(self):
+        assert not fact("R", "a", "b").has_nulls()
+
+    def test_arity(self):
+        assert fact("R", 1, 2, 3).arity == 3
+
+
+class TestTransformation:
+    def test_substitute(self):
+        null = LabeledNull("N")
+        item = fact("R", "a", null)
+        replaced = item.substitute({null: Constant("b")})
+        assert replaced == fact("R", "a", "b")
+
+    def test_substitute_leaves_unmapped(self):
+        item = fact("R", "a", LabeledNull("N"))
+        assert item.substitute({LabeledNull("M"): Constant("x")}) == item
+
+    def test_map_args(self):
+        item = fact("R", "a", "b")
+        upper = item.map_args(
+            lambda t: Constant(t.value.upper()) if isinstance(t, Constant) else t
+        )
+        assert upper == fact("R", "A", "B")
+
+    def test_sort_key_deterministic(self):
+        facts = [fact("R", "b"), fact("R", "a"), fact("Q", "z")]
+        ordered = sorted(facts, key=Fact.sort_key)
+        assert ordered == [fact("Q", "z"), fact("R", "a"), fact("R", "b")]
+
+
+class TestRendering:
+    def test_str(self):
+        assert str(fact("E", "Ada", "IBM")) == "E(Ada, IBM)"
+        assert str(fact("Emp", "Ada", LabeledNull("N"))) == "Emp(Ada, N)"

@@ -1,0 +1,145 @@
+"""Unit tests for atoms, conjunctions and temporal conjunctions."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.relational import (
+    Atom,
+    Conjunction,
+    Constant,
+    LabeledNull,
+    Schema,
+    TemporalConjunction,
+    Variable,
+)
+
+
+def atom(rel: str, *names: str) -> Atom:
+    args = tuple(
+        Constant(n[1:-1]) if n.startswith("'") else Variable(n) for n in names
+    )
+    return Atom(rel, args)
+
+
+class TestAtom:
+    def test_variables_and_constants(self):
+        a = atom("Emp", "n", "'IBM'", "s")
+        assert a.variables() == (Variable("n"), Variable("s"))
+        assert a.constants() == (Constant("IBM"),)
+        assert a.arity == 3
+
+    def test_ground_terms_rejected(self):
+        with pytest.raises(FormulaError):
+            Atom("R", (LabeledNull("N"),))
+
+    def test_substitute_partial(self):
+        a = atom("E", "n", "c")
+        replaced = a.substitute({Variable("n"): Constant("Ada")})
+        assert replaced.args == (Constant("Ada"), Variable("c"))
+
+    def test_instantiate_total(self):
+        a = atom("E", "n", "c")
+        result = a.instantiate(
+            {Variable("n"): Constant("Ada"), Variable("c"): Constant("IBM")}
+        )
+        assert result.relation == "E"
+        assert result.args == (Constant("Ada"), Constant("IBM"))
+
+    def test_instantiate_missing_variable_raises(self):
+        with pytest.raises(FormulaError, match="unassigned"):
+            atom("E", "n", "c").instantiate({Variable("n"): Constant("Ada")})
+
+    def test_instantiate_non_ground_value_raises(self):
+        with pytest.raises(FormulaError):
+            atom("E", "n").instantiate({Variable("n"): Variable("m")})
+
+    def test_validate_against_schema(self):
+        schema = Schema.of(E=("A", "B"))
+        atom("E", "x", "y").validate_against(schema)
+        with pytest.raises(Exception):
+            atom("E", "x").validate_against(schema)
+
+
+class TestConjunction:
+    def test_requires_atoms(self):
+        with pytest.raises(FormulaError):
+            Conjunction(())
+
+    def test_len_is_atom_count(self):
+        conj = Conjunction((atom("E", "n", "c"), atom("S", "n", "s")))
+        assert len(conj) == 2
+
+    def test_variables_first_occurrence_no_duplicates(self):
+        conj = Conjunction((atom("E", "n", "c"), atom("S", "n", "s")))
+        assert conj.variables() == (Variable("n"), Variable("c"), Variable("s"))
+
+    def test_relations(self):
+        conj = Conjunction((atom("E", "n"), atom("S", "n")))
+        assert conj.relations() == ("E", "S")
+
+    def test_instantiate(self):
+        conj = Conjunction((atom("E", "n"), atom("S", "n")))
+        facts = conj.instantiate({Variable("n"): Constant("Ada")})
+        assert [f.relation for f in facts] == ["E", "S"]
+
+    def test_substitute(self):
+        conj = Conjunction((atom("E", "n", "c"),))
+        replaced = conj.substitute({Variable("c"): Constant("IBM")})
+        assert replaced.atoms[0].constants() == (Constant("IBM"),)
+
+
+class TestTemporalConjunction:
+    def test_shared_form(self):
+        conj = TemporalConjunction.shared([atom("E", "n"), atom("S", "n")])
+        assert conj.is_shared
+        assert conj.shared_variable == Variable("t")
+
+    def test_temporal_variable_count_must_match(self):
+        with pytest.raises(FormulaError):
+            TemporalConjunction((atom("E", "n"),), (Variable("t"), Variable("u")))
+
+    def test_temporal_variable_clash_with_data_rejected(self):
+        with pytest.raises(FormulaError):
+            TemporalConjunction.shared([atom("E", "t")])
+
+    def test_normalized_decouples_variables(self):
+        # N(Φ+) of Example 9: R+(x,t) ∧ S+(y,t) becomes R+(x,t1) ∧ S+(y,t2).
+        shared = TemporalConjunction.shared([atom("R", "x"), atom("S", "y")])
+        decoupled = shared.normalized()
+        assert len(set(decoupled.temporal_variables)) == 2
+        assert not decoupled.is_shared
+        assert decoupled.atoms == shared.atoms
+
+    def test_normalized_avoids_data_variable_names(self):
+        shared = TemporalConjunction.shared([atom("R", "t_1", "t_2")])
+        decoupled = shared.normalized()
+        assert decoupled.temporal_variables[0].name not in {"t_1", "t_2"}
+
+    def test_shared_variable_on_decoupled_raises(self):
+        decoupled = TemporalConjunction.shared(
+            [atom("R", "x"), atom("S", "y")]
+        ).normalized()
+        with pytest.raises(FormulaError):
+            decoupled.shared_variable  # noqa: B018
+
+    def test_data_conjunction_drops_time(self):
+        shared = TemporalConjunction.shared([atom("R", "x")])
+        assert isinstance(shared.data_conjunction(), Conjunction)
+        assert shared.data_conjunction().atoms == shared.atoms
+
+    def test_variables_include_temporal_last(self):
+        shared = TemporalConjunction.shared([atom("R", "x"), atom("S", "y")])
+        assert shared.variables() == (
+            Variable("x"),
+            Variable("y"),
+            Variable("t"),
+        )
+
+    def test_iteration_pairs_atoms_with_temporal_vars(self):
+        shared = TemporalConjunction.shared([atom("R", "x")])
+        pairs = list(shared)
+        assert pairs == [(atom("R", "x"), Variable("t"))]
+
+    def test_str_renders_lifted_relations(self):
+        shared = TemporalConjunction.shared([atom("R", "x")])
+        assert "R+" in str(shared)

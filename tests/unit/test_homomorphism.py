@@ -1,0 +1,161 @@
+"""Unit tests for homomorphism search (formula→instance, instance→instance)."""
+
+import pytest
+
+from repro.relational import (
+    Constant,
+    Instance,
+    LabeledNull,
+    Variable,
+    fact,
+    parse_conjunction,
+)
+from repro.relational.homomorphism import (
+    find_homomorphism,
+    find_homomorphisms,
+    find_homomorphisms_with_images,
+    find_instance_homomorphism,
+    has_homomorphism,
+    has_instance_homomorphism,
+    is_homomorphism,
+)
+
+
+@pytest.fixture
+def employment() -> Instance:
+    return Instance(
+        [
+            fact("E", "Ada", "IBM"),
+            fact("E", "Bob", "IBM"),
+            fact("E", "Cyd", "HP"),
+            fact("S", "Ada", "18k"),
+            fact("S", "Cyd", "21k"),
+        ]
+    )
+
+
+class TestFormulaHomomorphisms:
+    def test_single_atom_all_matches(self, employment):
+        results = list(find_homomorphisms(parse_conjunction("E(n, c)"), employment))
+        assert len(results) == 3
+
+    def test_join_via_shared_variable(self, employment):
+        results = list(
+            find_homomorphisms(parse_conjunction("E(n, c) & S(n, s)"), employment)
+        )
+        names = {h[Variable("n")].value for h in results}
+        assert names == {"Ada", "Cyd"}  # Bob has no salary
+
+    def test_constants_filter(self, employment):
+        results = list(
+            find_homomorphisms(parse_conjunction("E(n, 'IBM')"), employment)
+        )
+        assert {h[Variable("n")].value for h in results} == {"Ada", "Bob"}
+
+    def test_repeated_variable_within_atom(self):
+        inst = Instance([fact("R", "a", "a"), fact("R", "a", "b")])
+        results = list(find_homomorphisms(parse_conjunction("R(x, x)"), inst))
+        assert len(results) == 1
+        assert results[0][Variable("x")] == Constant("a")
+
+    def test_initial_bindings_respected(self, employment):
+        results = list(
+            find_homomorphisms(
+                parse_conjunction("E(n, c)"),
+                employment,
+                initial={Variable("c"): Constant("HP")},
+            )
+        )
+        assert len(results) == 1
+        assert results[0][Variable("n")] == Constant("Cyd")
+
+    def test_no_match(self, employment):
+        assert not has_homomorphism(parse_conjunction("E(n, 'SUN')"), employment)
+        assert find_homomorphism(parse_conjunction("E(n, 'SUN')"), employment) is None
+
+    def test_nulls_matchable_by_variables(self):
+        null = LabeledNull("N")
+        inst = Instance([fact("Emp", "Ada", null)])
+        h = find_homomorphism(parse_conjunction("Emp(n, s)"), inst)
+        assert h is not None
+        assert h[Variable("s")] == null
+
+    def test_images_align_with_atoms(self, employment):
+        conj = parse_conjunction("S(n, s) & E(n, c)")
+        for assignment, images in find_homomorphisms_with_images(conj, employment):
+            assert images[0].relation == "S"
+            assert images[1].relation == "E"
+            assert images[0].args[0] == assignment[Variable("n")]
+
+    def test_two_atoms_may_map_to_same_fact(self):
+        inst = Instance([fact("R", "a", "b")])
+        conj = parse_conjunction("R(x, y) & R(x2, y2)")
+        results = list(find_homomorphisms_with_images(conj, inst))
+        assert len(results) == 1
+        assignment, images = results[0]
+        assert images[0] == images[1]
+
+    def test_deterministic_enumeration_order(self, employment):
+        conj = parse_conjunction("E(n, c)")
+        first = [h[Variable("n")] for h in find_homomorphisms(conj, employment)]
+        second = [h[Variable("n")] for h in find_homomorphisms(conj, employment)]
+        assert first == second
+
+    def test_cartesian_product_counts(self):
+        inst = Instance([fact("A", i) for i in range(3)] + [fact("B", i) for i in range(4)])
+        conj = parse_conjunction("A(x) & B(y)")
+        assert len(list(find_homomorphisms(conj, inst))) == 12
+
+
+class TestInstanceHomomorphisms:
+    def test_constants_map_identically(self):
+        src = Instance([fact("R", "a")])
+        tgt = Instance([fact("R", "b")])
+        assert not has_instance_homomorphism(src, tgt)
+
+    def test_null_maps_to_constant(self):
+        null = LabeledNull("N")
+        src = Instance([fact("R", "a", null)])
+        tgt = Instance([fact("R", "a", "b")])
+        h = find_instance_homomorphism(src, tgt)
+        assert h is not None
+        assert h[null] == Constant("b")
+
+    def test_null_consistency_across_facts(self):
+        null = LabeledNull("N")
+        src = Instance([fact("R", null), fact("Q", null)])
+        tgt = Instance([fact("R", "a"), fact("Q", "b")])
+        assert not has_instance_homomorphism(src, tgt)
+        tgt2 = Instance([fact("R", "a"), fact("Q", "a")])
+        assert has_instance_homomorphism(src, tgt2)
+
+    def test_fixed_bindings(self):
+        null = LabeledNull("N")
+        src = Instance([fact("R", null)])
+        tgt = Instance([fact("R", "a"), fact("R", "b")])
+        h = find_instance_homomorphism(src, tgt, fixed={null: Constant("b")})
+        assert h is not None and h[null] == Constant("b")
+
+    def test_frozen_nulls_must_map_to_themselves(self):
+        null = LabeledNull("N")
+        src = Instance([fact("R", null)])
+        tgt = Instance([fact("R", "a")])
+        assert (
+            find_instance_homomorphism(src, tgt, frozen_nulls=[null]) is None
+        )
+        tgt_with_null = Instance([fact("R", "a"), fact("R", null)])
+        h = find_instance_homomorphism(src, tgt_with_null, frozen_nulls=[null])
+        assert h is not None and h[null] == null
+
+    def test_empty_source_trivially_maps(self):
+        assert has_instance_homomorphism(Instance(), Instance([fact("R", "a")]))
+
+    def test_is_homomorphism_checker(self):
+        null = LabeledNull("N")
+        src = Instance([fact("R", "a", null)])
+        tgt = Instance([fact("R", "a", "b")])
+        assert is_homomorphism({null: Constant("b")}, src, tgt)
+        assert not is_homomorphism({null: Constant("z")}, src, tgt)
+        assert not is_homomorphism(
+            {Constant("a"): Constant("b"), null: Constant("b")}, src, tgt
+        )

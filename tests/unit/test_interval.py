@@ -1,0 +1,201 @@
+"""Unit tests for half-open intervals [s, e)."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal import INFINITY, Interval, interval, span_of
+
+
+class TestConstruction:
+    def test_finite(self):
+        item = Interval(2, 5)
+        assert item.start == 2 and item.end == 5
+        assert item.is_finite and not item.is_unbounded
+
+    def test_unbounded(self):
+        item = interval(3)
+        assert item.end is INFINITY
+        assert item.is_unbounded
+
+    def test_interval_helper_with_string_end(self):
+        assert interval(3, "inf") == interval(3)
+        assert interval(3, 9) == Interval(3, 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(5, 5)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(5, 3)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(-1, 3)
+
+    def test_infinite_start_rejected(self):
+        with pytest.raises(TemporalError):
+            Interval(INFINITY, INFINITY)  # type: ignore[arg-type]
+
+    def test_hashable_value_semantics(self):
+        assert Interval(2, 5) == Interval(2, 5)
+        assert len({Interval(2, 5), Interval(2, 5), interval(2)}) == 2
+
+
+class TestMembershipAndDuration:
+    def test_contains_half_open(self):
+        item = Interval(2, 5)
+        assert 2 in item and 4 in item
+        assert 5 not in item and 1 not in item
+
+    def test_unbounded_contains_everything_from_start(self):
+        item = interval(10)
+        assert 10 in item and 10**9 in item
+        assert 9 not in item
+
+    def test_infinity_not_a_member(self):
+        assert INFINITY not in interval(0)
+
+    def test_non_int_not_a_member(self):
+        assert "2013" not in Interval(2012, 2015)
+        assert True not in Interval(0, 5)  # bools excluded on purpose
+
+    def test_duration(self):
+        assert Interval(2, 5).duration() == 3
+        assert interval(2).duration() is INFINITY
+
+    def test_contains_interval(self):
+        assert Interval(2, 8).contains_interval(Interval(3, 5))
+        assert Interval(2, 8).contains_interval(Interval(2, 8))
+        assert not Interval(2, 8).contains_interval(Interval(3, 9))
+        assert interval(2).contains_interval(interval(5))
+        assert not Interval(2, 9).contains_interval(interval(5))
+
+
+class TestRelationships:
+    def test_overlap(self):
+        assert Interval(1, 5).overlaps(Interval(4, 9))
+        assert not Interval(1, 4).overlaps(Interval(4, 9))  # adjacency only
+
+    def test_overlap_unbounded(self):
+        assert interval(3).overlaps(Interval(100, 101))
+        assert interval(3).overlaps(interval(1000))
+
+    def test_intersect(self):
+        assert Interval(1, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(1, 3).intersect(Interval(3, 9)) is None
+        assert interval(4).intersect(interval(9)) == interval(9)
+
+    def test_adjacent_paper_definition(self):
+        # Two intervals are adjacent iff s' = e or s = e'.
+        assert Interval(1, 4).adjacent(Interval(4, 9))
+        assert Interval(4, 9).adjacent(Interval(1, 4))
+        assert not Interval(1, 4).adjacent(Interval(5, 9))
+        assert not Interval(1, 5).adjacent(Interval(4, 9))  # overlap, not adjacency
+
+    def test_union_of_overlapping(self):
+        assert Interval(1, 5).union(Interval(4, 9)) == Interval(1, 9)
+
+    def test_union_of_adjacent(self):
+        assert Interval(1, 4).union(Interval(4, 9)) == Interval(1, 9)
+        assert Interval(4, 9).union(interval(9)) == interval(4)
+
+    def test_union_of_disjoint_raises(self):
+        with pytest.raises(TemporalError):
+            Interval(1, 3).union(Interval(5, 9))
+
+    def test_difference(self):
+        assert Interval(1, 9).difference(Interval(3, 5)) == (
+            Interval(1, 3),
+            Interval(5, 9),
+        )
+        assert Interval(1, 9).difference(Interval(0, 5)) == (Interval(5, 9),)
+        assert Interval(1, 9).difference(Interval(0, 10)) == ()
+        assert Interval(1, 4).difference(Interval(6, 9)) == (Interval(1, 4),)
+
+    def test_difference_unbounded(self):
+        assert interval(0).difference(Interval(3, 7)) == (
+            Interval(0, 3),
+            interval(7),
+        )
+
+    def test_precedes(self):
+        assert Interval(1, 4).precedes(Interval(4, 9))
+        assert not Interval(1, 5).precedes(Interval(4, 9))
+
+
+class TestSplitting:
+    def test_split_interior_points(self):
+        # The Example 14 fragmentation of f1 = [5, 11) at {7, 8, 10}.
+        pieces = Interval(5, 11).split_at([7, 8, 10])
+        assert pieces == (
+            Interval(5, 7),
+            Interval(7, 8),
+            Interval(8, 10),
+            Interval(10, 11),
+        )
+
+    def test_split_ignores_exterior_and_boundary_points(self):
+        assert Interval(5, 11).split_at([5, 11, 2, 99]) == (Interval(5, 11),)
+
+    def test_split_unbounded(self):
+        assert interval(18).split_at([20, 25]) == (
+            Interval(18, 20),
+            Interval(20, 25),
+            interval(25),
+        )
+
+    def test_split_deduplicates(self):
+        assert Interval(0, 4).split_at([2, 2, 2]) == (Interval(0, 2), Interval(2, 4))
+
+    def test_split_concatenation_invariant(self):
+        pieces = Interval(3, 20).split_at([5, 11, 17])
+        assert pieces[0].start == 3
+        assert pieces[-1].end == 20
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.end == right.start
+
+
+class TestIterationAndRendering:
+    def test_points(self):
+        assert list(Interval(2, 6).points()) == [2, 3, 4, 5]
+
+    def test_points_with_limit(self):
+        assert list(interval(3).points(limit=6)) == [3, 4, 5]
+        assert list(Interval(2, 10).points(limit=4)) == [2, 3]
+
+    def test_points_unbounded_without_limit_raises(self):
+        with pytest.raises(TemporalError):
+            interval(0).points()
+
+    def test_str(self):
+        assert str(Interval(2012, 2014)) == "[2012, 2014)"
+        assert str(interval(2014)) == "[2014, inf)"
+
+    def test_parse_roundtrip(self):
+        for item in (Interval(2, 5), interval(7)):
+            assert Interval.parse(str(item)) == item
+
+    def test_parse_variants(self):
+        assert Interval.parse("3,9") == Interval(3, 9)
+        assert Interval.parse("[3, ∞)") == interval(3)
+
+    def test_parse_errors(self):
+        with pytest.raises(TemporalError):
+            Interval.parse("[1)")
+        with pytest.raises(TemporalError):
+            Interval.parse("[inf, 3)")
+
+    def test_sort_key_orders_bounded_before_unbounded(self):
+        items = [interval(2), Interval(2, 9), Interval(1, 3)]
+        ordered = sorted(items, key=Interval.sort_key)
+        assert ordered == [Interval(1, 3), Interval(2, 9), interval(2)]
+
+
+class TestSpanOf:
+    def test_span(self):
+        assert span_of([Interval(3, 5), Interval(1, 2)]) == Interval(1, 5)
+        assert span_of([Interval(3, 5), interval(9)]) == interval(3)
+
+    def test_span_empty(self):
+        assert span_of([]) is None

@@ -1,0 +1,155 @@
+"""Unit tests for canonical interval sets."""
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal import INFINITY, Interval, IntervalSet, interval
+from repro.temporal.interval_set import refine_breakpoints
+
+
+class TestCanonicalization:
+    def test_merges_overlapping(self):
+        assert IntervalSet.of(Interval(1, 5), Interval(4, 9)).intervals == (
+            Interval(1, 9),
+        )
+
+    def test_merges_adjacent(self):
+        assert IntervalSet.of(Interval(1, 4), Interval(4, 9)).intervals == (
+            Interval(1, 9),
+        )
+
+    def test_keeps_gaps(self):
+        result = IntervalSet.of(Interval(1, 3), Interval(5, 9))
+        assert result.intervals == (Interval(1, 3), Interval(5, 9))
+
+    def test_order_independent(self):
+        a = IntervalSet.of(Interval(5, 9), Interval(1, 3))
+        b = IntervalSet.of(Interval(1, 3), Interval(5, 9))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unbounded_absorbs(self):
+        assert IntervalSet.of(interval(4), Interval(6, 9)).intervals == (
+            interval(4),
+        )
+
+
+class TestConstructorsAndPredicates:
+    def test_empty(self):
+        empty = IntervalSet.empty()
+        assert empty.is_empty and not empty
+        assert len(empty) == 0
+
+    def test_all_time(self):
+        assert IntervalSet.all_time().intervals == (interval(0),)
+
+    def test_point(self):
+        assert IntervalSet.point(7).intervals == (Interval(7, 8),)
+
+    def test_membership(self):
+        s = IntervalSet.of(Interval(1, 3), interval(10))
+        assert 2 in s and 10 in s and 10**6 in s
+        assert 3 not in s and 5 not in s
+
+    def test_is_unbounded(self):
+        assert IntervalSet.of(interval(3)).is_unbounded
+        assert not IntervalSet.of(Interval(3, 9)).is_unbounded
+
+    def test_total_duration(self):
+        assert IntervalSet.of(Interval(1, 3), Interval(5, 9)).total_duration() == 6
+        assert IntervalSet.of(interval(0)).total_duration() is INFINITY
+        assert IntervalSet.empty().total_duration() == 0
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = IntervalSet.of(Interval(1, 3))
+        b = IntervalSet.of(Interval(2, 6), Interval(9, 11))
+        assert a.union(b).intervals == (Interval(1, 6), Interval(9, 11))
+
+    def test_union_with_single_interval(self):
+        assert IntervalSet.of(Interval(1, 3)).union(Interval(3, 5)).intervals == (
+            Interval(1, 5),
+        )
+
+    def test_intersect(self):
+        a = IntervalSet.of(Interval(1, 6), interval(10))
+        b = IntervalSet.of(Interval(4, 12))
+        assert a.intersect(b).intervals == (Interval(4, 6), Interval(10, 12))
+
+    def test_intersect_empty(self):
+        a = IntervalSet.of(Interval(1, 3))
+        assert a.intersect(IntervalSet.of(Interval(5, 7))).is_empty
+
+    def test_difference(self):
+        a = IntervalSet.of(Interval(0, 10))
+        b = IntervalSet.of(Interval(2, 4), Interval(6, 8))
+        assert a.difference(b).intervals == (
+            Interval(0, 2),
+            Interval(4, 6),
+            Interval(8, 10),
+        )
+
+    def test_complement_roundtrip(self):
+        s = IntervalSet.of(Interval(2, 4), interval(9))
+        assert s.complement().complement() == s
+
+    def test_complement_of_empty_is_all_time(self):
+        assert IntervalSet.empty().complement() == IntervalSet.all_time()
+
+    def test_symmetric_difference(self):
+        a = IntervalSet.of(Interval(0, 5))
+        b = IntervalSet.of(Interval(3, 8))
+        assert a.symmetric_difference(b).intervals == (
+            Interval(0, 3),
+            Interval(5, 8),
+        )
+
+    def test_covers(self):
+        big = IntervalSet.of(Interval(0, 10), interval(20))
+        assert big.covers(Interval(2, 5))
+        assert big.covers(IntervalSet.of(Interval(1, 3), interval(30)))
+        assert not big.covers(Interval(8, 12))
+
+
+class TestQueries:
+    def test_min_point(self):
+        assert IntervalSet.of(Interval(4, 6), Interval(2, 3)).min_point() == 2
+
+    def test_min_point_of_empty_raises(self):
+        with pytest.raises(TemporalError):
+            IntervalSet.empty().min_point()
+
+    def test_max_finite_bound(self):
+        assert IntervalSet.of(Interval(2, 5), interval(9)).max_finite_bound() == 9
+        assert IntervalSet.of(Interval(2, 5)).max_finite_bound() == 5
+        assert IntervalSet.empty().max_finite_bound() is None
+
+    def test_breakpoints(self):
+        s = IntervalSet.of(Interval(2, 5), interval(9))
+        assert s.breakpoints() == (2, 5, 9, INFINITY)
+
+    def test_points_iteration(self):
+        s = IntervalSet.of(Interval(1, 3), Interval(6, 8))
+        assert list(s.points()) == [1, 2, 6, 7]
+
+    def test_str(self):
+        assert str(IntervalSet.empty()) == "{}"
+        assert str(IntervalSet.of(Interval(1, 3), interval(5))) == "[1, 3) ∪ [5, inf)"
+
+
+class TestRefineBreakpoints:
+    def test_refines_at_all_endpoints(self):
+        pieces = refine_breakpoints([Interval(0, 4), Interval(2, 6)])
+        assert pieces == (Interval(0, 2), Interval(2, 4), Interval(4, 6))
+
+    def test_gap_not_covered(self):
+        pieces = refine_breakpoints([Interval(0, 2), Interval(5, 7)])
+        assert pieces == (Interval(0, 2), Interval(5, 7))
+
+    def test_unbounded_tail(self):
+        pieces = refine_breakpoints([Interval(0, 4), interval(2)])
+        assert pieces == (Interval(0, 2), Interval(2, 4), interval(4))
+
+    def test_empty(self):
+        assert refine_breakpoints([]) == ()

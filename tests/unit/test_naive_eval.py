@@ -1,0 +1,142 @@
+"""Unit tests for naive evaluation (Section 5)."""
+
+from repro.abstract_view import semantics
+from repro.concrete import ConcreteFact, ConcreteInstance, c_chase, concrete_fact
+from repro.query import (
+    ConjunctiveQuery,
+    UnionQuery,
+    evaluate_snapshot,
+    naive_evaluate_abstract,
+    naive_evaluate_concrete,
+    naive_evaluate_snapshot,
+    verify_evaluation_correspondence,
+)
+from repro.relational import Constant, Instance, LabeledNull, fact
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval, IntervalSet, interval
+
+
+def row(*values):
+    return tuple(Constant(v) for v in values)
+
+
+class TestSnapshotEvaluation:
+    def test_plain_evaluation_keeps_nulls(self):
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, s)")
+        inst = Instance([fact("Emp", "Ada", LabeledNull("N"))])
+        results = evaluate_snapshot(q, inst)
+        assert results == {(Constant("Ada"), LabeledNull("N"))}
+
+    def test_naive_evaluation_drops_null_tuples(self):
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, s)")
+        inst = Instance(
+            [fact("Emp", "Ada", LabeledNull("N")), fact("Emp", "Bob", "13k")]
+        )
+        assert naive_evaluate_snapshot(q, inst) == {row("Bob", "13k")}
+
+    def test_nulls_join_as_themselves(self):
+        # Naive tables: N = N, so a self-join through the null succeeds,
+        # but the output tuple with N is dropped.
+        q = ConjunctiveQuery.parse("q(x) :- R(x, y) & S(y, x)")
+        null = LabeledNull("N")
+        inst = Instance([fact("R", "a", null), fact("S", null, "a")])
+        assert naive_evaluate_snapshot(q, inst) == {row("a")}
+
+    def test_union_on_snapshot(self):
+        q = UnionQuery.of("q(x) :- A(x)", "q(x) :- B(x)")
+        inst = Instance([fact("A", "1"), fact("B", "2")])
+        assert naive_evaluate_snapshot(q, inst) == {row("1"), row("2")}
+
+
+class TestAbstractEvaluation:
+    def test_region_wise_supports(self, setting, source):
+        solution = semantics(c_chase(source, setting).target)
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        answers = naive_evaluate_abstract(q, solution)
+        assert answers.support(row("Ada", "18k")) == IntervalSet.of(interval(2013))
+        assert answers.support(row("Bob", "13k")) == IntervalSet.of(
+            Interval(2015, 2018)
+        )
+
+    def test_empty_instance(self):
+        from repro.abstract_view import AbstractInstance
+
+        q = ConjunctiveQuery.parse("q(x) :- R(x)")
+        assert len(naive_evaluate_abstract(q, AbstractInstance.empty())) == 0
+
+
+class TestConcreteEvaluation:
+    def test_four_step_procedure(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        q = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        answers = naive_evaluate_concrete(q, solution)
+        assert answers.to_temporal().support(row("Ada", "18k")) == IntervalSet.of(
+            interval(2013)
+        )
+
+    def test_null_rows_dropped(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        q = ConjunctiveQuery.parse("q(s) :- Emp('Ada', 'IBM', s)")
+        answers = naive_evaluate_concrete(q, solution).to_temporal()
+        # Ada's 2012 salary is unknown: only the 18k row survives.
+        assert len(answers) == 1
+        assert answers.support(row("18k")) == IntervalSet.of(Interval(2013, 2014))
+
+    def test_join_through_frozen_null_succeeds(self):
+        # Step 2's fresh constants still join with themselves.
+        null = AnnotatedNull("N", Interval(0, 4))
+        solution = ConcreteInstance(
+            [
+                ConcreteFact("R", (Constant("a"), null), Interval(0, 4)),
+                ConcreteFact("S", (null,), Interval(0, 4)),
+            ]
+        )
+        q = ConjunctiveQuery.parse("q(x) :- R(x, y) & S(y)")
+        answers = naive_evaluate_concrete(q, solution).to_temporal()
+        assert answers.support(row("a")) == IntervalSet.of(Interval(0, 4))
+
+    def test_join_normalizes_per_disjunct(self):
+        # The two facts overlap but are not equal: normalization w.r.t.
+        # the query body must fragment before t can bind.
+        solution = ConcreteInstance(
+            [
+                concrete_fact("R", "a", interval=Interval(0, 6)),
+                concrete_fact("S", "a", interval=Interval(4, 9)),
+            ]
+        )
+        q = ConjunctiveQuery.parse("q(x) :- R(x) & S(x)")
+        answers = naive_evaluate_concrete(q, solution).to_temporal()
+        assert answers.support(row("a")) == IntervalSet.of(Interval(4, 6))
+
+    def test_union_query(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        union = UnionQuery.of(
+            "q(n) :- Emp(n, 'IBM', s)",
+            "q(n) :- Emp(n, 'Google', s)",
+        )
+        answers = naive_evaluate_concrete(union, solution).to_temporal()
+        assert answers.support(row("Ada")) == IntervalSet.of(interval(2012))
+        assert answers.support(row("Bob")) == IntervalSet.of(Interval(2013, 2018))
+
+
+class TestTheorem21:
+    def test_running_example(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        for text in [
+            "q(n, s) :- Emp(n, c, s)",
+            "q(n) :- Emp(n, 'IBM', s)",
+            "q(n, c) :- Emp(n, c, s)",
+            "q(c, s) :- Emp('Ada', c, s)",
+        ]:
+            assert verify_evaluation_correspondence(
+                ConjunctiveQuery.parse(text), solution
+            ), text
+
+    def test_on_instance_with_unknowns_only(self):
+        null = AnnotatedNull("N", Interval(0, 3))
+        solution = ConcreteInstance(
+            [ConcreteFact("R", (Constant("a"), null), Interval(0, 3))]
+        )
+        q = ConjunctiveQuery.parse("q(x, y) :- R(x, y)")
+        assert verify_evaluation_correspondence(q, solution)
+        assert len(naive_evaluate_concrete(q, solution)) == 0

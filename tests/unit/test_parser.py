@@ -1,0 +1,128 @@
+"""Unit tests for the textual syntax of atoms, conjunctions, implications."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.relational import Constant, Variable, parse_atom, parse_conjunction
+from repro.relational.parser import parse_implication, tokenize
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        kinds = [t.kind for t in tokenize("E(n, 'IBM') -> x = y")]
+        assert kinds == [
+            "IDENT",
+            "LPAREN",
+            "IDENT",
+            "COMMA",
+            "STRING",
+            "RPAREN",
+            "ARROW",
+            "IDENT",
+            "EQUALS",
+            "IDENT",
+        ]
+
+    def test_unicode_arrow_and_and(self):
+        kinds = {t.kind for t in tokenize("R(x) ∧ S(y) → T(x)")}
+        assert "AND" in kinds and "ARROW" in kinds
+
+    def test_garbage_raises_with_position(self):
+        with pytest.raises(ParseError) as err:
+            tokenize("R(x) # comment")
+        assert err.value.position == 5
+
+    def test_numbers(self):
+        tokens = tokenize("R(18, x)")
+        assert tokens[2].kind == "NUMBER"
+
+
+class TestParseAtom:
+    def test_variables_and_constants(self):
+        atom = parse_atom("Emp(n, 'IBM', 18)")
+        assert atom.relation == "Emp"
+        assert atom.args == (Variable("n"), Constant("IBM"), Constant(18))
+
+    def test_double_quoted_strings(self):
+        atom = parse_atom('R("hello world")')
+        assert atom.args == (Constant("hello world"),)
+
+    def test_nullary(self):
+        assert parse_atom("Alive()").arity == 0
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x")
+
+
+class TestParseConjunction:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "E(n, c) & S(n, s)",
+            "E(n, c) && S(n, s)",
+            "E(n, c) ∧ S(n, s)",
+            "E(n, c) AND S(n, s)",
+            r"E(n, c) /\ S(n, s)",
+        ],
+    )
+    def test_connective_spellings(self, text):
+        conj = parse_conjunction(text)
+        assert conj.relations() == ("E", "S")
+
+    def test_single_atom(self):
+        assert len(parse_conjunction("E(n, c)")) == 1
+
+    def test_shared_variables_preserved(self):
+        conj = parse_conjunction("E(n, c) & S(n, s)")
+        assert conj.variables() == (Variable("n"), Variable("c"), Variable("s"))
+
+
+class TestParseImplication:
+    def test_tgd_with_explicit_exists(self):
+        skel = parse_implication("E(n, c) -> EXISTS s . Emp(n, c, s)")
+        assert not skel.is_equality
+        assert skel.existential_variables == (Variable("s"),)
+        assert skel.rhs is not None and skel.rhs.relations() == ("Emp",)
+
+    def test_tgd_with_implicit_existentials(self):
+        skel = parse_implication("E(n, c) -> Emp(n, c, s)")
+        assert skel.existential_variables == (Variable("s"),)
+
+    def test_tgd_full_export_no_existentials(self):
+        skel = parse_implication("E(n, c) & S(n, s) -> Emp(n, c, s)")
+        assert skel.existential_variables == ()
+
+    def test_multiple_existentials(self):
+        skel = parse_implication(
+            "P(n) -> EXISTS a, b . Q(n, a) & R(n, b)"
+        )
+        assert skel.existential_variables == (Variable("a"), Variable("b"))
+
+    def test_egd_shape(self):
+        skel = parse_implication("Emp(n, c, s) & Emp(n, c, s2) -> s = s2")
+        assert skel.is_equality
+        assert skel.equality == (Variable("s"), Variable("s2"))
+        assert skel.rhs is None
+
+    def test_unicode_exists(self):
+        skel = parse_implication("E(n) → ∃ s . T(n, s)")
+        assert skel.existential_variables == (Variable("s"),)
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(ParseError):
+            parse_implication("E(n) -> T(n) garbage(x)")
+        with pytest.raises(ParseError):
+            parse_implication("E(n) -> x = y & z")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ParseError):
+            parse_implication("E(n) T(n)")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_implication("")

@@ -1,0 +1,88 @@
+"""Unit tests for conjunctive queries and unions."""
+
+import pytest
+
+from repro.errors import FormulaError, ParseError
+from repro.query import ConjunctiveQuery, UnionQuery
+from repro.relational import Schema, Variable
+
+
+class TestConjunctiveQuery:
+    def test_parse(self):
+        q = ConjunctiveQuery.parse("q(n, c) :- Emp(n, c, s)")
+        assert q.head == (Variable("n"), Variable("c"))
+        assert q.arity == 2
+        assert q.name == "q"
+        assert q.existential_variables == (Variable("s"),)
+
+    def test_boolean_query(self):
+        q = ConjunctiveQuery.parse("yes() :- Emp(n, c, s)")
+        assert q.arity == 0
+
+    def test_constants_in_body(self):
+        q = ConjunctiveQuery.parse("q(n) :- Emp(n, 'IBM', s)")
+        assert len(q.body) == 1
+
+    def test_join_body(self):
+        q = ConjunctiveQuery.parse("q(n) :- Emp(n, c, s) & Emp(n, c2, s2)")
+        assert len(q.body) == 2
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(FormulaError, match="unsafe"):
+            ConjunctiveQuery.parse("q(z) :- Emp(n, c, s)")
+
+    def test_constant_in_head_rejected(self):
+        with pytest.raises(ParseError):
+            ConjunctiveQuery.parse("q('IBM') :- Emp(n, c, s)")
+
+    def test_missing_turnstile_rejected(self):
+        with pytest.raises(ParseError):
+            ConjunctiveQuery.parse("q(n) Emp(n, c, s)")
+
+    def test_multi_atom_head_rejected(self):
+        with pytest.raises(ParseError):
+            ConjunctiveQuery.parse("q(n) & p(n) :- Emp(n, c, s)")
+
+    def test_lift_shares_temporal_variable(self):
+        q = ConjunctiveQuery.parse("q(n) :- Emp(n, c, s) & Dept(c, d)")
+        lifted = q.lift()
+        assert lifted.is_shared
+        assert len(lifted) == 2
+
+    def test_validate_against_schema(self):
+        q = ConjunctiveQuery.parse("q(n) :- Emp(n, c, s)")
+        q.validate_against(Schema.of(Emp=("N", "C", "S")))
+        with pytest.raises(Exception):
+            q.validate_against(Schema.of(Emp=("N", "C")))
+
+    def test_str(self):
+        q = ConjunctiveQuery.parse("q(n) :- Emp(n, c, s)")
+        assert str(q).startswith("q(n) :- ")
+
+
+class TestUnionQuery:
+    def test_of_mixed_inputs(self):
+        q1 = ConjunctiveQuery.parse("q(x) :- A(x)")
+        union = UnionQuery.of(q1, "q(x) :- B(x)")
+        assert len(union) == 2
+        assert union.arity == 1
+
+    def test_parse_semicolon_separated(self):
+        union = UnionQuery.parse("q(x) :- A(x); q(x) :- B(x)")
+        assert len(union) == 2
+
+    def test_parse_newline_separated(self):
+        union = UnionQuery.parse("q(x) :- A(x)\nq(x) :- B(x)")
+        assert len(union) == 2
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(FormulaError, match="arity"):
+            UnionQuery.of("q(x) :- A(x)", "q(x, y) :- B(x, y)")
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(FormulaError):
+            UnionQuery(())
+
+    def test_iteration(self):
+        union = UnionQuery.of("q(x) :- A(x)", "q(x) :- B(x)")
+        assert [d.body.relations() for d in union] == [("A",), ("B",)]

@@ -1,0 +1,86 @@
+"""Unit tests for schemas and the R → R+ lifting."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import RelationSchema, Schema
+from repro.relational.schema import TEMPORAL_ATTRIBUTE
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        rel = RelationSchema("E", ("Name", "Company"))
+        assert rel.arity == 2
+        assert str(rel) == "E(Name, Company)"
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("E", ("A", "A"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_lift_appends_temporal_attribute(self):
+        lifted = RelationSchema("E", ("Name",)).lift()
+        assert lifted.attributes == ("Name", TEMPORAL_ATTRIBUTE)
+        assert lifted.arity == 2
+
+    def test_lift_name_clash_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("E", ("Time",)).lift()
+
+    def test_position_of(self):
+        rel = RelationSchema("E", ("Name", "Company"))
+        assert rel.position_of("Company") == 1
+        with pytest.raises(SchemaError):
+            rel.position_of("Salary")
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = Schema.of(E=("Name", "Company"), S=("Name", "Salary"))
+        assert len(schema) == 2
+        assert schema["E"].attributes == ("Name", "Company")
+        assert "S" in schema and "T" not in schema
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([RelationSchema("E", ("A",)), RelationSchema("E", ("B",))])
+
+    def test_unknown_relation_raises(self):
+        schema = Schema.of(E=("A",))
+        with pytest.raises(SchemaError):
+            schema["F"]
+        assert schema.get("F") is None
+
+    def test_lift_all_relations(self):
+        lifted = Schema.of(E=("A",), S=("B", "C")).lift()
+        assert lifted["E"].arity == 2
+        assert lifted["S"].attributes == ("B", "C", TEMPORAL_ATTRIBUTE)
+
+    def test_merge_disjoint(self):
+        merged = Schema.of(E=("A",)).merge(Schema.of(F=("B",)))
+        assert set(merged.relation_names()) == {"E", "F"}
+
+    def test_merge_overlap_rejected(self):
+        with pytest.raises(SchemaError, match="disjoint"):
+            Schema.of(E=("A",)).merge(Schema.of(E=("B",)))
+
+    def test_validate_arity(self):
+        schema = Schema.of(E=("A", "B"))
+        schema.validate_arity("E", 2)
+        with pytest.raises(SchemaError):
+            schema.validate_arity("E", 3)
+
+    def test_equality_and_hash(self):
+        a = Schema.of(E=("A",), F=("B",))
+        b = Schema.of(F=("B",), E=("A",))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_yields_relation_schemas(self):
+        schema = Schema.of(E=("A",))
+        (rel,) = list(schema)
+        assert isinstance(rel, RelationSchema)
+        assert rel.name == "E"

@@ -1,0 +1,55 @@
+"""Unit tests for the ⟦·⟧ semantic mapping."""
+
+from repro.abstract_view import semantics
+from repro.concrete import ConcreteFact, ConcreteInstance, concrete_fact
+from repro.relational import Constant, Instance, LabeledNull, fact
+from repro.relational.terms import AnnotatedNull
+from repro.temporal import Interval, interval
+
+
+class TestSemantics:
+    def test_complete_instance_definition(self):
+        # ⟦Ic⟧: db_ℓ = {R(a) | R+(a,[s,e)) ∈ Ic, s <= ℓ < e}.
+        inst = ConcreteInstance(
+            [
+                concrete_fact("R", "a", interval=Interval(2, 5)),
+                concrete_fact("R", "b", interval=Interval(4, 8)),
+            ]
+        )
+        abstract = semantics(inst)
+        assert abstract.snapshot(1) == Instance()
+        assert abstract.snapshot(2) == Instance([fact("R", "a")])
+        assert abstract.snapshot(4) == Instance([fact("R", "a"), fact("R", "b")])
+        assert abstract.snapshot(7) == Instance([fact("R", "b")])
+        assert abstract.snapshot(8) == Instance()
+
+    def test_annotated_nulls_become_per_snapshot_families(self):
+        null = AnnotatedNull("N", Interval(0, 2))
+        inst = ConcreteInstance(
+            [ConcreteFact("Emp", (Constant("Ada"), null), Interval(0, 2))]
+        )
+        abstract = semantics(inst)
+        assert abstract.snapshot(0) == Instance(
+            [fact("Emp", "Ada", LabeledNull("N@0"))]
+        )
+        assert abstract.snapshot(1) == Instance(
+            [fact("Emp", "Ada", LabeledNull("N@1"))]
+        )
+
+    def test_unbounded_facts_hold_forever(self):
+        inst = ConcreteInstance([concrete_fact("R", "x", interval=interval(5))])
+        abstract = semantics(inst)
+        assert abstract.snapshot(10**6) == Instance([fact("R", "x")])
+
+    def test_empty(self):
+        assert not semantics(ConcreteInstance())
+
+    def test_figure1_is_semantics_of_figure4(self, source, abstract_source):
+        assert semantics(source) == abstract_source
+
+    def test_fragmentation_invariant(self, source):
+        # Fragmenting facts never changes the semantics.
+        fragmented = ConcreteInstance()
+        for item in source.facts():
+            fragmented.add_all(item.fragment([2013, 2014, 2015, 2016]))
+        assert semantics(fragmented).same_snapshots_as(semantics(source))

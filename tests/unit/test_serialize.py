@@ -1,0 +1,184 @@
+"""Unit tests for rendering, JSON and CSV serialization."""
+
+import pytest
+
+from repro.abstract_view import semantics
+from repro.concrete import ConcreteFact, ConcreteInstance, c_chase, concrete_fact
+from repro.errors import SerializationError
+from repro.relational import Constant, Instance, LabeledNull, fact
+from repro.relational.terms import AnnotatedNull
+from repro.serialize import (
+    concrete_instance_from_json,
+    concrete_instance_to_json,
+    dumps,
+    instance_from_csv_dict,
+    instance_from_json,
+    instance_to_csv_dict,
+    instance_to_json,
+    loads,
+    relation_from_csv,
+    relation_to_csv,
+    render_abstract_snapshots,
+    render_concrete_instance,
+    render_concrete_relation,
+    render_snapshot,
+    render_table,
+    setting_from_json,
+    setting_to_json,
+    term_from_json,
+    term_to_json,
+)
+from repro.temporal import Interval, interval
+
+
+class TestRender:
+    def test_table_alignment(self):
+        text = render_table("T+", ["A", "Time"], [["x", "[1, 3)"]])
+        lines = text.splitlines()
+        assert lines[0] == "T+"
+        assert all(len(line) == len(lines[1]) for line in lines[1:])
+
+    def test_concrete_relation_uses_schema_headers(self, source, setting):
+        text = render_concrete_relation(source, "E", setting.lifted_source_schema())
+        assert "Name" in text and "Company" in text and "Time" in text
+        assert "[2012, 2014)" in text
+
+    def test_concrete_relation_fallback_headers(self, source):
+        text = render_concrete_relation(source, "E")
+        assert "A1" in text and "Time" in text
+
+    def test_empty_relation(self):
+        assert "empty" in render_concrete_relation(ConcreteInstance(), "E")
+
+    def test_full_instance_renders_all_relations(self, source):
+        text = render_concrete_instance(source)
+        assert "E+" in text and "S+" in text
+
+    def test_snapshot_rendering(self):
+        assert render_snapshot(Instance()) == "{}"
+        assert render_snapshot(Instance([fact("E", "a")])) == "{E(a)}"
+
+    def test_abstract_snapshots(self, abstract_source):
+        text = render_abstract_snapshots(abstract_source, [2012, 2013])
+        assert text.splitlines()[0].startswith("2012")
+        assert "E(Ada, IBM)" in text
+
+
+class TestTermJson:
+    @pytest.mark.parametrize(
+        "term",
+        [
+            Constant("Ada"),
+            Constant(42),
+            LabeledNull("N7"),
+            AnnotatedNull("N", Interval(2, 5)),
+            AnnotatedNull("M", interval(4)),
+        ],
+    )
+    def test_roundtrip(self, term):
+        assert term_from_json(term_to_json(term)) == term
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            term_from_json({"kind": "martian", "x": 1})
+
+
+class TestConcreteInstanceJson:
+    def test_roundtrip_simple(self, source):
+        payload = concrete_instance_to_json(source)
+        assert concrete_instance_from_json(payload) == source
+
+    def test_roundtrip_with_nulls(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        assert loads(dumps(solution)) == solution
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(SerializationError):
+            concrete_instance_from_json({"rows": []})
+
+    def test_bad_json_text_rejected(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+
+
+class TestSnapshotInstanceJson:
+    def test_roundtrip(self):
+        inst = Instance([fact("Emp", "Ada", LabeledNull("N"))])
+        assert instance_from_json(instance_to_json(inst)) == inst
+
+    def test_missing_facts_rejected(self):
+        with pytest.raises(SerializationError):
+            instance_from_json({})
+
+
+class TestSettingJson:
+    def test_roundtrip(self, setting):
+        payload = setting_to_json(setting)
+        restored = setting_from_json(payload)
+        assert restored.source_schema == setting.source_schema
+        assert restored.target_schema == setting.target_schema
+        assert len(restored.st_tgds) == 2 and len(restored.egds) == 1
+        # The restored mapping behaves identically.
+        from repro.workloads import employment_source_concrete
+
+        src = employment_source_concrete()
+        assert c_chase(src, restored).target == c_chase(src, setting).target
+
+    def test_constants_in_dependencies_roundtrip(self):
+        from repro.dependencies import DataExchangeSetting
+        from repro.relational import Schema
+
+        original = DataExchangeSetting.create(
+            Schema.of(R=("A", "B")),
+            Schema.of(T=("A",)),
+            st_tgds=["R(x, 'ibm') -> T(x)"],
+        )
+        restored = setting_from_json(setting_to_json(original))
+        assert restored.st_tgds[0].lhs == original.st_tgds[0].lhs
+
+
+class TestCsv:
+    def test_relation_roundtrip(self, source):
+        text = relation_to_csv(source, "E", headers=["name", "company"])
+        restored = relation_from_csv("E", text)
+        assert restored.facts_of("E") == source.facts_of("E")
+
+    def test_null_sigil_roundtrip(self):
+        null = AnnotatedNull("N1", Interval(2, 5))
+        inst = ConcreteInstance(
+            [ConcreteFact("R", (Constant("a"), null), Interval(2, 5))]
+        )
+        text = relation_to_csv(inst, "R")
+        assert "~N1" in text
+        assert relation_from_csv("R", text) == inst
+
+    def test_integer_cells_become_int_constants(self):
+        inst = ConcreteInstance([concrete_fact("R", 7, interval=Interval(0, 2))])
+        restored = relation_from_csv("R", relation_to_csv(inst, "R"))
+        assert restored == inst
+
+    def test_unbounded_interval_roundtrip(self):
+        inst = ConcreteInstance([concrete_fact("R", "x", interval=interval(9))])
+        assert relation_from_csv("R", relation_to_csv(inst, "R")) == inst
+
+    def test_instance_dict_roundtrip(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        tables = instance_to_csv_dict(solution)
+        assert instance_from_csv_dict(tables) == solution
+
+    def test_header_validation(self):
+        with pytest.raises(SerializationError):
+            relation_from_csv("R", "a,b\nx,y\n")
+
+    def test_row_width_validation(self):
+        with pytest.raises(SerializationError):
+            relation_from_csv("R", "a,start,end\nx,1\n")
+
+    def test_bad_header_count(self, source):
+        with pytest.raises(SerializationError):
+            relation_to_csv(source, "E", headers=["only-one"])
+
+    def test_semantics_survives_roundtrip(self, setting, source):
+        solution = c_chase(source, setting).unwrap()
+        restored = instance_from_csv_dict(instance_to_csv_dict(solution))
+        assert semantics(restored).same_snapshots_as(semantics(solution))

@@ -1,0 +1,139 @@
+"""Unit tests for terms: constants, variables, labeled & annotated nulls."""
+
+import pytest
+
+from repro.errors import InstanceError, TemporalError
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    LabeledNull,
+    Variable,
+    is_ground,
+    term_sort_key,
+)
+from repro.temporal import Interval, interval
+
+
+class TestConstant:
+    def test_value_semantics(self):
+        assert Constant("Ada") == Constant("Ada")
+        assert Constant("Ada") != Constant("Bob")
+        assert Constant(1) != Constant("1")
+
+    def test_hashable_requirement(self):
+        with pytest.raises(InstanceError):
+            Constant(["not", "hashable"])
+
+    def test_kind_flags(self):
+        c = Constant("x")
+        assert c.is_constant and not c.is_variable and not c.is_null
+
+    def test_str(self):
+        assert str(Constant("IBM")) == "IBM"
+        assert str(Constant(18)) == "18"
+
+
+class TestVariable:
+    def test_identity_by_name(self):
+        assert Variable("x") == Variable("x")
+        assert Variable("x") != Variable("y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InstanceError):
+            Variable("")
+
+    def test_kind_flags(self):
+        v = Variable("x")
+        assert v.is_variable and not v.is_constant and not v.is_null
+
+    def test_not_ground(self):
+        assert not is_ground(Variable("x"))
+        assert is_ground(Constant(1))
+        assert is_ground(LabeledNull("N"))
+        assert is_ground(AnnotatedNull("N", interval(0, 2)))
+
+
+class TestLabeledNull:
+    def test_identity_by_name(self):
+        assert LabeledNull("N1") == LabeledNull("N1")
+        assert LabeledNull("N1") != LabeledNull("N2")
+
+    def test_null_is_not_equal_to_constant(self):
+        assert LabeledNull("N") != Constant("N")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(InstanceError):
+            LabeledNull("")
+
+    def test_kind_flags(self):
+        n = LabeledNull("N")
+        assert n.is_null and not n.is_constant and not n.is_variable
+
+
+class TestAnnotatedNull:
+    def test_identity_is_base_and_annotation(self):
+        # Fragments of one unknown are DIFFERENT unknowns (Section 4.2).
+        a = AnnotatedNull("N", Interval(2, 5))
+        b = AnnotatedNull("N", Interval(2, 5))
+        c = AnnotatedNull("N", Interval(2, 3))
+        assert a == b
+        assert a != c
+
+    def test_projection(self):
+        # Π_ℓ(N^[8,∞)) = N@ℓ — the paper's sequence-of-nulls reading.
+        null = AnnotatedNull("N", interval(8))
+        assert null.project(8) == LabeledNull("N@8")
+        assert null.project(100) == LabeledNull("N@100")
+
+    def test_projection_outside_annotation_raises(self):
+        null = AnnotatedNull("N", Interval(2, 5))
+        with pytest.raises(TemporalError):
+            null.project(5)
+        with pytest.raises(TemporalError):
+            null.project(1)
+
+    def test_projections_are_distinct_nulls(self):
+        null = AnnotatedNull("N", Interval(0, 3))
+        assert len({null.project(p) for p in range(3)}) == 3
+
+    def test_reannotate(self):
+        null = AnnotatedNull("N", Interval(2, 8))
+        assert null.reannotate(Interval(2, 5)) == AnnotatedNull("N", Interval(2, 5))
+
+    def test_reannotate_outside_raises(self):
+        null = AnnotatedNull("N", Interval(2, 8))
+        with pytest.raises(TemporalError):
+            null.reannotate(Interval(5, 9))
+
+    def test_base_with_at_sign_rejected(self):
+        with pytest.raises(InstanceError):
+            AnnotatedNull("N@3", Interval(0, 2))
+
+    def test_str(self):
+        assert str(AnnotatedNull("N", Interval(8, 10))) == "N^[8, 10)"
+
+
+class TestSortKey:
+    def test_kind_ordering(self):
+        terms = [
+            Variable("z"),
+            AnnotatedNull("M", Interval(0, 2)),
+            LabeledNull("N"),
+            Constant("a"),
+        ]
+        ordered = sorted(terms, key=term_sort_key)
+        assert [type(t).__name__ for t in ordered] == [
+            "Constant",
+            "LabeledNull",
+            "AnnotatedNull",
+            "Variable",
+        ]
+
+    def test_within_kind_ordering(self):
+        assert term_sort_key(Constant("a")) < term_sort_key(Constant("b"))
+        assert term_sort_key(LabeledNull("N1")) < term_sort_key(LabeledNull("N2"))
+
+    def test_mixed_value_types_are_ordered(self):
+        # ints and strings sort by type name first, avoiding TypeError.
+        ordered = sorted([Constant("a"), Constant(3)], key=term_sort_key)
+        assert ordered == [Constant(3), Constant("a")]

@@ -1,0 +1,135 @@
+"""Unit tests for the time-point domain N0 ∪ {∞}."""
+
+import pickle
+
+import pytest
+
+from repro.errors import TemporalError
+from repro.temporal.timepoint import (
+    INFINITY,
+    Infinity,
+    check_time_point,
+    is_time_point,
+    max_point,
+    min_point,
+    parse_time_point,
+    time_point_to_str,
+)
+
+
+class TestInfinitySingleton:
+    def test_constructor_returns_singleton(self):
+        assert Infinity() is INFINITY
+
+    def test_pickle_preserves_singleton(self):
+        assert pickle.loads(pickle.dumps(INFINITY)) is INFINITY
+
+    def test_repr_and_str(self):
+        assert repr(INFINITY) == "INFINITY"
+        assert str(INFINITY) == "inf"
+
+    def test_truthy(self):
+        assert bool(INFINITY)
+
+
+class TestInfinityOrdering:
+    def test_greater_than_any_int(self):
+        assert INFINITY > 0
+        assert INFINITY > 10**18
+
+    def test_not_less_than_int(self):
+        assert not (INFINITY < 10**18)
+
+    def test_int_comparisons_reflected(self):
+        assert 5 < INFINITY
+        assert 5 <= INFINITY
+        assert not (5 > INFINITY)
+        assert not (5 >= INFINITY)
+
+    def test_equal_only_to_itself(self):
+        assert INFINITY == Infinity()
+        assert INFINITY != 7
+        assert not (INFINITY == "inf")
+
+    def test_le_ge_with_infinity(self):
+        assert INFINITY <= INFINITY
+        assert INFINITY >= INFINITY
+        assert not (INFINITY < INFINITY)
+        assert not (INFINITY > INFINITY)
+
+    def test_hashable_and_stable(self):
+        assert hash(INFINITY) == hash(Infinity())
+        assert len({INFINITY, Infinity()}) == 1
+
+
+class TestInfinityArithmetic:
+    def test_addition_saturates(self):
+        assert INFINITY + 5 is INFINITY
+        assert 5 + INFINITY is INFINITY
+        assert INFINITY + INFINITY is INFINITY
+
+    def test_subtracting_finite_saturates(self):
+        assert INFINITY - 100 is INFINITY
+
+    def test_infinity_minus_infinity_undefined(self):
+        with pytest.raises(TemporalError):
+            INFINITY - INFINITY  # noqa: B018
+
+    def test_finite_minus_infinity_undefined(self):
+        with pytest.raises(TemporalError):
+            5 - INFINITY  # noqa: B018
+
+
+class TestValidation:
+    def test_valid_points(self):
+        assert is_time_point(0)
+        assert is_time_point(2024)
+        assert is_time_point(INFINITY)
+
+    def test_invalid_points(self):
+        assert not is_time_point(-1)
+        assert not is_time_point(1.5)
+        assert not is_time_point("7")
+        assert not is_time_point(True)  # bools are not time points
+
+    def test_check_passes_through(self):
+        assert check_time_point(3) == 3
+        assert check_time_point(INFINITY) is INFINITY
+
+    def test_check_raises(self):
+        with pytest.raises(TemporalError, match="invalid"):
+            check_time_point(-2)
+
+
+class TestParsingAndRendering:
+    @pytest.mark.parametrize("text", ["inf", "INF", "Infinity", "∞", "oo"])
+    def test_parse_infinity_spellings(self, text):
+        assert parse_time_point(text) is INFINITY
+
+    def test_parse_number(self):
+        assert parse_time_point(" 42 ") == 42
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(TemporalError):
+            parse_time_point("soon")
+
+    def test_parse_negative_raises(self):
+        with pytest.raises(TemporalError):
+            parse_time_point("-3")
+
+    def test_to_str(self):
+        assert time_point_to_str(7) == "7"
+        assert time_point_to_str(INFINITY) == "inf"
+
+
+class TestMinMax:
+    def test_min_of_finite(self):
+        assert min_point(3, 9) == 3
+
+    def test_min_with_infinity(self):
+        assert min_point(INFINITY, 9) == 9
+        assert min_point(9, INFINITY) == 9
+
+    def test_max_with_infinity(self):
+        assert max_point(3, INFINITY) is INFINITY
+        assert max_point(INFINITY, INFINITY) is INFINITY

@@ -1,0 +1,76 @@
+"""Unit tests for chase traces, null factories and error types."""
+
+import pytest
+
+from repro.chase import ChaseTrace, NullFactory
+from repro.chase.trace import EgdStepRecord, FailureRecord, TgdStepRecord
+from repro.errors import ChaseFailureError, ParseError, ReproError, TemporalError
+from repro.relational import Constant, LabeledNull, fact
+from repro.temporal import Interval
+
+
+class TestNullFactory:
+    def test_sequential_names(self):
+        factory = NullFactory()
+        assert factory.fresh() == LabeledNull("N1")
+        assert factory.fresh() == LabeledNull("N2")
+        assert factory.issued == 2
+
+    def test_prefix(self):
+        factory = NullFactory(prefix="Z")
+        assert factory.fresh().name == "Z1"
+
+    def test_annotated(self):
+        factory = NullFactory()
+        null = factory.fresh_annotated(Interval(2, 5))
+        assert null.base == "N1" and null.annotation == Interval(2, 5)
+
+    def test_independent_factories(self):
+        a, b = NullFactory(), NullFactory()
+        assert a.fresh() == b.fresh()  # both N1: scoping is per-factory
+
+
+class TestChaseTrace:
+    def test_filtering_by_kind(self):
+        trace = ChaseTrace()
+        tgd = TgdStepRecord("σ1", {}, (fact("T", "a"),), (LabeledNull("N1"),))
+        egd = EgdStepRecord("ε1", LabeledNull("N1"), Constant("v"))
+        trace.record(tgd)
+        trace.record(egd)
+        assert trace.tgd_steps == (tgd,)
+        assert trace.egd_steps == (egd,)
+        assert trace.failure is None
+        assert len(trace) == 2
+
+    def test_facts_added(self):
+        trace = ChaseTrace()
+        trace.record(TgdStepRecord("σ1", {}, (fact("T", "a"), fact("T", "b")), ()))
+        trace.record(TgdStepRecord("σ2", {}, (), ()))
+        assert trace.facts_added() == 2
+
+    def test_failure_lookup(self):
+        trace = ChaseTrace()
+        failure = FailureRecord("ε1", Constant("1"), Constant("2"))
+        trace.record(failure)
+        assert trace.failure is failure
+
+    def test_str_of_records(self):
+        assert "σ1" in str(TgdStepRecord("σ1", {}, (fact("T", "a"),), ()))
+        assert "↦" in str(EgdStepRecord("ε1", LabeledNull("N"), Constant("v")))
+        assert "FAILED" in str(FailureRecord("ε1", Constant("1"), Constant("2")))
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ChaseFailureError, ReproError)
+        assert issubclass(TemporalError, ReproError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_chase_failure_payload(self):
+        err = ChaseFailureError("ε1", Constant("1"), Constant("2"), context="x")
+        assert err.left == Constant("1")
+        assert "x" in str(err)
+
+    def test_parse_error_position(self):
+        err = ParseError("boom", text="R(x", position=2)
+        assert "offset 2" in str(err)

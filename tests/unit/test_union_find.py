@@ -1,0 +1,110 @@
+"""Unit tests for the constant-priority union-find."""
+
+import pytest
+
+from repro.chase.union_find import ConstantClashError, TermUnionFind
+from repro.relational.terms import AnnotatedNull, Constant, LabeledNull
+from repro.temporal import Interval
+
+
+class TestBasics:
+    def test_fresh_terms_are_their_own_roots(self):
+        uf = TermUnionFind()
+        n = LabeledNull("N")
+        assert uf.find(n) == n
+
+    def test_union_and_same_class(self):
+        uf = TermUnionFind()
+        a, b = LabeledNull("A"), LabeledNull("B")
+        uf.union(a, b)
+        assert uf.same_class(a, b)
+        assert not uf.same_class(a, LabeledNull("C"))
+
+    def test_union_idempotent(self):
+        uf = TermUnionFind()
+        a, b = LabeledNull("A"), LabeledNull("B")
+        first = uf.union(a, b)
+        second = uf.union(a, b)
+        assert first == second
+
+    def test_transitive_merging(self):
+        uf = TermUnionFind()
+        a, b, c = LabeledNull("A"), LabeledNull("B"), LabeledNull("C")
+        uf.union(a, b)
+        uf.union(b, c)
+        assert uf.same_class(a, c)
+
+
+class TestConstantPriority:
+    def test_constant_becomes_representative(self):
+        uf = TermUnionFind()
+        null, const = LabeledNull("N"), Constant("v")
+        assert uf.union(null, const) == const
+        assert uf.union(const, LabeledNull("M")) == const
+        assert uf.find(null) == const
+
+    def test_constant_wins_even_via_chains(self):
+        uf = TermUnionFind()
+        a, b = LabeledNull("A"), LabeledNull("B")
+        uf.union(a, b)
+        const = Constant("v")
+        uf.union(a, const)
+        assert uf.find(b) == const
+
+    def test_two_constants_clash(self):
+        uf = TermUnionFind()
+        with pytest.raises(ConstantClashError):
+            uf.union(Constant("x"), Constant("y"))
+
+    def test_clash_through_merged_classes(self):
+        uf = TermUnionFind()
+        a, b = LabeledNull("A"), LabeledNull("B")
+        uf.union(a, Constant("x"))
+        uf.union(b, Constant("y"))
+        with pytest.raises(ConstantClashError):
+            uf.union(a, b)
+
+    def test_same_constant_merges_fine(self):
+        uf = TermUnionFind()
+        a, b = LabeledNull("A"), LabeledNull("B")
+        uf.union(a, Constant("x"))
+        uf.union(b, Constant("x"))
+        uf.union(a, b)  # no clash: same constant
+        assert uf.find(a) == uf.find(b) == Constant("x")
+
+
+class TestDeterminismAndSubstitution:
+    def test_null_merge_uses_sort_order(self):
+        uf = TermUnionFind()
+        assert uf.union(LabeledNull("N2"), LabeledNull("N1")) == LabeledNull("N1")
+
+    def test_annotated_nulls_supported(self):
+        uf = TermUnionFind()
+        a = AnnotatedNull("N", Interval(0, 2))
+        b = AnnotatedNull("M", Interval(0, 2))
+        winner = uf.union(a, b)
+        assert winner == b  # 'M' sorts before 'N'
+
+    def test_substitution_maps_losers_to_winners(self):
+        uf = TermUnionFind()
+        a, b, c = LabeledNull("A"), LabeledNull("B"), Constant("v")
+        uf.union(a, b)
+        uf.union(a, c)
+        subst = uf.substitution()
+        assert subst[a] == c and subst[b] == c
+        assert c not in subst  # representatives are not mapped
+
+    def test_classes_reports_nontrivial_only(self):
+        uf = TermUnionFind()
+        uf.find(LabeledNull("solo"))
+        uf.union(LabeledNull("A"), LabeledNull("B"))
+        classes = uf.classes()
+        assert len(classes) == 1
+        assert classes[0] == {LabeledNull("A"), LabeledNull("B")}
+
+    def test_contains_and_len(self):
+        uf = TermUnionFind()
+        n = LabeledNull("N")
+        assert n not in uf
+        uf.find(n)
+        assert n in uf and len(uf) == 1

@@ -1,0 +1,146 @@
+"""Unit tests for workload builders and generators."""
+
+from repro.concrete import c_chase
+from repro.correspondence import verify_correspondence
+from repro.workloads import (
+    algorithm1_example_conjunctions,
+    algorithm1_example_instance,
+    employment_setting,
+    employment_source_abstract,
+    employment_source_concrete,
+    exchange_setting_copy,
+    exchange_setting_decompose,
+    exchange_setting_join,
+    medical_conflicting_scenario,
+    medical_scenario,
+    nested_overlap_conjunctions,
+    nested_overlap_instance,
+    random_concrete_instance,
+    random_employment_history,
+    scheduling_scenario,
+    staircase_instance,
+)
+
+
+class TestEmploymentBuilders:
+    def test_source_is_figure4(self):
+        source = employment_source_concrete()
+        assert len(source) == 5
+        assert source.is_coalesced()
+        assert source.breakpoints() == (2012, 2013, 2014, 2015, 2018)
+
+    def test_abstract_matches_concrete(self):
+        from repro.abstract_view import semantics
+
+        assert employment_source_abstract() == semantics(
+            employment_source_concrete()
+        )
+
+    def test_setting_shape(self):
+        setting = employment_setting()
+        assert len(setting.st_tgds) == 2 and len(setting.egds) == 1
+
+    def test_example14_instance(self):
+        inst = algorithm1_example_instance()
+        assert len(inst) == 5
+        assert inst.relation_names() == ("P", "R", "S")
+        assert len(algorithm1_example_conjunctions()) == 2
+
+
+class TestScenarios:
+    def test_medical_exchanges_cleanly(self):
+        scenario = medical_scenario()
+        result = c_chase(scenario.source, scenario.setting)
+        assert result.succeeded
+        assert result.target.nulls()  # some conditions are unknown
+
+    def test_medical_conflict_fails(self):
+        scenario = medical_conflicting_scenario()
+        assert c_chase(scenario.source, scenario.setting).failed
+
+    def test_scheduling_exchanges_cleanly(self):
+        scenario = scheduling_scenario()
+        result = c_chase(scenario.source, scenario.setting)
+        assert result.succeeded
+
+    def test_scenarios_satisfy_correspondence(self):
+        for scenario in (medical_scenario(), scheduling_scenario()):
+            assert verify_correspondence(scenario.source, scenario.setting).holds
+
+
+class TestGenerators:
+    def test_employment_history_deterministic(self):
+        a = random_employment_history(people=5, seed=42)
+        b = random_employment_history(people=5, seed=42)
+        assert a.instance == b.instance
+
+    def test_employment_history_seed_sensitivity(self):
+        a = random_employment_history(people=5, seed=1)
+        b = random_employment_history(people=5, seed=2)
+        assert a.instance != b.instance
+
+    def test_employment_history_coalesced(self):
+        workload = random_employment_history(people=10, seed=7)
+        assert workload.instance.is_coalesced()
+
+    def test_employment_history_exchanges(self):
+        workload = random_employment_history(people=4, timeline=20, seed=3)
+        result = c_chase(workload.instance, exchange_setting_join())
+        assert result.succeeded
+
+    def test_nested_overlap_shape(self):
+        inst = nested_overlap_instance(6)
+        assert len(inst) == 6
+        stamps = sorted(inst.intervals(), key=lambda i: i.start)
+        # Every pair of stamps overlaps (nested structure).
+        for a in stamps:
+            for b in stamps:
+                assert a.overlaps(b)
+
+    def test_nested_overlap_conjunctions(self):
+        (conj,) = nested_overlap_conjunctions()
+        assert len(conj) == 2
+
+    def test_staircase_neighbours_only(self):
+        inst = staircase_instance(5, overlap=1)
+        stamps = sorted(inst.intervals(), key=lambda i: i.start)
+        for index, stamp in enumerate(stamps):
+            for other_index, other in enumerate(stamps):
+                expected = abs(index - other_index) <= 1
+                assert stamp.overlaps(other) == expected
+
+    def test_random_instance_size_and_determinism(self):
+        a = random_concrete_instance(30, seed=5)
+        b = random_concrete_instance(30, seed=5)
+        assert len(a) == 30 and a == b
+
+    def test_random_instance_respects_relations(self):
+        inst = random_concrete_instance(
+            10, relations=(("A", 1), ("B", 2)), seed=0
+        )
+        assert set(inst.relation_names()) <= {"A", "B"}
+
+
+class TestMappingFamilies:
+    def test_copy_setting(self):
+        setting = exchange_setting_copy()
+        assert len(setting.st_tgds) == 1 and not setting.egds
+
+    def test_join_setting_matches_employment(self):
+        assert len(exchange_setting_join().st_tgds) == 2
+
+    def test_decompose_setting_exchanges(self):
+        from repro.concrete import ConcreteInstance, concrete_fact
+        from repro.temporal import Interval
+
+        source = ConcreteInstance(
+            [concrete_fact("F", "ada", "ibm", "18k", interval=Interval(0, 4))]
+        )
+        result = c_chase(source, exchange_setting_decompose())
+        assert result.succeeded
+        assert len(result.target.facts_of("Works")) == 1
+        assert len(result.target.facts_of("Earns")) == 1
+        # The invented key is the same annotated null in both facts.
+        (works,) = result.target.facts_of("Works")
+        (earns,) = result.target.facts_of("Earns")
+        assert works.data[0] == earns.data[0]
