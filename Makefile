@@ -1,0 +1,25 @@
+# One-command entry points for the repo's verification workflows.
+#
+#   make test         - tier-1: full test suite (fails fast)
+#   make bench-smoke  - run every benchmark module once, timings disabled
+#   make bench        - full timed benchmark run
+#   make verify       - test + bench-smoke (what CI should run)
+
+PYTHON ?= python
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test bench-smoke bench verify install-editable
+
+test:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-disable
+
+bench:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+verify: test bench-smoke
+
+install-editable:
+	pip install -e . --no-build-isolation

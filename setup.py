@@ -1,10 +1,254 @@
-"""Legacy setup shim.
+"""Offline-compatible setup shim.
 
-The project metadata lives in pyproject.toml; this file exists only so
-that ``pip install -e .`` works in offline environments whose setuptools
-lacks PEP 517 editable-wheel support.
+Project metadata lives in pyproject.toml (PEP 621); setuptools >= 61
+reads it from there.  This file exists because the target environments
+are *offline* and ship setuptools without the third-party ``wheel``
+package, while modern pip insists on building a PEP 660 editable wheel
+for ``pip install -e .``.  Setuptools' editable machinery needs two
+things from ``wheel``: the ``bdist_wheel`` command (for tags and the
+egg-info → dist-info conversion) and ``wheel.wheelfile.WheelFile`` (to
+zip the editable wheel with a RECORD).  When ``wheel`` is importable we
+defer to it; otherwise the minimal stand-ins below are registered, which
+support exactly the pure-Python editable path used by::
+
+    pip install -e . --no-build-isolation
+
+Building *distribution* wheels still requires the real ``wheel`` package.
 """
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import shutil
+import zipfile
 
 from setuptools import setup
 
-setup()
+
+def _native_wheel_support() -> bool:
+    """Can setuptools build wheels without our stand-ins?
+
+    Modern setuptools (>= 70.1) bundles its own ``bdist_wheel`` command;
+    otherwise the real third-party ``wheel`` package provides it.  Either
+    way the native machinery is complete and must not be shadowed.
+    """
+    try:
+        import setuptools.command.bdist_wheel  # noqa: F401
+
+        return True
+    except ImportError:
+        pass
+    try:
+        import wheel.bdist_wheel  # noqa: F401
+
+        return True
+    except ImportError:
+        return False
+
+
+_HAVE_WHEEL = _native_wheel_support()
+
+
+def _record_hash(data: bytes) -> str:
+    digest = hashlib.sha256(data).digest()
+    return "sha256=" + base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+_WHEEL_NAME_RE = re.compile(
+    r"^(?P<namever>(?P<name>.+?)-(?P<version>\d[^-]*?))"
+    r"(-(?P<build>\d[^-]*?))?-(?P<pyver>.+?)-(?P<abi>.+?)-(?P<plat>.+?)\.whl$"
+)
+
+
+class _MiniWheelFile(zipfile.ZipFile):
+    """Just enough of wheel.wheelfile.WheelFile for editable wheels.
+
+    Records a sha256 digest for every member written and appends the
+    RECORD file on close, which is what pip verifies at install time.
+    """
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression)
+        parsed = _WHEEL_NAME_RE.match(os.path.basename(str(file)))
+        if parsed is None:
+            raise ValueError(f"not a valid wheel filename: {file}")
+        self.dist_info_path = f"{parsed.group('namever')}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._record_entries: list[str] = []
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        arcname = getattr(zinfo_or_arcname, "filename", zinfo_or_arcname)
+        self._record_entries.append(
+            f"{arcname},{_record_hash(data)},{len(data)}"
+        )
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        super().write(filename, arcname, *args, **kwargs)
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        name = arcname if arcname is not None else filename
+        self._record_entries.append(f"{name},{_record_hash(data)},{len(data)}")
+
+    def write_files(self, base_dir):
+        """Add every file under *base_dir* (deterministic order)."""
+        collected = []
+        for root, _dirs, files in os.walk(base_dir):
+            for name in files:
+                path = os.path.join(root, name)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                if arcname != self.record_path:
+                    collected.append((arcname, path))
+        for arcname, path in sorted(collected):
+            self.write(path, arcname)
+
+    def close(self):
+        if self.fp is not None and self.mode == "w":
+            record = "\n".join(self._record_entries + [f"{self.record_path},,", ""])
+            super().writestr(self.record_path, record.encode("utf-8"))
+        super().close()
+
+
+def _install_wheelfile_stub() -> None:
+    """Make ``from wheel.wheelfile import WheelFile`` importable.
+
+    No-op when a real ``wheel.wheelfile`` exists — the stub only fills
+    the hole, it never shadows working machinery.
+    """
+    import sys
+    import types
+
+    try:
+        import wheel.wheelfile  # noqa: F401
+
+        return
+    except ImportError:
+        pass
+    if "wheel.wheelfile" in sys.modules:
+        return
+    wheel_mod = types.ModuleType("wheel")
+    wheelfile_mod = types.ModuleType("wheel.wheelfile")
+    wheelfile_mod.WheelFile = _MiniWheelFile
+    wheel_mod.wheelfile = wheelfile_mod
+    sys.modules.setdefault("wheel", wheel_mod)
+    sys.modules["wheel.wheelfile"] = wheelfile_mod
+
+
+def _requires_to_metadata(requires_text: str) -> list[str]:
+    """Translate egg-info requires.txt into Requires-Dist/Provides-Extra.
+
+    Section headers are ``[extra]``, ``[extra:marker]`` or ``[:marker]``;
+    markers must survive into the Requires-Dist environment marker or the
+    dependency becomes unconditional.
+    """
+    lines: list[str] = []
+    extra = None
+    condition = None
+    for raw in requires_text.splitlines():
+        entry = raw.strip()
+        if not entry:
+            continue
+        if entry.startswith("[") and entry.endswith("]"):
+            section = entry[1:-1]
+            extra, _, condition = section.partition(":")
+            extra = extra.strip()
+            condition = condition.strip() or None
+            if extra:
+                lines.append(f"Provides-Extra: {extra}")
+            continue
+        clauses = []
+        if condition:
+            clauses.append(f"({condition})" if extra else condition)
+        if extra:
+            clauses.append(f'extra == "{extra}"')
+        marker = f" ; {' and '.join(clauses)}" if clauses else ""
+        lines.append(f"Requires-Dist: {entry}{marker}")
+    return lines
+
+
+def _make_shim_bdist_wheel():
+    from distutils.cmd import Command
+
+    class bdist_wheel(Command):  # noqa: N801 — distutils command naming
+        """Tag/metadata provider for the PEP 660 editable build."""
+
+        description = "minimal bdist_wheel stand-in (editable installs only)"
+        user_options: list = []
+
+        def initialize_options(self):
+            pass
+
+        def finalize_options(self):
+            pass
+
+        def run(self):
+            raise RuntimeError(
+                "building distribution wheels needs the real 'wheel' "
+                "package; this offline shim only supports `pip install -e .`"
+            )
+
+        def get_tag(self):
+            return ("py3", "none", "any")
+
+        def write_wheelfile(self, wheelfile_base):
+            content = (
+                "Wheel-Version: 1.0\n"
+                "Generator: setup-py-offline-shim\n"
+                "Root-Is-Purelib: true\n"
+                "Tag: py3-none-any\n"
+            )
+            path = os.path.join(wheelfile_base, "WHEEL")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(content)
+
+        def egg2dist(self, egginfo_path, distinfo_path):
+            """Convert an .egg-info directory into a .dist-info directory."""
+            if os.path.exists(distinfo_path):
+                shutil.rmtree(distinfo_path)
+            os.makedirs(distinfo_path)
+            with open(
+                os.path.join(egginfo_path, "PKG-INFO"), encoding="utf-8"
+            ) as handle:
+                pkg_info = handle.read()
+            requires_path = os.path.join(egginfo_path, "requires.txt")
+            extra_headers: list[str] = []
+            if os.path.exists(requires_path):
+                with open(requires_path, encoding="utf-8") as handle:
+                    extra_headers = _requires_to_metadata(handle.read())
+            headers, separator, body = pkg_info.partition("\n\n")
+            if extra_headers:
+                headers = "\n".join([headers.rstrip("\n"), *extra_headers])
+            with open(
+                os.path.join(distinfo_path, "METADATA"), "w", encoding="utf-8"
+            ) as handle:
+                handle.write(headers + (separator + body if separator else "\n"))
+            skipped = {
+                "PKG-INFO",
+                "requires.txt",
+                "SOURCES.txt",
+                "dependency_links.txt",
+                "not-zip-safe",
+                "zip-safe",
+            }
+            for node in os.listdir(egginfo_path):
+                if node in skipped or node.endswith((".pyc", ".pyo")):
+                    continue
+                shutil.copy2(
+                    os.path.join(egginfo_path, node),
+                    os.path.join(distinfo_path, node),
+                )
+            shutil.rmtree(egginfo_path)
+
+    return bdist_wheel
+
+
+if _HAVE_WHEEL:
+    setup()
+else:
+    _install_wheelfile_stub()
+    setup(cmdclass={"bdist_wheel": _make_shim_bdist_wheel()})

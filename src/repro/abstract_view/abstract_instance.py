@@ -20,7 +20,7 @@ construction: beyond the largest finite endpoint all snapshots are
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import InstanceError, TemporalError
@@ -47,6 +47,9 @@ class TemplateFact:
     relation: str
     args: tuple[GroundTerm, ...]
     interval: Interval
+    # Cache for at(): templates without annotated nulls project to the
+    # same snapshot fact at every covered point.
+    _pointless: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.relation:
@@ -76,11 +79,19 @@ class TemplateFact:
         """The snapshot-level fact at time ℓ."""
         if point not in self.interval:
             raise TemporalError(f"{point} outside {self.interval} in {self}")
+        cached = self._pointless
+        if cached is not None:
+            return cached  # type: ignore[return-value]
         args = tuple(
             v.project(point) if isinstance(v, AnnotatedNull) else v
             for v in self.args
         )
-        return Fact(self.relation, args)
+        result = Fact(self.relation, args)
+        if not any(isinstance(v, AnnotatedNull) for v in self.args):
+            # Point-independent: constants and rigid nulls project to
+            # themselves, so every covered point yields this same fact.
+            object.__setattr__(self, "_pointless", result)
+        return result
 
     def rigid_nulls(self) -> tuple[LabeledNull, ...]:
         return tuple(v for v in self.args if isinstance(v, LabeledNull))

@@ -13,7 +13,11 @@ from repro.chase.trace import (
     FailureRecord,
     TgdStepRecord,
 )
-from repro.chase.union_find import ConstantClashError, TermUnionFind
+from repro.chase.union_find import (
+    AnnotationMismatchError,
+    ConstantClashError,
+    TermUnionFind,
+)
 
 __all__ = [
     "core_of",
@@ -27,6 +31,7 @@ __all__ = [
     "EgdStepRecord",
     "FailureRecord",
     "TgdStepRecord",
+    "AnnotationMismatchError",
     "ConstantClashError",
     "TermUnionFind",
 ]

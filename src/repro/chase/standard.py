@@ -11,10 +11,22 @@ Given a relational source instance and a setting ``M = (RS, RT, Σst,
    *oblivious* variant skips the extension check and always fires — an
    ablation knob that produces a non-core universal solution.
 2. **egd phase** — while some egd ``φ(x) → x1 = x2`` has a homomorphism
-   with ``h(x1) ≠ h(x2)``: equate them.  Null/term pairs are merged via
-   union-find; equating two distinct constants fails the chase, which by
-   Theorem 3.3 of Fagin et al. (and Proposition 4 here) means *no solution
-   exists*.
+   with ``h(x1) ≠ h(x2)``: equate them.  Equations are resolved in
+   *batched rounds*: every egd match on the current instance is merged
+   into a fresh :class:`~repro.chase.union_find.TermUnionFind` (matched
+   terms are resolved through ``find`` because earlier merges of the same
+   round are not yet reflected in the instance), each real merge is
+   recorded at representative level, and one substitution pass applies
+   the whole round.  Rounds repeat until no merge happens, so equations
+   that only appear on the substituted instance are still found.
+   Equating two distinct constants fails the chase, which by Theorem 3.3
+   of Fagin et al. (and Proposition 4 here) means *no solution exists*.
+
+   Because the union-find elects the class minimum (constants first) as
+   representative, the fixpoint instance — and each recorded
+   ``replaced ↦ replacement`` step — is identical to what the classical
+   one-equation-at-a-time loop produced; only the re-enumeration after
+   every single equation is gone.
 
 A successful chase returns a universal solution for the snapshot.
 """
@@ -40,6 +52,7 @@ from repro.relational.homomorphism import (
     find_homomorphism,
     find_homomorphisms,
     has_homomorphism,
+    iter_egd_equations,
 )
 from repro.relational.instance import Instance
 from repro.relational.terms import Constant, GroundTerm, Variable
@@ -95,7 +108,9 @@ def _run_tgd_phase(
 ) -> None:
     for index, tgd in enumerate(setting.st_tgds, start=1):
         label = _tgd_label(tgd, index)
-        for assignment in find_homomorphisms(tgd.lhs, source):
+        # copy=False: the live assignment is only read before the iterator
+        # resumes; the trace record takes an explicit copy below.
+        for assignment in find_homomorphisms(tgd.lhs, source, copy=False):
             if variant == "standard":
                 # Skip when h extends to φ ∧ ψ over (I, J): the rhs is
                 # target-only, so the extension is a hom of ψ into J that
@@ -113,7 +128,7 @@ def _run_tgd_phase(
             trace.record(
                 TgdStepRecord(
                     dependency=label,
-                    assignment=assignment,
+                    assignment=dict(assignment),
                     added_facts=new_facts,
                     fresh_nulls=tuple(fresh),
                 )
@@ -125,36 +140,47 @@ def _run_egd_phase(
     setting: DataExchangeSetting,
     trace: ChaseTrace,
 ) -> tuple[Instance, FailureRecord | None]:
-    """Chase the egds to fixpoint; returns (instance, failure-or-None)."""
-    union_find = TermUnionFind()
+    """Chase the egds to fixpoint; returns (instance, failure-or-None).
+
+    Equations are resolved in batched rounds (see module docstring).  A
+    fresh union-find per round keeps representatives in sync with the
+    instance: matched terms may be stale (already merged earlier in the
+    same round), so both sides are resolved through ``find`` before the
+    merge is judged, and the recorded step equates the two *class
+    representatives* — never a term a previous step already replaced.
+    """
     current = target
-    changed = True
-    while changed:
-        changed = False
+    while True:
+        union_find = TermUnionFind()
+        merged = False
         for index, egd in enumerate(setting.egds, start=1):
             label = _egd_label(egd, index)
-            for assignment in find_homomorphisms(egd.lhs, current):
-                left = assignment[egd.left_variable]
-                right = assignment[egd.right_variable]
+            for left, right in iter_egd_equations(
+                egd.lhs.atoms, egd.left_variable, egd.right_variable, current
+            ):
                 if left == right:
                     continue
+                root_left = union_find.find(left)
+                root_right = union_find.find(right)
+                if root_left == root_right:
+                    continue
                 try:
-                    winner = union_find.union(left, right)
+                    winner = union_find.union(root_left, root_right)
                 except ConstantClashError as clash:
                     failure = FailureRecord(label, clash.left, clash.right)
                     trace.record(failure)
+                    # Report the instance with every merge recorded so far
+                    # applied, exactly as the per-equation loop left it.
+                    pending = union_find.substitution()
+                    if pending:
+                        current = current.substitute(pending)
                     return current, failure
-                # left and right come from the already-substituted instance,
-                # so both are class representatives and the winner is one of
-                # them; the other is replaced everywhere.
-                replaced = right if winner == left else left
-                current = current.substitute({replaced: winner})
+                replaced = root_right if winner == root_left else root_left
                 trace.record(EgdStepRecord(label, replaced, winner))
-                changed = True
-                break  # homomorphisms must be recomputed on the new instance
-            if changed:
-                break
-    return current, None
+                merged = True
+        if not merged:
+            return current, None
+        current = current.substitute(union_find.substitution())
 
 
 def chase_snapshot(

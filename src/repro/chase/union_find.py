@@ -1,12 +1,20 @@
 """Union-find over ground terms with constants as forced representatives.
 
-The egd phase of a chase repeatedly equates pairs of terms.  Merging
-through a union-find keeps that phase near-linear: each equivalence class
-tracks whether it contains a constant, in which case the constant is the
-class representative (nulls are always replaced *by* constants, never the
+The egd phases of both chases resolve whole *batches* of equations
+through this structure: every egd match on the current instance is merged
+here first, and only then is a single substitution pass applied (one per
+round instead of one per equation).  Each equivalence class tracks
+whether it contains a constant, in which case the constant is the class
+representative (nulls are always replaced *by* constants, never the
 other way around — Definition 16).  Attempting to merge two classes with
 distinct constants raises :class:`ConstantClashError`, which the chase
 translates into a failure result.
+
+For the c-chase, construct with ``check_annotations=True``: merging two
+interval-annotated nulls whose annotations differ then raises
+:class:`AnnotationMismatchError` — on an instance normalized w.r.t.
+``Σ+eg`` both sides of an egd equation always carry the stamp of the
+match, so a mismatch means the caller skipped normalization.
 """
 
 from __future__ import annotations
@@ -14,9 +22,14 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Mapping, TypeVar
 
 from repro.errors import ReproError
-from repro.relational.terms import Constant, GroundTerm, term_sort_key
+from repro.relational.terms import (
+    AnnotatedNull,
+    Constant,
+    GroundTerm,
+    term_sort_key,
+)
 
-__all__ = ["ConstantClashError", "TermUnionFind"]
+__all__ = ["AnnotationMismatchError", "ConstantClashError", "TermUnionFind"]
 
 T = TypeVar("T", bound=Hashable)
 
@@ -30,12 +43,30 @@ class ConstantClashError(ReproError):
         super().__init__(f"cannot equate distinct constants {left} and {right}")
 
 
+class AnnotationMismatchError(ReproError):
+    """Two annotated nulls with different annotations were equated.
+
+    Normalization w.r.t. ``Σ+eg`` guarantees both equated nulls carry the
+    stamp of the match, so this signals an egd c-chase step on an
+    un-normalized instance — a caller bug, not a chase failure.
+    """
+
+    def __init__(self, left: AnnotatedNull, right: AnnotatedNull):
+        self.left = left
+        self.right = right
+        super().__init__(
+            "egd c-chase step on un-normalized instance: "
+            f"{left} vs {right} carry different annotations"
+        )
+
+
 class TermUnionFind:
     """Union-find over :class:`~repro.relational.terms.GroundTerm` values."""
 
-    def __init__(self) -> None:
+    def __init__(self, check_annotations: bool = False) -> None:
         self._parent: Dict[GroundTerm, GroundTerm] = {}
         self._rank: Dict[GroundTerm, int] = {}
+        self._check_annotations = check_annotations
 
     def _ensure(self, term: GroundTerm) -> None:
         if term not in self._parent:
@@ -59,7 +90,11 @@ class TermUnionFind:
         contain two distinct constants raises :class:`ConstantClashError`.
         When both roots are nulls the smaller under
         :func:`~repro.relational.terms.term_sort_key` wins, keeping chase
-        output deterministic.
+        output deterministic.  The class minimum always ends up as root,
+        so the final representatives do not depend on merge order.
+
+        With ``check_annotations=True``, merging two annotated-null roots
+        whose annotations differ raises :class:`AnnotationMismatchError`.
         """
         root_left = self.find(left)
         root_right = self.find(right)
@@ -70,6 +105,13 @@ class TermUnionFind:
         right_const = isinstance(root_right, Constant)
         if left_const and right_const:
             raise ConstantClashError(root_left, root_right)  # type: ignore[arg-type]
+        if (
+            self._check_annotations
+            and isinstance(root_left, AnnotatedNull)
+            and isinstance(root_right, AnnotatedNull)
+            and root_left.annotation != root_right.annotation
+        ):
+            raise AnnotationMismatchError(root_left, root_right)
         if left_const:
             winner, loser = root_left, root_right
         elif right_const:

@@ -6,6 +6,7 @@ from repro.concrete.concrete_instance import ConcreteInstance
 from repro.concrete.normalization import (
     NormalizationReport,
     NormalizationViolation,
+    find_temporal_assignments,
     find_temporal_homomorphisms,
     find_violation,
     has_empty_intersection_property,
@@ -24,6 +25,7 @@ __all__ = [
     "ConcreteInstance",
     "NormalizationReport",
     "NormalizationViolation",
+    "find_temporal_assignments",
     "find_temporal_homomorphisms",
     "find_violation",
     "has_empty_intersection_property",

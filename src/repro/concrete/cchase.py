@@ -13,6 +13,18 @@ Pipeline (Section 4.3):
    interval-annotated null is replaced everywhere by the other term.
    Normalization guarantees both equated nulls carry the same annotation.
 
+   Like the snapshot chase, the egd fixpoint runs in *batched rounds*:
+   all egd matches of the current target are merged into one
+   :class:`~repro.chase.union_find.TermUnionFind` (constructed with
+   annotation checking, so a merge of two differently-annotated nulls —
+   impossible after normalization — raises instead of corrupting the
+   instance), then a single substitution pass applies the round.  Matched
+   terms are resolved through ``find`` first because earlier merges of
+   the round are not yet visible in the instance; every recorded step
+   equates class representatives, and constant/constant clashes are
+   detected at representative level — both exactly as the per-equation
+   loop behaved after its eager substitutions.
+
 A successful run returns a *concrete solution* ``Jc`` whose semantics
 ``⟦Jc⟧`` is a universal solution for ``⟦Ic⟧`` (Theorem 19(1),
 Corollary 20 — verified end-to-end in this repository's tests).
@@ -31,10 +43,12 @@ from repro.chase.trace import (
     FailureRecord,
     TgdStepRecord,
 )
+from repro.chase.union_find import ConstantClashError, TermUnionFind
 from repro.concrete.concrete_fact import ConcreteFact
 from repro.concrete.concrete_instance import ConcreteInstance
 from repro.concrete.normalization import (
-    find_temporal_homomorphisms,
+    _lift_atoms,
+    find_temporal_assignments,
     interval_of,
     naive_normalize,
     normalize,
@@ -42,14 +56,10 @@ from repro.concrete.normalization import (
 from repro.dependencies.dependency import EGD, SourceToTargetTGD
 from repro.dependencies.mapping import DataExchangeSetting
 from repro.relational.formulas import Atom
-from repro.relational.homomorphism import has_homomorphism
+from repro.relational.homomorphism import has_homomorphism, iter_egd_equations
 from repro.relational.terms import (
-    AnnotatedNull,
-    Constant,
     GroundTerm,
-    Term,
     Variable,
-    term_sort_key,
 )
 
 __all__ = ["CChaseResult", "c_chase", "NormalizationMode"]
@@ -99,8 +109,17 @@ def _normalize(
     return normalize(instance, conjunctions)
 
 
-def _lift_rhs(tgd: SourceToTargetTGD, tvar: Variable) -> list[Atom]:
-    return [Atom(atom.relation, atom.args + (tvar,)) for atom in tgd.rhs.atoms]
+def _lift_rhs(tgd: SourceToTargetTGD, tvar: Variable) -> tuple[Atom, ...]:
+    # Cached on the tgd: with lift_lhs cached, tvar is stable across runs,
+    # and stable atoms keep the homomorphism search's plan cache warm.
+    cached = tgd._lifted_rhs
+    if cached is not None and cached[0] == tvar:
+        return cached[1]
+    lifted = tuple(
+        Atom(atom.relation, atom.args + (tvar,)) for atom in tgd.rhs.atoms
+    )
+    object.__setattr__(tgd, "_lifted_rhs", (tvar, lifted))
+    return lifted
 
 
 def _run_st_phase(
@@ -117,7 +136,11 @@ def _run_st_phase(
         tvar = lifted_lhs.shared_variable
         lifted_rhs = _lift_rhs(tgd, tvar)
         exported = set(tgd.exported_variables)
-        for assignment, _images in find_temporal_homomorphisms(lifted_lhs, source):
+        # copy=False: the live assignment is read (and copied into the
+        # extension/trace record) before the iterator resumes.
+        for assignment in find_temporal_assignments(
+            lifted_lhs, source, copy=False
+        ):
             stamp = interval_of(assignment, tvar)
             if variant == "standard":
                 initial = {
@@ -142,24 +165,11 @@ def _run_st_phase(
             trace.record(
                 TgdStepRecord(
                     dependency=label,
-                    assignment=assignment,
+                    assignment=dict(assignment),
                     added_facts=tuple(item.lifted() for item in added),
                     fresh_nulls=tuple(fresh),
                 )
             )
-
-
-def _choose_replacement(
-    left: GroundTerm, right: GroundTerm
-) -> tuple[Term, Term]:
-    """(replaced, replacement) with constants winning, else sort order."""
-    if isinstance(left, Constant):
-        return right, left
-    if isinstance(right, Constant):
-        return left, right
-    if term_sort_key(left) <= term_sort_key(right):
-        return right, left
-    return left, right
 
 
 def _run_egd_phase(
@@ -167,41 +177,45 @@ def _run_egd_phase(
     setting: DataExchangeSetting,
     trace: ChaseTrace,
 ) -> tuple[ConcreteInstance, FailureRecord | None]:
+    """Resolve the egds in batched union-find rounds (module docstring)."""
+    labeled_egds = [
+        (egd.name or f"ε{index}+", _lift_atoms(egd.lift_lhs()), egd)
+        for index, egd in enumerate(setting.egds, start=1)
+    ]
     current = target
-    changed = True
-    while changed:
-        changed = False
-        for index, egd in enumerate(setting.egds, start=1):
-            label = egd.name or f"ε{index}+"
-            lifted_lhs = egd.lift_lhs()
-            for assignment, _images in find_temporal_homomorphisms(
-                lifted_lhs, current
+    while True:
+        union_find = TermUnionFind(check_annotations=True)
+        merged = False
+        for label, lifted_atoms, egd in labeled_egds:
+            for left, right in iter_egd_equations(
+                lifted_atoms,
+                egd.left_variable,
+                egd.right_variable,
+                current.lifted(),
             ):
-                left = assignment[egd.left_variable]
-                right = assignment[egd.right_variable]
                 if left == right:
                     continue
-                if isinstance(left, Constant) and isinstance(right, Constant):
-                    failure = FailureRecord(label, left, right)
+                root_left = union_find.find(left)
+                root_right = union_find.find(right)
+                if root_left == root_right:
+                    continue
+                try:
+                    winner = union_find.union(root_left, root_right)
+                except ConstantClashError as clash:
+                    failure = FailureRecord(label, clash.left, clash.right)
                     trace.record(failure)
+                    # Leave the instance as the per-equation loop did: all
+                    # merges recorded before the clash are applied.
+                    pending = union_find.substitution()
+                    if pending:
+                        current = current.substitute(pending)
                     return current, failure
-                replaced, replacement = _choose_replacement(left, right)
-                if isinstance(replaced, AnnotatedNull) and isinstance(
-                    replacement, AnnotatedNull
-                ):
-                    # Normalization w.r.t. Σ+eg guarantees both facts share
-                    # one stamp, hence the nulls share one annotation.
-                    assert replaced.annotation == replacement.annotation, (
-                        "egd c-chase step on un-normalized instance: "
-                        f"{replaced} vs {replacement}"
-                    )
-                current = current.substitute({replaced: replacement})
-                trace.record(EgdStepRecord(label, replaced, replacement))
-                changed = True
-                break  # re-enumerate on the substituted instance
-            if changed:
-                break
-    return current, None
+                replaced = root_right if winner == root_left else root_left
+                trace.record(EgdStepRecord(label, replaced, winner))
+                merged = True
+        if not merged:
+            return current, None
+        current = current.substitute(union_find.substitution())
 
 
 def c_chase(

@@ -13,7 +13,7 @@ fact, and the nulls are re-annotated to each fragment's stamp
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.errors import InstanceError, TemporalError
@@ -34,11 +34,29 @@ __all__ = ["ConcreteFact", "concrete_fact"]
 
 @dataclass(frozen=True, slots=True)
 class ConcreteFact:
-    """An immutable concrete fact: relation, data values, time interval."""
+    """An immutable concrete fact: relation, data values, time interval.
+
+    Hash, sort key and the lifted relational twin are all cached — the
+    chase and normalization recompute them constantly on the same facts.
+    """
 
     relation: str
     data: tuple[GroundTerm, ...]
     interval: Interval
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _sort_key: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _lifted: Fact | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.relation, self.data, self.interval)) or -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __post_init__(self) -> None:
         if not self.relation:
@@ -130,7 +148,11 @@ class ConcreteFact:
         variables unify with ``Constant(interval)`` values, which is
         exactly the paper's "intervals behave as constants" reading.
         """
-        return Fact(self.relation, self.data + (Constant(self.interval),))
+        cached = self._lifted
+        if cached is None:
+            cached = Fact(self.relation, self.data + (Constant(self.interval),))
+            object.__setattr__(self, "_lifted", cached)
+        return cached
 
     # -- transformation ----------------------------------------------------------
     def substitute(self, mapping: dict[Term, Term]) -> "ConcreteFact":
@@ -140,11 +162,15 @@ class ConcreteFact:
 
     # -- ordering and rendering --------------------------------------------------
     def sort_key(self) -> tuple:
-        return (
-            self.relation,
-            tuple(term_sort_key(v) for v in self.data),
-            self.interval.sort_key(),
-        )
+        cached = self._sort_key
+        if cached is None:
+            cached = (
+                self.relation,
+                tuple(term_sort_key(v) for v in self.data),
+                self.interval.sort_key(),
+            )
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def __str__(self) -> str:
         rendered = ", ".join(str(v) for v in self.data)

@@ -6,7 +6,9 @@ A :class:`ConcreteInstance` is a finite set of
 * snapshot extraction — the ⟦·⟧ semantics pointwise (``snapshot(ℓ)``);
 * a *lifted* relational view in which the interval is an ordinary last
   column, enabling reuse of the relational homomorphism machinery
-  ("intervals behave as constants");
+  ("intervals behave as constants") — built once and then maintained
+  incrementally on every ``add``/``discard``, so the c-chase can probe
+  it between mutations without paying a rebuild;
 * coalescing and coalescedness checks (Section 2), including the
   null-aware variant that merges fragments of one unknown back together;
 * substitution (egd c-chase steps) and fragmentation support.
@@ -33,7 +35,7 @@ __all__ = ["ConcreteInstance"]
 class ConcreteInstance:
     """A mutable set of concrete facts with a cached lifted relational view."""
 
-    __slots__ = ("_facts_by_relation", "_lifted", "schema")
+    __slots__ = ("_facts_by_relation", "_lifted", "_by_lifted", "schema")
 
     def __init__(
         self,
@@ -42,6 +44,7 @@ class ConcreteInstance:
     ):
         self._facts_by_relation: dict[str, set[ConcreteFact]] = {}
         self._lifted: Instance | None = None
+        self._by_lifted: dict[Fact, ConcreteFact] = {}
         self.schema = schema
         for item in facts:
             self.add(item)
@@ -66,7 +69,10 @@ class ConcreteInstance:
         if item in bucket:
             return False
         bucket.add(item)
-        self._lifted = None
+        if self._lifted is not None:
+            lifted_fact = item.lifted()
+            self._lifted.add(lifted_fact)
+            self._by_lifted[lifted_fact] = item
         return True
 
     def add_all(self, items: Iterable[ConcreteFact]) -> int:
@@ -79,7 +85,10 @@ class ConcreteInstance:
         bucket.remove(item)
         if not bucket:
             del self._facts_by_relation[item.relation]
-        self._lifted = None
+        if self._lifted is not None:
+            lifted_fact = item.lifted()
+            self._lifted.discard(lifted_fact)
+            self._by_lifted.pop(lifted_fact, None)
         return True
 
     def replace(
@@ -182,17 +191,36 @@ class ConcreteInstance:
     def lifted(self) -> Instance:
         """The instance as flat relational tuples, interval as last column.
 
-        Cached; invalidated on mutation.  Temporal homomorphisms over the
-        concrete instance are plain relational homomorphisms over this
-        view, with temporal variables binding to ``Constant(interval)``.
+        Built on the first call and maintained incrementally by
+        :meth:`add` / :meth:`discard` from then on — mutating between
+        probes (the chase's access pattern) costs one index update, not a
+        rebuild.  Temporal homomorphisms over the concrete instance are
+        plain relational homomorphisms over this view, with temporal
+        variables binding to ``Constant(interval)``.
         """
         if self._lifted is None:
             lifted = Instance()
+            by_lifted: dict[Fact, ConcreteFact] = {}
             for bucket in self._facts_by_relation.values():
                 for item in bucket:
-                    lifted.add(item.lifted())
+                    lifted_fact = item.lifted()
+                    lifted.add(lifted_fact)
+                    by_lifted[lifted_fact] = item
             self._lifted = lifted
+            self._by_lifted = by_lifted
         return self._lifted
+
+    def resolve_lifted(self, item: Fact) -> ConcreteFact:
+        """The stored concrete fact behind a fact of :meth:`lifted`.
+
+        Returns the instance's own object (with its caches warm) when the
+        fact is present; otherwise reconstructs via
+        :meth:`from_lifted_fact`.
+        """
+        found = self._by_lifted.get(item)
+        if found is not None:
+            return found
+        return ConcreteInstance.from_lifted_fact(item)
 
     @staticmethod
     def from_lifted_fact(item: Fact) -> ConcreteFact:
@@ -251,15 +279,21 @@ class ConcreteInstance:
         """Replace data terms everywhere (egd c-chase step).
 
         Facts that become equal after replacement merge silently, exactly
-        as in the set-based semantics.
+        as in the set-based semantics.  Facts not mentioning any mapped
+        term are shared with the original instance.
         """
         if not mapping:
             return self.copy()
-        result = ConcreteInstance(schema=self.schema)
         lookup = dict(mapping)
-        for bucket in self._facts_by_relation.values():
-            for item in bucket:
-                result.add(item.substitute(lookup))
+        mapped_terms = frozenset(lookup)
+        result = ConcreteInstance(schema=self.schema)
+        for relation, bucket in self._facts_by_relation.items():
+            result._facts_by_relation[relation] = {
+                item
+                if mapped_terms.isdisjoint(item.data)
+                else item.substitute(lookup)
+                for item in bucket
+            }
         return result
 
     def map_facts(

@@ -38,6 +38,7 @@ from repro.temporal.timepoint import Infinity, TimePoint
 
 __all__ = [
     "find_temporal_homomorphisms",
+    "find_temporal_assignments",
     "interval_of",
     "NormalizationViolation",
     "find_violation",
@@ -55,18 +56,28 @@ __all__ = [
 # ---------------------------------------------------------------------------
 
 
-def _lift_atoms(conjunction: TemporalConjunction) -> list[Atom]:
-    """Append each atom's temporal variable as an ordinary last argument."""
-    return [
-        Atom(atom.relation, atom.args + (tvar,))
-        for atom, tvar in conjunction
-    ]
+def _lift_atoms(conjunction: TemporalConjunction) -> tuple[Atom, ...]:
+    """Append each atom's temporal variable as an ordinary last argument.
+
+    Cached on the conjunction: the chase lifts the same Φ+ members on
+    every phase and every round, and stable atom objects keep the search's
+    per-atom plan cache warm.
+    """
+    cached = conjunction._lifted_atoms
+    if cached is None:
+        cached = tuple(
+            Atom(atom.relation, atom.args + (tvar,))
+            for atom, tvar in conjunction
+        )
+        object.__setattr__(conjunction, "_lifted_atoms", cached)
+    return cached  # type: ignore[return-value]
 
 
 def find_temporal_homomorphisms(
     conjunction: TemporalConjunction,
     instance: ConcreteInstance,
     initial: Mapping[Variable, GroundTerm] | None = None,
+    copy: bool = True,
 ) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[ConcreteFact, ...]]]:
     """Homomorphisms from a temporal conjunction into a concrete instance.
 
@@ -76,16 +87,35 @@ def find_temporal_homomorphisms(
     relational view and bind to ``Constant(interval)`` values.
 
     Yields the assignment (temporal variables included) and the matched
-    concrete facts in atom order.
+    concrete facts in atom order.  ``copy=False`` yields the live search
+    dict (see :func:`~repro.relational.homomorphism
+    .find_homomorphisms_with_images`).
     """
     lifted = _lift_atoms(conjunction)
+    resolve = instance.resolve_lifted
     for assignment, images in find_homomorphisms_with_images(
-        lifted, instance.lifted(), initial=initial
+        lifted, instance.lifted(), initial=initial, copy=copy
     ):
-        concrete_images = tuple(
-            ConcreteInstance.from_lifted_fact(item) for item in images
-        )
-        yield assignment, concrete_images
+        yield assignment, tuple(resolve(item) for item in images)
+
+
+def find_temporal_assignments(
+    conjunction: TemporalConjunction,
+    instance: ConcreteInstance,
+    initial: Mapping[Variable, GroundTerm] | None = None,
+    copy: bool = True,
+) -> Iterator[dict[Variable, GroundTerm]]:
+    """Like :func:`find_temporal_homomorphisms` but without the images.
+
+    The c-chase phases only need the variable assignment (the matched
+    facts are irrelevant once the stamp is known), so they skip the
+    per-match resolution of lifted facts back to concrete ones.
+    """
+    lifted = _lift_atoms(conjunction)
+    for assignment, _images in find_homomorphisms_with_images(
+        lifted, instance.lifted(), initial=initial, copy=copy
+    ):
+        yield assignment
 
 
 def interval_of(
@@ -98,6 +128,74 @@ def interval_of(
             f"variable {variable} is bound to {value!r}, not a time interval"
         )
     return value.value
+
+
+def _decoupled_pair_shape(
+    atoms: Sequence[Atom],
+) -> tuple[str, int, str, int, list[tuple[int, int]]] | None:
+    """Detect a two-atom decoupled form whose args are distinct variables.
+
+    Returns ``(rel1, arity1, rel2, arity2, shared)`` where *shared* pairs
+    up the positions carrying each variable common to both atoms, or
+    ``None`` when the shape (constants, repeated variables, ≠2 atoms)
+    needs the generic search.
+    """
+    if len(atoms) != 2:
+        return None
+    first, second = atoms
+    args1, args2 = first.args, second.args
+    if not all(isinstance(arg, Variable) for arg in args1 + args2):
+        return None
+    if len(set(args1)) != len(args1) or len(set(args2)) != len(args2):
+        return None
+    index2 = {arg: position for position, arg in enumerate(args2)}
+    shared = [
+        (position, index2[arg])
+        for position, arg in enumerate(args1)
+        if arg in index2
+    ]
+    return first.relation, first.arity, second.relation, second.arity, shared
+
+
+def _iter_decoupled_images(
+    decoupled: TemporalConjunction, instance: ConcreteInstance
+) -> Iterator[tuple[ConcreteFact, ...]]:
+    """The image tuples of all ``φ*`` homomorphisms into *instance*.
+
+    Normalization only consumes the matched facts (the Δ sets feed a
+    union-find whose outcome is order-independent), so the common
+    two-atom decoupled form takes a flat join-on-shared-variables path
+    instead of the generic backtracking search.  Every homomorphism
+    produces exactly one image tuple either way, so the match *count*
+    (``NormalizationReport.matched_sets``) is preserved.
+    """
+    lifted_atoms = _lift_atoms(decoupled)
+    shape = _decoupled_pair_shape(lifted_atoms)
+    if shape is None:
+        for _assignment, images in find_temporal_homomorphisms(
+            decoupled, instance, copy=False
+        ):
+            yield images
+        return
+    rel1, arity1, rel2, arity2, shared = shape
+    lifted = instance.lifted()
+    resolve = instance.resolve_lifted
+    outer = [
+        resolve(item)
+        for item in lifted.lookup_ordered(rel1, {})
+        if item.arity == arity1
+    ]
+    groups: dict[tuple, list[ConcreteFact]] = {}
+    for item in lifted.lookup_ordered(rel2, {}):
+        if item.arity != arity2:
+            continue
+        key = tuple(item.args[position] for _, position in shared)
+        groups.setdefault(key, []).append(resolve(item))
+    for first_image in outer:
+        lifted_args = first_image.lifted().args
+        key = tuple(lifted_args[position] for position, _ in shared)
+        for second_image in groups.get(key, ()):
+            yield first_image, second_image
 
 
 # ---------------------------------------------------------------------------
@@ -139,9 +237,7 @@ def find_violation(
     """The first violation of the empty intersection property, or ``None``."""
     for conjunction in conjunctions:
         decoupled = conjunction.normalized()
-        for _assignment, images in find_temporal_homomorphisms(
-            decoupled, instance
-        ):
+        for images in _iter_decoupled_images(decoupled, instance):
             distinct = tuple(dict.fromkeys(images))
             stamps = [item.interval for item in distinct]
             common = _common_interval(stamps)
@@ -247,9 +343,7 @@ def normalize_with_report(
     matchable: set[ConcreteFact] = set()
     for conjunction in conjunction_list:
         decoupled = conjunction.normalized()
-        for _assignment, images in find_temporal_homomorphisms(
-            decoupled, instance
-        ):
+        for images in _iter_decoupled_images(decoupled, instance):
             delta = tuple(dict.fromkeys(images))
             stamps = [item.interval for item in delta]
             if _common_interval(stamps) is None:

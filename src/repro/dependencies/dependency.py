@@ -16,7 +16,7 @@ objects, which the c-chase and the normalization algorithms consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import FormulaError
 from repro.relational.formulas import Atom, Conjunction, TemporalConjunction
@@ -33,8 +33,20 @@ class Dependency:
     lhs: Conjunction
 
     def lift_lhs(self, temporal_variable: Variable | None = None) -> TemporalConjunction:
-        """The left-hand side of σ+: every atom carries the shared ``t``."""
-        return TemporalConjunction.from_conjunction(self.lhs, temporal_variable)
+        """The left-hand side of σ+: every atom carries the shared ``t``.
+
+        The default-variable lifting is cached on the dependency — the
+        c-chase asks for it on every run and every egd round, and a stable
+        object keeps downstream caches (decoupled form, lifted atoms,
+        search plans) warm.
+        """
+        if temporal_variable is not None:
+            return TemporalConjunction.from_conjunction(self.lhs, temporal_variable)
+        cached = self._lifted_lhs
+        if cached is None:
+            cached = TemporalConjunction.from_conjunction(self.lhs, None)
+            object.__setattr__(self, "_lifted_lhs", cached)
+        return cached  # type: ignore[return-value]
 
 
 @dataclass(frozen=True)
@@ -49,6 +61,9 @@ class SourceToTargetTGD(Dependency):
     rhs: Conjunction
     existential_variables: tuple[Variable, ...] = ()
     name: str = ""
+    # lift_lhs / c-chase rhs-lifting caches (see Dependency.lift_lhs).
+    _lifted_lhs: object = field(default=None, init=False, repr=False, compare=False)
+    _lifted_rhs: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         lhs_vars = self.lhs.variable_set()
@@ -127,6 +142,8 @@ class EGD(Dependency):
     left_variable: Variable
     right_variable: Variable
     name: str = ""
+    # lift_lhs cache (see Dependency.lift_lhs).
+    _lifted_lhs: object = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         lhs_vars = self.lhs.variable_set()

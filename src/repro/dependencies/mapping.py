@@ -71,11 +71,11 @@ class DataExchangeSetting:
     # -- lifted (concrete) forms ------------------------------------------------
     def lifted_st_lhs_conjunctions(self) -> tuple[TemporalConjunction, ...]:
         """The lhs of every σ+ in Σ+st — the Φ+ for source normalization."""
-        return tuple(tgd.lift_lhs() for tgd in self.st_tgds)
+        return tuple(tgd.lift_lhs() for tgd in self.st_tgds)  # cached per tgd
 
     def lifted_egd_lhs_conjunctions(self) -> tuple[TemporalConjunction, ...]:
         """The lhs of every σ+ in Σ+eg — the Φ+ for target normalization."""
-        return tuple(egd.lift_lhs() for egd in self.egds)
+        return tuple(egd.lift_lhs() for egd in self.egds)  # cached per egd
 
     def lifted_source_schema(self) -> Schema:
         """``R+S``: the source schema with the temporal attribute added."""

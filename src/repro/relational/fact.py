@@ -7,7 +7,7 @@ stamped facts live in :mod:`repro.concrete.concrete_fact`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.errors import InstanceError
@@ -26,10 +26,18 @@ __all__ = ["Fact", "fact"]
 
 @dataclass(frozen=True, slots=True)
 class Fact:
-    """An immutable relational fact over ground terms."""
+    """An immutable relational fact over ground terms.
+
+    Facts live in hash sets and sorted index buckets, so both the hash
+    and the sort key are cached after first use.
+    """
 
     relation: str
     args: tuple[GroundTerm, ...]
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _sort_key: tuple | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.relation:
@@ -39,6 +47,13 @@ class Fact:
                 raise InstanceError(
                     f"fact argument must be ground (constant or null), got {arg!r}"
                 )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.relation, self.args)) or -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def arity(self) -> int:
@@ -69,7 +84,14 @@ class Fact:
 
     def sort_key(self) -> tuple:
         """Deterministic ordering for stable rendering of instances."""
-        return (self.relation, tuple(term_sort_key(arg) for arg in self.args))
+        cached = self._sort_key
+        if cached is None:
+            cached = (
+                self.relation,
+                tuple(term_sort_key(arg) for arg in self.args),
+            )
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def __str__(self) -> str:
         rendered = ", ".join(str(arg) for arg in self.args)

@@ -10,7 +10,7 @@ Section 4.2) is :class:`TemporalConjunction`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import count
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -24,10 +24,18 @@ __all__ = ["Atom", "Conjunction", "TemporalConjunction"]
 
 @dataclass(frozen=True, slots=True)
 class Atom:
-    """A relational atom ``R(u1, …, un)`` over variables and constants."""
+    """A relational atom ``R(u1, …, un)`` over variables and constants.
+
+    ``_search_plan`` caches the homomorphism search's pre-analysis of the
+    atom (constant vs. variable positions); atoms are immutable, so the
+    plan stays valid for the atom's lifetime.
+    """
 
     relation: str
     args: tuple[Term, ...]
+    _search_plan: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.relation:
@@ -157,6 +165,12 @@ class TemporalConjunction:
 
     atoms: tuple[Atom, ...]
     temporal_variables: tuple[Variable, ...]
+    _normalized: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _lifted_atoms: object = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.atoms:
@@ -195,7 +209,11 @@ class TemporalConjunction:
         After normalization the temporal variable of every atom is distinct,
         so a homomorphism may map each atom to a fact with a different
         stamp — the matching mode Algorithm 1 uses to build its set ``S``.
+        The default-prefix result is cached (normalization recomputes it
+        for the same Φ+ on every chase run).
         """
+        if prefix == "t_" and self._normalized is not None:
+            return self._normalized  # type: ignore[return-value]
         data_vars = {var.name for atom in self.atoms for var in atom.variables()}
         names = count(1)
         fresh: list[Variable] = []
@@ -204,7 +222,10 @@ class TemporalConjunction:
             while name in data_vars:
                 name = f"{prefix}{next(names)}"
             fresh.append(Variable(name))
-        return TemporalConjunction(self.atoms, tuple(fresh))
+        result = TemporalConjunction(self.atoms, tuple(fresh))
+        if prefix == "t_":
+            object.__setattr__(self, "_normalized", result)
+        return result
 
     @property
     def is_shared(self) -> bool:

@@ -11,10 +11,18 @@ Two flavors, both central to the paper:
   This is the homomorphism of Section 2 used to define universal solutions,
   and it also powers the core computation.
 
-The search is plain backtracking with two optimizations that matter at
-benchmark scale: candidate facts are fetched through the instance's
-``(position, value)`` hash index, and the next atom is always the one with
-the fewest unbound variables (a greedy join order).
+The search is plain backtracking, engineered for the chase hot path:
+
+* candidate facts come from the instance's incrementally-maintained
+  ``(position, value)`` hash index via
+  :meth:`~repro.relational.instance.Instance.lookup_ordered`, whose
+  buckets are pre-sorted — enumeration is deterministic without any
+  per-node sorting;
+* the variable assignment is a single dict extended by **bind/undo**
+  rather than copied at every node;
+* the next atom is the one with the smallest index-candidate cardinality
+  (ties broken by input order), so the tightest relation drives the join
+  instead of a purely structural unbound-variable count.
 """
 
 from __future__ import annotations
@@ -36,110 +44,208 @@ __all__ = [
     "find_homomorphism",
     "has_homomorphism",
     "find_homomorphisms_with_images",
+    "iter_egd_equations",
     "find_instance_homomorphism",
     "has_instance_homomorphism",
     "is_homomorphism",
 ]
 
 
-def _atom_bindings(
-    atom: Atom, assignment: Mapping[Variable, GroundTerm]
-) -> dict[int, GroundTerm]:
-    """Positions of *atom* whose value is already forced."""
-    bound: dict[int, GroundTerm] = {}
-    for position, arg in enumerate(atom.args):
-        if isinstance(arg, Constant):
-            bound[position] = arg
-        elif isinstance(arg, Variable) and arg in assignment:
-            bound[position] = assignment[arg]
-    return bound
+class _AtomPlan:
+    """Pre-analyzed atom: constant positions split from variable positions.
+
+    Candidates fetched through :meth:`Instance.lookup_ordered` already
+    satisfy every *bound* position (constants and assigned variables are
+    part of the index probe), so extending the assignment only has to
+    visit the unbound variable positions of the chosen atom.
+    """
+
+    __slots__ = ("atom", "relation", "arity", "constants", "var_positions")
+
+    def __init__(self, atom: Atom) -> None:
+        self.atom = atom
+        self.relation = atom.relation
+        self.arity = atom.arity
+        self.constants: dict[int, GroundTerm] = {}
+        self.var_positions: list[tuple[int, Term]] = []
+        for position, arg in enumerate(atom.args):
+            if isinstance(arg, Constant):
+                self.constants[position] = arg
+            else:
+                self.var_positions.append((position, arg))
+
+    def bindings(
+        self, assignment: Mapping[Variable, GroundTerm]
+    ) -> dict[int, GroundTerm]:
+        """Positions whose value is already forced under *assignment*."""
+        bound = dict(self.constants)
+        for position, variable in self.var_positions:
+            value = assignment.get(variable)
+            if value is not None:
+                bound[position] = value
+        return bound
 
 
-def _unify_atom(
-    atom: Atom, fact: Fact, assignment: dict[Variable, GroundTerm]
-) -> dict[Variable, GroundTerm] | None:
-    """Extend *assignment* so that atom ↦ fact, or ``None`` on clash."""
-    if atom.relation != fact.relation or atom.arity != fact.arity:
-        return None
-    extension = dict(assignment)
-    for arg, value in zip(atom.args, fact.args):
-        if isinstance(arg, Constant):
-            if arg != value:
-                return None
-        else:  # variable
-            current = extension.get(arg)
-            if current is None:
-                extension[arg] = value
-            elif current != value:
-                return None
-    return extension
-
-
-def _select_atom(
-    remaining: Sequence[int],
-    atoms: Sequence[Atom],
-    assignment: Mapping[Variable, GroundTerm],
-) -> int:
-    """Pick the most-bound remaining atom (greedy join ordering)."""
-    best = remaining[0]
-    best_unbound = sum(
-        1 for v in atoms[best].variables() if v not in assignment
-    )
-    for index in remaining[1:]:
-        unbound = sum(1 for v in atoms[index].variables() if v not in assignment)
-        if unbound < best_unbound:
-            best, best_unbound = index, unbound
-            if unbound == 0:
-                break
-    return best
+def _plan_for(atom: Atom) -> _AtomPlan:
+    """The cached search plan of *atom* (atoms are immutable)."""
+    plan = atom._search_plan
+    if plan is None:
+        plan = _AtomPlan(atom)
+        object.__setattr__(atom, "_search_plan", plan)
+    return plan  # type: ignore[return-value]
 
 
 def find_homomorphisms_with_images(
     atoms: Sequence[Atom] | Conjunction,
     instance: Instance,
     initial: Mapping[Variable, GroundTerm] | None = None,
+    copy: bool = True,
 ) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
     """Yield every homomorphism together with the per-atom image facts.
 
     The image tuple is aligned with the input atom order — Algorithm 1
     needs to know *which* fact each atom mapped to, not just the variable
-    assignment.  Enumeration order is deterministic.
+    assignment.  Enumeration order is deterministic: candidates arrive in
+    ``Fact.sort_key`` order from the pre-sorted index buckets, and atom
+    selection is by smallest candidate cardinality with ties keeping the
+    written atom order.
+
+    With ``copy=False`` the yielded assignment is the search's *live*
+    dict: read it before resuming the iterator and never store it.  The
+    chase phases use this to skip one dict allocation per match.
     """
     atom_list: tuple[Atom, ...] = (
         atoms.atoms if isinstance(atoms, Conjunction) else tuple(atoms)
     )
-    base: dict[Variable, GroundTerm] = dict(initial or {})
+    assignment: dict[Variable, GroundTerm] = dict(initial or {})
+    plans = [_plan_for(atom) for atom in atom_list]
     images: list[Fact | None] = [None] * len(atom_list)
+    lookup_ordered = instance.lookup_ordered
+    candidate_count = instance.candidate_count
 
     def search(
-        remaining: list[int], assignment: dict[Variable, GroundTerm]
+        remaining: list[int],
     ) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
-        if not remaining:
-            yield dict(assignment), tuple(images)  # type: ignore[arg-type]
-            return
-        chosen = _select_atom(remaining, atom_list, assignment)
-        rest = [index for index in remaining if index != chosen]
-        atom = atom_list[chosen]
-        candidates = instance.lookup(atom.relation, _atom_bindings(atom, assignment))
-        for candidate in sorted(candidates, key=Fact.sort_key):
-            extended = _unify_atom(atom, candidate, assignment)
-            if extended is None:
+        # Pick the remaining atom with the fewest index candidates (a
+        # cardinality-driven greedy join order; ties keep input order).
+        if len(remaining) == 1:
+            chosen = remaining[0]
+            bindings = plans[chosen].bindings(assignment)
+        else:
+            chosen = remaining[0]
+            bindings = plans[chosen].bindings(assignment)
+            best_count = candidate_count(plans[chosen].relation, bindings)
+            for index in remaining[1:]:
+                if best_count == 0:
+                    break
+                other = plans[index].bindings(assignment)
+                count = candidate_count(plans[index].relation, other)
+                if count < best_count:
+                    chosen, bindings, best_count = index, other, count
+        plan = plans[chosen]
+        unbound = [
+            entry for entry in plan.var_positions if entry[0] not in bindings
+        ]
+        last = len(remaining) == 1
+        rest = [index for index in remaining if index != chosen] if not last else []
+        arity = plan.arity
+        for candidate in lookup_ordered(plan.relation, bindings):
+            if candidate.arity != arity:
+                continue
+            args = candidate.args
+            newly_bound: list[Term] = []
+            clash = False
+            for position, variable in unbound:
+                value = args[position]
+                current = assignment.get(variable)
+                if current is None:
+                    assignment[variable] = value
+                    newly_bound.append(variable)
+                elif current != value:
+                    clash = True
+                    break
+            if clash:
+                for variable in newly_bound:
+                    del assignment[variable]
                 continue
             images[chosen] = candidate
-            yield from search(rest, extended)
+            if last:
+                yield (
+                    dict(assignment) if copy else assignment
+                ), tuple(images)  # type: ignore[misc]
+            else:
+                yield from search(rest)
+            for variable in newly_bound:
+                del assignment[variable]
         images[chosen] = None
 
-    yield from search(list(range(len(atom_list))), base)
+    if not atom_list:
+        yield dict(assignment), ()
+        return
+    if len(atom_list) == 1:
+        # Flat fast path: no recursion, no per-call closure machinery.
+        # Single-atom conjunctions are the chase's most common shape
+        # (tgd rhs extension checks, copy tgd lhs, decoupled singletons).
+        yield from _search_single(plans[0], instance, assignment, copy)
+        return
+    yield from search(list(range(len(atom_list))))
+
+
+def _search_single(
+    plan: _AtomPlan,
+    instance: Instance,
+    assignment: dict[Variable, GroundTerm],
+    copy: bool = True,
+) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
+    """Enumerate the matches of one atom (flat loop, no recursion).
+
+    Deliberately mirrors the candidate bind/undo loop of ``search`` in
+    :func:`find_homomorphisms_with_images` — keep the two in sync.  The
+    duplication buys the hottest call shape (single-atom conjunctions)
+    a run without the recursive generator machinery.
+    """
+    bindings = plan.bindings(assignment)
+    unbound = [
+        entry for entry in plan.var_positions if entry[0] not in bindings
+    ]
+    arity = plan.arity
+    for candidate in instance.lookup_ordered(plan.relation, bindings):
+        if candidate.arity != arity:
+            continue
+        args = candidate.args
+        newly_bound: list[Term] = []
+        clash = False
+        for position, variable in unbound:
+            value = args[position]
+            current = assignment.get(variable)
+            if current is None:
+                assignment[variable] = value
+                newly_bound.append(variable)
+            elif current != value:
+                clash = True
+                break
+        if clash:
+            for variable in newly_bound:
+                del assignment[variable]
+            continue
+        yield (dict(assignment) if copy else assignment), (candidate,)
+        for variable in newly_bound:
+            del assignment[variable]
 
 
 def find_homomorphisms(
     atoms: Sequence[Atom] | Conjunction,
     instance: Instance,
     initial: Mapping[Variable, GroundTerm] | None = None,
+    copy: bool = True,
 ) -> Iterator[dict[Variable, GroundTerm]]:
-    """Yield every assignment mapping the conjunction into the instance."""
+    """Yield every assignment mapping the conjunction into the instance.
+
+    ``copy=False`` yields the live search dict (see
+    :func:`find_homomorphisms_with_images`).
+    """
     for assignment, _images in find_homomorphisms_with_images(
-        atoms, instance, initial
+        atoms, instance, initial, copy
     ):
         yield assignment
 
@@ -150,7 +256,9 @@ def find_homomorphism(
     initial: Mapping[Variable, GroundTerm] | None = None,
 ) -> dict[Variable, GroundTerm] | None:
     """The first homomorphism, or ``None`` when none exists."""
-    for assignment in find_homomorphisms(atoms, instance, initial):
+    for assignment, _images in find_homomorphisms_with_images(
+        atoms, instance, initial
+    ):
         return assignment
     return None
 
@@ -162,6 +270,95 @@ def has_homomorphism(
 ) -> bool:
     """``True`` iff some homomorphism exists."""
     return find_homomorphism(atoms, instance, initial) is not None
+
+
+# ---------------------------------------------------------------------------
+# Specialized egd match enumeration
+# ---------------------------------------------------------------------------
+
+
+def _egd_pair_shape(
+    atoms: Sequence[Atom], left_var: Variable, right_var: Variable
+) -> tuple[str, int, int, bool] | None:
+    """Detect the canonical key-egd shape ``R(x̄,y) ∧ R(x̄,y′) → y = y′``.
+
+    Returns ``(relation, arity, position, swapped)`` when the lhs is two
+    atoms over one relation whose argument lists are distinct variables
+    agreeing everywhere except one position carrying the equated pair
+    (*swapped* marks ``left_var`` sitting in the second atom), else
+    ``None``.
+    """
+    if len(atoms) != 2:
+        return None
+    first, second = atoms
+    if first.relation != second.relation or first.arity != second.arity:
+        return None
+    args1, args2 = first.args, second.args
+    if not all(isinstance(arg, Variable) for arg in args1 + args2):
+        return None
+    if len(set(args1)) != len(args1) or len(set(args2)) != len(args2):
+        return None
+    differing = [
+        position
+        for position, (one, two) in enumerate(zip(args1, args2))
+        if one != two
+    ]
+    if len(differing) != 1:
+        return None
+    position = differing[0]
+    one, two = args1[position], args2[position]
+    if one in args2 or two in args1:
+        return None
+    if (one, two) == (left_var, right_var):
+        return first.relation, first.arity, position, False
+    if (two, one) == (left_var, right_var):
+        return first.relation, first.arity, position, True
+    return None
+
+
+def iter_egd_equations(
+    atoms: Sequence[Atom],
+    left_var: Variable,
+    right_var: Variable,
+    instance: Instance,
+) -> Iterator[tuple[GroundTerm, GroundTerm]]:
+    """Yield ``(h(left_var), h(right_var))`` for every lhs homomorphism.
+
+    The egd phases only consume the equated pair, so the canonical key-egd
+    shape takes a flat group-by-join-key path: facts of the relation are
+    grouped on every position but the equated one, and each group emits
+    its ordered pairs.  Enumeration order is identical to the generic
+    search (outer facts in ``sort_key`` order, partners in ``sort_key``
+    order within the join group); other shapes fall back to that search.
+    """
+    atom_list = tuple(atoms)
+    shape = _egd_pair_shape(atom_list, left_var, right_var)
+    if shape is None:
+        for assignment in find_homomorphisms(
+            atom_list, instance, copy=False
+        ):
+            yield assignment[left_var], assignment[right_var]
+        return
+    relation, arity, position, swapped = shape
+    ordered = instance.lookup_ordered(relation, {})
+    after = position + 1
+    groups: dict[tuple, list[Fact]] = {}
+    for item in ordered:
+        if item.arity != arity:
+            continue
+        key = item.args[:position] + item.args[after:]
+        groups.setdefault(key, []).append(item)
+    for item in ordered:
+        if item.arity != arity:
+            continue
+        partners = groups[item.args[:position] + item.args[after:]]
+        value = item.args[position]
+        if swapped:
+            for other in partners:
+                yield other.args[position], value
+        else:
+            for other in partners:
+                yield value, other.args[position]
 
 
 # ---------------------------------------------------------------------------
@@ -223,8 +420,8 @@ def find_instance_homomorphism(
         if position == len(source_facts):
             return True
         item = source_facts[position]
-        candidates = target.lookup(item.relation, fact_bindings(item))
-        for candidate in sorted(candidates, key=Fact.sort_key):
+        candidates = target.lookup_ordered(item.relation, fact_bindings(item))
+        for candidate in candidates:
             newly_bound = extend(item, candidate)
             if newly_bound is None:
                 continue

@@ -1,10 +1,17 @@
 """In-memory relational instances (the snapshots of the abstract view).
 
 An :class:`Instance` stores facts grouped by relation with hash indexes
-``(position, value) → facts`` built lazily for the homomorphism search.
-Instances compare by their fact sets, support substitution (used by egd
-chase steps), and report their nulls/constants (used by solution checks
-and naïve evaluation).
+``(position, value) → facts`` for the homomorphism search.  Index buckets
+are built lazily per relation on the first probe and from then on
+**maintained incrementally** by :meth:`add` / :meth:`discard` — the chase
+mutates its target between homomorphism checks constantly, and rebuilding
+the index on every insert is what used to dominate chase runtime.
+
+Each bucket is kept pre-sorted by :meth:`Fact.sort_key`, so
+:meth:`lookup_ordered` hands the search deterministic candidate order for
+free (no per-node sorting).  Instances compare by their fact sets, support
+substitution (used by egd chase steps), and report their nulls/constants
+(used by solution checks and naïve evaluation).
 
 Instances may optionally carry a :class:`~repro.relational.schema.Schema`;
 when present, every added fact is validated against it.
@@ -12,7 +19,8 @@ when present, every added fact is validated against it.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, Mapping
+from bisect import bisect_left, insort
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import InstanceError, SchemaError
 from repro.relational.fact import Fact
@@ -28,10 +36,21 @@ from repro.relational.terms import (
 __all__ = ["Instance"]
 
 
+def _remove_sorted(bucket: list[Fact], item: Fact) -> None:
+    """Delete *item* from a list kept sorted by ``Fact.sort_key``."""
+    position = bisect_left(bucket, item.sort_key(), key=Fact.sort_key)
+    while position < len(bucket):
+        if bucket[position] == item:
+            del bucket[position]
+            return
+        position += 1
+    raise InstanceError(f"index bucket out of sync: {item} missing")
+
+
 class Instance:
     """A mutable set of snapshot-level facts with per-relation indexes."""
 
-    __slots__ = ("_facts_by_relation", "_index", "schema")
+    __slots__ = ("_facts_by_relation", "_index", "_ordered", "schema")
 
     def __init__(
         self,
@@ -39,7 +58,11 @@ class Instance:
         schema: Schema | None = None,
     ):
         self._facts_by_relation: dict[str, set[Fact]] = {}
-        self._index: dict[str, dict[tuple[int, GroundTerm], set[Fact]]] = {}
+        # (position, value) → facts, sorted; built lazily per relation,
+        # then maintained incrementally on every mutation.
+        self._index: dict[str, dict[tuple[int, GroundTerm], list[Fact]]] = {}
+        # All facts of a relation, sorted; same lazy-then-incremental life.
+        self._ordered: dict[str, list[Fact]] = {}
         self.schema = schema
         for item in facts:
             self.add(item)
@@ -58,7 +81,17 @@ class Instance:
         if item in bucket:
             return False
         bucket.add(item)
-        self._index.pop(item.relation, None)
+        index = self._index.get(item.relation)
+        if index is not None:
+            for position, value in enumerate(item.args):
+                insort(
+                    index.setdefault((position, value), []),
+                    item,
+                    key=Fact.sort_key,
+                )
+        ordered = self._ordered.get(item.relation)
+        if ordered is not None:
+            insort(ordered, item, key=Fact.sort_key)
         return True
 
     def add_all(self, items: Iterable[Fact]) -> int:
@@ -73,7 +106,16 @@ class Instance:
         bucket.remove(item)
         if not bucket:
             del self._facts_by_relation[item.relation]
-        self._index.pop(item.relation, None)
+        index = self._index.get(item.relation)
+        if index is not None:
+            for position, value in enumerate(item.args):
+                entries = index[(position, value)]
+                _remove_sorted(entries, item)
+                if not entries:
+                    del index[(position, value)]
+        ordered = self._ordered.get(item.relation)
+        if ordered is not None:
+            _remove_sorted(ordered, item)
         return True
 
     # -- basic queries ---------------------------------------------------------
@@ -87,7 +129,9 @@ class Instance:
 
     def __iter__(self) -> Iterator[Fact]:
         for relation in sorted(self._facts_by_relation):
-            yield from sorted(self._facts_by_relation[relation], key=Fact.sort_key)
+            # Copy: the ordered cache is maintained in place, and callers
+            # may mutate the instance while iterating.
+            yield from tuple(self._ordered_for(relation))
 
     def __bool__(self) -> bool:
         return any(self._facts_by_relation.values())
@@ -106,42 +150,93 @@ class Instance:
         )
 
     # -- index-backed lookup (homomorphism search) ------------------------------
-    def _index_for(self, relation: str) -> dict[tuple[int, GroundTerm], set[Fact]]:
+    def _index_for(self, relation: str) -> dict[tuple[int, GroundTerm], list[Fact]]:
         cached = self._index.get(relation)
         if cached is not None:
             return cached
-        built: dict[tuple[int, GroundTerm], set[Fact]] = {}
-        for item in self._facts_by_relation.get(relation, ()):
+        built: dict[tuple[int, GroundTerm], list[Fact]] = {}
+        for item in self._ordered_for(relation):
             for position, value in enumerate(item.args):
-                built.setdefault((position, value), set()).add(item)
+                built.setdefault((position, value), []).append(item)
         self._index[relation] = built
         return built
+
+    def _ordered_for(self, relation: str) -> list[Fact]:
+        cached = self._ordered.get(relation)
+        if cached is not None:
+            return cached
+        built = sorted(
+            self._facts_by_relation.get(relation, ()), key=Fact.sort_key
+        )
+        self._ordered[relation] = built
+        return built
+
+    def lookup_ordered(
+        self, relation: str, bindings: Mapping[int, GroundTerm]
+    ) -> Sequence[Fact]:
+        """Facts of *relation* matching *bindings*, in ``sort_key`` order.
+
+        The search relies on this order being deterministic; because index
+        buckets are kept pre-sorted, no sorting happens per probe.  The
+        most selective bound position drives the probe; remaining positions
+        filter (the filter preserves bucket order).
+
+        The result may alias a live index bucket — treat it as read-only
+        and snapshot it before mutating the instance mid-iteration.
+        """
+        bucket = self._facts_by_relation.get(relation)
+        if not bucket:
+            return ()
+        if not bindings:
+            return self._ordered_for(relation)
+        index = self._index_for(relation)
+        if len(bindings) == 1:
+            ((position, value),) = bindings.items()
+            entries = index.get((position, value))
+            return () if entries is None else entries
+        empty: list[Fact] = []
+        probes = [
+            index.get((position, value), empty)
+            for position, value in bindings.items()
+        ]
+        smallest = min(probes, key=len)
+        return [
+            item
+            for item in smallest
+            if all(item.args[pos] == val for pos, val in bindings.items())
+        ]
 
     def lookup(
         self, relation: str, bindings: Mapping[int, GroundTerm]
     ) -> frozenset[Fact]:
         """Facts of *relation* whose argument at each position matches.
 
-        With empty *bindings* this is :meth:`facts_of`.  The most selective
-        bound position drives the index probe; remaining positions filter.
+        With empty *bindings* this is :meth:`facts_of`; order-sensitive
+        callers use :meth:`lookup_ordered` instead.
+        """
+        return frozenset(self.lookup_ordered(relation, bindings))
+
+    def candidate_count(
+        self, relation: str, bindings: Mapping[int, GroundTerm]
+    ) -> int:
+        """Cheap upper bound on ``len(lookup(relation, bindings))``.
+
+        The size of the most selective index bucket (no residual filtering)
+        — what the homomorphism search uses to pick the next atom.
         """
         bucket = self._facts_by_relation.get(relation)
         if not bucket:
-            return frozenset()
+            return 0
         if not bindings:
-            return frozenset(bucket)
+            return len(bucket)
         index = self._index_for(relation)
-        probes = [
-            index.get((position, value), set())
-            for position, value in bindings.items()
-        ]
-        smallest = min(probes, key=len)
-        result = {
-            item
-            for item in smallest
-            if all(item.args[pos] == val for pos, val in bindings.items())
-        }
-        return frozenset(result)
+        count = len(bucket)
+        for position, value in bindings.items():
+            entries = index.get((position, value))
+            probe = 0 if entries is None else len(entries)
+            if probe < count:
+                count = probe
+        return count
 
     # -- term-level queries -------------------------------------------------------
     def nulls(self) -> frozenset[LabeledNull | AnnotatedNull]:
@@ -184,14 +279,22 @@ class Instance:
         """A new instance with every term replaced per *mapping*.
 
         Used by egd chase steps: replacing a null everywhere may merge
-        facts, which the set-based storage handles automatically.
+        facts, which the set-based storage handles automatically.  Facts
+        not mentioning any mapped term are shared with the original.
         """
         if not mapping:
             return self.copy()
+        lookup = dict(mapping)
+        mapped_terms = frozenset(lookup)
         result = Instance(schema=self.schema)
-        for bucket in self._facts_by_relation.values():
-            for item in bucket:
-                result.add(item.substitute(dict(mapping)))
+        for relation, bucket in self._facts_by_relation.items():
+            new_bucket = {
+                item
+                if mapped_terms.isdisjoint(item.args)
+                else item.substitute(lookup)
+                for item in bucket
+            }
+            result._facts_by_relation[relation] = new_bucket
         return result
 
     def map_facts(self, mapper: Callable[[Fact], Fact]) -> "Instance":

@@ -15,11 +15,14 @@ All terms are immutable and hashable so they can live in facts, sets and
 dictionaries.  Identity of an annotated null is the pair *(base name,
 annotation interval)* — fragmenting a fact re-annotates its nulls, and the
 fragments' nulls are *different* unknowns (paper, Section 4.2).
+
+Terms are hashed constantly (index probes, assignment dicts, fact sets),
+so every term kind caches its hash on first use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Union
 
 from repro.errors import InstanceError, TemporalError
@@ -35,6 +38,14 @@ __all__ = [
     "is_ground",
     "term_sort_key",
 ]
+
+
+def _cache_hash(term: Term, value: int) -> int:
+    """Store a computed hash on a frozen term (0 is the unset sentinel)."""
+    if value == 0:
+        value = -2
+    object.__setattr__(term, "_hash", value)
+    return value
 
 
 class Term:
@@ -60,6 +71,7 @@ class Constant(Term):
     """An ordinary data value; homomorphisms are the identity on constants."""
 
     value: object
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         try:
@@ -68,6 +80,9 @@ class Constant(Term):
             raise InstanceError(
                 f"constant value must be hashable, got {self.value!r}"
             ) from exc
+
+    def __hash__(self) -> int:
+        return self._hash or _cache_hash(self, hash((Constant, self.value)))
 
     def __str__(self) -> str:
         return str(self.value)
@@ -81,10 +96,14 @@ class Variable(Term):
     """A variable occurring in a dependency or query (never in instances)."""
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise InstanceError("variable name must be non-empty")
+
+    def __hash__(self) -> int:
+        return self._hash or _cache_hash(self, hash((Variable, self.name)))
 
     def __str__(self) -> str:
         return self.name
@@ -98,10 +117,14 @@ class LabeledNull(Term):
     """A classical labeled null, the unknown of a single snapshot."""
 
     name: str
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
             raise InstanceError("null name must be non-empty")
+
+    def __hash__(self) -> int:
+        return self._hash or _cache_hash(self, hash((LabeledNull, self.name)))
 
     def __str__(self) -> str:
         return self.name
@@ -122,6 +145,7 @@ class AnnotatedNull(Term):
 
     base: str
     annotation: Interval
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.base:
@@ -131,6 +155,11 @@ class AnnotatedNull(Term):
                 "annotated null base names must not contain '@' (reserved "
                 f"for snapshot projection): {self.base!r}"
             )
+
+    def __hash__(self) -> int:
+        return self._hash or _cache_hash(
+            self, hash((AnnotatedNull, self.base, self.annotation))
+        )
 
     def project(self, point: int) -> LabeledNull:
         """``Π_ℓ(N^[s,e)) = N@ℓ`` — select the snapshot-level null at ℓ.

@@ -42,6 +42,15 @@ class Interval:
     start: int
     end: TimePoint
 
+    def __hash__(self) -> int:
+        # Intervals end up inside every lifted fact and annotated null;
+        # cache the hash (0 doubles as the unset sentinel).
+        cached = self.__dict__.get("_hash", 0)
+        if cached == 0:
+            cached = hash((self.start, self.end)) or -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     def __post_init__(self) -> None:
         check_time_point(self.start, role="interval start")
         if isinstance(self.start, Infinity):
@@ -182,7 +191,11 @@ class Interval:
         return (self.start, 1 if self.is_unbounded else 0, self.end)
 
     def __str__(self) -> str:
-        return f"[{self.start}, {self.end})"
+        cached = self.__dict__.get("_str")
+        if cached is None:
+            cached = f"[{self.start}, {self.end})"
+            object.__setattr__(self, "_str", cached)
+        return cached
 
     def __repr__(self) -> str:
         return f"Interval({self.start}, {self.end!r})"

@@ -1,0 +1,231 @@
+"""Pre/post-overhaul equivalence: the chase output is byte-identical.
+
+The chase hot path was overhauled (incremental indexes, cardinality-
+driven homomorphism search, batched union-find egd rounds).  These
+goldens were captured from the pre-overhaul per-equation implementation
+on the paper's employment example and the domain scenarios; the current
+implementation must reproduce them *exactly* — same solutions, same
+failure records, same trace step counts, same deterministic egd step
+sequence (null names included).
+"""
+
+from repro.chase import chase_snapshot
+from repro.concrete import c_chase
+from repro.workloads import (
+    employment_setting,
+    employment_source_concrete,
+    medical_conflicting_scenario,
+    medical_scenario,
+    ride_share_scenario,
+    scheduling_scenario,
+)
+
+# Captured from the pre-overhaul implementation (seed commit).
+CCHASE_GOLDENS = {
+    "employment": {
+        "failed": False,
+        "target": [
+            "Emp+(Ada, Google, 18k, [2014, inf))",
+            "Emp+(Ada, IBM, 18k, [2013, 2014))",
+            "Emp+(Ada, IBM, N2^[2012, 2013), [2012, 2013))",
+            "Emp+(Bob, IBM, 13k, [2015, 2018))",
+            "Emp+(Bob, IBM, N4^[2013, 2015), [2013, 2015))",
+        ],
+        "tgd_steps": 8,
+        "egd_steps": [
+            ("ε1+", "N1^[2014, inf)", "18k"),
+            ("ε1+", "N3^[2013, 2014)", "18k"),
+            ("ε1+", "N5^[2015, 2018)", "13k"),
+        ],
+        "trace_len": 11,
+        "failure": None,
+        "normalized_source_size": 9,
+        "pre_egd_size": 8,
+    },
+    "medical": {
+        "failed": False,
+        "target": [
+            "Attending+(alice, dr_wu, [1, 10))",
+            "Attending+(bob, dr_kaur, [9, inf))",
+            "Attending+(bob, dr_silva, [6, 9))",
+            "Case+(alice, cardio, N1^[1, 4), [1, 4))",
+            "Case+(alice, cardio, arrhythmia, [4, 10))",
+            "Case+(bob, neuro, N3^[12, inf), [12, inf))",
+            "Case+(bob, neuro, N4^[6, 8), [6, 8))",
+            "Case+(bob, neuro, migraine, [8, 12))",
+        ],
+        "tgd_steps": 10,
+        "egd_steps": [
+            ("ε1+", "N2^[4, 10)", "arrhythmia"),
+            ("ε1+", "N5^[8, 12)", "migraine"),
+        ],
+        "trace_len": 12,
+        "failure": None,
+        "normalized_source_size": 10,
+        "pre_egd_size": 10,
+    },
+    "scheduling": {
+        "failed": False,
+        "target": [
+            "Active+(apollo, build, [6, 14))",
+            "Active+(apollo, design, [0, 6))",
+            "Active+(apollo, test, [14, 18))",
+            "Active+(hermes, build, [9, inf))",
+            "Active+(hermes, design, [4, 9))",
+            "Staff+(mira, apollo, 120, [0, 10))",
+            "Staff+(mira, apollo, 140, [10, 14))",
+            "Staff+(mira, hermes, 140, [14, inf))",
+            "Staff+(noor, apollo, N4^[2, 18), [2, 18))",
+            "Staff+(ravi, hermes, 95, [6, inf))",
+            "Staff+(ravi, hermes, N5^[4, 6), [4, 6))",
+        ],
+        "tgd_steps": 15,
+        "egd_steps": [
+            ("ε1+", "N1^[0, 10)", "120"),
+            ("ε1+", "N2^[10, 14)", "140"),
+            ("ε1+", "N3^[14, inf)", "140"),
+            ("ε1+", "N6^[6, inf)", "95"),
+        ],
+        "trace_len": 19,
+        "failure": None,
+        "normalized_source_size": 15,
+        "pre_egd_size": 15,
+    },
+    "ride-share": {
+        "failed": False,
+        "target": [
+            "Fleet+(bike3, riverside, N1^[2, 20), [2, 20))",
+            "Fleet+(cab7, airport, 3.10, [12, inf))",
+            "Fleet+(cab7, downtown, 2.40, [0, 8))",
+            "Fleet+(cab7, downtown, 3.10, [8, 12))",
+            "Operates+(cab7, dana, [0, 9))",
+            "Operates+(cab7, errol, [9, inf))",
+        ],
+        "tgd_steps": 9,
+        "egd_steps": [
+            ("ε1+", "N2^[12, inf)", "3.10"),
+            ("ε1+", "N3^[0, 8)", "2.40"),
+            ("ε1+", "N4^[8, 12)", "3.10"),
+        ],
+        "trace_len": 12,
+        "failure": None,
+        "normalized_source_size": 9,
+        "pre_egd_size": 9,
+    },
+    "medical-conflict": {
+        "failed": True,
+        "target": [
+            "Attending+(alice, dr_wu, [1, 10))",
+            "Attending+(bob, dr_kaur, [9, inf))",
+            "Attending+(bob, dr_silva, [6, 9))",
+            "Case+(alice, cardio, N1^[1, 4), [1, 4))",
+            "Case+(alice, cardio, N3^[5, 8), [5, 8))",
+            "Case+(alice, cardio, N4^[8, 10), [8, 10))",
+            "Case+(alice, cardio, arrhythmia, [4, 5))",
+            "Case+(alice, cardio, arrhythmia, [5, 8))",
+            "Case+(alice, cardio, arrhythmia, [8, 10))",
+            "Case+(alice, cardio, flutter, [5, 8))",
+            "Case+(bob, neuro, N5^[12, inf), [12, inf))",
+            "Case+(bob, neuro, N6^[6, 8), [6, 8))",
+            "Case+(bob, neuro, N7^[8, 12), [8, 12))",
+            "Case+(bob, neuro, migraine, [8, 12))",
+        ],
+        "tgd_steps": 15,
+        "egd_steps": [("ε1+", "N2^[4, 5)", "arrhythmia")],
+        "trace_len": 17,
+        "failure": ("ε1+", "arrhythmia", "flutter"),
+        "normalized_source_size": 15,
+        "pre_egd_size": 15,
+    },
+}
+
+SNAPSHOT_GOLDENS = {
+    2012: {"target": ["Emp(Ada, IBM, N1)"], "tgd_steps": 1, "egd_steps": []},
+    2013: {
+        "target": ["Emp(Ada, IBM, 18k)", "Emp(Bob, IBM, N2)"],
+        "tgd_steps": 3,
+        "egd_steps": [("ε1", "N1", "18k")],
+    },
+    2014: {
+        "target": ["Emp(Ada, Google, 18k)", "Emp(Bob, IBM, N2)"],
+        "tgd_steps": 3,
+        "egd_steps": [("ε1", "N1", "18k")],
+    },
+    2015: {
+        "target": ["Emp(Ada, Google, 18k)", "Emp(Bob, IBM, 13k)"],
+        "tgd_steps": 4,
+        "egd_steps": [("ε1", "N1", "18k"), ("ε1", "N2", "13k")],
+    },
+    2016: {
+        "target": ["Emp(Ada, Google, 18k)", "Emp(Bob, IBM, 13k)"],
+        "tgd_steps": 4,
+        "egd_steps": [("ε1", "N1", "18k"), ("ε1", "N2", "13k")],
+    },
+    2018: {
+        "target": ["Emp(Ada, Google, 18k)"],
+        "tgd_steps": 2,
+        "egd_steps": [("ε1", "N1", "18k")],
+    },
+}
+
+
+def _scenarios():
+    employment = employment_setting(), employment_source_concrete()
+    yield "employment", employment[0], employment[1]
+    for scenario in (
+        medical_scenario(),
+        scheduling_scenario(),
+        ride_share_scenario(),
+        medical_conflicting_scenario(),
+    ):
+        yield scenario.name, scenario.setting, scenario.source
+
+
+class TestCChaseGoldens:
+    def test_all_scenarios_match_pre_overhaul_behaviour(self):
+        for name, setting, source in _scenarios():
+            golden = CCHASE_GOLDENS[name]
+            result = c_chase(source, setting)
+            assert result.failed == golden["failed"], name
+            assert sorted(str(f) for f in result.target.facts()) == golden[
+                "target"
+            ], name
+            assert len(result.trace.tgd_steps) == golden["tgd_steps"], name
+            assert [
+                (s.dependency, str(s.replaced), str(s.replacement))
+                for s in result.trace.egd_steps
+            ] == golden["egd_steps"], name
+            assert len(result.trace) == golden["trace_len"], name
+            failure = result.failure
+            if golden["failure"] is None:
+                assert failure is None, name
+            else:
+                assert failure is not None, name
+                assert (
+                    failure.dependency,
+                    str(failure.left),
+                    str(failure.right),
+                ) == golden["failure"], name
+            assert (
+                len(result.normalized_source)
+                == golden["normalized_source_size"]
+            ), name
+            assert len(result.pre_egd_target) == golden["pre_egd_size"], name
+
+
+class TestSnapshotChaseGoldens:
+    def test_employment_snapshots_match_pre_overhaul_behaviour(self):
+        setting = employment_setting()
+        source = employment_source_concrete()
+        for point, golden in SNAPSHOT_GOLDENS.items():
+            result = chase_snapshot(source.snapshot(point), setting)
+            assert result.succeeded, point
+            assert (
+                sorted(str(f) for f in result.target.facts())
+                == golden["target"]
+            ), point
+            assert len(result.trace.tgd_steps) == golden["tgd_steps"], point
+            assert [
+                (s.dependency, str(s.replaced), str(s.replacement))
+                for s in result.trace.egd_steps
+            ] == golden["egd_steps"], point

@@ -1,0 +1,142 @@
+"""Property tests for the incrementally-maintained instance indexes.
+
+The ``(position, value) → facts`` index and the pre-sorted buckets used
+by the homomorphism search are built lazily and then updated in place on
+every ``add``/``discard``.  The ground truth is a brute-force scan over
+the fact set: after any interleaving of mutations and probes, ``lookup``
+must equal the scan and ``lookup_ordered`` must equal the scan in
+``Fact.sort_key`` order — i.e. the maintained index is always identical
+to a freshly rebuilt one.  The concrete instance's lifted view gets the
+same treatment.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concrete import ConcreteInstance, concrete_fact
+from repro.relational import Constant, Instance, fact
+from repro.relational.fact import Fact
+from repro.temporal import Interval
+
+from .strategies import intervals
+
+RELATIONS = (("R", 2), ("S", 1), ("T", 3))
+DOMAIN = ("a", "b", "c", "d")
+
+
+@st.composite
+def snapshot_facts(draw):
+    relation, arity = draw(st.sampled_from(RELATIONS))
+    values = [draw(st.sampled_from(DOMAIN)) for _ in range(arity)]
+    return fact(relation, *values)
+
+
+@st.composite
+def operation_sequences(draw, max_ops: int = 25):
+    """Interleaved add/discard/probe operations over a small universe."""
+    count = draw(st.integers(min_value=0, max_value=max_ops))
+    ops = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(("add", "discard", "probe")))
+        ops.append((kind, draw(snapshot_facts())))
+    return ops
+
+
+def brute_force_lookup(instance: Instance, relation: str, bindings) -> set:
+    return {
+        item
+        for item in instance.facts_of(relation)
+        if all(item.args[pos] == val for pos, val in bindings.items())
+    }
+
+
+def probe_bindings(item: Fact, draw_all: bool) -> dict:
+    if draw_all:
+        return dict(enumerate(item.args))
+    return {0: item.args[0]} if item.args else {}
+
+
+class TestIncrementalIndexConsistency:
+    @given(operation_sequences())
+    @settings(max_examples=60)
+    def test_lookup_matches_fresh_rebuild_after_interleaving(self, ops):
+        instance = Instance()
+        shadow: set[Fact] = set()
+        for kind, item in ops:
+            if kind == "add":
+                assert instance.add(item) == (item not in shadow)
+                shadow.add(item)
+            elif kind == "discard":
+                assert instance.discard(item) == (item in shadow)
+                shadow.discard(item)
+            else:  # probe — this is what builds (and then reuses) the index
+                for bindings in (
+                    {},
+                    {0: item.args[0]},
+                    dict(enumerate(item.args)),
+                ):
+                    expected = brute_force_lookup(
+                        instance, item.relation, bindings
+                    )
+                    assert instance.lookup(item.relation, bindings) == expected
+                    ordered = list(
+                        instance.lookup_ordered(item.relation, bindings)
+                    )
+                    assert ordered == sorted(expected, key=Fact.sort_key)
+                    assert instance.candidate_count(
+                        item.relation, bindings
+                    ) >= len(expected)
+            assert instance.facts() == frozenset(shadow)
+
+    @given(operation_sequences())
+    @settings(max_examples=40)
+    def test_maintained_index_equals_fresh_instance(self, ops):
+        maintained = Instance()
+        # Force the index to exist from the start so every mutation goes
+        # through the incremental path.
+        maintained.lookup("R", {0: Constant("a")})
+        for kind, item in ops:
+            if kind == "add":
+                maintained.add(item)
+            elif kind == "discard":
+                maintained.discard(item)
+        fresh = Instance(maintained.facts())
+        for relation, _arity in RELATIONS:
+            for value in DOMAIN:
+                bindings = {0: Constant(value)}
+                assert maintained.lookup(relation, bindings) == fresh.lookup(
+                    relation, bindings
+                )
+                assert list(maintained.lookup_ordered(relation, {})) == list(
+                    fresh.lookup_ordered(relation, {})
+                )
+
+
+@st.composite
+def concrete_ops(draw, max_ops: int = 16):
+    count = draw(st.integers(min_value=0, max_value=max_ops))
+    ops = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(("add", "discard")))
+        relation = draw(st.sampled_from(("E", "S")))
+        value = draw(st.sampled_from(DOMAIN))
+        stamp = draw(intervals(max_start=10, max_length=5))
+        ops.append((kind, concrete_fact(relation, value, interval=stamp)))
+    return ops
+
+
+class TestLiftedViewConsistency:
+    @given(concrete_ops())
+    @settings(max_examples=60)
+    def test_lifted_view_equals_fresh_rebuild(self, ops):
+        instance = ConcreteInstance()
+        instance.lifted()  # build early: all mutations go incremental
+        for kind, item in ops:
+            if kind == "add":
+                instance.add(item)
+            else:
+                instance.discard(item)
+            rebuilt = ConcreteInstance(instance.facts()).lifted()
+            assert instance.lifted() == rebuilt
+            for item2 in instance.facts():
+                assert instance.resolve_lifted(item2.lifted()) == item2

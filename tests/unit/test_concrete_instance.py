@@ -106,10 +106,17 @@ class TestLiftedView:
         back = {ConcreteInstance.from_lifted_fact(item) for item in lifted.facts()}
         assert back == instance.facts()
 
-    def test_lifted_cache_invalidated_on_add(self, instance):
-        first = instance.lifted()
-        instance.add(concrete_fact("E", "Zoe", "SUN", interval=interval(2020)))
-        assert len(instance.lifted()) == len(first) + 1
+    def test_lifted_view_tracks_mutation(self, instance):
+        # The lifted view is maintained incrementally: adds and removals
+        # show up without a rebuild.
+        size_before = len(instance.lifted())
+        added = concrete_fact("E", "Zoe", "SUN", interval=interval(2020))
+        instance.add(added)
+        assert len(instance.lifted()) == size_before + 1
+        assert added.lifted() in instance.lifted()
+        instance.discard(added)
+        assert len(instance.lifted()) == size_before
+        assert added.lifted() not in instance.lifted()
 
     def test_from_lifted_fact_requires_interval_column(self):
         from repro.errors import InstanceError

@@ -1,0 +1,236 @@
+"""Regression tests for the batched union-find egd resolution.
+
+The egd phases resolve equations in rounds: all matches of the current
+instance are merged through one union-find, then a single substitution
+pass applies the round.  Within a round the instance still contains
+terms that earlier merges already retired, so every equation must be
+resolved through ``find`` before being judged — the historical bug class
+is a stale representative being recorded or substituted.  The chain
+tests below push ≥3 merges through one null (which later loses to a
+constant) and assert the trace replays to the final instance.
+"""
+
+from repro.chase.standard import _run_egd_phase
+from repro.chase.trace import ChaseTrace
+from repro.concrete import ConcreteInstance, c_chase, concrete_fact
+from repro.concrete.cchase import _run_egd_phase as _run_egd_phase_concrete
+from repro.dependencies import DataExchangeSetting
+from repro.relational import Constant, Instance, LabeledNull, Schema, fact
+from repro.temporal import Interval
+
+
+def chain_setting() -> DataExchangeSetting:
+    return DataExchangeSetting.create(
+        Schema.of(Src=("X",)),
+        Schema.of(R=("X", "Y"), S=("X", "Y"), U=("X", "Y"), V=("X", "Y")),
+        st_tgds=["Src(x) -> EXISTS y . R(x, y)"],
+        egds=[
+            "R(x, y) & R(x, y2) -> y = y2",
+            "S(x, y) & S(x, y2) -> y = y2",
+            "U(x, y) & U(x, y2) -> y = y2",
+            "V(x, y) & V(x, y2) -> y = y2",
+        ],
+    )
+
+
+def chain_instance() -> Instance:
+    n1, n2, n3, n4 = (LabeledNull(f"N{i}") for i in range(1, 5))
+    return Instance(
+        [
+            fact("R", "a", n1),
+            fact("R", "a", n2),
+            fact("S", "b", n2),
+            fact("S", "b", n3),
+            fact("U", "c", n3),
+            fact("U", "c", n4),
+            fact("V", "d", n1),
+            fact("V", "d", "k"),
+        ]
+    )
+
+
+class TestChainedMerges:
+    """≥3 egd merges chained through one null, ending in a constant."""
+
+    def test_final_instance_fully_resolved(self):
+        result, failure = _run_egd_phase(
+            chain_instance(), chain_setting(), ChaseTrace()
+        )
+        assert failure is None
+        assert result == Instance(
+            [
+                fact("R", "a", "k"),
+                fact("S", "b", "k"),
+                fact("U", "c", "k"),
+                fact("V", "d", "k"),
+            ]
+        )
+
+    def test_steps_equate_representatives_only(self):
+        trace = ChaseTrace()
+        initial = chain_instance()
+        result, failure = _run_egd_phase(initial, chain_setting(), trace)
+        assert failure is None
+        n1 = LabeledNull("N1")
+        k = Constant("k")
+        recorded = [(s.replaced, s.replacement) for s in trace.egd_steps]
+        # N2, N3, N4 each merge into N1's class — recorded against the
+        # *representative* N1, never against an already-replaced null —
+        # and N1 itself finally loses to the constant.
+        assert recorded == [
+            (LabeledNull("N2"), n1),
+            (LabeledNull("N3"), n1),
+            (LabeledNull("N4"), n1),
+            (n1, k),
+        ]
+
+    def test_trace_replays_to_final_instance(self):
+        trace = ChaseTrace()
+        initial = chain_instance()
+        result, failure = _run_egd_phase(initial, chain_setting(), trace)
+        assert failure is None
+        replayed = initial
+        for step in trace.egd_steps:
+            replayed = replayed.substitute({step.replaced: step.replacement})
+        assert replayed == result
+
+    def test_no_replaced_term_survives(self):
+        trace = ChaseTrace()
+        result, failure = _run_egd_phase(
+            chain_instance(), chain_setting(), trace
+        )
+        assert failure is None
+        surviving = {arg for item in result.facts() for arg in item.args}
+        for step in trace.egd_steps:
+            assert step.replaced not in surviving
+
+
+class TestChainedMergesConcrete:
+    """The same chain through the c-chase egd phase (annotated nulls)."""
+
+    @staticmethod
+    def _setting() -> DataExchangeSetting:
+        return chain_setting()
+
+    @staticmethod
+    def _instance() -> ConcreteInstance:
+        from repro.relational.terms import AnnotatedNull
+
+        stamp = Interval(0, 5)
+        nulls = [AnnotatedNull(f"N{i}", stamp) for i in range(1, 5)]
+        n1, n2, n3, n4 = nulls
+        return ConcreteInstance(
+            [
+                concrete_fact("R", "a", n1, interval=stamp),
+                concrete_fact("R", "a", n2, interval=stamp),
+                concrete_fact("S", "b", n2, interval=stamp),
+                concrete_fact("S", "b", n3, interval=stamp),
+                concrete_fact("U", "c", n3, interval=stamp),
+                concrete_fact("U", "c", n4, interval=stamp),
+                concrete_fact("V", "d", n1, interval=stamp),
+                concrete_fact("V", "d", "k", interval=stamp),
+            ]
+        )
+
+    def test_chain_resolves_to_constant(self):
+        trace = ChaseTrace()
+        result, failure = _run_egd_phase_concrete(
+            self._instance(), self._setting(), trace
+        )
+        assert failure is None
+        stamp = Interval(0, 5)
+        assert result == ConcreteInstance(
+            [
+                concrete_fact("R", "a", "k", interval=stamp),
+                concrete_fact("S", "b", "k", interval=stamp),
+                concrete_fact("U", "c", "k", interval=stamp),
+                concrete_fact("V", "d", "k", interval=stamp),
+            ]
+        )
+        assert len(trace.egd_steps) == 4
+
+    def test_trace_replays_to_final_instance(self):
+        trace = ChaseTrace()
+        initial = self._instance()
+        result, failure = _run_egd_phase_concrete(
+            initial, self._setting(), trace
+        )
+        assert failure is None
+        replayed = initial
+        for step in trace.egd_steps:
+            replayed = replayed.substitute({step.replaced: step.replacement})
+        assert replayed == result
+
+
+class TestBatchedFailureBehaviour:
+    def test_merges_before_clash_are_applied(self):
+        # ε1 merges a null before ε2 hits a constant/constant clash; the
+        # returned instance must reflect the recorded merge, exactly as
+        # the per-equation loop left it.
+        setting = DataExchangeSetting.create(
+            Schema.of(Src=("X",)),
+            Schema.of(R=("X", "Y"), W=("X", "Y")),
+            st_tgds=["Src(x) -> EXISTS y . R(x, y)"],
+            egds=[
+                "R(x, y) & R(x, y2) -> y = y2",
+                "W(x, y) & W(x, y2) -> y = y2",
+            ],
+        )
+        n1, n2 = LabeledNull("N1"), LabeledNull("N2")
+        target = Instance(
+            [
+                fact("R", "a", n1),
+                fact("R", "a", n2),
+                fact("W", "b", "1"),
+                fact("W", "b", "2"),
+            ]
+        )
+        trace = ChaseTrace()
+        result, failure = _run_egd_phase(target, setting, trace)
+        assert failure is not None
+        assert {str(failure.left), str(failure.right)} == {"1", "2"}
+        assert len(trace.egd_steps) == 1
+        assert fact("R", "a", n1) in result
+        assert fact("R", "a", n2) not in result
+
+    def test_cchase_annotation_guard(self):
+        # Merging two annotated nulls with different stamps is impossible
+        # on a normalized instance; the union-find now guards it.
+        import pytest
+
+        from repro.chase.union_find import (
+            AnnotationMismatchError,
+            TermUnionFind,
+        )
+        from repro.relational.terms import AnnotatedNull
+
+        uf = TermUnionFind(check_annotations=True)
+        left = AnnotatedNull("N1", Interval(0, 3))
+        right = AnnotatedNull("N2", Interval(3, 6))
+        with pytest.raises(AnnotationMismatchError):
+            uf.union(left, right)
+        # Without the flag (snapshot chase semantics) the merge is legal.
+        assert TermUnionFind().union(left, right) in {left, right}
+
+    def test_full_cchase_on_chain_scenario(self):
+        # End-to-end: tgd phase produces the nulls, egd phase chains the
+        # merges; same outcome via the public entry point.
+        setting = DataExchangeSetting.create(
+            Schema.of(P=("X",), Q=("X",)),
+            Schema.of(T=("X", "Y")),
+            st_tgds=[
+                "P(x) -> EXISTS y . T(x, y)",
+                "Q(x) -> EXISTS y . T(x, y)",
+            ],
+            egds=["T(x, y) & T(x, y2) -> y = y2"],
+        )
+        source = ConcreteInstance(
+            [
+                concrete_fact("P", "a", interval=Interval(0, 4)),
+                concrete_fact("Q", "a", interval=Interval(0, 4)),
+            ]
+        )
+        result = c_chase(source, setting)
+        assert result.succeeded
+        assert len(result.target) == 1
+        assert len(result.target.nulls()) == 1
