@@ -1,14 +1,16 @@
 # One-command entry points for the repo's verification workflows.
 #
-#   make test         - tier-1: full test suite (fails fast)
-#   make bench-smoke  - run every benchmark module once, timings disabled
-#   make bench        - full timed benchmark run
-#   make verify       - test + bench-smoke (what CI should run)
+#   make test          - tier-1: full test suite (fails fast)
+#   make bench-smoke   - run every benchmark module once, timings disabled
+#   make bench         - full timed benchmark run
+#   make bench-compare - timed run into BENCH_pr2.json, then fail if any
+#                        benchmark regressed >20% vs BENCH_baseline.json
+#   make verify        - test + bench-smoke (what CI should run)
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench verify install-editable
+.PHONY: test bench-smoke bench bench-compare verify install-editable install
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -19,7 +21,16 @@ bench-smoke:
 bench:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-only
 
+bench-compare:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-only \
+		--benchmark-json=BENCH_pr2.json
+	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr2.json \
+		--max-regression 0.20
+
 verify: test bench-smoke
 
 install-editable:
 	pip install -e . --no-build-isolation
+
+install:
+	pip install . --no-build-isolation

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files and fail on regressions.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr2.json \
+        --max-regression 0.20
+
+Benchmarks are matched by their pytest ``fullname`` and compared on the
+``min`` statistic (the least noisy number pytest-benchmark reports).  A
+benchmark REGRESSES when ``candidate_min > baseline_min * (1 + R)`` with
+``R`` the allowed regression ratio; any regression makes the script exit
+non-zero, which is what `make bench-compare` keys off.  Benchmarks
+present on only one side are reported but never fail the run (the suite
+is allowed to grow).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_minimums(path: Path) -> dict[str, float]:
+    payload = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["min"]
+        for bench in payload["benchmarks"]
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("candidate", type=Path)
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed slowdown ratio before failing (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_minimums(args.baseline)
+    candidate = load_minimums(args.candidate)
+    shared = sorted(set(baseline) & set(candidate))
+    missing = sorted(set(baseline) - set(candidate))
+    added = sorted(set(candidate) - set(baseline))
+
+    regressions: list[str] = []
+    width = max((len(name.split("::")[-1]) for name in shared), default=10)
+    print(f"{'benchmark':{width}s} {'baseline':>10s} {'current':>10s} {'speedup':>8s}")
+    for name in shared:
+        base_min = baseline[name]
+        cand_min = candidate[name]
+        speedup = base_min / cand_min if cand_min else float("inf")
+        marker = ""
+        if cand_min > base_min * (1.0 + args.max_regression):
+            marker = "  REGRESSED"
+            regressions.append(name)
+        print(
+            f"{name.split('::')[-1]:{width}s} "
+            f"{base_min * 1000:9.3f}ms {cand_min * 1000:9.3f}ms "
+            f"{speedup:7.2f}x{marker}"
+        )
+    for name in missing:
+        print(f"(only in baseline) {name}")
+    for name in added:
+        print(f"(new benchmark)    {name}")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
+            f"{args.max_regression:.0%} vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for name in regressions:
+            print(f"  {name}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.max_regression:.0%}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,17 +3,23 @@
 Project metadata lives in pyproject.toml (PEP 621); setuptools >= 61
 reads it from there.  This file exists because the target environments
 are *offline* and ship setuptools without the third-party ``wheel``
-package, while modern pip insists on building a PEP 660 editable wheel
-for ``pip install -e .``.  Setuptools' editable machinery needs two
-things from ``wheel``: the ``bdist_wheel`` command (for tags and the
-egg-info → dist-info conversion) and ``wheel.wheelfile.WheelFile`` (to
-zip the editable wheel with a RECORD).  When ``wheel`` is importable we
-defer to it; otherwise the minimal stand-ins below are registered, which
-support exactly the pure-Python editable path used by::
+package, while modern pip builds every install through a wheel: PEP 660
+editable wheels for ``pip install -e .`` and plain wheels for
+``pip install .``.  Setuptools' machinery needs two things from
+``wheel``: the ``bdist_wheel`` command (tags, the egg-info → dist-info
+conversion and, for plain builds, the build-and-zip step) and
+``wheel.wheelfile.WheelFile`` (to zip a wheel with a RECORD).  When
+``wheel`` is importable we defer to it; otherwise the minimal stand-ins
+below are registered, which support both pure-Python paths used by::
 
     pip install -e . --no-build-isolation
+    pip install . --no-build-isolation
 
-Building *distribution* wheels still requires the real ``wheel`` package.
+The shim's ``bdist_wheel.run`` stages ``build_lib`` plus a dist-info
+directory converted from egg-info and zips them with a hashed RECORD —
+enough for pip to verify and install a py3-none-any wheel offline.
+Set ``REPRO_FORCE_WHEEL_SHIM=1`` to exercise the shim even where the
+native machinery exists (used by the test suite).
 """
 
 from __future__ import annotations
@@ -33,8 +39,12 @@ def _native_wheel_support() -> bool:
 
     Modern setuptools (>= 70.1) bundles its own ``bdist_wheel`` command;
     otherwise the real third-party ``wheel`` package provides it.  Either
-    way the native machinery is complete and must not be shadowed.
+    way the native machinery is complete and must not be shadowed —
+    except under ``REPRO_FORCE_WHEEL_SHIM=1``, which the tests use to
+    exercise the shim everywhere.
     """
+    if os.environ.get("REPRO_FORCE_WHEEL_SHIM") == "1":
+        return False
     try:
         import setuptools.command.bdist_wheel  # noqa: F401
 
@@ -89,11 +99,24 @@ class _MiniWheelFile(zipfile.ZipFile):
         )
 
     def write(self, filename, arcname=None, *args, **kwargs):
-        super().write(filename, arcname, *args, **kwargs)
+        # Route through writestr with an explicit ZipInfo: zipfile rejects
+        # pre-1980 timestamps, and reproducible-build environments (pip
+        # sets SOURCE_DATE_EPOCH=0) produce exactly those — clamp to the
+        # ZIP epoch the way the real `wheel` package does.  writestr also
+        # appends the RECORD entry, so no double accounting here.
+        import time
+
         with open(filename, "rb") as handle:
             data = handle.read()
-        name = arcname if arcname is not None else filename
-        self._record_entries.append(f"{name},{_record_hash(data)},{len(data)}")
+        stat = os.stat(filename)
+        mtime = time.localtime(max(stat.st_mtime, 315532800.0))
+        zinfo = zipfile.ZipInfo(
+            arcname if arcname is not None else filename,
+            date_time=mtime[:6],
+        )
+        zinfo.external_attr = (stat.st_mode & 0xFFFF) << 16
+        zinfo.compress_type = self.compression
+        self.writestr(zinfo, data)
 
     def write_files(self, base_dir):
         """Add every file under *base_dir* (deterministic order)."""
@@ -175,21 +198,55 @@ def _make_shim_bdist_wheel():
     from distutils.cmd import Command
 
     class bdist_wheel(Command):  # noqa: N801 — distutils command naming
-        """Tag/metadata provider for the PEP 660 editable build."""
+        """Wheel builder stand-in for editable *and* plain installs.
 
-        description = "minimal bdist_wheel stand-in (editable installs only)"
-        user_options: list = []
+        The editable path (PEP 660) only calls :meth:`get_tag` /
+        :meth:`write_wheelfile` / :meth:`egg2dist`; :meth:`run` serves
+        plain ``pip install .`` by staging ``build_lib`` next to a
+        dist-info converted from egg-info and zipping both with a
+        RECORD.
+        """
+
+        description = "minimal offline bdist_wheel stand-in (pure Python)"
+        user_options = [
+            ("dist-dir=", "d", "directory to put the final wheel in"),
+        ]
 
         def initialize_options(self):
-            pass
+            self.dist_dir = None
 
         def finalize_options(self):
-            pass
+            if self.dist_dir is None:
+                self.dist_dir = "dist"
 
         def run(self):
-            raise RuntimeError(
-                "building distribution wheels needs the real 'wheel' "
-                "package; this offline shim only supports `pip install -e .`"
+            self.run_command("build")
+            build = self.get_finalized_command("build")
+            self.run_command("egg_info")
+            egg_info = self.get_finalized_command("egg_info")
+            name = re.sub(r"[^\w\d.]+", "_", egg_info.egg_name, flags=re.UNICODE)
+            version = re.sub(
+                r"[^\w\d.+]+", "_", egg_info.egg_version, flags=re.UNICODE
+            )
+            name_version = f"{name}-{version}"
+            staging = os.path.join(build.build_base, f"wheel-shim-{name_version}")
+            if os.path.exists(staging):
+                shutil.rmtree(staging)
+            shutil.copytree(build.build_lib, staging)
+            # egg2dist consumes (and removes) its input — feed it a copy.
+            egg_copy = os.path.join(staging, os.path.basename(egg_info.egg_info))
+            shutil.copytree(egg_info.egg_info, egg_copy)
+            distinfo = os.path.join(staging, f"{name_version}.dist-info")
+            self.egg2dist(egg_copy, distinfo)
+            self.write_wheelfile(distinfo)
+            os.makedirs(self.dist_dir, exist_ok=True)
+            wheel_name = f"{name_version}-py3-none-any.whl"
+            wheel_path = os.path.join(self.dist_dir, wheel_name)
+            with _MiniWheelFile(wheel_path, "w") as archive:
+                archive.write_files(staging)
+            shutil.rmtree(staging)
+            self.distribution.dist_files.append(
+                ("bdist_wheel", "py3", wheel_path)
             )
 
         def get_tag(self):

@@ -6,7 +6,11 @@ implementation, and :func:`repro.abstract_view.semantics.semantics`
 (⟦·⟧) ties the two together.
 """
 
-from repro.abstract_view.abstract_chase import AbstractChaseResult, abstract_chase
+from repro.abstract_view.abstract_chase import (
+    AbstractChaseResult,
+    ShardReport,
+    abstract_chase,
+)
 from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
 from repro.abstract_view.hom import (
     AbstractHomomorphism,
@@ -20,6 +24,7 @@ from repro.abstract_view.solution import is_solution, is_universal_solution
 
 __all__ = [
     "AbstractChaseResult",
+    "ShardReport",
     "abstract_chase",
     "AbstractInstance",
     "TemplateFact",

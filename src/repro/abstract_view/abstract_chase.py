@@ -13,16 +13,31 @@ chase results are equal up to the per-snapshot renaming of fresh nulls —
 which is exactly what an interval-annotated null family over the region
 denotes.
 
+Because regions are chased independently, they also **shard**: the
+region scheduler partitions the region list into contiguous blocks, runs
+each block with its own namespaced
+:class:`~repro.chase.nulls.NullFactory` (shard *i* issues ``Ns<i>_1,
+Ns<i>_2, …`` — collision-free across shards by construction), and merges
+the per-region results back in timeline order.  The executor is
+pluggable: ``"serial"`` (default) runs the shards in a loop,
+``"threads"`` uses a ``concurrent.futures`` thread pool, and any
+``Executor`` instance may be passed directly.  ``shards=1`` with the
+default factory is byte-identical to the historical sequential chase
+(one shared counter across all regions).
+
 Proposition 4: a successful abstract chase yields a universal solution;
 a failure on any snapshot means no solution exists.
 """
 
 from __future__ import annotations
 
+import time
+from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import ChaseFailureError, InstanceError
 from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
+from repro.chase.engine import EngineMode
 from repro.chase.nulls import NullFactory
 from repro.chase.standard import ChaseVariant, SnapshotChaseResult, chase_snapshot
 from repro.chase.trace import FailureRecord
@@ -30,7 +45,17 @@ from repro.dependencies.mapping import DataExchangeSetting
 from repro.relational.terms import AnnotatedNull, Constant, LabeledNull
 from repro.temporal.interval import Interval
 
-__all__ = ["AbstractChaseResult", "abstract_chase"]
+__all__ = ["AbstractChaseResult", "ShardReport", "abstract_chase"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardReport:
+    """Per-shard execution accounting of one scheduled abstract chase."""
+
+    shard: int
+    regions: int
+    seconds: float
+    nulls_issued: int
 
 
 @dataclass
@@ -42,6 +67,7 @@ class AbstractChaseResult:
     failure: FailureRecord | None = None
     failed_region: Interval | None = None
     region_results: dict[Interval, SnapshotChaseResult] = field(default_factory=dict)
+    shard_reports: tuple[ShardReport, ...] = ()
 
     @property
     def succeeded(self) -> bool:
@@ -60,30 +86,154 @@ class AbstractChaseResult:
         return self.target
 
 
+def _partition(
+    regions: tuple[Interval, ...], shards: int
+) -> list[tuple[Interval, ...]]:
+    """Split the ascending region list into ≤ *shards* contiguous blocks.
+
+    Blocks are balanced to within one region and preserve timeline order,
+    so every shard's subsequence is ascending (what the sweep of
+    :meth:`AbstractInstance.iter_region_snapshots` requires) and the
+    merge is a plain concatenation in region order.
+    """
+    count = min(shards, len(regions))
+    if count <= 0:
+        return []
+    size, extra = divmod(len(regions), count)
+    blocks: list[tuple[Interval, ...]] = []
+    start = 0
+    for shard in range(count):
+        width = size + (1 if shard < extra else 0)
+        blocks.append(regions[start : start + width])
+        start += width
+    return blocks
+
+
+def _chase_regions(
+    source: AbstractInstance,
+    regions: tuple[Interval, ...],
+    setting: DataExchangeSetting,
+    nulls: NullFactory,
+    variant: ChaseVariant,
+    engine: EngineMode,
+) -> list[tuple[Interval, SnapshotChaseResult]]:
+    """Chase one block of regions; stops at the block's first failure."""
+    results: list[tuple[Interval, SnapshotChaseResult]] = []
+    for region, snapshot in source.iter_region_snapshots(regions):
+        result = chase_snapshot(
+            snapshot, setting, null_factory=nulls, variant=variant, engine=engine
+        )
+        results.append((region, result))
+        if result.failed:
+            break
+    return results
+
+
 def abstract_chase(
     source: AbstractInstance,
     setting: DataExchangeSetting,
     null_factory: NullFactory | None = None,
     variant: ChaseVariant = "standard",
+    engine: EngineMode = "delta",
+    shards: int = 1,
+    executor: str | Executor = "serial",
 ) -> AbstractChaseResult:
     """``chase(Ia, M)`` on the finite representation.
 
-    The source must be complete (constants only), as the paper assumes for
-    source instances.  One shared null factory keeps fresh null names
-    globally distinct across regions, mirroring the paper's requirement
-    that nulls of different snapshots never coincide.
+    The source must be complete (constants only), as the paper assumes
+    for source instances.  With ``shards=1`` one shared null factory
+    keeps fresh null names globally distinct across regions, mirroring
+    the paper's requirement that nulls of different snapshots never
+    coincide — and the output is byte-identical to the historical
+    sequential implementation.  With ``shards > 1`` the regions are
+    partitioned into contiguous blocks, each block chases under its own
+    namespaced factory (``Ns<i>_…``, see
+    :meth:`NullFactory.for_shard`), and the per-region results merge
+    deterministically in timeline order; *executor* selects how blocks
+    run (``"serial"``, ``"threads"``, or a ``concurrent.futures``
+    executor instance).  Fresh-null *names* then differ from the
+    unsharded run, but the result is the same solution up to that
+    renaming.
     """
     if not source.is_complete:
         raise InstanceError(
             "abstract source instances must be complete (constants only)"
         )
-    nulls = null_factory if null_factory is not None else NullFactory()
+    if shards < 1:
+        raise InstanceError(f"shards must be >= 1, got {shards}")
+    regions = source.regions()
+    base_factory = null_factory if null_factory is not None else NullFactory()
+
+    if shards == 1:
+        started = time.perf_counter()
+        block_results = _chase_regions(
+            source, regions, setting, base_factory, variant, engine
+        )
+        reports = (
+            ShardReport(
+                shard=0,
+                regions=len(block_results),
+                seconds=time.perf_counter() - started,
+                nulls_issued=base_factory.issued,
+            ),
+        )
+        return _merge(block_results, reports)
+
+    blocks = _partition(regions, shards)
+    generation = base_factory.new_generation()
+    factories = [
+        base_factory.for_shard(index, generation)
+        for index in range(len(blocks))
+    ]
+
+    def run_block(index: int) -> tuple[list[tuple[Interval, SnapshotChaseResult]], ShardReport]:
+        started = time.perf_counter()
+        block_results = _chase_regions(
+            source, blocks[index], setting, factories[index], variant, engine
+        )
+        report = ShardReport(
+            shard=index,
+            regions=len(block_results),
+            seconds=time.perf_counter() - started,
+            nulls_issued=factories[index].issued,
+        )
+        return block_results, report
+
+    indices = range(len(blocks))
+    if isinstance(executor, Executor):
+        outcomes = list(executor.map(run_block, indices))
+    elif executor == "serial":
+        outcomes = [run_block(index) for index in indices]
+    elif executor == "threads":
+        with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
+            outcomes = list(pool.map(run_block, indices))
+    else:
+        raise InstanceError(
+            f"unknown executor {executor!r}: use 'serial', 'threads', "
+            "or a concurrent.futures.Executor"
+        )
+
+    merged: list[tuple[Interval, SnapshotChaseResult]] = []
+    for block_results, _report in outcomes:
+        merged.extend(block_results)
+    reports = tuple(report for _results, report in outcomes)
+    return _merge(merged, reports)
+
+
+def _merge(
+    ordered_results: list[tuple[Interval, SnapshotChaseResult]],
+    reports: tuple[ShardReport, ...],
+) -> AbstractChaseResult:
+    """Fold per-region results (in timeline order) into one result.
+
+    Contiguous partitioning keeps the concatenated block results in
+    region order, so the first failed region encountered is the globally
+    first one; regions a failing shard skipped lie strictly after it and
+    are simply absent, exactly as in the sequential early-exit.
+    """
     templates: list[TemplateFact] = []
     region_results: dict[Interval, SnapshotChaseResult] = {}
-
-    for region in source.regions():
-        snapshot = source.snapshot(region.start)
-        result = chase_snapshot(snapshot, setting, null_factory=nulls, variant=variant)
+    for region, result in ordered_results:
         region_results[region] = result
         if result.failed:
             return AbstractChaseResult(
@@ -92,6 +242,7 @@ def abstract_chase(
                 failure=result.failure,
                 failed_region=region,
                 region_results=region_results,
+                shard_reports=reports,
             )
         for item in result.target.facts():
             args = tuple(
@@ -100,8 +251,12 @@ def abstract_chase(
                 else value
                 for value in item.args
             )
-            templates.append(TemplateFact(item.relation, args, region))
+            # Trusted: fresh nulls were re-annotated with the region just
+            # above, and factory null names never contain '@'.
+            templates.append(TemplateFact.make(item.relation, args, region))
 
     return AbstractChaseResult(
-        target=AbstractInstance(templates), region_results=region_results
+        target=AbstractInstance(templates),
+        region_results=region_results,
+        shard_reports=reports,
     )

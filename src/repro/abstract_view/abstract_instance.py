@@ -75,6 +75,21 @@ class TemplateFact:
                     f"annotated nulls, got {value!r}"
                 )
 
+    @classmethod
+    def make(
+        cls, relation: str, args: tuple[GroundTerm, ...], interval: Interval
+    ) -> "TemplateFact":
+        """Trusted constructor: the caller guarantees the construction
+        invariants (annotated nulls carry *interval*, rigid null names
+        are '@'-free).  The chase-result merge builds thousands of
+        templates from values that satisfy them by construction."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "interval", interval)
+        object.__setattr__(self, "_pointless", None)
+        return self
+
     def at(self, point: int) -> Fact:
         """The snapshot-level fact at time ℓ."""
         if point not in self.interval:
@@ -228,6 +243,72 @@ class AbstractInstance:
     def snapshots(self, limit: int) -> list[Instance]:
         """The materialized prefix ``db_0 … db_{limit-1}`` (tests, figures)."""
         return [self.snapshot(point) for point in range(limit)]
+
+    def iter_region_snapshots(
+        self, regions: Iterable[Interval] | None = None
+    ) -> Iterator[tuple[Interval, Instance]]:
+        """Yield ``(region, snapshot at region.start)`` across *regions*.
+
+        Equivalent to ``(r, self.snapshot(r.start))`` per region, but the
+        snapshot is ONE instance maintained incrementally by an interval
+        sweep: templates enter when their stamp starts covering the probe
+        point and leave when it ends, so the cost is proportional to the
+        number of template transitions, not regions × templates — and the
+        instance's lazily-built homomorphism indexes stay warm across
+        regions.  The yielded instance is reused and mutated between
+        yields: consume it before advancing, never store it.
+
+        *regions* must be an ascending subsequence of :meth:`regions`
+        (defaults to all of them) — this is what a shard of the region
+        scheduler holds.  Falls back to fresh per-region snapshots when a
+        template carries per-snapshot (annotated) nulls, whose projection
+        differs at every point.
+        """
+        from heapq import heappop, heappush
+
+        region_list = tuple(self.regions() if regions is None else regions)
+        if any(
+            isinstance(value, AnnotatedNull)
+            for template in self._templates
+            for value in template.args
+        ):
+            for region in region_list:
+                yield region, self.snapshot(region.start)
+            return
+        by_start = sorted(
+            self._templates, key=lambda item: item.interval.start
+        )
+        total = len(by_start)
+        live = Instance()
+        counts: dict[Fact, int] = {}
+        expiring: list[tuple[TimePoint, int, Fact]] = []
+        index = 0
+        sequence = 0
+        for region in region_list:
+            point = region.start
+            while expiring and expiring[0][0] <= point:
+                _end, _seq, item = heappop(expiring)
+                remaining = counts[item] - 1
+                if remaining:
+                    counts[item] = remaining
+                else:
+                    del counts[item]
+                    live.discard(item)
+            while index < total:
+                template = by_start[index]
+                if template.interval.start > point:
+                    break
+                index += 1
+                if point in template.interval:
+                    item = template.at(point)
+                    counts[item] = counts.get(item, 0) + 1
+                    if counts[item] == 1:
+                        live.add(item)
+                    heappush(
+                        expiring, (template.interval.end, sequence, item)
+                    )
+                    sequence += 1
+            yield region, live
 
     def templates_at(self, point: int) -> tuple[TemplateFact, ...]:
         return tuple(

@@ -1,6 +1,13 @@
-"""The classical chase machinery used snapshot-wise by both views."""
+"""The classical chase machinery used snapshot-wise by both views.
+
+:mod:`repro.chase.engine` hosts the shared delta-driven fixpoint core
+(semi-naive egd rounds over in-place substitution deltas) that both
+:func:`chase_snapshot` and :func:`repro.concrete.c_chase` run on; see
+``docs/architecture.md`` for the layering.
+"""
 
 from repro.chase.core import core_of, find_proper_endomorphism, is_core
+from repro.chase.engine import EgdTask, EngineMode, run_egd_fixpoint, run_tgd_pass
 from repro.chase.nulls import NullFactory
 from repro.chase.standard import (
     SnapshotChaseResult,
@@ -23,6 +30,10 @@ __all__ = [
     "core_of",
     "find_proper_endomorphism",
     "is_core",
+    "EgdTask",
+    "EngineMode",
+    "run_egd_fixpoint",
+    "run_tgd_pass",
     "NullFactory",
     "SnapshotChaseResult",
     "chase_snapshot",

@@ -4,6 +4,12 @@ Chase runs must be reproducible: the figures in the paper (and our tests
 that regenerate them byte-for-byte) name nulls ``N``, ``N'``, ``M`` …;
 we name them ``N1, N2, …`` in generation order.  A factory is scoped to
 one chase run so that parallel runs never share counters.
+
+For the sharded abstract chase each shard derives its own factory with
+:meth:`NullFactory.for_shard`: shard *i* issues names under the
+namespace ``<prefix>s<i>_`` (e.g. ``Ns0_1``), so fresh nulls of
+different shards can never collide no matter how the shards interleave —
+the sharded analogue of "nulls of different snapshots never coincide".
 """
 
 from __future__ import annotations
@@ -22,6 +28,9 @@ class NullFactory:
 
     prefix: str = "N"
     _counter: int = field(default=0, repr=False)
+    # How many sharded generations have been derived from this factory
+    # (each sharded abstract chase claims one via new_generation()).
+    _generations: int = field(default=0, repr=False)
 
     def fresh_name(self) -> str:
         self._counter += 1
@@ -38,6 +47,33 @@ class NullFactory:
         variable is assigned a fresh null annotated with ``h(t)``.
         """
         return AnnotatedNull(self.fresh_name(), annotation)
+
+    def new_generation(self) -> int:
+        """Claim the next sharded-generation number of this factory.
+
+        The sharded abstract chase claims one generation per run, so two
+        sharded runs that *share* one base factory — the documented way
+        to keep nulls globally distinct across runs — derive disjoint
+        shard namespaces instead of silently repeating names.
+        """
+        generation = self._generations
+        self._generations = generation + 1
+        return generation
+
+    def for_shard(self, shard: int, generation: int = 0) -> "NullFactory":
+        """A fresh factory whose names live in shard *shard*'s namespace.
+
+        ``N`` becomes ``Ns0_1, Ns0_2, …`` for shard 0, ``Ns1_1, …`` for
+        shard 1, and so on; generation ``g > 0`` (see
+        :meth:`new_generation`) prepends a ``g<g>`` tag —
+        ``Ng1s0_1, …`` — so repeated sharded runs off one base factory
+        stay disjoint too.  All such namespaces are pairwise disjoint
+        and disjoint from the unsharded ``N1, N2, …`` names, so a
+        partitioned run can allocate nulls concurrently without any
+        coordination and still never collide.
+        """
+        tag = f"s{shard}_" if generation == 0 else f"g{generation}s{shard}_"
+        return NullFactory(prefix=f"{self.prefix}{tag}")
 
     @property
     def issued(self) -> int:

@@ -1,7 +1,8 @@
 """The classical snapshot chase (Fagin et al.), used per snapshot.
 
 Given a relational source instance and a setting ``M = (RS, RT, Σst,
-Σeg)``, the chase materializes a target instance in two phases:
+Σeg)``, the chase materializes a target instance in two phases, both run
+on the shared delta-driven engine of :mod:`repro.chase.engine`:
 
 1. **s-t tgd phase** — for every tgd ``φ(x) → ∃y ψ(x, y)`` and every
    homomorphism ``h : φ → I`` that has no extension to ``φ ∧ ψ`` over
@@ -12,21 +13,24 @@ Given a relational source instance and a setting ``M = (RS, RT, Σst,
    ablation knob that produces a non-core universal solution.
 2. **egd phase** — while some egd ``φ(x) → x1 = x2`` has a homomorphism
    with ``h(x1) ≠ h(x2)``: equate them.  Equations are resolved in
-   *batched rounds*: every egd match on the current instance is merged
-   into a fresh :class:`~repro.chase.union_find.TermUnionFind` (matched
-   terms are resolved through ``find`` because earlier merges of the same
-   round are not yet reflected in the instance), each real merge is
-   recorded at representative level, and one substitution pass applies
-   the whole round.  Rounds repeat until no merge happens, so equations
-   that only appear on the substituted instance are still found.
+   *batched semi-naive rounds*: every egd match of the round's worklist
+   is merged into a fresh :class:`~repro.chase.union_find.TermUnionFind`
+   (matched terms are resolved through ``find`` because earlier merges of
+   the same round are not yet reflected in the instance), each real merge
+   is recorded at representative level, and one in-place substitution
+   pass applies the whole round — only the facts mentioning a replaced
+   term are rewritten.  Round 0's worklist is the full instance; each
+   later round enumerates only the matches touching the facts the
+   previous substitution actually added, and the fixpoint is confirmed
+   when a round's delta is empty (see the engine module docstring).
    Equating two distinct constants fails the chase, which by Theorem 3.3
    of Fagin et al. (and Proposition 4 here) means *no solution exists*.
 
    Because the union-find elects the class minimum (constants first) as
    representative, the fixpoint instance — and each recorded
    ``replaced ↦ replacement`` step — is identical to what the classical
-   one-equation-at-a-time loop produced; only the re-enumeration after
-   every single equation is gone.
+   one-equation-at-a-time loop produced; only the re-enumerations are
+   gone.
 
 A successful chase returns a universal solution for the snapshot.
 """
@@ -37,25 +41,28 @@ from dataclasses import dataclass, field
 from typing import Literal
 
 from repro.errors import ChaseFailureError
+from repro.chase.engine import (
+    EgdTask,
+    EngineMode,
+    build_rhs_probe,
+    run_egd_fixpoint,
+    run_tgd_pass,
+)
 from repro.chase.nulls import NullFactory
 from repro.chase.trace import (
     ChaseTrace,
-    EgdStepRecord,
     FailureRecord,
     TgdStepRecord,
 )
-from repro.chase.union_find import ConstantClashError, TermUnionFind
 from repro.dependencies.dependency import EGD, SourceToTargetTGD
 from repro.dependencies.mapping import DataExchangeSetting
 from repro.relational.fact import Fact
 from repro.relational.homomorphism import (
-    find_homomorphism,
     find_homomorphisms,
     has_homomorphism,
-    iter_egd_equations,
 )
 from repro.relational.instance import Instance
-from repro.relational.terms import Constant, GroundTerm, Variable
+from repro.relational.terms import GroundTerm, Variable
 
 __all__ = ["SnapshotChaseResult", "chase_snapshot", "snapshot_satisfies"]
 
@@ -98,6 +105,123 @@ def _egd_label(egd: EGD, index: int) -> str:
     return egd.name or f"ε{index}"
 
 
+class _SnapshotTgdTask:
+    """One s-t tgd prepared for the engine's tgd pass."""
+
+    __slots__ = ("label", "tgd", "rhs_probe")
+
+    def __init__(self, label: str, tgd: SourceToTargetTGD) -> None:
+        self.label = label
+        self.tgd = tgd
+        self.rhs_probe = build_rhs_probe(
+            tgd.rhs.atoms, tgd.existential_variables
+        )
+
+
+class _SnapshotDomain:
+    """:class:`~repro.chase.engine.ChaseDomain` over a plain relational target."""
+
+    check_annotations = False
+
+    def __init__(
+        self,
+        target: Instance,
+        source: Instance | None = None,
+        nulls: NullFactory | None = None,
+        variant: ChaseVariant = "standard",
+    ) -> None:
+        self.target = target
+        self.source = source
+        self.nulls = nulls
+        self.variant = variant
+        self.probes_for: dict[str, list] = {}
+
+    def attach_probes(self, tasks) -> None:
+        """Register and seed the tasks' rhs projection probes."""
+        for task in tasks:
+            probe = task.rhs_probe
+            if probe is not None:
+                self.probes_for.setdefault(probe.relation, []).append(probe)
+                probe.seed(self.target.facts_of(probe.relation))
+
+    # -- egd side ----------------------------------------------------------
+    def match_view(self) -> Instance:
+        return self.target
+
+    def apply_substitution(self, mapping) -> list[Fact]:
+        return self.target.substitute_in_place(mapping)
+
+    # -- tgd side ----------------------------------------------------------
+    def iter_tgd_matches(self, task: _SnapshotTgdTask):
+        # copy=False: the live assignment is only read before the iterator
+        # resumes; fire_tgd takes the copies it needs.
+        assert self.source is not None
+        return find_homomorphisms(task.tgd.lhs, self.source, copy=False)
+
+    def fire_tgd(
+        self, task: _SnapshotTgdTask, assignment
+    ) -> TgdStepRecord | None:
+        tgd = task.tgd
+        if self.variant == "standard":
+            # Skip when h extends to φ ∧ ψ over (I, J): the rhs is
+            # target-only, so the extension is a hom of ψ into J that
+            # agrees with h on the exported variables.
+            if task.rhs_probe is not None:
+                if task.rhs_probe.check(assignment):
+                    return None
+            elif has_homomorphism(tgd.rhs, self.target, initial=assignment):
+                return None
+        assert self.nulls is not None
+        record_assignment: dict[Variable, GroundTerm] = dict(assignment)
+        fresh: list[GroundTerm] = []
+        if tgd.existential_variables:
+            extension = dict(record_assignment)
+            for variable in tgd.existential_variables:
+                null = self.nulls.fresh()
+                extension[variable] = null
+                fresh.append(null)
+        else:
+            extension = record_assignment
+        new_facts: list[Fact] = []
+        for atom in tgd.rhs.atoms:
+            item = Fact.make(
+                atom.relation,
+                tuple([extension.get(arg, arg) for arg in atom.args]),
+            )
+            if self.target.add(item):
+                new_facts.append(item)
+                for probe in self.probes_for.get(item.relation, ()):
+                    probe.observe(item)
+        return TgdStepRecord(
+            dependency=task.label,
+            assignment=record_assignment,
+            added_facts=tuple(new_facts),
+            fresh_nulls=tuple(fresh),
+        )
+
+
+def _egd_tasks(setting: DataExchangeSetting) -> tuple[EgdTask, ...]:
+    # Cached on the setting: tasks are immutable and shared across runs —
+    # the abstract chase calls chase_snapshot once per region.
+    cached = getattr(setting, "_snapshot_egd_tasks", None)
+    if cached is None:
+        cached = tuple(
+            EgdTask(
+                _egd_label(egd, index),
+                egd.lhs.atoms,
+                egd.left_variable,
+                egd.right_variable,
+            )
+            for index, egd in enumerate(setting.egds, start=1)
+        )
+        try:
+            object.__setattr__(setting, "_snapshot_egd_tasks", cached)
+        except AttributeError:
+            # The setting grew __slots__: just rebuild per call.
+            pass
+    return cached
+
+
 def _run_tgd_phase(
     source: Instance,
     target: Instance,
@@ -106,81 +230,29 @@ def _run_tgd_phase(
     variant: ChaseVariant,
     trace: ChaseTrace,
 ) -> None:
-    for index, tgd in enumerate(setting.st_tgds, start=1):
-        label = _tgd_label(tgd, index)
-        # copy=False: the live assignment is only read before the iterator
-        # resumes; the trace record takes an explicit copy below.
-        for assignment in find_homomorphisms(tgd.lhs, source, copy=False):
-            if variant == "standard":
-                # Skip when h extends to φ ∧ ψ over (I, J): the rhs is
-                # target-only, so the extension is a hom of ψ into J that
-                # agrees with h on the exported variables.
-                if has_homomorphism(tgd.rhs, target, initial=assignment):
-                    continue
-            extension: dict[Variable, GroundTerm] = dict(assignment)
-            fresh: list[GroundTerm] = []
-            for variable in tgd.existential_variables:
-                null = nulls.fresh()
-                extension[variable] = null
-                fresh.append(null)
-            added = tgd.rhs.instantiate(extension)
-            new_facts = tuple(item for item in added if target.add(item))
-            trace.record(
-                TgdStepRecord(
-                    dependency=label,
-                    assignment=dict(assignment),
-                    added_facts=new_facts,
-                    fresh_nulls=tuple(fresh),
-                )
-            )
+    domain = _SnapshotDomain(target, source=source, nulls=nulls, variant=variant)
+    tasks = [
+        _SnapshotTgdTask(_tgd_label(tgd, index), tgd)
+        for index, tgd in enumerate(setting.st_tgds, start=1)
+    ]
+    domain.attach_probes(tasks)
+    run_tgd_pass(domain, tasks, trace)
 
 
 def _run_egd_phase(
     target: Instance,
     setting: DataExchangeSetting,
     trace: ChaseTrace,
+    mode: EngineMode = "delta",
 ) -> tuple[Instance, FailureRecord | None]:
     """Chase the egds to fixpoint; returns (instance, failure-or-None).
 
-    Equations are resolved in batched rounds (see module docstring).  A
-    fresh union-find per round keeps representatives in sync with the
-    instance: matched terms may be stale (already merged earlier in the
-    same round), so both sides are resolved through ``find`` before the
-    merge is judged, and the recorded step equates the two *class
-    representatives* — never a term a previous step already replaced.
+    A thin wrapper over :func:`repro.chase.engine.run_egd_fixpoint` with
+    the snapshot domain; the instance is mutated in place and returned.
     """
-    current = target
-    while True:
-        union_find = TermUnionFind()
-        merged = False
-        for index, egd in enumerate(setting.egds, start=1):
-            label = _egd_label(egd, index)
-            for left, right in iter_egd_equations(
-                egd.lhs.atoms, egd.left_variable, egd.right_variable, current
-            ):
-                if left == right:
-                    continue
-                root_left = union_find.find(left)
-                root_right = union_find.find(right)
-                if root_left == root_right:
-                    continue
-                try:
-                    winner = union_find.union(root_left, root_right)
-                except ConstantClashError as clash:
-                    failure = FailureRecord(label, clash.left, clash.right)
-                    trace.record(failure)
-                    # Report the instance with every merge recorded so far
-                    # applied, exactly as the per-equation loop left it.
-                    pending = union_find.substitution()
-                    if pending:
-                        current = current.substitute(pending)
-                    return current, failure
-                replaced = root_right if winner == root_left else root_left
-                trace.record(EgdStepRecord(label, replaced, winner))
-                merged = True
-        if not merged:
-            return current, None
-        current = current.substitute(union_find.substitution())
+    domain = _SnapshotDomain(target)
+    failure = run_egd_fixpoint(domain, _egd_tasks(setting), trace, mode=mode)
+    return target, failure
 
 
 def chase_snapshot(
@@ -188,11 +260,15 @@ def chase_snapshot(
     setting: DataExchangeSetting,
     null_factory: NullFactory | None = None,
     variant: ChaseVariant = "standard",
+    engine: EngineMode = "delta",
 ) -> SnapshotChaseResult:
     """Chase one snapshot, producing a universal solution or a failure.
 
     *variant* selects the s-t tgd firing policy (``"standard"`` checks for
     an existing extension before firing; ``"oblivious"`` always fires).
+    *engine* selects the egd fixpoint strategy (``"delta"`` enumerates
+    each round against the previous round's delta only; ``"rescan"``
+    re-enumerates the full instance every round — the reference mode).
     """
     nulls = null_factory if null_factory is not None else NullFactory()
     trace = ChaseTrace()
@@ -200,7 +276,7 @@ def chase_snapshot(
     # already happened at the dependency level where attributes are known.
     target = Instance()
     _run_tgd_phase(source, target, setting, nulls, variant, trace)
-    result_instance, failure = _run_egd_phase(target, setting, trace)
+    result_instance, failure = _run_egd_phase(target, setting, trace, mode=engine)
     if failure is not None:
         return SnapshotChaseResult(
             target=result_instance, failed=True, failure=failure, trace=trace

@@ -18,7 +18,7 @@ from repro.relational.terms import GroundTerm, Term, Variable
 __all__ = ["TgdStepRecord", "EgdStepRecord", "FailureRecord", "ChaseTrace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TgdStepRecord:
     """One tgd chase step: dependency σ fired with h, adding facts."""
 
@@ -32,7 +32,7 @@ class TgdStepRecord:
         return f"tgd {self.dependency}: added {{{added}}}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EgdStepRecord:
     """One successful egd chase step: *replaced* ↦ *replacement* everywhere."""
 
@@ -44,7 +44,7 @@ class EgdStepRecord:
         return f"egd {self.dependency}: {self.replaced} ↦ {self.replacement}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FailureRecord:
     """A failing egd step: two distinct constants were equated."""
 

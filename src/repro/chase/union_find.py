@@ -65,23 +65,21 @@ class TermUnionFind:
 
     def __init__(self, check_annotations: bool = False) -> None:
         self._parent: Dict[GroundTerm, GroundTerm] = {}
-        self._rank: Dict[GroundTerm, int] = {}
         self._check_annotations = check_annotations
 
-    def _ensure(self, term: GroundTerm) -> None:
-        if term not in self._parent:
-            self._parent[term] = term
-            self._rank[term] = 0
-
     def find(self, term: GroundTerm) -> GroundTerm:
-        """Representative of *term*'s class (path compression applied)."""
-        self._ensure(term)
-        root = term
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[term] != root:
-            self._parent[term], term = root, self._parent[term]
-        return root
+        """Representative of *term*'s class (path-halving compression)."""
+        parent = self._parent
+        if term not in parent:
+            parent[term] = term
+            return term
+        above = parent[term]
+        while above != term:
+            grand = parent[above]
+            parent[term] = grand
+            term = grand
+            above = parent[term]
+        return term
 
     def union(self, left: GroundTerm, right: GroundTerm) -> GroundTerm:
         """Merge the classes of *left* and *right*; returns the representative.
@@ -121,7 +119,6 @@ class TermUnionFind:
         else:
             winner, loser = root_right, root_left
         self._parent[loser] = winner
-        self._rank[winner] = max(self._rank[winner], self._rank[loser] + 1)
         return winner
 
     def same_class(self, left: GroundTerm, right: GroundTerm) -> bool:

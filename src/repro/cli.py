@@ -68,6 +68,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         normalization=args.normalization,
         variant=args.variant,
         coalesce_result=args.coalesce,
+        engine=args.engine,
     )
     if result.failed:
         print(f"chase failed: {result.failure}", file=sys.stderr)
@@ -119,7 +120,16 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
-    report = verify_correspondence(source, setting)
+    report = verify_correspondence(
+        source, setting, engine=args.engine, shards=args.shards
+    )
+    if args.shards > 1:
+        for shard in report.abstract_result.shard_reports:
+            print(
+                f"shard {shard.shard}: {shard.regions} regions, "
+                f"{shard.nulls_issued} nulls, {shard.seconds * 1000:.2f} ms",
+                file=sys.stderr,
+            )
     if report.both_failed:
         print("both chases fail: no solution exists (square commutes)")
         return 0
@@ -206,6 +216,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--variant", choices=["standard", "oblivious"], default="standard"
     )
     chase.add_argument("--coalesce", action="store_true")
+    chase.add_argument(
+        "--engine",
+        choices=["delta", "rescan"],
+        default="delta",
+        help="egd fixpoint strategy: semi-naive delta rounds (default) "
+        "or full re-enumeration per round",
+    )
     chase.set_defaults(handler=_cmd_chase)
 
     norm = commands.add_parser("normalize", help="normalize an instance")
@@ -232,6 +249,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify.add_argument("--mapping", required=True)
     verify.add_argument("--source", required=True)
+    verify.add_argument(
+        "--engine",
+        choices=["delta", "rescan"],
+        default="delta",
+        help="chase engine mode for both procedures",
+    )
+    verify.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the abstract chase's regions across N shards "
+        "(per-shard null namespaces; prints per-shard timing)",
+    )
     verify.set_defaults(handler=_cmd_verify)
 
     figures = commands.add_parser(

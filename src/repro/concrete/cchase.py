@@ -1,6 +1,7 @@
 """The concrete chase — *c-chase* — of Definition 16.
 
-Pipeline (Section 4.3):
+Pipeline (Section 4.3), with both chase phases running on the shared
+delta-driven engine of :mod:`repro.chase.engine`:
 
 1. normalize the concrete source instance w.r.t. the lhs of ``Σ+st``;
 2. apply all s-t tgd c-chase steps: a step fires for a homomorphism ``h``
@@ -13,17 +14,21 @@ Pipeline (Section 4.3):
    interval-annotated null is replaced everywhere by the other term.
    Normalization guarantees both equated nulls carry the same annotation.
 
-   Like the snapshot chase, the egd fixpoint runs in *batched rounds*:
-   all egd matches of the current target are merged into one
+   Like the snapshot chase, the egd fixpoint runs in *batched semi-naive
+   rounds*: all matches of the round's worklist are merged into one
    :class:`~repro.chase.union_find.TermUnionFind` (constructed with
    annotation checking, so a merge of two differently-annotated nulls —
    impossible after normalization — raises instead of corrupting the
-   instance), then a single substitution pass applies the round.  Matched
-   terms are resolved through ``find`` first because earlier merges of
-   the round are not yet visible in the instance; every recorded step
-   equates class representatives, and constant/constant clashes are
-   detected at representative level — both exactly as the per-equation
-   loop behaved after its eager substitutions.
+   instance), then a single in-place substitution pass applies the round
+   by rewriting only the facts that mention a replaced term.  Round 0's
+   worklist is the full target; every later round enumerates only the
+   matches touching the previous round's delta, and the fixpoint is
+   confirmed when that delta is empty.  Matched terms are resolved
+   through ``find`` first because earlier merges of the round are not yet
+   visible in the instance; every recorded step equates class
+   representatives, and constant/constant clashes are detected at
+   representative level — both exactly as the per-equation loop behaved
+   after its eager substitutions.
 
 A successful run returns a *concrete solution* ``Jc`` whose semantics
 ``⟦Jc⟧`` is a universal solution for ``⟦Ic⟧`` (Theorem 19(1),
@@ -36,14 +41,19 @@ from dataclasses import dataclass, field
 from typing import Literal
 
 from repro.errors import ChaseFailureError
+from repro.chase.engine import (
+    EgdTask,
+    EngineMode,
+    build_rhs_probe,
+    run_egd_fixpoint,
+    run_tgd_pass,
+)
 from repro.chase.nulls import NullFactory
 from repro.chase.trace import (
     ChaseTrace,
-    EgdStepRecord,
     FailureRecord,
     TgdStepRecord,
 )
-from repro.chase.union_find import ConstantClashError, TermUnionFind
 from repro.concrete.concrete_fact import ConcreteFact
 from repro.concrete.concrete_instance import ConcreteInstance
 from repro.concrete.normalization import (
@@ -53,10 +63,11 @@ from repro.concrete.normalization import (
     naive_normalize,
     normalize,
 )
-from repro.dependencies.dependency import EGD, SourceToTargetTGD
+from repro.dependencies.dependency import SourceToTargetTGD
 from repro.dependencies.mapping import DataExchangeSetting
+from repro.relational.fact import Fact
 from repro.relational.formulas import Atom
-from repro.relational.homomorphism import has_homomorphism, iter_egd_equations
+from repro.relational.homomorphism import has_homomorphism
 from repro.relational.terms import (
     GroundTerm,
     Variable,
@@ -122,6 +133,138 @@ def _lift_rhs(tgd: SourceToTargetTGD, tvar: Variable) -> tuple[Atom, ...]:
     return lifted
 
 
+class _ConcreteTgdTask:
+    """One lifted s-t tgd prepared for the engine's tgd pass."""
+
+    __slots__ = (
+        "label",
+        "tgd",
+        "lifted_lhs",
+        "tvar",
+        "lifted_rhs",
+        "exported",
+        "rhs_probe",
+    )
+
+    def __init__(self, label: str, tgd: SourceToTargetTGD) -> None:
+        self.label = label
+        self.tgd = tgd
+        self.lifted_lhs = tgd.lift_lhs()
+        self.tvar = self.lifted_lhs.shared_variable
+        self.lifted_rhs = _lift_rhs(tgd, self.tvar)
+        self.exported = set(tgd.exported_variables)
+        # The lifted rhs atoms bind the temporal variable like any other
+        # exported variable, so only the existentials stay unbound.
+        self.rhs_probe = build_rhs_probe(
+            self.lifted_rhs, tgd.existential_variables
+        )
+
+
+class _ConcreteDomain:
+    """:class:`~repro.chase.engine.ChaseDomain` over a concrete target.
+
+    Egd matches are enumerated on the target's lifted relational view;
+    the substitution delta is translated back into lifted facts so the
+    engine's semi-naive rounds see the view they enumerate on.
+    """
+
+    check_annotations = True
+
+    def __init__(
+        self,
+        target: ConcreteInstance,
+        source: ConcreteInstance | None = None,
+        nulls: NullFactory | None = None,
+        variant: TgdVariant = "standard",
+    ) -> None:
+        self.target = target
+        self.source = source
+        self.nulls = nulls
+        self.variant = variant
+        self.probes_for: dict[str, list] = {}
+
+    def attach_probes(self, tasks) -> None:
+        """Register and seed the tasks' rhs projection probes.
+
+        Probes watch the *lifted* form of the target's facts (the lifted
+        rhs atoms carry the temporal variable as their last argument).
+        """
+        for task in tasks:
+            probe = task.rhs_probe
+            if probe is not None:
+                self.probes_for.setdefault(probe.relation, []).append(probe)
+                probe.seed(
+                    item.lifted()
+                    for item in self.target.facts_of(probe.relation)
+                )
+
+    # -- egd side ----------------------------------------------------------
+    def match_view(self):
+        return self.target.lifted()
+
+    def apply_substitution(self, mapping) -> list[Fact]:
+        added = self.target.substitute_in_place(mapping)
+        return [item.lifted() for item in added]
+
+    # -- tgd side ----------------------------------------------------------
+    def iter_tgd_matches(self, task: _ConcreteTgdTask):
+        # copy=False: the live assignment is read (and copied into the
+        # extension/trace record) before the iterator resumes.
+        assert self.source is not None
+        return find_temporal_assignments(task.lifted_lhs, self.source, copy=False)
+
+    def fire_tgd(
+        self, task: _ConcreteTgdTask, assignment
+    ) -> TgdStepRecord | None:
+        tgd = task.tgd
+        stamp = interval_of(assignment, task.tvar)
+        if self.variant == "standard":
+            if task.rhs_probe is not None:
+                if task.rhs_probe.check(assignment):
+                    return None
+            else:
+                initial = {
+                    var: value
+                    for var, value in assignment.items()
+                    if var in task.exported or var == task.tvar
+                }
+                if has_homomorphism(
+                    task.lifted_rhs, self.target.lifted(), initial=initial
+                ):
+                    return None
+        assert self.nulls is not None
+        record_assignment: dict[Variable, GroundTerm] = dict(assignment)
+        fresh: list[GroundTerm] = []
+        if tgd.existential_variables:
+            extension = dict(record_assignment)
+            for variable in tgd.existential_variables:
+                null = self.nulls.fresh_annotated(stamp)
+                extension[variable] = null
+                fresh.append(null)
+        else:
+            extension = record_assignment
+        added: list[ConcreteFact] = []
+        for atom in tgd.rhs.atoms:
+            new_fact = ConcreteFact.make(
+                atom.relation,
+                tuple([extension.get(arg, arg) for arg in atom.args]),
+                stamp,
+            )
+            if self.target.add(new_fact):
+                added.append(new_fact)
+                watchers = self.probes_for.get(new_fact.relation)
+                if watchers:
+                    lifted_fact = new_fact.lifted()
+                    for probe in watchers:
+                        probe.observe(lifted_fact)
+        return TgdStepRecord(
+            dependency=task.label,
+            assignment=record_assignment,
+            added_facts=tuple(item.lifted() for item in added),
+            fresh_nulls=tuple(fresh),
+        )
+
+
 def _run_st_phase(
     source: ConcreteInstance,
     target: ConcreteInstance,
@@ -130,92 +273,50 @@ def _run_st_phase(
     variant: TgdVariant,
     trace: ChaseTrace,
 ) -> None:
-    for index, tgd in enumerate(setting.st_tgds, start=1):
-        label = tgd.name or f"σ{index}+"
-        lifted_lhs = tgd.lift_lhs()
-        tvar = lifted_lhs.shared_variable
-        lifted_rhs = _lift_rhs(tgd, tvar)
-        exported = set(tgd.exported_variables)
-        # copy=False: the live assignment is read (and copied into the
-        # extension/trace record) before the iterator resumes.
-        for assignment in find_temporal_assignments(
-            lifted_lhs, source, copy=False
-        ):
-            stamp = interval_of(assignment, tvar)
-            if variant == "standard":
-                initial = {
-                    var: value
-                    for var, value in assignment.items()
-                    if var in exported or var == tvar
-                }
-                if has_homomorphism(lifted_rhs, target.lifted(), initial=initial):
-                    continue
-            extension: dict[Variable, GroundTerm] = dict(assignment)
-            fresh: list[GroundTerm] = []
-            for variable in tgd.existential_variables:
-                null = nulls.fresh_annotated(stamp)
-                extension[variable] = null
-                fresh.append(null)
-            added: list[ConcreteFact] = []
-            for atom in tgd.rhs.atoms:
-                snapshot_fact = atom.instantiate(extension)
-                new_fact = ConcreteFact(atom.relation, snapshot_fact.args, stamp)
-                if target.add(new_fact):
-                    added.append(new_fact)
-            trace.record(
-                TgdStepRecord(
-                    dependency=label,
-                    assignment=dict(assignment),
-                    added_facts=tuple(item.lifted() for item in added),
-                    fresh_nulls=tuple(fresh),
-                )
+    domain = _ConcreteDomain(target, source=source, nulls=nulls, variant=variant)
+    tasks = [
+        _ConcreteTgdTask(tgd.name or f"σ{index}+", tgd)
+        for index, tgd in enumerate(setting.st_tgds, start=1)
+    ]
+    domain.attach_probes(tasks)
+    run_tgd_pass(domain, tasks, trace)
+
+
+def _egd_tasks(setting: DataExchangeSetting) -> tuple[EgdTask, ...]:
+    # Cached on the setting: tasks are immutable and shared across runs.
+    cached = getattr(setting, "_concrete_egd_tasks", None)
+    if cached is None:
+        cached = tuple(
+            EgdTask(
+                egd.name or f"ε{index}+",
+                _lift_atoms(egd.lift_lhs()),
+                egd.left_variable,
+                egd.right_variable,
             )
+            for index, egd in enumerate(setting.egds, start=1)
+        )
+        try:
+            object.__setattr__(setting, "_concrete_egd_tasks", cached)
+        except AttributeError:
+            # The setting grew __slots__: just rebuild per call.
+            pass
+    return cached
 
 
 def _run_egd_phase(
     target: ConcreteInstance,
     setting: DataExchangeSetting,
     trace: ChaseTrace,
+    mode: EngineMode = "delta",
 ) -> tuple[ConcreteInstance, FailureRecord | None]:
-    """Resolve the egds in batched union-find rounds (module docstring)."""
-    labeled_egds = [
-        (egd.name or f"ε{index}+", _lift_atoms(egd.lift_lhs()), egd)
-        for index, egd in enumerate(setting.egds, start=1)
-    ]
-    current = target
-    while True:
-        union_find = TermUnionFind(check_annotations=True)
-        merged = False
-        for label, lifted_atoms, egd in labeled_egds:
-            for left, right in iter_egd_equations(
-                lifted_atoms,
-                egd.left_variable,
-                egd.right_variable,
-                current.lifted(),
-            ):
-                if left == right:
-                    continue
-                root_left = union_find.find(left)
-                root_right = union_find.find(right)
-                if root_left == root_right:
-                    continue
-                try:
-                    winner = union_find.union(root_left, root_right)
-                except ConstantClashError as clash:
-                    failure = FailureRecord(label, clash.left, clash.right)
-                    trace.record(failure)
-                    # Leave the instance as the per-equation loop did: all
-                    # merges recorded before the clash are applied.
-                    pending = union_find.substitution()
-                    if pending:
-                        current = current.substitute(pending)
-                    return current, failure
-                replaced = root_right if winner == root_left else root_left
-                trace.record(EgdStepRecord(label, replaced, winner))
-                merged = True
-        if not merged:
-            return current, None
-        current = current.substitute(union_find.substitution())
+    """Resolve the egds in batched semi-naive rounds (module docstring).
+
+    A thin wrapper over :func:`repro.chase.engine.run_egd_fixpoint` with
+    the concrete domain; the instance is mutated in place and returned.
+    """
+    domain = _ConcreteDomain(target)
+    failure = run_egd_fixpoint(domain, _egd_tasks(setting), trace, mode=mode)
+    return target, failure
 
 
 def c_chase(
@@ -225,6 +326,7 @@ def c_chase(
     normalization: NormalizationMode = "conjunction",
     variant: TgdVariant = "standard",
     coalesce_result: bool = False,
+    engine: EngineMode = "delta",
 ) -> CChaseResult:
     """Run the c-chase of Definition 16 on a concrete source instance.
 
@@ -245,6 +347,11 @@ def c_chase(
     coalesce_result:
         When ``True``, value-equivalent adjacent fragments of the solution
         are merged before returning (the semantics is unchanged).
+    engine:
+        ``"delta"`` runs egd rounds against the previous round's delta
+        only (semi-naive); ``"rescan"`` re-enumerates the full instance
+        every round — the reference mode the property tests compare
+        against.
     """
     nulls = null_factory if null_factory is not None else NullFactory()
     trace = ChaseTrace()
@@ -257,7 +364,9 @@ def c_chase(
     pre_egd_target = _normalize(
         target, setting.lifted_egd_lhs_conjunctions(), normalization
     )
-    final, failure = _run_egd_phase(pre_egd_target.copy(), setting, trace)
+    final, failure = _run_egd_phase(
+        pre_egd_target.copy(preserve_caches=True), setting, trace, mode=engine
+    )
     if failure is not None:
         return CChaseResult(
             target=final,

@@ -32,6 +32,26 @@ from repro.temporal.timepoint import TimePoint
 __all__ = ["ConcreteFact", "concrete_fact"]
 
 
+# Interned interval constants for the lifted view: many facts share one
+# stamp, and a shared Constant carries its cached hash and sort key with
+# it (fresh ones would recompute both on first use, per fact).  Capped so
+# a long-running process over ever-new timestamps cannot grow it without
+# bound — clearing only costs re-interning, never correctness (constants
+# compare by value).
+_INTERVAL_CONSTANTS: dict[Interval, Constant] = {}
+_INTERVAL_CONSTANTS_CAP = 4096
+
+
+def _interval_constant(interval: Interval) -> Constant:
+    cached = _INTERVAL_CONSTANTS.get(interval)
+    if cached is None:
+        if len(_INTERVAL_CONSTANTS) >= _INTERVAL_CONSTANTS_CAP:
+            _INTERVAL_CONSTANTS.clear()
+        cached = Constant(interval)
+        _INTERVAL_CONSTANTS[interval] = cached
+    return cached
+
+
 @dataclass(frozen=True, slots=True)
 class ConcreteFact:
     """An immutable concrete fact: relation, data values, time interval.
@@ -79,6 +99,25 @@ class ConcreteFact:
                     f"nulls, got {value!r}"
                 )
 
+    @classmethod
+    def make(
+        cls, relation: str, data: tuple[GroundTerm, ...], interval: Interval
+    ) -> "ConcreteFact":
+        """Trusted constructor: the caller guarantees the construction
+        invariant (data values are constants or annotated nulls carrying
+        *interval*).  The chase fire path instantiates facts from values
+        that satisfy it by construction; this skips the dataclass
+        ``__init__``/validation machinery.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "interval", interval)
+        object.__setattr__(self, "_hash", 0)
+        object.__setattr__(self, "_sort_key", None)
+        object.__setattr__(self, "_lifted", None)
+        return self
+
     # -- accessors ---------------------------------------------------------
     @property
     def arity(self) -> int:
@@ -117,7 +156,9 @@ class ConcreteFact:
             v.reannotate(stamp) if isinstance(v, AnnotatedNull) else v
             for v in self.data
         )
-        return ConcreteFact(self.relation, new_data, stamp)
+        # Trusted: containment was checked above and every null was just
+        # re-annotated to the new stamp.
+        return ConcreteFact.make(self.relation, new_data, stamp)
 
     def fragment(self, points: Iterable[TimePoint]) -> tuple["ConcreteFact", ...]:
         """Split the fact at the given time points (paper: the ``frg`` step).
@@ -150,7 +191,11 @@ class ConcreteFact:
         """
         cached = self._lifted
         if cached is None:
-            cached = Fact(self.relation, self.data + (Constant(self.interval),))
+            # Trusted: data values are ground by the construction invariant.
+            cached = Fact.make(
+                self.relation,
+                self.data + (_interval_constant(self.interval),),
+            )
             object.__setattr__(self, "_lifted", cached)
         return cached
 
@@ -166,7 +211,7 @@ class ConcreteFact:
         if cached is None:
             cached = (
                 self.relation,
-                tuple(term_sort_key(v) for v in self.data),
+                tuple([term_sort_key(v) for v in self.data]),
                 self.interval.sort_key(),
             )
             object.__setattr__(self, "_sort_key", cached)

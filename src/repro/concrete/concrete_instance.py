@@ -269,11 +269,51 @@ class ConcreteInstance:
         return result
 
     # -- transformation ----------------------------------------------------------------
-    def copy(self) -> "ConcreteInstance":
+    def copy(self, preserve_caches: bool = False) -> "ConcreteInstance":
+        """A fact-level clone.
+
+        With ``preserve_caches=True`` a built lifted view travels along
+        as an index-preserving clone — the c-chase threads one warm
+        lifted view from the target normalization through to the egd
+        fixpoint this way, instead of rebuilding it at every stage
+        boundary.  The default drops it, which suits mutation-heavy
+        consumers better than paying incremental maintenance per change.
+        """
         clone = ConcreteInstance(schema=self.schema)
         for relation, bucket in self._facts_by_relation.items():
             clone._facts_by_relation[relation] = set(bucket)
+        if preserve_caches and self._lifted is not None:
+            clone._lifted = self._lifted.copy(preserve_caches=True)
+            clone._by_lifted = dict(self._by_lifted)
         return clone
+
+    def substitute_in_place(self, mapping: Mapping[Term, Term]) -> list[ConcreteFact]:
+        """Apply *mapping* to the data terms, rewriting only affected facts.
+
+        Mirrors :meth:`repro.relational.instance.Instance.substitute_in_place`:
+        affected facts are located through the lifted view's term index,
+        discarded and re-added in substituted form, keeping the lifted
+        view and its indexes incrementally maintained.  Returns the facts
+        new to the instance in a deterministic order (their replaced
+        facts' ``sort_key`` order) — the delta for the next chase round.
+        """
+        if not mapping:
+            return []
+        lookup = dict(mapping)
+        lifted = self.lifted()
+        affected = {
+            self.resolve_lifted(lifted_fact)
+            for lifted_fact in lifted.facts_with_any_term(lookup)
+        }
+        if not affected:
+            return []
+        images = [
+            item.substitute(lookup)
+            for item in sorted(affected, key=ConcreteFact.sort_key)
+        ]
+        for item in affected:
+            self.discard(item)
+        return [image for image in images if self.add(image)]
 
     def substitute(self, mapping: Mapping[Term, Term]) -> "ConcreteInstance":
         """Replace data terms everywhere (egd c-chase step).

@@ -20,6 +20,14 @@ describes:
 * :func:`naive_normalize` — the ``O(n log n)`` baseline that ignores
   ``Φ+`` and fragments every fact at *all* endpoints of the instance.
   Sound but over-fragments (Figure 6 vs Figure 5).
+
+Match enumeration over the decoupled forms runs on the general flat
+written-order join of :mod:`repro.relational.homomorphism`
+(:func:`~repro.relational.homomorphism._iter_flat_join_rows`), which
+handles any number of all-variable atoms via per-atom join-key groups —
+the former two-atom-only fast-path shape detection is gone.  Algorithm 1
+additionally inlines the dominant two-atom case (interval overlap is two
+endpoint comparisons) without changing matches, Δ sets or report counts.
 """
 
 from __future__ import annotations
@@ -31,7 +39,11 @@ from repro.errors import FormulaError
 from repro.concrete.concrete_fact import ConcreteFact
 from repro.concrete.concrete_instance import ConcreteInstance
 from repro.relational.formulas import Atom, Conjunction, TemporalConjunction
-from repro.relational.homomorphism import find_homomorphisms_with_images
+from repro.relational.homomorphism import (
+    _flat_join_plan,
+    _iter_flat_join_rows,
+    find_homomorphisms_with_images,
+)
 from repro.relational.terms import Constant, GroundTerm, Variable
 from repro.temporal.interval import Interval
 from repro.temporal.timepoint import Infinity, TimePoint
@@ -130,72 +142,31 @@ def interval_of(
     return value.value
 
 
-def _decoupled_pair_shape(
-    atoms: Sequence[Atom],
-) -> tuple[str, int, str, int, list[tuple[int, int]]] | None:
-    """Detect a two-atom decoupled form whose args are distinct variables.
-
-    Returns ``(rel1, arity1, rel2, arity2, shared)`` where *shared* pairs
-    up the positions carrying each variable common to both atoms, or
-    ``None`` when the shape (constants, repeated variables, ≠2 atoms)
-    needs the generic search.
-    """
-    if len(atoms) != 2:
-        return None
-    first, second = atoms
-    args1, args2 = first.args, second.args
-    if not all(isinstance(arg, Variable) for arg in args1 + args2):
-        return None
-    if len(set(args1)) != len(args1) or len(set(args2)) != len(args2):
-        return None
-    index2 = {arg: position for position, arg in enumerate(args2)}
-    shared = [
-        (position, index2[arg])
-        for position, arg in enumerate(args1)
-        if arg in index2
-    ]
-    return first.relation, first.arity, second.relation, second.arity, shared
-
-
 def _iter_decoupled_images(
     decoupled: TemporalConjunction, instance: ConcreteInstance
 ) -> Iterator[tuple[ConcreteFact, ...]]:
     """The image tuples of all ``φ*`` homomorphisms into *instance*.
 
     Normalization only consumes the matched facts (the Δ sets feed a
-    union-find whose outcome is order-independent), so the common
-    two-atom decoupled form takes a flat join-on-shared-variables path
-    instead of the generic backtracking search.  Every homomorphism
-    produces exactly one image tuple either way, so the match *count*
-    (``NormalizationReport.matched_sets``) is preserved.
+    union-find whose outcome is order-independent), so enumeration runs
+    as a flat written-order join over the lifted view, uniformly for any
+    number of atoms: each atom's candidates come from the pairwise
+    intersection of the index buckets of its already-bound positions.
+    Every homomorphism produces exactly one image tuple, so the match
+    *count* (``NormalizationReport.matched_sets``) is preserved.
     """
     lifted_atoms = _lift_atoms(decoupled)
-    shape = _decoupled_pair_shape(lifted_atoms)
-    if shape is None:
-        for _assignment, images in find_temporal_homomorphisms(
-            decoupled, instance, copy=False
-        ):
-            yield images
-        return
-    rel1, arity1, rel2, arity2, shared = shape
     lifted = instance.lifted()
     resolve = instance.resolve_lifted
-    outer = [
-        resolve(item)
-        for item in lifted.lookup_ordered(rel1, {})
-        if item.arity == arity1
-    ]
-    groups: dict[tuple, list[ConcreteFact]] = {}
-    for item in lifted.lookup_ordered(rel2, {}):
-        if item.arity != arity2:
-            continue
-        key = tuple(item.args[position] for _, position in shared)
-        groups.setdefault(key, []).append(resolve(item))
-    for first_image in outer:
-        lifted_args = first_image.lifted().args
-        key = tuple(lifted_args[position] for position, _ in shared)
-        for second_image in groups.get(key, ()):
-            yield first_image, second_image
+    plan = _flat_join_plan(lifted_atoms)
+    if plan is None:
+        for _assignment, images in find_homomorphisms_with_images(
+            lifted_atoms, lifted, copy=False, atom_order="written"
+        ):
+            yield tuple(resolve(item) for item in images)
+        return
+    for row in _iter_flat_join_rows(plan, lifted):
+        yield tuple(resolve(item) for item in row)
 
 
 # ---------------------------------------------------------------------------
@@ -277,13 +248,18 @@ class _FactUnionFind:
         self._parent: dict[ConcreteFact, ConcreteFact] = {}
 
     def find(self, item: ConcreteFact) -> ConcreteFact:
-        self._parent.setdefault(item, item)
-        root = item
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[item] != root:
-            self._parent[item], item = root, self._parent[item]
-        return root
+        # Path-halving: one loop, no second compression pass.
+        parent = self._parent
+        if item not in parent:
+            parent[item] = item
+            return item
+        above = parent[item]
+        while above != item:
+            grand = parent[above]
+            parent[item] = grand
+            item = grand
+            above = parent[item]
+        return item
 
     def union(self, left: ConcreteFact, right: ConcreteFact) -> None:
         root_left, root_right = self.find(left), self.find(right)
@@ -343,6 +319,90 @@ def normalize_with_report(
     matchable: set[ConcreteFact] = set()
     for conjunction in conjunction_list:
         decoupled = conjunction.normalized()
+        lifted_atoms = _lift_atoms(decoupled)
+        plan = _flat_join_plan(lifted_atoms)
+        if plan is not None and len(lifted_atoms) == 2:
+            # Inline pair loop for the dominant two-atom decoupled form:
+            # the same matches, Δ sets and counts as the generic path
+            # below, with the per-match interval test collapsed to two
+            # endpoint comparisons (non-empty intersection of two
+            # half-open intervals ⟺ each starts before the other ends).
+            lifted = instance.lifted()
+            resolve = instance.resolve_lifted
+            find = union_find.find
+            # Registration of a (possibly fresh) member is just "ensure a
+            # parent entry exists" — no path to compress yet.
+            register = union_find._parent.setdefault
+            union = union_find.union
+            matched = 0
+            add_matchable = matchable.add
+            first_atom, second_atom = lifted_atoms
+            key_positions = plan.key_positions[1]
+            grouped: dict[tuple, list[ConcreteFact]] = {}
+            for item in lifted.lookup_ordered(second_atom.relation, {}):
+                if item.arity != second_atom.arity:
+                    continue
+                key = tuple(item.args[position] for position in key_positions)
+                grouped.setdefault(key, []).append(resolve(item))
+            sources = tuple(position for _atom, position in plan.key_sources[1])
+            if (
+                first_atom.relation == second_atom.relation
+                and first_atom.arity == second_atom.arity
+                and sources == key_positions
+            ):
+                # Symmetric shape (both atoms one relation, join key in the
+                # same positions): each group joins with itself, so walk
+                # group² directly — no outer scan, no per-fact key lookup.
+                # Every member self-matches (both atoms onto one fact), so
+                # the whole group is matchable up front and the inner loop
+                # only pays for the interval test and real merges.
+                for members in grouped.values():
+                    matched += len(members)  # the self-pairs
+                    matchable.update(members)
+                    for item in members:
+                        register(item, item)
+                    if len(members) == 1:
+                        continue
+                    enriched = [
+                        (item, item.interval.start, item.interval.end)
+                        for item in members
+                    ]
+                    for first, start, end in enriched:
+                        for other, other_start, other_end in enriched:
+                            if (
+                                first is not other
+                                and other_start < end
+                                and start < other_end
+                            ):
+                                matched += 1
+                                union(first, other)
+                report.matched_sets += matched
+                continue
+            for item in lifted.lookup_ordered(first_atom.relation, {}):
+                if item.arity != first_atom.arity:
+                    continue
+                args = item.args
+                key = tuple(args[position] for position in sources)
+                partners = grouped.get(key)
+                if not partners:
+                    continue
+                first = resolve(item)
+                stamp = first.interval
+                start, end = stamp.start, stamp.end
+                for other in partners:
+                    if first is other or first == other:
+                        matched += 1
+                        add_matchable(first)
+                        find(first)
+                        continue
+                    second_stamp = other.interval
+                    if second_stamp.start < end and start < second_stamp.end:
+                        matched += 1
+                        add_matchable(first)
+                        add_matchable(other)
+                        union(first, other)
+            report.matched_sets += matched
+            continue
         for images in _iter_decoupled_images(decoupled, instance):
             delta = tuple(dict.fromkeys(images))
             stamps = [item.interval for item in delta]
@@ -355,19 +415,31 @@ def normalize_with_report(
             for other in delta[1:]:
                 union_find.union(first, other)
 
-    result = instance.copy()
+    planned: list[tuple[ConcreteFact, tuple[ConcreteFact, ...]]] = []
     for members in union_find.components():
         report.components += 1
         points: set[TimePoint] = set()
         for item in members:
             points.add(item.interval.start)
             points.add(item.interval.end)
+        if len(points) == 2:
+            # Every member carries the same stamp (two endpoints total):
+            # no point can fall strictly inside, nothing fragments.
+            continue
         for item in members:
             fragments = item.fragment(points)
             if len(fragments) > 1:
                 report.facts_fragmented += 1
                 report.fragments_created += len(fragments)
-                result.replace(item, fragments)
+                planned.append((item, fragments))
+    # The joins above probed the instance's lifted view, so it is warm.
+    # When nothing fragments (the common case for chase targets) the
+    # copy carries that warm view to its consumer; when fragments will
+    # be replaced, a cold copy is cheaper than paying incremental index
+    # maintenance on every replace.
+    result = instance.copy(preserve_caches=not planned)
+    for item, fragments in planned:
+        result.replace(item, fragments)
     report.output_size = len(result)
     return result, report
 

@@ -73,6 +73,9 @@ def verify_correspondence(
     source: ConcreteInstance,
     setting: DataExchangeSetting,
     normalization: str = "conjunction",
+    engine: str = "delta",
+    shards: int = 1,
+    executor: str = "serial",
 ) -> CorrespondenceReport:
     """Run both chases on one source and check Corollary 20.
 
@@ -80,9 +83,21 @@ def verify_correspondence(
     * both succeed → check ``⟦Jc⟧ ∼ chase(⟦Ic⟧)``;
     * one fails and the other does not → the square is broken (this would
       falsify the implementation, and the report says so).
+
+    *engine* selects the chase engine mode for both procedures
+    (``"delta"`` semi-naive rounds or ``"rescan"``); *shards*/*executor*
+    configure the abstract chase's region scheduler.  The correspondence
+    is renaming-invariant, so sharded null namespaces do not affect the
+    verdict.
     """
-    concrete_result = c_chase(source, setting, normalization=normalization)  # type: ignore[arg-type]
-    abstract_result = abstract_chase(semantics(source), setting)
+    concrete_result = c_chase(source, setting, normalization=normalization, engine=engine)  # type: ignore[arg-type]
+    abstract_result = abstract_chase(
+        semantics(source),
+        setting,
+        engine=engine,  # type: ignore[arg-type]
+        shards=shards,
+        executor=executor,
+    )
 
     if concrete_result.failed or abstract_result.failed:
         both = concrete_result.failed and abstract_result.failed

@@ -48,6 +48,21 @@ class Fact:
                     f"fact argument must be ground (constant or null), got {arg!r}"
                 )
 
+    @classmethod
+    def make(cls, relation: str, args: tuple[GroundTerm, ...]) -> "Fact":
+        """Trusted constructor: the caller guarantees *args* are ground.
+
+        The chase instantiates thousands of facts from values that are
+        ground by construction (match bindings and fresh nulls); this
+        path skips the dataclass ``__init__``/validation machinery.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", 0)
+        object.__setattr__(self, "_sort_key", None)
+        return self
+
     def __hash__(self) -> int:
         cached = self._hash
         if cached == 0:
@@ -88,7 +103,7 @@ class Fact:
         if cached is None:
             cached = (
                 self.relation,
-                tuple(term_sort_key(arg) for arg in self.args),
+                tuple([term_sort_key(arg) for arg in self.args]),
             )
             object.__setattr__(self, "_sort_key", cached)
         return cached

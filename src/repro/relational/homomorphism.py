@@ -45,6 +45,8 @@ __all__ = [
     "has_homomorphism",
     "find_homomorphisms_with_images",
     "iter_egd_equations",
+    "iter_egd_equations_delta",
+    "match_atom_against_fact",
     "find_instance_homomorphism",
     "has_instance_homomorphism",
     "is_homomorphism",
@@ -100,6 +102,7 @@ def find_homomorphisms_with_images(
     instance: Instance,
     initial: Mapping[Variable, GroundTerm] | None = None,
     copy: bool = True,
+    atom_order: str = "cardinality",
 ) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
     """Yield every homomorphism together with the per-atom image facts.
 
@@ -109,6 +112,12 @@ def find_homomorphisms_with_images(
     ``Fact.sort_key`` order from the pre-sorted index buckets, and atom
     selection is by smallest candidate cardinality with ties keeping the
     written atom order.
+
+    ``atom_order="written"`` skips the cardinality-driven selection and
+    joins the atoms strictly left to right — the flat enumeration the egd
+    and normalization enumerators rely on for their documented order
+    (and to avoid per-node cardinality probes on shapes where the written
+    order is already the right one).
 
     With ``copy=False`` the yielded assignment is the search's *live*
     dict: read it before resuming the iterator and never store it.  The
@@ -122,13 +131,15 @@ def find_homomorphisms_with_images(
     images: list[Fact | None] = [None] * len(atom_list)
     lookup_ordered = instance.lookup_ordered
     candidate_count = instance.candidate_count
+    written_order = atom_order == "written"
 
     def search(
         remaining: list[int],
     ) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
         # Pick the remaining atom with the fewest index candidates (a
-        # cardinality-driven greedy join order; ties keep input order).
-        if len(remaining) == 1:
+        # cardinality-driven greedy join order; ties keep input order),
+        # or simply the leftmost one in written-order mode.
+        if len(remaining) == 1 or written_order:
             chosen = remaining[0]
             bindings = plans[chosen].bindings(assignment)
         else:
@@ -188,7 +199,128 @@ def find_homomorphisms_with_images(
         # (tgd rhs extension checks, copy tgd lhs, decoupled singletons).
         yield from _search_single(plans[0], instance, assignment, copy)
         return
+    if not assignment and len(atom_list) == 2:
+        # Flat pair join for unconstrained two-atom conjunctions (the
+        # dominant tgd-lhs shape).  With no initial bindings and all-
+        # variable atoms, the cardinality rule reduces to "outer = the
+        # smaller relation, ties keep written order; inner = its join
+        # partners" — so a group join enumerates in exactly the generic
+        # search's order, without per-node candidate counts or bindings
+        # dicts.
+        plan = _flat_join_plan(atom_list)
+        if plan is not None:
+            if written_order:
+                outer_index = 0
+            else:
+                counts = [
+                    candidate_count(atom.relation, _EMPTY_BINDINGS)
+                    for atom in atom_list
+                ]
+                outer_index = 1 if counts[1] < counts[0] else 0
+            yield from _iter_pair_matches(atom_list, outer_index, instance, copy)
+            return
     yield from search(list(range(len(atom_list))))
+
+
+_EMPTY_BINDINGS: dict[int, GroundTerm] = {}
+
+
+def _iter_pair_matches(
+    atom_list: tuple[Atom, ...],
+    outer_index: int,
+    instance: Instance,
+    copy: bool = True,
+) -> Iterator[tuple[dict[Variable, GroundTerm], tuple[Fact, ...]]]:
+    """Group join for an unconstrained all-variable two-atom conjunction.
+
+    *outer_index* selects which atom drives the outer loop (the caller
+    replicates the generic search's cardinality rule); the inner atom's
+    facts are grouped once on the positions of the shared variables.
+    Enumeration order equals the generic search's: outer facts in
+    ``sort_key`` order, partners in ``sort_key`` order within the join
+    group, images aligned with the written atom order.
+    """
+    inner_index = 1 - outer_index
+    outer_atom = atom_list[outer_index]
+    inner_atom = atom_list[inner_index]
+    outer_positions = {arg: pos for pos, arg in enumerate(outer_atom.args)}
+    inner_key_positions: list[int] = []
+    outer_key_positions: list[int] = []
+    inner_new_slots: list[tuple[Term, int]] = []
+    for position, arg in enumerate(inner_atom.args):
+        outer_position = outer_positions.get(arg)
+        if outer_position is None:
+            inner_new_slots.append((arg, position))
+        else:
+            inner_key_positions.append(position)
+            outer_key_positions.append(outer_position)
+    outer_slots = tuple(enumerate(outer_atom.args))
+    outer_first = outer_index == 0
+    inner_arity = inner_atom.arity
+    live: dict[Variable, GroundTerm] = {}
+    if len(inner_key_positions) == 1:
+        # One shared variable: the inner candidates are exactly one
+        # `(position, value)` index bucket — probe it instead of building
+        # a group map.  The index is maintained incrementally on
+        # mutation, so a long-lived instance (the abstract chase's
+        # region-sweep source) amortizes it across every probe.
+        inner_position = inner_key_positions[0]
+        outer_position = outer_key_positions[0]
+        inner_lookup = instance.lookup_ordered
+        inner_relation = inner_atom.relation
+        for outer_fact in instance.lookup_ordered(
+            outer_atom.relation, _EMPTY_BINDINGS
+        ):
+            if outer_fact.arity != outer_atom.arity:
+                continue
+            args = outer_fact.args
+            partners = inner_lookup(
+                inner_relation, {inner_position: args[outer_position]}
+            )
+            if not partners:
+                continue
+            for position, variable in outer_slots:
+                live[variable] = args[position]  # type: ignore[index]
+            for inner_fact in partners:
+                if inner_fact.arity != inner_arity:
+                    continue
+                inner_args = inner_fact.args
+                for variable, position in inner_new_slots:
+                    live[variable] = inner_args[position]  # type: ignore[index]
+                images = (
+                    (outer_fact, inner_fact)
+                    if outer_first
+                    else (inner_fact, outer_fact)
+                )
+                yield (dict(live) if copy else live), images
+        return
+    grouped: dict[tuple, list[Fact]] = {}
+    for item in instance.lookup_ordered(inner_atom.relation, _EMPTY_BINDINGS):
+        if item.arity != inner_atom.arity:
+            continue
+        key = tuple(item.args[p] for p in inner_key_positions)
+        grouped.setdefault(key, []).append(item)
+    for outer_fact in instance.lookup_ordered(
+        outer_atom.relation, _EMPTY_BINDINGS
+    ):
+        if outer_fact.arity != outer_atom.arity:
+            continue
+        args = outer_fact.args
+        partners = grouped.get(tuple(args[p] for p in outer_key_positions))
+        if not partners:
+            continue
+        for position, variable in outer_slots:
+            live[variable] = args[position]  # type: ignore[index]
+        for inner_fact in partners:
+            inner_args = inner_fact.args
+            for variable, position in inner_new_slots:
+                live[variable] = inner_args[position]  # type: ignore[index]
+            images = (
+                (outer_fact, inner_fact)
+                if outer_first
+                else (inner_fact, outer_fact)
+            )
+            yield (dict(live) if copy else live), images
 
 
 def _search_single(
@@ -202,8 +334,28 @@ def _search_single(
     Deliberately mirrors the candidate bind/undo loop of ``search`` in
     :func:`find_homomorphisms_with_images` — keep the two in sync.  The
     duplication buys the hottest call shape (single-atom conjunctions)
-    a run without the recursive generator machinery.
+    a run without the recursive generator machinery.  An unconstrained
+    all-distinct-variable atom (the copy-tgd lhs) additionally skips the
+    bind/undo bookkeeping: every candidate matches, so the loop just
+    overwrites one live assignment dict per fact.
     """
+    if not assignment and not plan.constants:
+        var_positions = plan.var_positions
+        if len({variable for _p, variable in var_positions}) == len(
+            var_positions
+        ):
+            arity = plan.arity
+            live: dict[Variable, GroundTerm] = {}
+            for candidate in instance.lookup_ordered(
+                plan.relation, _EMPTY_BINDINGS
+            ):
+                if candidate.arity != arity:
+                    continue
+                args = candidate.args
+                for position, variable in var_positions:
+                    live[variable] = args[position]  # type: ignore[index]
+                yield (dict(live) if copy else live), (candidate,)
+            return
     bindings = plan.bindings(assignment)
     unbound = [
         entry for entry in plan.var_positions if entry[0] not in bindings
@@ -273,47 +425,135 @@ def has_homomorphism(
 
 
 # ---------------------------------------------------------------------------
-# Specialized egd match enumeration
+# Flat written-order joins and egd match enumeration (full and semi-naive)
 # ---------------------------------------------------------------------------
 
 
-def _egd_pair_shape(
-    atoms: Sequence[Atom], left_var: Variable, right_var: Variable
-) -> tuple[str, int, int, bool] | None:
-    """Detect the canonical key-egd shape ``R(x̄,y) ∧ R(x̄,y′) → y = y′``.
+class _FlatJoinPlan:
+    """A written-order join plan over an all-variable conjunction.
 
-    Returns ``(relation, arity, position, swapped)`` when the lhs is two
-    atoms over one relation whose argument lists are distinct variables
-    agreeing everywhere except one position carrying the equated pair
-    (*swapped* marks ``left_var`` sitting in the second atom), else
-    ``None``.
+    Covers any number of atoms whose arguments are variables, distinct
+    within each atom (repeats *across* atoms are the join conditions).
+    ``slot_of`` maps each variable to the ``(atom, position)`` that binds
+    it first; ``key_positions[i]`` lists atom *i*'s positions carrying an
+    earlier-bound variable, and ``key_sources[i]`` the matching source
+    slots — so atom *i*'s join key is read straight off the already
+    chosen facts, with no assignment dict in sight.
     """
-    if len(atoms) != 2:
-        return None
-    first, second = atoms
-    if first.relation != second.relation or first.arity != second.arity:
-        return None
-    args1, args2 = first.args, second.args
-    if not all(isinstance(arg, Variable) for arg in args1 + args2):
-        return None
-    if len(set(args1)) != len(args1) or len(set(args2)) != len(args2):
-        return None
-    differing = [
-        position
-        for position, (one, two) in enumerate(zip(args1, args2))
-        if one != two
+
+    __slots__ = ("atoms", "slot_of", "key_positions", "key_sources")
+
+    def __init__(self, atoms: tuple[Atom, ...]) -> None:
+        self.atoms = atoms
+        self.slot_of: dict[Term, tuple[int, int]] = {}
+        self.key_positions: list[tuple[int, ...]] = []
+        self.key_sources: list[tuple[tuple[int, int], ...]] = []
+        for index, atom in enumerate(atoms):
+            positions: list[int] = []
+            sources: list[tuple[int, int]] = []
+            for position, arg in enumerate(atom.args):
+                slot = self.slot_of.get(arg)
+                if slot is None:
+                    self.slot_of[arg] = (index, position)
+                else:
+                    positions.append(position)
+                    sources.append(slot)
+            self.key_positions.append(tuple(positions))
+            self.key_sources.append(tuple(sources))
+
+
+# Capped like _INTERVAL_CONSTANTS: distinct dependency shapes are few in
+# any one workload, but a long-running process generating many settings
+# must not grow this without bound (clearing only re-plans, never breaks).
+_flat_join_plans: dict[tuple[Atom, ...], _FlatJoinPlan | None] = {}
+_FLAT_JOIN_PLAN_CAP = 4096
+
+
+def _flat_join_plan(atoms: tuple[Atom, ...]) -> _FlatJoinPlan | None:
+    """The cached flat-join plan of *atoms*, or ``None`` for shapes
+    (constants, repeated variables within an atom) that need the generic
+    backtracking search."""
+    try:
+        return _flat_join_plans[atoms]
+    except KeyError:
+        pass
+    if len(_flat_join_plans) >= _FLAT_JOIN_PLAN_CAP:
+        _flat_join_plans.clear()
+    plan: _FlatJoinPlan | None = _FlatJoinPlan(atoms)
+    for atom in atoms:
+        if not all(isinstance(arg, Variable) for arg in atom.args):
+            plan = None
+            break
+        if len(set(atom.args)) != len(atom.args):
+            plan = None
+            break
+    _flat_join_plans[atoms] = plan
+    return plan
+
+
+def _iter_flat_join_rows(
+    plan: _FlatJoinPlan, instance: Instance
+) -> Iterator[tuple[Fact, ...]]:
+    """All image tuples of the plan's conjunction, in written-atom order.
+
+    Atom 0 ranges over its sorted relation list; each later atom's
+    partners come from a group map keyed on its join-key values — one
+    linear pass per atom to build, dict lookups to enumerate.  The
+    resulting order is exactly the written-order backtracking search's
+    (outer facts in ``sort_key`` order, partners in ``sort_key`` order
+    within each group).
+    """
+    atoms = plan.atoms
+    count = len(atoms)
+    first = atoms[0]
+    outer = [
+        item
+        for item in instance.lookup_ordered(first.relation, {})
+        if item.arity == first.arity
     ]
-    if len(differing) != 1:
-        return None
-    position = differing[0]
-    one, two = args1[position], args2[position]
-    if one in args2 or two in args1:
-        return None
-    if (one, two) == (left_var, right_var):
-        return first.relation, first.arity, position, False
-    if (two, one) == (left_var, right_var):
-        return first.relation, first.arity, position, True
-    return None
+    if count == 1:
+        for item in outer:
+            yield (item,)
+        return
+    groups: list[dict[tuple, list[Fact]]] = []
+    for index in range(1, count):
+        atom = atoms[index]
+        key_positions = plan.key_positions[index]
+        grouped: dict[tuple, list[Fact]] = {}
+        for item in instance.lookup_ordered(atom.relation, {}):
+            if item.arity != atom.arity:
+                continue
+            key = tuple(item.args[position] for position in key_positions)
+            grouped.setdefault(key, []).append(item)
+        groups.append(grouped)
+    if count == 2:
+        # Flat loop for the by-far-most-common shape (key egds, decoupled
+        # pairs) — same plan, no recursion.
+        sources = plan.key_sources[1]
+        partner_groups = groups[0]
+        for item in outer:
+            args = item.args
+            key = tuple(args[position] for _atom, position in sources)
+            for partner in partner_groups.get(key, ()):
+                yield item, partner
+        return
+    row: list[Fact] = [None] * count  # type: ignore[list-item]
+
+    def descend(index: int) -> Iterator[tuple[Fact, ...]]:
+        key = tuple(
+            row[atom_index].args[position]
+            for atom_index, position in plan.key_sources[index]
+        )
+        for item in groups[index - 1].get(key, ()):
+            row[index] = item
+            if index + 1 == count:
+                yield tuple(row)
+            else:
+                yield from descend(index + 1)
+
+    for item in outer:
+        row[0] = item
+        yield from descend(1)
 
 
 def iter_egd_equations(
@@ -324,41 +564,129 @@ def iter_egd_equations(
 ) -> Iterator[tuple[GroundTerm, GroundTerm]]:
     """Yield ``(h(left_var), h(right_var))`` for every lhs homomorphism.
 
-    The egd phases only consume the equated pair, so the canonical key-egd
-    shape takes a flat group-by-join-key path: facts of the relation are
-    grouped on every position but the equated one, and each group emits
-    its ordered pairs.  Enumeration order is identical to the generic
-    search (outer facts in ``sort_key`` order, partners in ``sort_key``
-    order within the join group); other shapes fall back to that search.
+    The egd phases only consume the equated pair, so any all-variable lhs
+    — two atoms or ten — takes the flat written-order group join of
+    :func:`_iter_flat_join_rows` and reads the equated values straight
+    off the matched facts.  For the canonical key-egd shape
+    ``R(x̄,y) ∧ R(x̄,y′) → y = y′`` this reproduces the historical
+    specialized enumeration order exactly (outer facts in ``sort_key``
+    order, join partners in ``sort_key`` order within the join group) —
+    the order the golden traces were captured under.  Shapes with
+    constants or repeated variables fall back to the written-order
+    backtracking search.
     """
     atom_list = tuple(atoms)
-    shape = _egd_pair_shape(atom_list, left_var, right_var)
-    if shape is None:
-        for assignment in find_homomorphisms(
-            atom_list, instance, copy=False
+    plan = _flat_join_plan(atom_list)
+    if plan is None:
+        for assignment, _images in find_homomorphisms_with_images(
+            atom_list, instance, copy=False, atom_order="written"
         ):
             yield assignment[left_var], assignment[right_var]
         return
-    relation, arity, position, swapped = shape
-    ordered = instance.lookup_ordered(relation, {})
-    after = position + 1
-    groups: dict[tuple, list[Fact]] = {}
-    for item in ordered:
-        if item.arity != arity:
-            continue
-        key = item.args[:position] + item.args[after:]
-        groups.setdefault(key, []).append(item)
-    for item in ordered:
-        if item.arity != arity:
-            continue
-        partners = groups[item.args[:position] + item.args[after:]]
-        value = item.args[position]
-        if swapped:
-            for other in partners:
-                yield other.args[position], value
+    left_atom, left_position = plan.slot_of[left_var]
+    right_atom, right_position = plan.slot_of[right_var]
+    if len(atom_list) == 2:
+        # Flat loop for the key-egd shape: pairs come straight off the
+        # group join, values straight off the matched facts.
+        first, second = atom_list
+        key_positions = plan.key_positions[1]
+        grouped: dict[tuple, list[Fact]] = {}
+        for item in instance.lookup_ordered(second.relation, _EMPTY_BINDINGS):
+            if item.arity != second.arity:
+                continue
+            grouped.setdefault(
+                tuple([item.args[p] for p in key_positions]), []
+            ).append(item)
+        sources = tuple(position for _atom, position in plan.key_sources[1])
+        for item in instance.lookup_ordered(first.relation, _EMPTY_BINDINGS):
+            if item.arity != first.arity:
+                continue
+            args = item.args
+            partners = grouped.get(tuple([args[p] for p in sources]))
+            if not partners:
+                continue
+            if left_atom == 0 and right_atom == 0:
+                pair = (args[left_position], args[right_position])
+                for _partner in partners:
+                    yield pair
+            elif left_atom == 0:
+                left_value = args[left_position]
+                for partner in partners:
+                    yield left_value, partner.args[right_position]
+            elif right_atom == 0:
+                right_value = args[right_position]
+                for partner in partners:
+                    yield partner.args[left_position], right_value
+            else:
+                for partner in partners:
+                    partner_args = partner.args
+                    yield (
+                        partner_args[left_position],
+                        partner_args[right_position],
+                    )
+        return
+    for row in _iter_flat_join_rows(plan, instance):
+        yield row[left_atom].args[left_position], row[right_atom].args[
+            right_position
+        ]
+
+
+def match_atom_against_fact(
+    atom: Atom, item: Fact
+) -> dict[Variable, GroundTerm] | None:
+    """The assignment binding *atom* to exactly *item*, or ``None``.
+
+    Respects constants and repeated variables; this is the anchor step of
+    the semi-naive enumeration (one atom pinned to one delta fact).
+    """
+    if atom.relation != item.relation or atom.arity != item.arity:
+        return None
+    assignment: dict[Variable, GroundTerm] = {}
+    for arg, value in zip(atom.args, item.args):
+        if isinstance(arg, Constant):
+            if arg != value:
+                return None
         else:
-            for other in partners:
-                yield value, other.args[position]
+            bound = assignment.get(arg)
+            if bound is None:
+                assignment[arg] = value  # type: ignore[index]
+            elif bound != value:
+                return None
+    return assignment
+
+
+def iter_egd_equations_delta(
+    atoms: Sequence[Atom],
+    left_var: Variable,
+    right_var: Variable,
+    instance: Instance,
+    delta: Sequence[Fact],
+) -> Iterator[tuple[GroundTerm, GroundTerm]]:
+    """Equations from lhs matches that touch at least one *delta* fact.
+
+    The classic semi-naive decomposition: for each anchor position ``i``,
+    atom ``i`` ranges over the delta facts, atoms before ``i`` over old
+    (non-delta) facts only, atoms after ``i`` over the whole instance —
+    so every match involving a delta fact is produced exactly once.
+    Matches among old facts only cannot yield a *new* non-trivial
+    equation (their equation was already resolved in the round that left
+    those facts untouched), which is what makes the delta rounds of the
+    engine exhaustive.
+    """
+    atom_list = tuple(atoms)
+    delta_set = set(delta)
+    for anchor, atom in enumerate(atom_list):
+        rest = atom_list[:anchor] + atom_list[anchor + 1 :]
+        for item in delta:
+            initial = match_atom_against_fact(atom, item)
+            if initial is None:
+                continue
+            for assignment, images in find_homomorphisms_with_images(
+                rest, instance, initial=initial, copy=False, atom_order="written"
+            ):
+                if any(image in delta_set for image in images[:anchor]):
+                    continue
+                yield assignment[left_var], assignment[right_var]
 
 
 # ---------------------------------------------------------------------------

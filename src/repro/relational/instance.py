@@ -50,7 +50,7 @@ def _remove_sorted(bucket: list[Fact], item: Fact) -> None:
 class Instance:
     """A mutable set of snapshot-level facts with per-relation indexes."""
 
-    __slots__ = ("_facts_by_relation", "_index", "_ordered", "schema")
+    __slots__ = ("_facts_by_relation", "_index", "_ordered", "_max_arity", "schema")
 
     def __init__(
         self,
@@ -63,6 +63,9 @@ class Instance:
         self._index: dict[str, dict[tuple[int, GroundTerm], list[Fact]]] = {}
         # All facts of a relation, sorted; same lazy-then-incremental life.
         self._ordered: dict[str, list[Fact]] = {}
+        # Largest arity ever seen per relation — bounds the positions the
+        # term-level index probes of facts_with_term have to visit.
+        self._max_arity: dict[str, int] = {}
         self.schema = schema
         for item in facts:
             self.add(item)
@@ -81,6 +84,8 @@ class Instance:
         if item in bucket:
             return False
         bucket.add(item)
+        if item.arity > self._max_arity.get(item.relation, 0):
+            self._max_arity[item.relation] = item.arity
         index = self._index.get(item.relation)
         if index is not None:
             for position, value in enumerate(item.args):
@@ -177,9 +182,11 @@ class Instance:
         """Facts of *relation* matching *bindings*, in ``sort_key`` order.
 
         The search relies on this order being deterministic; because index
-        buckets are kept pre-sorted, no sorting happens per probe.  The
-        most selective bound position drives the probe; remaining positions
-        filter (the filter preserves bucket order).
+        buckets are kept pre-sorted, no sorting happens per probe.  With
+        several bound positions the buckets are intersected *pairwise*,
+        smallest first — each step keeps only the facts present in the
+        next bucket, so the cost is bounded by the bucket sizes, never by
+        candidate-times-positions filtering.
 
         The result may alias a live index bucket — treat it as read-only
         and snapshot it before mutating the instance mid-iteration.
@@ -195,16 +202,33 @@ class Instance:
             entries = index.get((position, value))
             return () if entries is None else entries
         empty: list[Fact] = []
-        probes = [
-            index.get((position, value), empty)
-            for position, value in bindings.items()
-        ]
-        smallest = min(probes, key=len)
-        return [
-            item
-            for item in smallest
-            if all(item.args[pos] == val for pos, val in bindings.items())
-        ]
+        probes = sorted(
+            (
+                index.get((position, value), empty)
+                for position, value in bindings.items()
+            ),
+            key=len,
+        )
+        smallest = probes[0]
+        if not smallest:
+            return ()
+        # Estimate: position-filtering touches every binding per smallest-
+        # bucket fact; pairwise set intersection hashes every other bucket
+        # once.  Pick the cheaper — tiny probes (the common chase shape)
+        # stay on the filter, wide scans intersect pairwise.
+        if len(smallest) * (len(probes) - 1) <= sum(len(p) for p in probes[1:]):
+            return [
+                item
+                for item in smallest
+                if all(item.args[pos] == val for pos, val in bindings.items())
+            ]
+        current: Sequence[Fact] = smallest
+        for other in probes[1:]:
+            if not current:
+                return ()
+            membership = set(other)
+            current = [item for item in current if item in membership]
+        return current
 
     def lookup(
         self, relation: str, bindings: Mapping[int, GroundTerm]
@@ -239,6 +263,46 @@ class Instance:
         return count
 
     # -- term-level queries -------------------------------------------------------
+    def _arity_bound(self, relation: str) -> int:
+        cached = self._max_arity.get(relation)
+        if cached is None:
+            bucket = self._facts_by_relation.get(relation, ())
+            cached = max((item.arity for item in bucket), default=0)
+            self._max_arity[relation] = cached
+        return cached
+
+    def facts_with_term(self, term: GroundTerm) -> set[Fact]:
+        """Every fact mentioning *term* in some position."""
+        return self.facts_with_any_term((term,))
+
+    def facts_with_any_term(self, terms: Iterable[GroundTerm]) -> set[Fact]:
+        """Every fact mentioning at least one of *terms*.
+
+        Per relation: probes the ``(position, value)`` index where it is
+        already built (one bucket per term and position up to the
+        relation's arity bound), and otherwise makes a single
+        ``isdisjoint`` pass over the relation's facts for *all* terms at
+        once — the probe never forces an index build and never scans a
+        bucket more than once per call.
+        """
+        term_set = frozenset(terms)
+        found: set[Fact] = set()
+        for relation, bucket in self._facts_by_relation.items():
+            index = self._index.get(relation)
+            if index is None:
+                found.update(
+                    item
+                    for item in bucket
+                    if not term_set.isdisjoint(item.args)
+                )
+                continue
+            for term in term_set:
+                for position in range(self._arity_bound(relation)):
+                    entries = index.get((position, term))
+                    if entries:
+                        found.update(entries)
+        return found
+
     def nulls(self) -> frozenset[LabeledNull | AnnotatedNull]:
         """``Null(db)``: every null occurring anywhere in the instance."""
         found: set[LabeledNull | AnnotatedNull] = set()
@@ -269,11 +333,54 @@ class Instance:
         return not self.nulls()
 
     # -- transformation --------------------------------------------------------
-    def copy(self) -> "Instance":
+    def copy(self, preserve_caches: bool = False) -> "Instance":
+        """A fact-level clone.
+
+        With ``preserve_caches=True`` the lazily-built index buckets and
+        ordered caches are cloned as flat list copies (no re-sorting) —
+        worthwhile when the copy will be probed more than it is mutated,
+        as in the egd fixpoint's working copy.  The default drops them:
+        mutation-heavy consumers (normalization fragment replacement on a
+        cold instance) are better off rebuilding once afterwards.
+        """
         clone = Instance(schema=self.schema)
         for relation, bucket in self._facts_by_relation.items():
             clone._facts_by_relation[relation] = set(bucket)
+        clone._max_arity.update(self._max_arity)
+        if preserve_caches:
+            for relation, index in self._index.items():
+                clone._index[relation] = {
+                    key: list(entries) for key, entries in index.items()
+                }
+            for relation, ordered in self._ordered.items():
+                clone._ordered[relation] = list(ordered)
         return clone
+
+    def substitute_in_place(self, mapping: Mapping[Term, Term]) -> list[Fact]:
+        """Apply *mapping* by rewriting only the affected facts, in place.
+
+        The value-level equivalent of :meth:`substitute`, built for the
+        egd chase rounds: facts mentioning a mapped term are found through
+        the index, discarded, and re-added in substituted form — every
+        other fact (and the incrementally-maintained indexes over them)
+        stays untouched.  Returns the facts that are *new* to the instance
+        (images that merged into an existing fact are not new), in a
+        deterministic order (their *replaced* facts' ``sort_key`` order) —
+        exactly the delta the next semi-naive chase round has to look at.
+        """
+        if not mapping:
+            return []
+        lookup = dict(mapping)
+        affected = self.facts_with_any_term(lookup)
+        if not affected:
+            return []
+        images = [
+            item.substitute(lookup)
+            for item in sorted(affected, key=Fact.sort_key)
+        ]
+        for item in affected:
+            self.discard(item)
+        return [image for image in images if self.add(image)]
 
     def substitute(self, mapping: Mapping[Term, Term]) -> "Instance":
         """A new instance with every term replaced per *mapping*.

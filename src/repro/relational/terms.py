@@ -72,6 +72,7 @@ class Constant(Term):
 
     value: object
     _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _skey: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         try:
@@ -97,6 +98,7 @@ class Variable(Term):
 
     name: str
     _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _skey: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -118,6 +120,7 @@ class LabeledNull(Term):
 
     name: str
     _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _skey: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -146,6 +149,7 @@ class AnnotatedNull(Term):
     base: str
     annotation: Interval
     _hash: int = field(default=0, init=False, repr=False, compare=False)
+    _skey: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.base:
@@ -207,14 +211,22 @@ def term_sort_key(term: Term) -> tuple:
     """A deterministic ordering over mixed terms, used for stable output.
 
     Orders constants before labeled nulls before annotated nulls before
-    variables; within a kind, lexicographically by rendered value.
+    variables; within a kind, lexicographically by rendered value.  The
+    key is cached on the term — sorting and index maintenance recompute
+    it constantly on the same objects.
     """
+    cached = term._skey  # type: ignore[attr-defined]
+    if cached is not None:
+        return cached
     if isinstance(term, Constant):
-        return (0, type(term.value).__name__, str(term.value))
-    if isinstance(term, LabeledNull):
-        return (1, "", term.name)
-    if isinstance(term, AnnotatedNull):
-        return (2, term.base, str(term.annotation))
-    if isinstance(term, Variable):
-        return (3, "", term.name)
-    raise InstanceError(f"unknown term kind: {term!r}")
+        key = (0, type(term.value).__name__, str(term.value))
+    elif isinstance(term, LabeledNull):
+        key = (1, "", term.name)
+    elif isinstance(term, AnnotatedNull):
+        key = (2, term.base, str(term.annotation))
+    elif isinstance(term, Variable):
+        key = (3, "", term.name)
+    else:
+        raise InstanceError(f"unknown term kind: {term!r}")
+    object.__setattr__(term, "_skey", key)
+    return key

@@ -169,3 +169,80 @@ class TestVerifyAndFigures:
             "holds: True",
         ]:
             assert marker in output
+
+
+class TestEngineAndShardFlags:
+    def test_chase_engine_rescan_matches_delta(
+        self, mapping_file, source_file, tmp_path
+    ):
+        out_delta = tmp_path / "delta.json"
+        out_rescan = tmp_path / "rescan.json"
+        assert (
+            main(
+                [
+                    "chase",
+                    "--mapping",
+                    mapping_file,
+                    "--source",
+                    source_file,
+                    "--engine",
+                    "delta",
+                    "--out",
+                    str(out_delta),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "chase",
+                    "--mapping",
+                    mapping_file,
+                    "--source",
+                    source_file,
+                    "--engine",
+                    "rescan",
+                    "--out",
+                    str(out_rescan),
+                ]
+            )
+            == 0
+        )
+        assert json.loads(out_delta.read_text()) == json.loads(
+            out_rescan.read_text()
+        )
+
+    def test_verify_with_shards_prints_reports(
+        self, mapping_file, source_file, capsys
+    ):
+        code = main(
+            [
+                "verify",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--shards",
+                "2",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "correspondence holds" in captured.out
+        assert "shard 0:" in captured.err and "shard 1:" in captured.err
+
+    def test_verify_engine_rescan(self, mapping_file, source_file, capsys):
+        code = main(
+            [
+                "verify",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--engine",
+                "rescan",
+            ]
+        )
+        assert code == 0
+        assert "correspondence holds" in capsys.readouterr().out

@@ -1,0 +1,118 @@
+"""The offline setup.py shim must build valid *plain* wheels.
+
+PR 1 made `pip install -e . --no-build-isolation` work without the
+third-party ``wheel`` package; this extends the shim to plain wheel
+builds (``pip install .``).  The test drives ``setup.py bdist_wheel``
+in a subprocess with ``REPRO_FORCE_WHEEL_SHIM=1`` so the shim path is
+exercised even on machines where setuptools bundles its own
+``bdist_wheel``, then validates the wheel the way pip would: zip
+integrity, RECORD hashes, METADATA/WHEEL files, package payload.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import subprocess
+import sys
+import zipfile
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def built_wheel(tmp_path_factory) -> Path:
+    dist_dir = tmp_path_factory.mktemp("dist")
+    build_dir = tmp_path_factory.mktemp("build")
+    env = dict(os.environ)
+    env["REPRO_FORCE_WHEEL_SHIM"] = "1"
+    result = subprocess.run(
+        [
+            sys.executable,
+            "setup.py",
+            "build",
+            "--build-base",
+            str(build_dir),
+            "bdist_wheel",
+            "--dist-dir",
+            str(dist_dir),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    wheels = list(dist_dir.glob("*.whl"))
+    assert len(wheels) == 1, wheels
+    return wheels[0]
+
+
+class TestShimWheel:
+    def test_wheel_name_and_tag(self, built_wheel: Path):
+        assert built_wheel.name.endswith("-py3-none-any.whl")
+        assert built_wheel.name.startswith("repro_temporal_data_exchange-")
+
+    def test_zip_is_valid_and_contains_package(self, built_wheel: Path):
+        with zipfile.ZipFile(built_wheel) as archive:
+            assert archive.testzip() is None
+            names = archive.namelist()
+        assert "repro/__init__.py" in names
+        assert "repro/chase/engine.py" in names
+        assert "repro/cli.py" in names
+
+    def test_dist_info_is_complete(self, built_wheel: Path):
+        with zipfile.ZipFile(built_wheel) as archive:
+            names = archive.namelist()
+            dist_info = {
+                name.split("/", 1)[0]
+                for name in names
+                if name.endswith(".dist-info/METADATA")
+            }
+            assert len(dist_info) == 1
+            prefix = dist_info.pop()
+            metadata = archive.read(f"{prefix}/METADATA").decode("utf-8")
+            wheel_meta = archive.read(f"{prefix}/WHEEL").decode("utf-8")
+        assert "Name: repro-temporal-data-exchange" in metadata
+        assert "Wheel-Version: 1.0" in wheel_meta
+        assert "Tag: py3-none-any" in wheel_meta
+
+    def test_record_hashes_verify(self, built_wheel: Path):
+        """Every RECORD entry must carry the member's real sha256 — this
+        is exactly what pip checks at install time."""
+        with zipfile.ZipFile(built_wheel) as archive:
+            record_name = next(
+                name
+                for name in archive.namelist()
+                if name.endswith(".dist-info/RECORD")
+            )
+            record = archive.read(record_name).decode("utf-8")
+            entries = [
+                line.split(",")
+                for line in record.splitlines()
+                if line.strip()
+            ]
+            recorded = {entry[0]: (entry[1], entry[2]) for entry in entries}
+            for name in archive.namelist():
+                if name == record_name:
+                    assert recorded[name] == ("", "")
+                    continue
+                digest, size = recorded[name]
+                payload = archive.read(name)
+                assert int(size) == len(payload), name
+                expected = (
+                    "sha256="
+                    + base64.urlsafe_b64encode(
+                        hashlib.sha256(payload).digest()
+                    )
+                    .rstrip(b"=")
+                    .decode("ascii")
+                )
+                assert digest == expected, name
+            # RECORD covers exactly the archive members.
+            assert set(recorded) == set(archive.namelist())
