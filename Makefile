@@ -3,14 +3,18 @@
 #   make test          - tier-1: full test suite (fails fast)
 #   make bench-smoke   - run every benchmark module once, timings disabled
 #   make bench         - full timed benchmark run
-#   make bench-compare - timed run into BENCH_pr2.json, then fail if any
+#   make bench-compare - timed run into BENCH_pr3.json, then fail if any
 #                        benchmark regressed >20% vs BENCH_baseline.json
+#   make verify-incremental - the incremental≡full abstract-chase
+#                        equivalence suite (unit chains + region-sweep
+#                        edge cases + Hypothesis property tests)
 #   make verify        - test + bench-smoke (what CI should run)
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test bench-smoke bench bench-compare verify install-editable install
+.PHONY: test bench-smoke bench bench-compare verify verify-incremental \
+	install-editable install
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -23,11 +27,17 @@ bench:
 
 bench-compare:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-only \
-		--benchmark-json=BENCH_pr2.json
-	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr2.json \
+		--benchmark-json=BENCH_pr3.json
+	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr3.json \
 		--max-regression 0.20
 
-verify: test bench-smoke
+verify-incremental:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -q \
+		tests/unit/test_incremental_chase.py \
+		tests/property/test_incremental_equivalence.py \
+		tests/integration/test_chase_equivalence_goldens.py
+
+verify: test bench-smoke verify-incremental
 
 install-editable:
 	pip install -e . --no-build-isolation

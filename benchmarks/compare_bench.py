@@ -11,8 +11,11 @@ Benchmarks are matched by their pytest ``fullname`` and compared on the
 benchmark REGRESSES when ``candidate_min > baseline_min * (1 + R)`` with
 ``R`` the allowed regression ratio; any regression makes the script exit
 non-zero, which is what `make bench-compare` keys off.  Benchmarks
-present on only one side are reported but never fail the run (the suite
-is allowed to grow).
+present on only one side are reported — current-run benchmarks absent
+from the baseline print as ``(new benchmark)`` — and never fail the run
+or enter the regression gate (the suite is allowed to grow).  A missing
+or malformed JSON file, and entries without stats (a benchmark that
+errored mid-run), produce a clean diagnostic instead of a traceback.
 """
 
 from __future__ import annotations
@@ -24,11 +27,29 @@ from pathlib import Path
 
 
 def load_minimums(path: Path) -> dict[str, float]:
-    payload = json.loads(path.read_text())
-    return {
-        bench["fullname"]: bench["stats"]["min"]
-        for bench in payload["benchmarks"]
-    }
+    try:
+        payload = json.loads(path.read_text())
+    except OSError as exc:
+        raise SystemExit(
+            f"error: cannot read benchmark file {path}: {exc}\n"
+            "(run `make bench-compare` after committing a baseline, or "
+            "regenerate it with `pytest benchmarks --benchmark-json=...`)"
+        )
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+    minimums: dict[str, float] = {}
+    skipped: list[str] = []
+    for bench in payload.get("benchmarks", ()):
+        name = bench.get("fullname", "<unnamed>")
+        stats = bench.get("stats") or {}
+        minimum = stats.get("min")
+        if isinstance(minimum, (int, float)):
+            minimums[name] = float(minimum)
+        else:
+            skipped.append(name)
+    for name in skipped:
+        print(f"(no stats, skipped) {name} in {path}")
+    return minimums
 
 
 def main(argv: list[str] | None = None) -> int:

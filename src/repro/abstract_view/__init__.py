@@ -8,6 +8,7 @@ implementation, and :func:`repro.abstract_view.semantics.semantics`
 
 from repro.abstract_view.abstract_chase import (
     AbstractChaseResult,
+    RegionReuseStats,
     ShardReport,
     abstract_chase,
 )
@@ -24,6 +25,7 @@ from repro.abstract_view.solution import is_solution, is_universal_solution
 
 __all__ = [
     "AbstractChaseResult",
+    "RegionReuseStats",
     "ShardReport",
     "abstract_chase",
     "AbstractInstance",

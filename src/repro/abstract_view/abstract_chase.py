@@ -25,6 +25,16 @@ pluggable: ``"serial"`` (default) runs the shards in a loop,
 default factory is byte-identical to the historical sequential chase
 (one shared counter across all regions).
 
+Within each shard the regions are, by default, chased **incrementally**:
+adjacent region snapshots differ by few facts, so each region replays the
+previous region's recorded tgd firing sequence wherever the snapshot
+diff left it intact, and falls through to live decisions only where the
+streams deviate; the egd fixpoint runs the live semi-naive engine either
+way (see :mod:`repro.chase.incremental`).  The incremental schedule is
+byte-identical to the from-scratch one — null numbering, traces and
+failures included — so it is safe as the default;
+``incremental=False`` restores the from-scratch reference schedule.
+
 Proposition 4: a successful abstract chase yields a universal solution;
 a failure on any snapshot means no solution exists.
 """
@@ -35,9 +45,10 @@ import time
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.errors import ChaseFailureError, InstanceError
+from repro.errors import ChaseFailureError, InstanceError, ShardExecutionError
 from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
 from repro.chase.engine import EngineMode
+from repro.chase.incremental import IncrementalRegionChaser, RegionReuseStats
 from repro.chase.nulls import NullFactory
 from repro.chase.standard import ChaseVariant, SnapshotChaseResult, chase_snapshot
 from repro.chase.trace import FailureRecord
@@ -45,7 +56,12 @@ from repro.dependencies.mapping import DataExchangeSetting
 from repro.relational.terms import AnnotatedNull, Constant, LabeledNull
 from repro.temporal.interval import Interval
 
-__all__ = ["AbstractChaseResult", "ShardReport", "abstract_chase"]
+__all__ = [
+    "AbstractChaseResult",
+    "RegionReuseStats",
+    "ShardReport",
+    "abstract_chase",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,6 +72,9 @@ class ShardReport:
     regions: int
     seconds: float
     nulls_issued: int
+    # Aggregated cross-region reuse of the shard's incremental chain;
+    # None when the from-scratch schedule ran (incremental=False).
+    reuse: RegionReuseStats | None = None
 
 
 @dataclass
@@ -66,22 +85,43 @@ class AbstractChaseResult:
     failed: bool = False
     failure: FailureRecord | None = None
     failed_region: Interval | None = None
+    failed_shard: int | None = None
+    error: ShardExecutionError | None = None
     region_results: dict[Interval, SnapshotChaseResult] = field(default_factory=dict)
+    region_reuse: dict[Interval, RegionReuseStats] = field(default_factory=dict)
     shard_reports: tuple[ShardReport, ...] = ()
 
     @property
     def succeeded(self) -> bool:
         return not self.failed
 
+    def reuse_totals(self) -> RegionReuseStats:
+        """Cross-region reuse summed over every chased region."""
+        totals = RegionReuseStats()
+        for stats in self.region_reuse.values():
+            totals.add(stats)
+        return totals
+
     def unwrap(self) -> AbstractInstance:
-        """The universal solution, raising on failure."""
+        """The universal solution, raising on failure.
+
+        A chase *failure* raises :class:`ChaseFailureError` with the
+        failing shard and region interval in its message; an unexpected
+        exception inside a shard re-raises as
+        :class:`ShardExecutionError` (original exception chained).
+        """
+        if self.error is not None:
+            raise self.error
         if self.failed:
             assert self.failure is not None
+            context = f"snapshots {self.failed_region}"
+            if self.failed_shard is not None:
+                context = f"shard {self.failed_shard}, {context}"
             raise ChaseFailureError(
                 self.failure.dependency,
                 self.failure.left,
                 self.failure.right,
-                context=f"snapshots {self.failed_region}",
+                context=context,
             )
         return self.target
 
@@ -116,17 +156,68 @@ def _chase_regions(
     nulls: NullFactory,
     variant: ChaseVariant,
     engine: EngineMode,
-) -> list[tuple[Interval, SnapshotChaseResult]]:
-    """Chase one block of regions; stops at the block's first failure."""
+    incremental: bool,
+    shard: int,
+) -> tuple[
+    list[tuple[Interval, SnapshotChaseResult]],
+    dict[Interval, RegionReuseStats],
+    ShardExecutionError | None,
+]:
+    """Chase one block of regions; stops at the block's first failure.
+
+    An exception raised while chasing a region is captured as a
+    :class:`ShardExecutionError` carrying this shard's index and the
+    region interval, so the scheduler can surface it without dropping
+    the other shards' reports.  An exception raised by the sweep
+    *between* regions is attributed to no region (the advance, not the
+    previous region's chase, is at fault).
+    """
     results: list[tuple[Interval, SnapshotChaseResult]] = []
-    for region, snapshot in source.iter_region_snapshots(regions):
-        result = chase_snapshot(
-            snapshot, setting, null_factory=nulls, variant=variant, engine=engine
-        )
+    region_stats: dict[Interval, RegionReuseStats] = {}
+    region: Interval | None = None
+    chaser = (
+        IncrementalRegionChaser(setting, nulls, variant, engine)
+        if incremental
+        else None
+    )
+    sweep = iter(
+        source.iter_region_deltas(regions)
+        if incremental
+        else source.iter_region_snapshots(regions)
+    )
+    while True:
+        region = None
+        try:
+            item = next(sweep)
+        except StopIteration:
+            break
+        except Exception as exc:  # noqa: BLE001 — surfaced with shard context
+            return results, region_stats, ShardExecutionError(
+                shard, None, exc
+            )
+        region = item[0]
+        try:
+            if chaser is not None:
+                _region, snapshot, added, removed = item
+                result, stats = chaser.chase(snapshot, added, removed)
+                region_stats[region] = stats
+            else:
+                _region, snapshot = item
+                result = chase_snapshot(
+                    snapshot,
+                    setting,
+                    null_factory=nulls,
+                    variant=variant,
+                    engine=engine,
+                )
+        except Exception as exc:  # noqa: BLE001 — surfaced with shard context
+            return results, region_stats, ShardExecutionError(
+                shard, region, exc
+            )
         results.append((region, result))
         if result.failed:
             break
-    return results
+    return results, region_stats, None
 
 
 def abstract_chase(
@@ -137,6 +228,7 @@ def abstract_chase(
     engine: EngineMode = "delta",
     shards: int = 1,
     executor: str | Executor = "serial",
+    incremental: bool = True,
 ) -> AbstractChaseResult:
     """``chase(Ia, M)`` on the finite representation.
 
@@ -154,6 +246,12 @@ def abstract_chase(
     executor instance).  Fresh-null *names* then differ from the
     unsharded run, but the result is the same solution up to that
     renaming.
+
+    *incremental* (default on) makes each shard's chain of regions reuse
+    the previous region's recorded chase wherever the snapshot diff
+    permits; the output is byte-identical either way, so the flag only
+    trades CPU for bookkeeping.  Sharding composes with it: every block
+    is its own incremental chain.
     """
     if not source.is_complete:
         raise InstanceError(
@@ -165,39 +263,46 @@ def abstract_chase(
     base_factory = null_factory if null_factory is not None else NullFactory()
 
     if shards == 1:
-        started = time.perf_counter()
-        block_results = _chase_regions(
-            source, regions, setting, base_factory, variant, engine
-        )
-        reports = (
-            ShardReport(
-                shard=0,
-                regions=len(block_results),
-                seconds=time.perf_counter() - started,
-                nulls_issued=base_factory.issued,
-            ),
-        )
-        return _merge(block_results, reports)
+        blocks = [regions]
+        factories = [base_factory]
+    else:
+        blocks = _partition(regions, shards)
+        generation = base_factory.new_generation()
+        factories = [
+            base_factory.for_shard(index, generation)
+            for index in range(len(blocks))
+        ]
 
-    blocks = _partition(regions, shards)
-    generation = base_factory.new_generation()
-    factories = [
-        base_factory.for_shard(index, generation)
-        for index in range(len(blocks))
-    ]
-
-    def run_block(index: int) -> tuple[list[tuple[Interval, SnapshotChaseResult]], ShardReport]:
+    def run_block(index: int) -> tuple[
+        list[tuple[Interval, SnapshotChaseResult]],
+        dict[Interval, RegionReuseStats],
+        ShardExecutionError | None,
+        ShardReport,
+    ]:
         started = time.perf_counter()
-        block_results = _chase_regions(
-            source, blocks[index], setting, factories[index], variant, engine
+        block_results, region_stats, error = _chase_regions(
+            source,
+            blocks[index],
+            setting,
+            factories[index],
+            variant,
+            engine,
+            incremental,
+            index,
         )
+        reuse: RegionReuseStats | None = None
+        if incremental:
+            reuse = RegionReuseStats()
+            for stats in region_stats.values():
+                reuse.add(stats)
         report = ShardReport(
             shard=index,
             regions=len(block_results),
             seconds=time.perf_counter() - started,
             nulls_issued=factories[index].issued,
+            reuse=reuse,
         )
-        return block_results, report
+        return block_results, region_stats, error, report
 
     indices = range(len(blocks))
     if isinstance(executor, Executor):
@@ -213,50 +318,72 @@ def abstract_chase(
             "or a concurrent.futures.Executor"
         )
 
-    merged: list[tuple[Interval, SnapshotChaseResult]] = []
-    for block_results, _report in outcomes:
-        merged.extend(block_results)
-    reports = tuple(report for _results, report in outcomes)
-    return _merge(merged, reports)
+    return _merge(outcomes)
 
 
 def _merge(
-    ordered_results: list[tuple[Interval, SnapshotChaseResult]],
-    reports: tuple[ShardReport, ...],
+    outcomes: list[
+        tuple[
+            list[tuple[Interval, SnapshotChaseResult]],
+            dict[Interval, RegionReuseStats],
+            ShardExecutionError | None,
+            ShardReport,
+        ]
+    ],
 ) -> AbstractChaseResult:
-    """Fold per-region results (in timeline order) into one result.
+    """Fold per-shard outcomes (in timeline order) into one result.
 
     Contiguous partitioning keeps the concatenated block results in
-    region order, so the first failed region encountered is the globally
-    first one; regions a failing shard skipped lie strictly after it and
-    are simply absent, exactly as in the sequential early-exit.
+    region order, so the first failed region (or shard error)
+    encountered is the globally first one; regions a failing shard
+    skipped lie strictly after it and are simply absent, exactly as in
+    the sequential early-exit.  Every shard's report is retained either
+    way.
     """
+    reports = tuple(report for _results, _stats, _error, report in outcomes)
     templates: list[TemplateFact] = []
     region_results: dict[Interval, SnapshotChaseResult] = {}
-    for region, result in ordered_results:
-        region_results[region] = result
-        if result.failed:
+    region_reuse: dict[Interval, RegionReuseStats] = {}
+    for results, stats, error, report in outcomes:
+        region_reuse.update(stats)
+        for region, result in results:
+            region_results[region] = result
+            if result.failed:
+                return AbstractChaseResult(
+                    target=AbstractInstance(templates),
+                    failed=True,
+                    failure=result.failure,
+                    failed_region=region,
+                    failed_shard=report.shard,
+                    region_results=region_results,
+                    region_reuse=region_reuse,
+                    shard_reports=reports,
+                )
+            for item in result.target.facts():
+                args = tuple(
+                    AnnotatedNull(value.name, region)
+                    if isinstance(value, LabeledNull)
+                    else value
+                    for value in item.args
+                )
+                # Trusted: fresh nulls were re-annotated with the region just
+                # above, and factory null names never contain '@'.
+                templates.append(TemplateFact.make(item.relation, args, region))
+        if error is not None:
             return AbstractChaseResult(
                 target=AbstractInstance(templates),
                 failed=True,
-                failure=result.failure,
-                failed_region=region,
+                failed_region=error.region,
+                failed_shard=report.shard,
+                error=error,
                 region_results=region_results,
+                region_reuse=region_reuse,
                 shard_reports=reports,
             )
-        for item in result.target.facts():
-            args = tuple(
-                AnnotatedNull(value.name, region)
-                if isinstance(value, LabeledNull)
-                else value
-                for value in item.args
-            )
-            # Trusted: fresh nulls were re-annotated with the region just
-            # above, and factory null names never contain '@'.
-            templates.append(TemplateFact.make(item.relation, args, region))
 
     return AbstractChaseResult(
         target=AbstractInstance(templates),
         region_results=region_results,
+        region_reuse=region_reuse,
         shard_reports=reports,
     )

@@ -264,6 +264,31 @@ class AbstractInstance:
         template carries per-snapshot (annotated) nulls, whose projection
         differs at every point.
         """
+        for region, snapshot, _added, _removed in self.iter_region_deltas(
+            regions
+        ):
+            yield region, snapshot
+
+    def iter_region_deltas(
+        self, regions: Iterable[Interval] | None = None
+    ) -> Iterator[tuple[Interval, Instance, tuple[Fact, ...], tuple[Fact, ...]]]:
+        """The region sweep of :meth:`iter_region_snapshots`, with diffs.
+
+        Yields ``(region, snapshot, added, removed)`` where *added* and
+        *removed* are the **net** fact-level changes against the previous
+        yielded region's snapshot, each sorted by ``Fact.sort_key``.  A
+        fact that leaves one template's coverage and enters another's at
+        the same breakpoint cancels out of both sides — adjacent regions
+        with identical snapshots report empty diffs, which is what lets
+        the incremental cross-region chase replay such regions without
+        firing a single live rule.  The first region reports every fact
+        as added (against the empty instance).
+
+        The yielded instance is the same live, mutated-between-yields
+        sweep instance as :meth:`iter_region_snapshots`; templates with
+        per-snapshot (annotated) nulls force the fresh-snapshot fallback,
+        with diffs computed by set comparison.
+        """
         from heapq import heappop, heappush
 
         region_list = tuple(self.regions() if regions is None else regions)
@@ -272,8 +297,14 @@ class AbstractInstance:
             for template in self._templates
             for value in template.args
         ):
+            previous_facts: frozenset[Fact] = frozenset()
             for region in region_list:
-                yield region, self.snapshot(region.start)
+                snapshot = self.snapshot(region.start)
+                current = snapshot.facts()
+                added = sorted(current - previous_facts, key=Fact.sort_key)
+                removed = sorted(previous_facts - current, key=Fact.sort_key)
+                previous_facts = current
+                yield region, snapshot, tuple(added), tuple(removed)
             return
         by_start = sorted(
             self._templates, key=lambda item: item.interval.start
@@ -286,6 +317,8 @@ class AbstractInstance:
         sequence = 0
         for region in region_list:
             point = region.start
+            removed_set: set[Fact] = set()
+            added_set: set[Fact] = set()
             while expiring and expiring[0][0] <= point:
                 _end, _seq, item = heappop(expiring)
                 remaining = counts[item] - 1
@@ -294,6 +327,7 @@ class AbstractInstance:
                 else:
                     del counts[item]
                     live.discard(item)
+                    removed_set.add(item)
             while index < total:
                 template = by_start[index]
                 if template.interval.start > point:
@@ -304,11 +338,24 @@ class AbstractInstance:
                     counts[item] = counts.get(item, 0) + 1
                     if counts[item] == 1:
                         live.add(item)
+                        added_set.add(item)
                     heappush(
                         expiring, (template.interval.end, sequence, item)
                     )
                     sequence += 1
-            yield region, live
+            # A fact that left one template's coverage and entered
+            # another's at this breakpoint was discarded and re-added
+            # above; the snapshots agree on it, so it is no net change.
+            cancelled = added_set & removed_set
+            if cancelled:
+                added_set -= cancelled
+                removed_set -= cancelled
+            yield (
+                region,
+                live,
+                tuple(sorted(added_set, key=Fact.sort_key)),
+                tuple(sorted(removed_set, key=Fact.sort_key)),
+            )
 
     def templates_at(self, point: int) -> tuple[TemplateFact, ...]:
         return tuple(

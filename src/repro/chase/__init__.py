@@ -8,6 +8,7 @@
 
 from repro.chase.core import core_of, find_proper_endomorphism, is_core
 from repro.chase.engine import EgdTask, EngineMode, run_egd_fixpoint, run_tgd_pass
+from repro.chase.incremental import IncrementalRegionChaser, RegionReuseStats
 from repro.chase.nulls import NullFactory
 from repro.chase.standard import (
     SnapshotChaseResult,
@@ -34,6 +35,8 @@ __all__ = [
     "EngineMode",
     "run_egd_fixpoint",
     "run_tgd_pass",
+    "IncrementalRegionChaser",
+    "RegionReuseStats",
     "NullFactory",
     "SnapshotChaseResult",
     "chase_snapshot",

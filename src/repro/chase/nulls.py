@@ -15,8 +15,9 @@ the sharded analogue of "nulls of different snapshots never coincide".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.relational.terms import AnnotatedNull, LabeledNull
+from repro.relational.terms import AnnotatedNull, GroundTerm, LabeledNull
 from repro.temporal.interval import Interval
 
 __all__ = ["NullFactory"]
@@ -74,6 +75,46 @@ class NullFactory:
         """
         tag = f"s{shard}_" if generation == 0 else f"g{generation}s{shard}_"
         return NullFactory(prefix=f"{self.prefix}{tag}")
+
+    # -- replay (incremental cross-region chase) ------------------------------
+    def state(self) -> int:
+        """The counter position, for later :meth:`restore`.
+
+        The incremental abstract chase snapshots the factory before each
+        region so an abandoned replay attempt can rewind and re-issue the
+        very same names a from-scratch chase of that region would.
+        """
+        return self._counter
+
+    def restore(self, state: int) -> None:
+        """Rewind the counter to a position captured by :meth:`state`.
+
+        Rewinding is only sound when every null issued past *state* is
+        being discarded by the caller (the incremental chase's fallback
+        re-runs the whole region, so nothing issued after the snapshot
+        survives).
+        """
+        if state < 0 or state > self._counter:
+            raise ValueError(
+                f"cannot restore factory counter to {state} "
+                f"(currently at {self._counter})"
+            )
+        self._counter = state
+
+    def reissue(
+        self, transcript: Sequence[LabeledNull]
+    ) -> dict[GroundTerm, GroundTerm]:
+        """Replay a recorded issuance *transcript* with fresh names.
+
+        For a firing replayed from a previous region's log, the fresh
+        chase would mint exactly as many nulls, in the same order, under
+        the *current* counter.  ``reissue`` performs that minting and
+        returns the renaming ``recorded null ↦ fresh null`` (in issuance
+        order), which is how replayed firings reuse the recorded null
+        structure while keeping names byte-identical to a from-scratch
+        run.
+        """
+        return {old: self.fresh() for old in transcript}
 
     @property
     def issued(self) -> int:

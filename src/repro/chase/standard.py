@@ -222,6 +222,21 @@ def _egd_tasks(setting: DataExchangeSetting) -> tuple[EgdTask, ...]:
     return cached
 
 
+def _snapshot_tgd_tasks(setting: DataExchangeSetting) -> list[_SnapshotTgdTask]:
+    """The setting's s-t tgds prepared for the engine's tgd pass.
+
+    Each call returns *fresh* tasks: the rhs projection probes they carry
+    are per-run mutable state, so tasks are never shared between
+    concurrent chases (the sharded abstract chase runs one
+    :class:`~repro.chase.incremental.IncrementalRegionChaser` — and
+    therefore one task list — per shard).
+    """
+    return [
+        _SnapshotTgdTask(_tgd_label(tgd, index), tgd)
+        for index, tgd in enumerate(setting.st_tgds, start=1)
+    ]
+
+
 def _run_tgd_phase(
     source: Instance,
     target: Instance,
@@ -231,10 +246,7 @@ def _run_tgd_phase(
     trace: ChaseTrace,
 ) -> None:
     domain = _SnapshotDomain(target, source=source, nulls=nulls, variant=variant)
-    tasks = [
-        _SnapshotTgdTask(_tgd_label(tgd, index), tgd)
-        for index, tgd in enumerate(setting.st_tgds, start=1)
-    ]
+    tasks = _snapshot_tgd_tasks(setting)
     domain.attach_probes(tasks)
     run_tgd_pass(domain, tasks, trace)
 

@@ -5,6 +5,14 @@ homomorphism, and what it did (facts added / terms equated / failure).
 Traces make chase behaviour inspectable in examples, power the ablation
 benchmarks (step counts), and give tests a precise handle on *how* a
 result was produced, not just what it is.
+
+Step records are frozen and may be **shared between traces**: the
+incremental cross-region chase (:mod:`repro.chase.incremental`) reuses a
+recorded :class:`TgdStepRecord` verbatim in a later region's trace when
+the replayed firing is content-identical (same facts, no fresh nulls).
+Consumers must treat records — including ``assignment`` mappings and
+``added_facts`` tuples — as immutable; mutating one would corrupt every
+trace that shares it.
 """
 
 from __future__ import annotations

@@ -59,9 +59,79 @@ def _write_instance(instance, out: str | None, pretty: bool) -> None:
         print(payload)
 
 
+def _print_shard_reports(abstract_result) -> None:
+    for shard in abstract_result.shard_reports:
+        reuse = ""
+        if shard.reuse is not None:
+            total = shard.reuse.replayed_matches + shard.reuse.live_matches
+            if total:
+                percent = 100.0 * shard.reuse.replayed_matches / total
+                reuse = f", {percent:.0f}% replayed"
+        print(
+            f"shard {shard.shard}: {shard.regions} regions, "
+            f"{shard.nulls_issued} nulls, {shard.seconds * 1000:.2f} ms{reuse}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_chase(args: argparse.Namespace) -> int:
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
+    if args.via == "abstract":
+        from repro.abstract_view import abstract_chase, semantics
+        from repro.serialize import render_abstract_snapshots
+
+        for flag, given in (
+            ("--out", bool(args.out)),
+            ("--pretty", args.pretty),
+            ("--coalesce", args.coalesce),
+            ("--normalization", args.normalization != "conjunction"),
+        ):
+            if given:
+                raise SystemExit(
+                    f"error: {flag} applies to the concrete c-chase only; "
+                    "the abstract chase result is printed as snapshot tables"
+                )
+        abstract_result = abstract_chase(
+            semantics(source),
+            setting,
+            variant=args.variant,
+            engine=args.engine,
+            shards=args.shards,
+            executor=args.executor,
+            incremental=args.incremental == "on",
+        )
+        if args.shards > 1:
+            _print_shard_reports(abstract_result)
+        if abstract_result.error is not None:
+            # A region chase raised: surface shard + region + cause, not
+            # a bogus "chase failed" verdict.
+            raise abstract_result.error
+        if abstract_result.failed:
+            print(f"chase failed: {abstract_result.failure}", file=sys.stderr)
+            return 1
+        target = abstract_result.unwrap()
+        points = sorted(
+            {template.interval.start for template in target.templates}
+        )
+        print(render_abstract_snapshots(target, points))
+        if args.trace:
+            steps = sum(
+                len(result.trace)
+                for result in abstract_result.region_results.values()
+            )
+            print(f"-- {steps} chase steps across regions --", file=sys.stderr)
+        return 0
+    for flag, given in (
+        ("--shards", args.shards != 1),
+        ("--executor", args.executor != "serial"),
+        ("--incremental", args.incremental != "on"),
+    ):
+        if given:
+            raise SystemExit(
+                f"error: {flag} configures the abstract chase's region "
+                "scheduler; add --via abstract to use it"
+            )
     result = c_chase(
         source,
         setting,
@@ -121,15 +191,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
     report = verify_correspondence(
-        source, setting, engine=args.engine, shards=args.shards
+        source,
+        setting,
+        engine=args.engine,
+        shards=args.shards,
+        executor=args.executor,
+        incremental=args.incremental == "on",
     )
     if args.shards > 1:
-        for shard in report.abstract_result.shard_reports:
-            print(
-                f"shard {shard.shard}: {shard.regions} regions, "
-                f"{shard.nulls_issued} nulls, {shard.seconds * 1000:.2f} ms",
-                file=sys.stderr,
-            )
+        _print_shard_reports(report.abstract_result)
     if report.both_failed:
         print("both chases fail: no solution exists (square commutes)")
         return 0
@@ -194,6 +264,42 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_count(value: str) -> int:
+    """Argparse type for ``--shards``: a clean error instead of a traceback."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
+
+
+def _add_scheduler_flags(command: argparse.ArgumentParser) -> None:
+    """The abstract chase's region-scheduler flags, shared by chase/verify."""
+    command.add_argument(
+        "--shards",
+        type=_shard_count,
+        default=1,
+        help="partition the abstract chase's regions across N shards "
+        "(per-shard null namespaces; prints per-shard timing)",
+    )
+    command.add_argument(
+        "--executor",
+        choices=["serial", "threads"],
+        default="serial",
+        help="how sharded region blocks run: one at a time (default) or "
+        "a thread pool",
+    )
+    command.add_argument(
+        "--incremental",
+        choices=["on", "off"],
+        default="on",
+        help="reuse chase work between adjacent region snapshots "
+        "(byte-identical to 'off'; default on)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +329,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="egd fixpoint strategy: semi-naive delta rounds (default) "
         "or full re-enumeration per round",
     )
+    chase.add_argument(
+        "--via",
+        choices=["concrete", "abstract"],
+        default="concrete",
+        help="chase procedure: the c-chase on the concrete instance "
+        "(default) or the abstract chase over region snapshots "
+        "(prints snapshot tables; honors --shards/--executor/--incremental)",
+    )
+    _add_scheduler_flags(chase)
     chase.set_defaults(handler=_cmd_chase)
 
     norm = commands.add_parser("normalize", help="normalize an instance")
@@ -255,13 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="delta",
         help="chase engine mode for both procedures",
     )
-    verify.add_argument(
-        "--shards",
-        type=int,
-        default=1,
-        help="partition the abstract chase's regions across N shards "
-        "(per-shard null namespaces; prints per-shard timing)",
-    )
+    _add_scheduler_flags(verify)
     verify.set_defaults(handler=_cmd_verify)
 
     figures = commands.add_parser(

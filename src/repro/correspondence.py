@@ -76,6 +76,7 @@ def verify_correspondence(
     engine: str = "delta",
     shards: int = 1,
     executor: str = "serial",
+    incremental: bool = True,
 ) -> CorrespondenceReport:
     """Run both chases on one source and check Corollary 20.
 
@@ -85,10 +86,11 @@ def verify_correspondence(
       falsify the implementation, and the report says so).
 
     *engine* selects the chase engine mode for both procedures
-    (``"delta"`` semi-naive rounds or ``"rescan"``); *shards*/*executor*
-    configure the abstract chase's region scheduler.  The correspondence
-    is renaming-invariant, so sharded null namespaces do not affect the
-    verdict.
+    (``"delta"`` semi-naive rounds or ``"rescan"``);
+    *shards*/*executor*/*incremental* configure the abstract chase's
+    region scheduler.  The correspondence is renaming-invariant, so
+    sharded null namespaces do not affect the verdict, and the
+    incremental schedule is byte-identical anyway.
     """
     concrete_result = c_chase(source, setting, normalization=normalization, engine=engine)  # type: ignore[arg-type]
     abstract_result = abstract_chase(
@@ -97,7 +99,13 @@ def verify_correspondence(
         engine=engine,  # type: ignore[arg-type]
         shards=shards,
         executor=executor,
+        incremental=incremental,
     )
+    if abstract_result.error is not None:
+        # A shard *raised* (as opposed to the chase failing): that is not
+        # a correspondence verdict — surface it instead of misreporting
+        # a violation or a joint failure.
+        raise abstract_result.error
 
     if concrete_result.failed or abstract_result.failed:
         both = concrete_result.failed and abstract_result.failed

@@ -60,6 +60,31 @@ class ChaseFailureError(ReproError):
         super().__init__(detail)
 
 
+class ShardExecutionError(ReproError):
+    """A region chase raised inside the abstract chase's region scheduler.
+
+    Distinct from :class:`ChaseFailureError` (which is a *result* of the
+    chase — no solution exists): this wraps an unexpected exception so
+    the failing shard index and region interval are surfaced instead of
+    the executor's bare first exception.  The original exception is
+    chained as ``__cause__``.
+    """
+
+    def __init__(self, shard: int, region, cause: BaseException):
+        self.shard = shard
+        self.region = region
+        context = (
+            f"snapshots {region}"
+            if region is not None
+            else "while advancing the region sweep"
+        )
+        super().__init__(
+            f"region chase raised in shard {shard}, {context}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.__cause__ = cause
+
+
 class NotNormalizedError(ReproError):
     """An operation required a normalized concrete instance but got one
     violating the empty intersection property (Definition 10)."""

@@ -13,10 +13,12 @@ from repro.workloads.generators import (
     exchange_setting_copy,
     exchange_setting_decompose,
     exchange_setting_join,
+    exchange_setting_org,
     nested_overlap_conjunctions,
     nested_overlap_instance,
     random_concrete_instance,
     random_employment_history,
+    random_org_history,
     staircase_instance,
 )
 from repro.workloads.scenarios import (
@@ -38,10 +40,12 @@ __all__ = [
     "exchange_setting_copy",
     "exchange_setting_decompose",
     "exchange_setting_join",
+    "exchange_setting_org",
     "nested_overlap_conjunctions",
     "nested_overlap_instance",
     "random_concrete_instance",
     "random_employment_history",
+    "random_org_history",
     "staircase_instance",
     "Scenario",
     "medical_conflicting_scenario",

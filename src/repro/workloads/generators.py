@@ -25,12 +25,14 @@ from repro.temporal.timepoint import INFINITY
 __all__ = [
     "EmploymentWorkload",
     "random_employment_history",
+    "random_org_history",
     "nested_overlap_instance",
     "nested_overlap_conjunctions",
     "staircase_instance",
     "random_concrete_instance",
     "exchange_setting_copy",
     "exchange_setting_join",
+    "exchange_setting_org",
     "exchange_setting_decompose",
 ]
 
@@ -110,6 +112,70 @@ def random_employment_history(
             if stamp.is_unbounded:
                 break
             cursor = stamp.end + rng.randint(1, 3)  # type: ignore[operator]
+    return EmploymentWorkload(
+        instance=ConcreteInstance(facts),
+        people=people,
+        timeline=timeline,
+        seed=seed,
+    )
+
+
+def random_org_history(
+    people: int,
+    timeline: int = 256,
+    departments: int | None = None,
+    tasks_per_person: int = 3,
+    seed: int = 0,
+) -> EmploymentWorkload:
+    """An org chart with slow reference data and fast task churn.
+
+    ``Dept(d, mgr)`` and ``Emp(e, d)`` are long-lived (departments exist
+    from time 0, people join once and stay), while each person works
+    through a chain of short ``Task(e, t)`` assignments — so almost every
+    region boundary of the abstract view comes from a task starting or
+    ending, and adjacent region snapshots differ by one or two ``Task``
+    facts while the large ``Dept ⋈ Emp`` join is unchanged.  This is the
+    regime the incremental cross-region chase targets (see
+    :func:`exchange_setting_org` for the matching mapping): the heavy
+    join tgd replays verbatim between almost all adjacent regions.
+    """
+    rng = random.Random(seed)
+    departments = departments or max(4, people // 8)
+    facts = []
+    for department in range(departments):
+        facts.append(
+            concrete_fact(
+                "Dept",
+                f"d{department}",
+                f"mgr{department}",
+                interval=interval(0),
+            )
+        )
+    for person_id in range(people):
+        name = f"p{person_id}"
+        joined = rng.randrange(0, max(1, timeline // 4))
+        facts.append(
+            concrete_fact(
+                "Emp",
+                name,
+                f"d{rng.randrange(departments)}",
+                interval=interval(joined),
+            )
+        )
+        cursor = rng.randrange(0, timeline)
+        for _ in range(tasks_per_person):
+            if cursor >= timeline:
+                break
+            duration = rng.randint(2, 10)
+            facts.append(
+                concrete_fact(
+                    "Task",
+                    name,
+                    f"t{rng.randrange(1000)}",
+                    interval=interval(cursor, min(timeline, cursor + duration)),
+                )
+            )
+            cursor += duration + rng.randint(1, max(2, timeline // 4))
     return EmploymentWorkload(
         instance=ConcreteInstance(facts),
         people=people,
@@ -224,6 +290,35 @@ def exchange_setting_join() -> DataExchangeSetting:
             "E(n, c) & S(n, s) -> Emp(n, c, s)",
         ],
         egds=["Emp(n, c, s) & Emp(n, c, s2) -> s = s2"],
+    )
+
+
+def exchange_setting_org() -> DataExchangeSetting:
+    """The org-chart shape for :func:`random_org_history`.
+
+    A heavy reporting join over the slow-changing relations, a
+    null-minting tgd over the churny one, and a key egd on the minted
+    sessions:
+
+    * ``σ1 : Dept(d, m) ∧ Emp(e, d) → Reports(e, m)``
+    * ``σ2 : Task(e, t) → ∃s Log(e, t, s)``
+    * ``ε1 : Log(e, t, s) ∧ Log(e, t, s2) → s = s2``
+    """
+    return DataExchangeSetting.create(
+        Schema.of(
+            Dept=("Dept", "Manager"),
+            Emp=("Name", "Dept"),
+            Task=("Name", "Task"),
+        ),
+        Schema.of(
+            Reports=("Name", "Manager"),
+            Log=("Name", "Task", "Session"),
+        ),
+        st_tgds=[
+            "Dept(d, m) & Emp(e, d) -> Reports(e, m)",
+            "Task(e, t) -> EXISTS s . Log(e, t, s)",
+        ],
+        egds=["Log(e, t, s) & Log(e, t, s2) -> s = s2"],
     )
 
 

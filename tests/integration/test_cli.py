@@ -246,3 +246,112 @@ class TestEngineAndShardFlags:
         )
         assert code == 0
         assert "correspondence holds" in capsys.readouterr().out
+
+
+class TestSchedulerFlags:
+    """PR 3: --shards/--executor/--incremental symmetric on chase/verify."""
+
+    def test_chase_via_abstract_prints_snapshots(
+        self, mapping_file, source_file, capsys
+    ):
+        code = main(
+            [
+                "chase",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--via",
+                "abstract",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Emp(Ada, IBM" in out
+
+    def test_chase_via_abstract_incremental_matches_off(
+        self, mapping_file, source_file, capsys
+    ):
+        main(
+            [
+                "chase", "--mapping", mapping_file, "--source", source_file,
+                "--via", "abstract", "--incremental", "on",
+            ]
+        )
+        on_output = capsys.readouterr().out
+        main(
+            [
+                "chase", "--mapping", mapping_file, "--source", source_file,
+                "--via", "abstract", "--incremental", "off",
+            ]
+        )
+        off_output = capsys.readouterr().out
+        assert on_output == off_output
+
+    def test_chase_accepts_shards_and_executor(
+        self, mapping_file, source_file, capsys
+    ):
+        code = main(
+            [
+                "chase", "--mapping", mapping_file, "--source", source_file,
+                "--via", "abstract", "--shards", "2", "--executor", "threads",
+            ]
+        )
+        assert code == 0
+        assert "shard 1:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("command", ["chase", "verify"])
+    def test_invalid_shards_fails_cleanly(
+        self, command, mapping_file, source_file, capsys
+    ):
+        with pytest.raises(SystemExit) as exc_info:
+            main(
+                [
+                    command, "--mapping", mapping_file, "--source", source_file,
+                    "--shards", "0",
+                ]
+            )
+        assert exc_info.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_verify_accepts_executor_and_incremental(
+        self, mapping_file, source_file, capsys
+    ):
+        code = main(
+            [
+                "verify", "--mapping", mapping_file, "--source", source_file,
+                "--shards", "2", "--executor", "threads",
+                "--incremental", "off",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "correspondence holds" in captured.out
+        assert "shard 0:" in captured.err
+
+    @pytest.mark.parametrize(
+        "extra",
+        [["--out", "x.json"], ["--pretty"], ["--coalesce"],
+         ["--normalization", "naive"]],
+    )
+    def test_via_abstract_rejects_concrete_only_flags(
+        self, extra, mapping_file, source_file
+    ):
+        with pytest.raises(SystemExit, match="concrete c-chase only"):
+            main(
+                [
+                    "chase", "--mapping", mapping_file, "--source",
+                    source_file, "--via", "abstract", *extra,
+                ]
+            )
+
+    def test_concrete_chase_rejects_scheduler_flags(
+        self, mapping_file, source_file
+    ):
+        with pytest.raises(SystemExit, match="add --via abstract"):
+            main(
+                [
+                    "chase", "--mapping", mapping_file, "--source",
+                    source_file, "--shards", "2",
+                ]
+            )
