@@ -3,18 +3,25 @@
 #   make test          - tier-1: full test suite (fails fast)
 #   make bench-smoke   - run every benchmark module once, timings disabled
 #   make bench         - full timed benchmark run
-#   make bench-compare - timed run into BENCH_pr3.json, then fail if any
+#   make bench-compare - timed run into BENCH_pr4.json, then fail if any
 #                        benchmark regressed >20% vs BENCH_baseline.json
 #   make verify-incremental - the incremental≡full abstract-chase
 #                        equivalence suite (unit chains + region-sweep
 #                        edge cases + Hypothesis property tests)
-#   make verify        - test + bench-smoke (what CI should run)
+#   make lint          - ruff over the whole tree (needs `pip install ruff`)
+#   make verify        - test + bench-smoke + verify-incremental
+#
+# CI (.github/workflows/ci.yml) runs exactly these targets — test,
+# bench-smoke and verify-incremental on a Python 3.11/3.12 matrix, lint,
+# an offline `pip install . --no-build-isolation --no-index` job, and a
+# scheduled/manual bench-compare gate — so the workflow file is the
+# canonical, always-exercised verify recipe.
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test bench-smoke bench bench-compare verify verify-incremental \
-	install-editable install
+	lint install-editable install
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -27,8 +34,8 @@ bench:
 
 bench-compare:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-only \
-		--benchmark-json=BENCH_pr3.json
-	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr3.json \
+		--benchmark-json=BENCH_pr4.json
+	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr4.json \
 		--max-regression 0.20
 
 verify-incremental:
@@ -36,6 +43,9 @@ verify-incremental:
 		tests/unit/test_incremental_chase.py \
 		tests/property/test_incremental_equivalence.py \
 		tests/integration/test_chase_equivalence_goldens.py
+
+lint:
+	ruff check src tests benchmarks examples setup.py
 
 verify: test bench-smoke verify-incremental
 

@@ -16,12 +16,23 @@ from the baseline print as ``(new benchmark)`` — and never fail the run
 or enter the regression gate (the suite is allowed to grow).  A missing
 or malformed JSON file, and entries without stats (a benchmark that
 errored mid-run), produce a clean diagnostic instead of a traceback.
+
+Exit codes are CI contract: **0** the gate passed, **1** at least one
+benchmark regressed past the threshold (the only "your change is bad"
+signal), **2** the comparison could not run at all (missing/corrupt
+input).  The run always ends with one machine-readable line::
+
+    BENCH-COMPARE: shared=41 regressed=0 new=5 missing=0 gate=20% verdict=OK
+
+and, when ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions), appends a
+markdown summary table to it so the verdict lands on the workflow page.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -30,13 +41,16 @@ def load_minimums(path: Path) -> dict[str, float]:
     try:
         payload = json.loads(path.read_text())
     except OSError as exc:
-        raise SystemExit(
+        print(
             f"error: cannot read benchmark file {path}: {exc}\n"
             "(run `make bench-compare` after committing a baseline, or "
-            "regenerate it with `pytest benchmarks --benchmark-json=...`)"
+            "regenerate it with `pytest benchmarks --benchmark-json=...`)",
+            file=sys.stderr,
         )
+        raise SystemExit(2)
     except json.JSONDecodeError as exc:
-        raise SystemExit(f"error: {path} is not valid JSON: {exc}")
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        raise SystemExit(2)
     minimums: dict[str, float] = {}
     skipped: list[str] = []
     for bench in payload.get("benchmarks", ()):
@@ -71,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     added = sorted(set(candidate) - set(baseline))
 
     regressions: list[str] = []
+    rows: list[tuple[str, float, float, float, str]] = []
     width = max((len(name.split("::")[-1]) for name in shared), default=10)
     print(f"{'benchmark':{width}s} {'baseline':>10s} {'current':>10s} {'speedup':>8s}")
     for name in shared:
@@ -81,6 +96,9 @@ def main(argv: list[str] | None = None) -> int:
         if cand_min > base_min * (1.0 + args.max_regression):
             marker = "  REGRESSED"
             regressions.append(name)
+        rows.append(
+            (name.split("::")[-1], base_min, cand_min, speedup, marker.strip())
+        )
         print(
             f"{name.split('::')[-1]:{width}s} "
             f"{base_min * 1000:9.3f}ms {cand_min * 1000:9.3f}ms "
@@ -91,6 +109,13 @@ def main(argv: list[str] | None = None) -> int:
     for name in added:
         print(f"(new benchmark)    {name}")
 
+    verdict = "FAIL" if regressions else "OK"
+    summary = (
+        f"BENCH-COMPARE: shared={len(shared)} regressed={len(regressions)} "
+        f"new={len(added)} missing={len(missing)} "
+        f"gate={args.max_regression:.0%} verdict={verdict}"
+    )
+
     if regressions:
         print(
             f"\nFAIL: {len(regressions)} benchmark(s) regressed more than "
@@ -99,9 +124,52 @@ def main(argv: list[str] | None = None) -> int:
         )
         for name in regressions:
             print(f"  {name}", file=sys.stderr)
-        return 1
-    print(f"\nOK: no benchmark regressed more than {args.max_regression:.0%}.")
-    return 0
+    else:
+        print(
+            f"\nOK: no benchmark regressed more than {args.max_regression:.0%}."
+        )
+    print(summary)
+    _write_step_summary(summary, rows, added, missing, args.max_regression)
+    return 1 if regressions else 0
+
+
+def _write_step_summary(
+    summary: str,
+    rows: list[tuple[str, float, float, float, str]],
+    added: list[str],
+    missing: list[str],
+    gate: float,
+) -> None:
+    """Append a markdown verdict to ``$GITHUB_STEP_SUMMARY`` when set."""
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return
+    lines = [
+        "## Benchmark comparison",
+        "",
+        f"`{summary}`",
+        "",
+        "| benchmark | baseline | current | speedup | |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for name, base_min, cand_min, speedup, marker in rows:
+        flag = "⚠️ REGRESSED" if marker else ""
+        lines.append(
+            f"| `{name}` | {base_min * 1000:.3f} ms "
+            f"| {cand_min * 1000:.3f} ms | {speedup:.2f}x | {flag} |"
+        )
+    for name in added:
+        lines.append(f"| `{name.split('::')[-1]}` | — | new | — | exempt |")
+    for name in missing:
+        lines.append(f"| `{name.split('::')[-1]}` | only in baseline | — | — | |")
+    lines.append("")
+    lines.append(f"Gate: fail on >{gate:.0%} slowdown of any shared benchmark.")
+    lines.append("")
+    try:
+        with open(target, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines))
+    except OSError as exc:
+        print(f"(could not write GITHUB_STEP_SUMMARY: {exc})", file=sys.stderr)
 
 
 if __name__ == "__main__":

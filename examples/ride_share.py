@@ -13,7 +13,8 @@ It also demonstrates the engine's **region scheduler**: the abstract
 — each shard chases a contiguous block of constancy regions under its
 own null namespace — and the per-shard timing report is printed.
 
-Run:  python examples/ride_share.py [--shards N] [--executor serial|threads]
+Run:  python examples/ride_share.py [--shards N]
+          [--executor serial|threads|processes]
 """
 
 import argparse
@@ -35,9 +36,10 @@ def main() -> None:
     )
     parser.add_argument(
         "--executor",
-        choices=["serial", "threads"],
+        choices=["serial", "threads", "processes"],
         default="serial",
-        help="how the shards run (default serial)",
+        help="how the shards run (default serial; processes is the only "
+        "one that parallelizes CPU-bound chases)",
     )
     args = parser.parse_args()
 

@@ -10,7 +10,7 @@ unsatisfiable-at-time-zero failure mode.
 Run:  python examples/temporal_constraints.py
 """
 
-from repro import AbstractInstance, Instance, TemplateFact, fact, interval
+from repro import AbstractInstance, Instance, fact, interval
 from repro.extensions import PastTGD, past_chase, satisfies_past_tgd
 from repro.serialize import render_abstract_snapshots
 

@@ -41,8 +41,14 @@ a failure on any snapshot means no solution exists.
 
 from __future__ import annotations
 
+import os
 import time
-from concurrent.futures import Executor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 
 from repro.errors import ChaseFailureError, InstanceError, ShardExecutionError
@@ -53,7 +59,7 @@ from repro.chase.nulls import NullFactory
 from repro.chase.standard import ChaseVariant, SnapshotChaseResult, chase_snapshot
 from repro.chase.trace import FailureRecord
 from repro.dependencies.mapping import DataExchangeSetting
-from repro.relational.terms import AnnotatedNull, Constant, LabeledNull
+from repro.relational.terms import AnnotatedNull, LabeledNull
 from repro.temporal.interval import Interval
 
 __all__ = [
@@ -75,6 +81,12 @@ class ShardReport:
     # Aggregated cross-region reuse of the shard's incremental chain;
     # None when the from-scratch schedule ran (incremental=False).
     reuse: RegionReuseStats | None = None
+    # True when the shard executed in a worker process (the "processes"
+    # executor).  Recorded firing logs never cross the process boundary:
+    # the shard's incremental chain lives entirely inside its worker, so
+    # — exactly as for any sharded run — the chain's first region chases
+    # from scratch and `reuse` reports the in-worker replay totals.
+    remote: bool = False
 
 
 @dataclass
@@ -220,6 +232,269 @@ def _chase_regions(
     return results, region_stats, None
 
 
+@dataclass
+class _BlockOutcome:
+    """One shard's finished block, as the merge consumes it.
+
+    *merged_templates* is the shard's pre-computed contribution to the
+    merged target (the per-region null re-annotation of :func:`_merge`,
+    applied to every successful region in block order).  Worker
+    processes compute it so the parent's merge is a concatenation
+    instead of a per-fact loop; in-process executors leave it ``None``
+    and the merge converts the region results itself.
+    """
+
+    results: list[tuple[Interval, SnapshotChaseResult]]
+    region_reuse: dict[Interval, RegionReuseStats]
+    error: ShardExecutionError | None
+    report: ShardReport
+    merged_templates: tuple[TemplateFact, ...] | None = None
+
+
+def _region_templates(
+    region: Interval, result: SnapshotChaseResult
+) -> list[TemplateFact]:
+    """One successful region's contribution to the merged target.
+
+    Every fresh null is re-annotated with the region (a labeled null of
+    the representative snapshot denotes one unknown *per* covered
+    snapshot), constants pass through, and the facts become templates
+    stamped with the region.  Set iteration order is fine here — the
+    merged instance is a set, and forcing ``sort_key`` order would
+    compute tens of thousands of sort keys the chase never needed
+    (measured at ~20% of the whole serial run).
+    """
+    templates: list[TemplateFact] = []
+    for item in result.target.facts():
+        args = tuple(
+            AnnotatedNull(value.name, region)
+            if isinstance(value, LabeledNull)
+            else value
+            for value in item.args
+        )
+        # Trusted: fresh nulls were re-annotated with the region just
+        # above, and factory null names never contain '@'.
+        templates.append(TemplateFact.make(item.relation, args, region))
+    return templates
+
+
+def _execute_block(
+    source: AbstractInstance,
+    block: tuple[Interval, ...],
+    setting: DataExchangeSetting,
+    factory: NullFactory,
+    variant: ChaseVariant,
+    engine: EngineMode,
+    incremental: bool,
+    shard: int,
+    remote: bool = False,
+) -> _BlockOutcome:
+    """Chase one shard's region block and account for it.
+
+    The single execution path behind every executor: the serial loop and
+    the thread pool call it in-process, and :func:`_process_worker` calls
+    it inside a worker process (*remote* marks the report accordingly).
+    """
+    started = time.perf_counter()
+    block_results, region_stats, error = _chase_regions(
+        source,
+        block,
+        setting,
+        factory,
+        variant,
+        engine,
+        incremental,
+        shard,
+    )
+    reuse: RegionReuseStats | None = None
+    if incremental:
+        reuse = RegionReuseStats()
+        for stats in region_stats.values():
+            reuse.add(stats)
+    report = ShardReport(
+        shard=shard,
+        regions=len(block_results),
+        seconds=time.perf_counter() - started,
+        nulls_issued=factory.issued,
+        reuse=reuse,
+        remote=remote,
+    )
+    merged: tuple[TemplateFact, ...] | None = None
+    if remote:
+        # Pre-merge in the worker: the parent then concatenates decoded
+        # templates instead of re-annotating every fact serially.
+        premerged: list[TemplateFact] = []
+        for region, result in block_results:
+            if result.failed:
+                break
+            premerged.extend(_region_templates(region, result))
+        merged = tuple(premerged)
+    return _BlockOutcome(
+        results=block_results,
+        region_reuse=region_stats,
+        error=error,
+        report=report,
+        merged_templates=merged,
+    )
+
+
+def _process_worker(payload: bytes) -> bytes:
+    """Chase one encoded shard task in a worker process.
+
+    Decodes the :mod:`repro.serialize.shard_codec` task, rebuilds the
+    shard's source slice and null factory, runs the block exactly as an
+    in-process shard would, and encodes the outcome — traces included —
+    for the parent.  ``REPRO_SHARD_CRASH=<shard>`` hard-kills the worker
+    before chasing; it exists so tests can exercise the worker-death
+    path deterministically.
+    """
+    from repro.serialize import shard_codec
+
+    task = shard_codec.decode_shard_task(payload)
+    crash = os.environ.get("REPRO_SHARD_CRASH")
+    if crash is not None and crash == str(task.shard):
+        os._exit(17)
+    source = AbstractInstance(task.templates)
+    factory = NullFactory(prefix=task.prefix)
+    factory.fast_forward(task.counter)
+    outcome = _execute_block(
+        source,
+        task.regions,
+        task.setting,
+        factory,
+        task.variant,  # type: ignore[arg-type]
+        task.engine,  # type: ignore[arg-type]
+        task.incremental,
+        task.shard,
+        remote=True,
+    )
+    assert outcome.merged_templates is not None
+    return shard_codec.encode_shard_outcome(
+        shard_codec.ShardOutcome(
+            results=tuple(outcome.results),
+            region_reuse=outcome.region_reuse,
+            error=outcome.error,
+            report=outcome.report,
+            merged_templates=outcome.merged_templates,
+        )
+    )
+
+
+def _run_blocks_in_processes(
+    source: AbstractInstance,
+    blocks: list[tuple[Interval, ...]],
+    factories: list[NullFactory],
+    setting: DataExchangeSetting,
+    variant: ChaseVariant,
+    engine: EngineMode,
+    incremental: bool,
+    workers: int | None,
+    pool: ProcessPoolExecutor | None,
+) -> list[_BlockOutcome]:
+    """Ship every block to a worker process and gather the outcomes.
+
+    Each task carries only the templates overlapping its block's span
+    (block regions come from the canonical partition, so overlap is
+    exactly "contributes to some block snapshot").  A worker that dies
+    or raises before returning a payload yields an error outcome for its
+    shard — a :class:`ShardExecutionError` with the shard index and the
+    executor's exception chained — while every shard whose payload *did*
+    come back keeps its results and report, mirroring the in-process
+    failure contract.  One caveat: a single worker death breaks the
+    whole ``ProcessPoolExecutor`` (standard ``concurrent.futures``
+    semantics), so every still-pending shard's result is lost with it
+    and the merge reports the earliest such shard; which worker actually
+    died is not recoverable from ``BrokenProcessPool``, and a
+    caller-supplied pool is broken for the caller too and must be
+    recreated.
+    """
+    from repro.serialize import shard_codec
+
+    payloads: list[bytes] = []
+    for index, block in enumerate(blocks):
+        span = Interval(block[0].start, block[-1].end)
+        templates = tuple(
+            template
+            for template in source.templates
+            if template.interval.overlaps(span)
+        )
+        payloads.append(
+            shard_codec.encode_shard_task(
+                shard_codec.ShardTask(
+                    shard=index,
+                    prefix=factories[index].prefix,
+                    counter=factories[index].issued,
+                    variant=variant,
+                    engine=engine,
+                    incremental=incremental,
+                    regions=block,
+                    templates=templates,
+                    setting=setting,
+                )
+            )
+        )
+
+    owned = pool is None
+    if owned:
+        limit = workers if workers is not None else os.cpu_count() or 1
+        pool = ProcessPoolExecutor(max_workers=min(limit, len(blocks)))
+    assert pool is not None
+    try:
+        futures = [
+            pool.submit(_process_worker, payload) for payload in payloads
+        ]
+        outcomes: list[_BlockOutcome] = []
+        for index, future in enumerate(futures):
+            try:
+                raw = future.result()
+            except Exception as exc:  # noqa: BLE001 — surfaced per shard
+                # A BrokenProcessPool names no culprit: ONE worker died
+                # and every still-pending future raises it, so for this
+                # shard we only know its result was lost with the pool.
+                if isinstance(exc, BrokenExecutor):
+                    stage = (
+                        "lost its result: the pool broke because a "
+                        "worker process died"
+                    )
+                else:
+                    stage = "worker process died before returning a result"
+                outcomes.append(
+                    _BlockOutcome(
+                        results=[],
+                        region_reuse={},
+                        error=ShardExecutionError(index, None, exc, stage=stage),
+                        report=ShardReport(
+                            shard=index,
+                            regions=0,
+                            seconds=0.0,
+                            nulls_issued=0,
+                            reuse=None,
+                            remote=True,
+                        ),
+                        merged_templates=(),
+                    )
+                )
+                continue
+            outcome = shard_codec.decode_shard_outcome(raw)
+            # Replay the worker's issuance count onto the parent-side
+            # factory so a shared base factory (shards=1) stays globally
+            # distinct across runs.
+            factories[index].fast_forward(outcome.report.nulls_issued)
+            outcomes.append(
+                _BlockOutcome(
+                    results=list(outcome.results),
+                    region_reuse=outcome.region_reuse,
+                    error=outcome.error,
+                    report=outcome.report,
+                    merged_templates=outcome.merged_templates,
+                )
+            )
+        return outcomes
+    finally:
+        if owned:
+            pool.shutdown()
+
+
 def abstract_chase(
     source: AbstractInstance,
     setting: DataExchangeSetting,
@@ -229,6 +504,7 @@ def abstract_chase(
     shards: int = 1,
     executor: str | Executor = "serial",
     incremental: bool = True,
+    workers: int | None = None,
 ) -> AbstractChaseResult:
     """``chase(Ia, M)`` on the finite representation.
 
@@ -242,10 +518,23 @@ def abstract_chase(
     namespaced factory (``Ns<i>_…``, see
     :meth:`NullFactory.for_shard`), and the per-region results merge
     deterministically in timeline order; *executor* selects how blocks
-    run (``"serial"``, ``"threads"``, or a ``concurrent.futures``
-    executor instance).  Fresh-null *names* then differ from the
-    unsharded run, but the result is the same solution up to that
-    renaming.
+    run (``"serial"``, ``"threads"``, ``"processes"``, or a
+    ``concurrent.futures`` executor instance).  Fresh-null *names* then
+    differ from the unsharded run, but the result is the same solution
+    up to that renaming.
+
+    ``"processes"`` is the only executor that runs CPU-bound shards in
+    *parallel* (threads serialize on the GIL): each block ships to a
+    worker process as a compact :mod:`repro.serialize.shard_codec`
+    payload — the block's source slice, the exchange setting, and the
+    shard's null-factory position — and the finished region results,
+    traces and reports ship back the same way, so the merged output is
+    byte-identical to the same sharded run on any other executor.
+    *workers* bounds the pool size (default: one worker per block,
+    capped at the CPU count; it also caps the ``"threads"`` pool).
+    Passing a ``ProcessPoolExecutor`` instance reuses your warm pool
+    through the same wire path.  A worker that dies mid-block surfaces
+    as a :class:`ShardExecutionError` carrying the shard index.
 
     *incremental* (default on) makes each shard's chain of regions reuse
     the previous region's recorded chase wherever the snapshot diff
@@ -259,6 +548,8 @@ def abstract_chase(
         )
     if shards < 1:
         raise InstanceError(f"shards must be >= 1, got {shards}")
+    if workers is not None and workers < 1:
+        raise InstanceError(f"workers must be >= 1, got {workers}")
     regions = source.regions()
     base_factory = null_factory if null_factory is not None else NullFactory()
 
@@ -273,14 +564,8 @@ def abstract_chase(
             for index in range(len(blocks))
         ]
 
-    def run_block(index: int) -> tuple[
-        list[tuple[Interval, SnapshotChaseResult]],
-        dict[Interval, RegionReuseStats],
-        ShardExecutionError | None,
-        ShardReport,
-    ]:
-        started = time.perf_counter()
-        block_results, region_stats, error = _chase_regions(
+    def run_block(index: int) -> _BlockOutcome:
+        return _execute_block(
             source,
             blocks[index],
             setting,
@@ -290,47 +575,40 @@ def abstract_chase(
             incremental,
             index,
         )
-        reuse: RegionReuseStats | None = None
-        if incremental:
-            reuse = RegionReuseStats()
-            for stats in region_stats.values():
-                reuse.add(stats)
-        report = ShardReport(
-            shard=index,
-            regions=len(block_results),
-            seconds=time.perf_counter() - started,
-            nulls_issued=factories[index].issued,
-            reuse=reuse,
-        )
-        return block_results, region_stats, error, report
 
     indices = range(len(blocks))
-    if isinstance(executor, Executor):
+    if executor == "processes" or isinstance(executor, ProcessPoolExecutor):
+        outcomes = _run_blocks_in_processes(
+            source,
+            blocks,
+            factories,
+            setting,
+            variant,
+            engine,
+            incremental,
+            workers,
+            executor if isinstance(executor, ProcessPoolExecutor) else None,
+        )
+    elif isinstance(executor, Executor):
         outcomes = list(executor.map(run_block, indices))
     elif executor == "serial":
         outcomes = [run_block(index) for index in indices]
     elif executor == "threads":
-        with ThreadPoolExecutor(max_workers=len(blocks)) as pool:
+        limit = workers if workers is not None else len(blocks)
+        with ThreadPoolExecutor(
+            max_workers=max(1, min(limit, len(blocks)))
+        ) as pool:
             outcomes = list(pool.map(run_block, indices))
     else:
         raise InstanceError(
             f"unknown executor {executor!r}: use 'serial', 'threads', "
-            "or a concurrent.futures.Executor"
+            "'processes', or a concurrent.futures.Executor"
         )
 
     return _merge(outcomes)
 
 
-def _merge(
-    outcomes: list[
-        tuple[
-            list[tuple[Interval, SnapshotChaseResult]],
-            dict[Interval, RegionReuseStats],
-            ShardExecutionError | None,
-            ShardReport,
-        ]
-    ],
-) -> AbstractChaseResult:
+def _merge(outcomes: list[_BlockOutcome]) -> AbstractChaseResult:
     """Fold per-shard outcomes (in timeline order) into one result.
 
     Contiguous partitioning keeps the concatenated block results in
@@ -338,44 +616,49 @@ def _merge(
     encountered is the globally first one; regions a failing shard
     skipped lie strictly after it and are simply absent, exactly as in
     the sequential early-exit.  Every shard's report is retained either
-    way.
+    way.  Blocks that crossed the process boundary arrive with their
+    template contribution pre-merged in the worker; in-process blocks
+    convert their region results here.
     """
-    reports = tuple(report for _results, _stats, _error, report in outcomes)
+    reports = tuple(outcome.report for outcome in outcomes)
     templates: list[TemplateFact] = []
     region_results: dict[Interval, SnapshotChaseResult] = {}
     region_reuse: dict[Interval, RegionReuseStats] = {}
-    for results, stats, error, report in outcomes:
-        region_reuse.update(stats)
-        for region, result in results:
+    for outcome in outcomes:
+        region_reuse.update(outcome.region_reuse)
+        failed: tuple[Interval, SnapshotChaseResult] | None = None
+        for region, result in outcome.results:
             region_results[region] = result
             if result.failed:
-                return AbstractChaseResult(
-                    target=AbstractInstance(templates),
-                    failed=True,
-                    failure=result.failure,
-                    failed_region=region,
-                    failed_shard=report.shard,
-                    region_results=region_results,
-                    region_reuse=region_reuse,
-                    shard_reports=reports,
-                )
-            for item in result.target.facts():
-                args = tuple(
-                    AnnotatedNull(value.name, region)
-                    if isinstance(value, LabeledNull)
-                    else value
-                    for value in item.args
-                )
-                # Trusted: fresh nulls were re-annotated with the region just
-                # above, and factory null names never contain '@'.
-                templates.append(TemplateFact.make(item.relation, args, region))
-        if error is not None:
+                # _chase_regions stops at the block's first failure, so
+                # nothing follows this region in the results list.
+                failed = (region, result)
+        if outcome.merged_templates is not None:
+            templates.extend(outcome.merged_templates)
+        else:
+            for region, result in outcome.results:
+                if result.failed:
+                    break
+                templates.extend(_region_templates(region, result))
+        if failed is not None:
+            region, result = failed
             return AbstractChaseResult(
                 target=AbstractInstance(templates),
                 failed=True,
-                failed_region=error.region,
-                failed_shard=report.shard,
-                error=error,
+                failure=result.failure,
+                failed_region=region,
+                failed_shard=outcome.report.shard,
+                region_results=region_results,
+                region_reuse=region_reuse,
+                shard_reports=reports,
+            )
+        if outcome.error is not None:
+            return AbstractChaseResult(
+                target=AbstractInstance(templates),
+                failed=True,
+                failed_region=outcome.error.region,
+                failed_shard=outcome.report.shard,
+                error=outcome.error,
                 region_results=region_results,
                 region_reuse=region_reuse,
                 shard_reports=reports,

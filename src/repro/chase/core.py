@@ -25,7 +25,6 @@ from repro.relational.terms import (
     Constant,
     GroundTerm,
     Term,
-    term_sort_key,
 )
 
 __all__ = ["core_of", "is_core", "find_proper_endomorphism"]

@@ -18,7 +18,7 @@ trace that shares it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 from repro.relational.fact import Fact
 from repro.relational.terms import GroundTerm, Term, Variable

@@ -19,7 +19,7 @@ match, so a mismatch means the caller skipped normalization.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, TypeVar
+from typing import Dict, Hashable, TypeVar
 
 from repro.errors import ReproError
 from repro.relational.terms import (

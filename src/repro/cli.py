@@ -100,6 +100,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
             shards=args.shards,
             executor=args.executor,
             incremental=args.incremental == "on",
+            workers=args.workers,
         )
         if args.shards > 1:
             _print_shard_reports(abstract_result)
@@ -125,6 +126,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
     for flag, given in (
         ("--shards", args.shards != 1),
         ("--executor", args.executor != "serial"),
+        ("--workers", args.workers is not None),
         ("--incremental", args.incremental != "on"),
     ):
         if given:
@@ -197,6 +199,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         shards=args.shards,
         executor=args.executor,
         incremental=args.incremental == "on",
+        workers=args.workers,
     )
     if args.shards > 1:
         _print_shard_reports(report.abstract_result)
@@ -286,10 +289,18 @@ def _add_scheduler_flags(command: argparse.ArgumentParser) -> None:
     )
     command.add_argument(
         "--executor",
-        choices=["serial", "threads"],
+        choices=["serial", "threads", "processes"],
         default="serial",
-        help="how sharded region blocks run: one at a time (default) or "
-        "a thread pool",
+        help="how sharded region blocks run: one at a time (default), a "
+        "thread pool (GIL-bound), or a process pool (true parallelism; "
+        "shards travel in the shard-codec wire format)",
+    )
+    command.add_argument(
+        "--workers",
+        type=_shard_count,
+        default=None,
+        help="pool size for --executor threads/processes "
+        "(default: one per shard, processes capped at the CPU count)",
     )
     command.add_argument(
         "--incremental",

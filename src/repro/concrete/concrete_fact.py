@@ -78,6 +78,20 @@ class ConcreteFact:
             object.__setattr__(self, "_hash", cached)
         return cached
 
+    def __getstate__(self):
+        # Identity fields only: cached hashes are salted per process and
+        # the lifted twin / sort key rebuild lazily on first use.
+        return (self.relation, self.data, self.interval)
+
+    def __setstate__(self, state) -> None:
+        relation, data, interval = state
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "data", data)
+        object.__setattr__(self, "interval", interval)
+        object.__setattr__(self, "_hash", 0)
+        object.__setattr__(self, "_sort_key", None)
+        object.__setattr__(self, "_lifted", None)
+
     def __post_init__(self) -> None:
         if not self.relation:
             raise InstanceError("concrete fact relation name must be non-empty")

@@ -23,11 +23,11 @@ from repro.concrete.concrete_fact import ConcreteFact
 from repro.relational.fact import Fact
 from repro.relational.instance import Instance
 from repro.relational.schema import Schema
-from repro.relational.terms import AnnotatedNull, Constant, GroundTerm, Term
+from repro.relational.terms import AnnotatedNull, Constant, Term
 from repro.temporal.coalesce import coalesce_intervals, is_coalesced_intervals
 from repro.temporal.interval import Interval
 from repro.temporal.interval_set import IntervalSet
-from repro.temporal.timepoint import INFINITY, Infinity, TimePoint
+from repro.temporal.timepoint import Infinity
 
 __all__ = ["ConcreteInstance"]
 
@@ -77,6 +77,35 @@ class ConcreteInstance:
 
     def add_all(self, items: Iterable[ConcreteFact]) -> int:
         return sum(1 for item in items if self.add(item))
+
+    # -- pickling ------------------------------------------------------------
+    def __getstate__(self):
+        """Facts and schema only — the lifted view rebuilds on first use.
+
+        Shipping the cached lifted :class:`Instance` (and its fact-level
+        back-map) would double the payload for a view that is derived
+        data; buckets are stored sorted so equal instances serialize
+        identically.
+        """
+        return (
+            self.schema,
+            tuple(
+                (
+                    relation,
+                    tuple(sorted(bucket, key=ConcreteFact.sort_key)),
+                )
+                for relation, bucket in sorted(self._facts_by_relation.items())
+            ),
+        )
+
+    def __setstate__(self, state) -> None:
+        schema, groups = state
+        self.schema = schema
+        self._facts_by_relation = {
+            relation: set(bucket) for relation, bucket in groups
+        }
+        self._lifted = None
+        self._by_lifted = {}
 
     def discard(self, item: ConcreteFact) -> bool:
         bucket = self._facts_by_relation.get(item.relation)

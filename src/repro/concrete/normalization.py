@@ -32,13 +32,13 @@ endpoint comparisons) without changing matches, Δ sets or report counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.errors import FormulaError
 from repro.concrete.concrete_fact import ConcreteFact
 from repro.concrete.concrete_instance import ConcreteInstance
-from repro.relational.formulas import Atom, Conjunction, TemporalConjunction
+from repro.relational.formulas import Atom, TemporalConjunction
 from repro.relational.homomorphism import (
     _flat_join_plan,
     _iter_flat_join_rows,
@@ -46,7 +46,7 @@ from repro.relational.homomorphism import (
 )
 from repro.relational.terms import Constant, GroundTerm, Variable
 from repro.temporal.interval import Interval
-from repro.temporal.timepoint import Infinity, TimePoint
+from repro.temporal.timepoint import TimePoint
 
 __all__ = [
     "find_temporal_homomorphisms",

@@ -22,7 +22,6 @@ from dataclasses import dataclass
 from repro.abstract_view.abstract_chase import AbstractChaseResult, abstract_chase
 from repro.abstract_view.abstract_instance import AbstractInstance
 from repro.abstract_view.hom import (
-    has_abstract_homomorphism,
     homomorphically_equivalent,
 )
 from repro.abstract_view.semantics import semantics
@@ -77,6 +76,7 @@ def verify_correspondence(
     shards: int = 1,
     executor: str = "serial",
     incremental: bool = True,
+    workers: int | None = None,
 ) -> CorrespondenceReport:
     """Run both chases on one source and check Corollary 20.
 
@@ -100,6 +100,7 @@ def verify_correspondence(
         shards=shards,
         executor=executor,
         incremental=incremental,
+        workers=workers,
     )
     if abstract_result.error is not None:
         # A shard *raised* (as opposed to the chase failing): that is not

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FormulaError
-from repro.relational.formulas import Atom, Conjunction, TemporalConjunction
+from repro.relational.formulas import Conjunction, TemporalConjunction
 from repro.relational.parser import parse_implication
 from repro.relational.schema import Schema
 from repro.relational.terms import Variable

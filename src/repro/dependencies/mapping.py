@@ -15,8 +15,8 @@ with the s-t tgds and egds.  The same object serves both views:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.errors import SchemaError
 from repro.dependencies.dependency import EGD, SourceToTargetTGD

@@ -60,6 +60,22 @@ class ChaseFailureError(ReproError):
         super().__init__(detail)
 
 
+class RemoteShardError(ReproError):
+    """An exception raised inside a worker process of the ``processes``
+    executor, carried across the process boundary as *(type name,
+    message)* — the original exception object cannot be shipped
+    faithfully, so this stand-in becomes the ``__cause__`` of the
+    :class:`ShardExecutionError` the parent raises."""
+
+    def __init__(self, exc_type: str, message: str):
+        self.exc_type = exc_type
+        self.message = message
+        super().__init__(f"{exc_type}: {message}")
+
+    def __reduce__(self):
+        return (type(self), (self.exc_type, self.message))
+
+
 class ShardExecutionError(ReproError):
     """A region chase raised inside the abstract chase's region scheduler.
 
@@ -67,22 +83,55 @@ class ShardExecutionError(ReproError):
     chase — no solution exists): this wraps an unexpected exception so
     the failing shard index and region interval are surfaced instead of
     the executor's bare first exception.  The original exception is
-    chained as ``__cause__``.
+    chained as ``__cause__``; exceptions that crossed a process boundary
+    arrive as :class:`RemoteShardError` stand-ins.  *stage* overrides
+    the context phrase for failures outside any region chase — the
+    process executor uses it when a worker dies before returning a
+    result.
     """
 
-    def __init__(self, shard: int, region, cause: BaseException):
+    def __init__(
+        self,
+        shard: int,
+        region,
+        cause: BaseException,
+        stage: str | None = None,
+    ):
         self.shard = shard
         self.region = region
-        context = (
-            f"snapshots {region}"
-            if region is not None
-            else "while advancing the region sweep"
+        self.stage = stage
+        summary = (
+            str(cause)
+            if isinstance(cause, RemoteShardError)
+            else f"{type(cause).__name__}: {cause}"
         )
-        super().__init__(
-            f"region chase raised in shard {shard}, {context}: "
-            f"{type(cause).__name__}: {cause}"
-        )
+        if stage is not None:
+            detail = f"shard {shard} {stage}: {summary}"
+        elif region is not None:
+            detail = (
+                f"region chase raised in shard {shard}, "
+                f"snapshots {region}: {summary}"
+            )
+        else:
+            detail = (
+                f"region chase raised in shard {shard}, while advancing "
+                f"the region sweep: {summary}"
+            )
+        super().__init__(detail)
         self.__cause__ = cause
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay our message string as the
+        # shard argument; rebuild from the real fields instead, demoting
+        # an unpicklable cause to its RemoteShardError stand-in.
+        import pickle
+
+        cause = self.__cause__
+        try:
+            pickle.dumps(cause)
+        except Exception:
+            cause = RemoteShardError(type(cause).__name__, str(cause))
+        return (type(self), (self.shard, self.region, cause, self.stage))
 
 
 class NotNormalizedError(ReproError):

@@ -28,7 +28,7 @@ exactly the kind of design question the paper defers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import FormulaError
 from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
@@ -37,7 +37,7 @@ from repro.dependencies.dependency import SourceToTargetTGD
 from repro.relational.formulas import Conjunction
 from repro.relational.homomorphism import find_homomorphisms, has_homomorphism
 from repro.relational.parser import parse_implication
-from repro.relational.terms import AnnotatedNull, GroundTerm, Variable
+from repro.relational.terms import GroundTerm, Variable
 from repro.temporal.interval import Interval
 
 __all__ = [

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
-from repro.relational.terms import Constant, GroundTerm, term_sort_key
+from repro.relational.terms import GroundTerm, term_sort_key
 from repro.temporal.interval import Interval
 from repro.temporal.interval_set import IntervalSet
 

@@ -14,12 +14,9 @@ solution.
 
 from __future__ import annotations
 
-from typing import Iterable
 
-from repro.errors import ChaseFailureError
 from repro.abstract_view.abstract_chase import abstract_chase
 from repro.abstract_view.abstract_instance import AbstractInstance
-from repro.abstract_view.semantics import semantics
 from repro.concrete.cchase import c_chase
 from repro.concrete.concrete_instance import ConcreteInstance
 from repro.dependencies.mapping import DataExchangeSetting

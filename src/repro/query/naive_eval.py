@@ -20,7 +20,6 @@ Theorem 21 states ``⟦q+(Jc)↓⟧ = q(⟦Jc⟧)↓``;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
 
 from repro.abstract_view.abstract_instance import AbstractInstance
 from repro.abstract_view.semantics import semantics

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.errors import FormulaError, ParseError
 from repro.relational.formulas import Conjunction, TemporalConjunction
-from repro.relational.parser import parse_conjunction, tokenize
+from repro.relational.parser import parse_conjunction
 from repro.relational.schema import Schema
 from repro.relational.terms import Variable
 

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.errors import FormulaError, InstanceError
-from repro.relational.fact import Fact
 from repro.relational.formulas import Atom, Conjunction
 from repro.relational.instance import Instance
 from repro.relational.terms import Constant, GroundTerm, Variable

@@ -8,7 +8,7 @@ stamped facts live in :mod:`repro.concrete.concrete_fact`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterator
 
 from repro.errors import InstanceError
 from repro.relational.terms import (
@@ -69,6 +69,19 @@ class Fact:
             cached = hash((self.relation, self.args)) or -2
             object.__setattr__(self, "_hash", cached)
         return cached
+
+    def __getstate__(self):
+        # Identity fields only: cached hashes are salted per process
+        # (PYTHONHASHSEED) and must not cross a process boundary; the
+        # sort key is cheap to rebuild and pure dead weight on the wire.
+        return (self.relation, self.args)
+
+    def __setstate__(self, state) -> None:
+        relation, args = state
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_hash", 0)
+        object.__setattr__(self, "_sort_key", None)
 
     @property
     def arity(self) -> int:

@@ -123,6 +123,33 @@ class Instance:
             _remove_sorted(ordered, item)
         return True
 
+    # -- pickling ------------------------------------------------------------
+    def __getstate__(self):
+        """Facts and schema only — never the lazily-built indexes.
+
+        The index buckets alias the fact objects heavily; pickling them
+        would balloon the payload and ship per-process hash-ordering
+        artifacts.  Buckets are stored sorted so the serialized form is
+        deterministic for equal instances.
+        """
+        return (
+            self.schema,
+            tuple(
+                (relation, tuple(sorted(bucket, key=Fact.sort_key)))
+                for relation, bucket in sorted(self._facts_by_relation.items())
+            ),
+        )
+
+    def __setstate__(self, state) -> None:
+        schema, groups = state
+        self.schema = schema
+        self._facts_by_relation = {
+            relation: set(bucket) for relation, bucket in groups
+        }
+        self._index = {}
+        self._ordered = {}
+        self._max_arity = {}
+
     # -- basic queries ---------------------------------------------------------
     def __contains__(self, item: object) -> bool:
         if not isinstance(item, Fact):

@@ -23,7 +23,7 @@ so every term kind caches its hash on first use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Mapping, Union
 
 from repro.errors import InstanceError, TemporalError
 from repro.temporal.interval import Interval
@@ -46,6 +46,21 @@ def _cache_hash(term: Term, value: int) -> int:
         value = -2
     object.__setattr__(term, "_hash", value)
     return value
+
+
+def _restore_term(term: Term, fields: Mapping[str, object]) -> None:
+    """Rebuild a frozen term from its identity fields, caches unset.
+
+    Pickle support: the generated frozen-slots ``__getstate__`` would
+    ship the cached hash and sort key with every term, and ``str`` hashes
+    are salted per process (``PYTHONHASHSEED``), so a cached hash must
+    never cross a process boundary.  Every term kind's ``__setstate__``
+    funnels through here.
+    """
+    for name, value in fields.items():
+        object.__setattr__(term, name, value)
+    object.__setattr__(term, "_hash", 0)
+    object.__setattr__(term, "_skey", None)
 
 
 class Term:
@@ -85,6 +100,12 @@ class Constant(Term):
     def __hash__(self) -> int:
         return self._hash or _cache_hash(self, hash((Constant, self.value)))
 
+    def __getstate__(self):
+        return {"value": self.value}
+
+    def __setstate__(self, state) -> None:
+        _restore_term(self, state)
+
     def __str__(self) -> str:
         return str(self.value)
 
@@ -107,6 +128,12 @@ class Variable(Term):
     def __hash__(self) -> int:
         return self._hash or _cache_hash(self, hash((Variable, self.name)))
 
+    def __getstate__(self):
+        return {"name": self.name}
+
+    def __setstate__(self, state) -> None:
+        _restore_term(self, state)
+
     def __str__(self) -> str:
         return self.name
 
@@ -128,6 +155,12 @@ class LabeledNull(Term):
 
     def __hash__(self) -> int:
         return self._hash or _cache_hash(self, hash((LabeledNull, self.name)))
+
+    def __getstate__(self):
+        return {"name": self.name}
+
+    def __setstate__(self, state) -> None:
+        _restore_term(self, state)
 
     def __str__(self) -> str:
         return self.name
@@ -164,6 +197,12 @@ class AnnotatedNull(Term):
         return self._hash or _cache_hash(
             self, hash((AnnotatedNull, self.base, self.annotation))
         )
+
+    def __getstate__(self):
+        return {"base": self.base, "annotation": self.annotation}
+
+    def __setstate__(self, state) -> None:
+        _restore_term(self, state)
 
     def project(self, point: int) -> LabeledNull:
         """``Π_ℓ(N^[s,e)) = N@ℓ`` — select the snapshot-level null at ℓ.

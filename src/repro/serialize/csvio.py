@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import SerializationError
 from repro.concrete.concrete_fact import ConcreteFact

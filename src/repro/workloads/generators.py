@@ -20,7 +20,6 @@ from repro.relational.formulas import TemporalConjunction
 from repro.relational.parser import parse_conjunction
 from repro.relational.schema import Schema
 from repro.temporal.interval import Interval, interval
-from repro.temporal.timepoint import INFINITY
 
 __all__ = [
     "EmploymentWorkload",

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.abstract_view import semantics
 from repro.concrete import c_chase
 from repro.correspondence import concrete_is_solution, verify_correspondence
 from repro.query import (

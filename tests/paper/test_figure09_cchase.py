@@ -12,7 +12,7 @@ The concrete solution for Ic (Figure 4) under the Example 6 mapping:
 from repro.concrete import c_chase
 from repro.relational import Constant
 from repro.relational.terms import AnnotatedNull
-from repro.temporal import Interval, interval
+from repro.temporal import Interval
 
 
 def rows_by_stamp(result):

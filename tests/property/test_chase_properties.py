@@ -4,11 +4,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.chase import chase_snapshot, core_of, is_core, snapshot_satisfies
-from repro.chase.union_find import ConstantClashError, TermUnionFind
+from repro.chase.union_find import TermUnionFind
 from repro.relational import Constant, Instance, LabeledNull, fact
 from repro.workloads import exchange_setting_join
 
-from .strategies import employment_instances
 
 SETTING = exchange_setting_join()
 

@@ -9,14 +9,13 @@ conflicting ones, so both the success and failure paths are exercised.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.abstract_view import is_solution, semantics
+from repro.abstract_view import semantics
 from repro.concrete import c_chase
 from repro.correspondence import concrete_is_solution, verify_correspondence
 from repro.query import (
     ConjunctiveQuery,
     certain_answers_abstract,
     certain_answers_concrete,
-    naive_evaluate_abstract,
     naive_evaluate_concrete,
     verify_evaluation_correspondence,
 )

@@ -16,7 +16,6 @@ from hypothesis import strategies as st
 from repro.concrete import ConcreteInstance, concrete_fact
 from repro.relational import Constant, Instance, fact
 from repro.relational.fact import Fact
-from repro.temporal import Interval
 
 from .strategies import intervals
 

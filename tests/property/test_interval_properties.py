@@ -6,10 +6,10 @@ window is chosen past every finite endpoint, so unbounded tails are
 represented faithfully by their prefix).
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.temporal import INFINITY, Interval, IntervalSet
+from repro.temporal import Interval, IntervalSet
 from repro.temporal.coalesce import coalesce_intervals
 
 from .strategies import interval_lists, intervals

@@ -6,7 +6,7 @@ from repro.abstract_view import AbstractInstance, TemplateFact
 from repro.errors import InstanceError, TemporalError
 from repro.relational import Constant, Instance, LabeledNull, fact
 from repro.relational.terms import AnnotatedNull
-from repro.temporal import INFINITY, Interval, IntervalSet, interval
+from repro.temporal import Interval, IntervalSet, interval
 
 
 def template(rel: str, args, stamp: Interval) -> TemplateFact:

@@ -7,7 +7,6 @@ from repro.relational import (
     Constant,
     Instance,
     LabeledNull,
-    Variable,
     fact,
     parse_conjunction,
 )

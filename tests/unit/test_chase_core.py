@@ -2,7 +2,7 @@
 
 from repro.chase import chase_snapshot, core_of, find_proper_endomorphism, is_core
 from repro.dependencies import DataExchangeSetting
-from repro.relational import Instance, LabeledNull, Schema, fact
+from repro.relational import Instance, LabeledNull, fact
 
 
 def null(name: str) -> LabeledNull:

@@ -1,6 +1,5 @@
 """Unit tests for CQ containment, equivalence and minimization."""
 
-import pytest
 
 from repro.query import ConjunctiveQuery, UnionQuery
 from repro.query.containment import (

@@ -16,7 +16,7 @@ from repro.concrete import (
 )
 from repro.errors import FormulaError
 from repro.relational import Constant, TemporalConjunction, Variable, parse_conjunction
-from repro.temporal import Interval, interval
+from repro.temporal import Interval
 from repro.workloads import (
     algorithm1_example_conjunctions,
     algorithm1_example_instance,

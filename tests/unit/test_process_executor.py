@@ -1,0 +1,230 @@
+"""The process-pool region scheduler: parity, crashes, pickling."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.abstract_view import AbstractInstance, TemplateFact, abstract_chase, semantics
+from repro.chase import NullFactory
+from repro.concrete import ConcreteInstance, concrete_fact
+from repro.dependencies import DataExchangeSetting
+from repro.errors import (
+    ChaseFailureError,
+    InstanceError,
+    RemoteShardError,
+    ShardExecutionError,
+)
+from repro.relational import Constant, Instance, Schema, fact
+from repro.temporal import Interval
+from repro.workloads import exchange_setting_org, random_org_history
+
+
+ORG_SETTING = exchange_setting_org()
+
+CLASH_SETTING = DataExchangeSetting.create(
+    Schema.of(E=("Name", "Dept")),
+    Schema.of(T=("Name", "Dept")),
+    st_tgds=["E(x, y) -> T(x, y)"],
+    egds=["T(x, y) & T(x, z) -> y = z"],
+)
+
+
+def _org_abstract(people=8, timeline=32, seed=3):
+    return semantics(
+        random_org_history(people=people, timeline=timeline, seed=seed).instance
+    )
+
+
+def _assert_identical(lhs, rhs):
+    """Everything observable matches, null names and traces included."""
+    assert lhs.failed == rhs.failed
+    assert lhs.failed_region == rhs.failed_region
+    assert str(lhs.failure) == str(rhs.failure)
+    assert lhs.target == rhs.target
+    assert list(lhs.region_results) == list(rhs.region_results)
+    for region in rhs.region_results:
+        assert (
+            lhs.region_results[region].target
+            == rhs.region_results[region].target
+        ), region
+        assert [str(s) for s in lhs.region_results[region].trace.steps] == [
+            str(s) for s in rhs.region_results[region].trace.steps
+        ], region
+    assert {r: vars(v) for r, v in lhs.region_reuse.items()} == {
+        r: vars(v) for r, v in rhs.region_reuse.items()
+    }
+
+
+class TestProcessExecutorParity:
+    def test_identical_to_serial_sharded(self):
+        abstract = _org_abstract()
+        serial = abstract_chase(abstract, ORG_SETTING, shards=3)
+        procs = abstract_chase(
+            abstract, ORG_SETTING, shards=3, executor="processes"
+        )
+        _assert_identical(procs, serial)
+        assert all(report.remote for report in procs.shard_reports)
+        assert not any(report.remote for report in serial.shard_reports)
+
+    def test_identical_on_from_scratch_schedule(self):
+        abstract = _org_abstract()
+        serial = abstract_chase(
+            abstract, ORG_SETTING, shards=2, incremental=False
+        )
+        procs = abstract_chase(
+            abstract,
+            ORG_SETTING,
+            shards=2,
+            executor="processes",
+            incremental=False,
+        )
+        _assert_identical(procs, serial)
+        assert all(report.reuse is None for report in procs.shard_reports)
+
+    def test_failure_parity(self):
+        source = AbstractInstance(
+            [
+                TemplateFact("E", (Constant("a"), Constant("b")), Interval(0, 4)),
+                TemplateFact("E", (Constant("a"), Constant("c")), Interval(2, 6)),
+            ]
+        )
+        serial = abstract_chase(source, CLASH_SETTING, shards=2)
+        procs = abstract_chase(
+            source, CLASH_SETTING, shards=2, executor="processes"
+        )
+        _assert_identical(procs, serial)
+        assert procs.failed and procs.failed_shard == serial.failed_shard
+        with pytest.raises(ChaseFailureError, match="shard 0"):
+            procs.unwrap()
+
+    def test_pool_instance_is_reused(self):
+        abstract = _org_abstract()
+        serial = abstract_chase(abstract, ORG_SETTING, shards=2)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            first = abstract_chase(abstract, ORG_SETTING, shards=2, executor=pool)
+            second = abstract_chase(abstract, ORG_SETTING, shards=2, executor=pool)
+        _assert_identical(first, serial)
+        _assert_identical(second, serial)
+
+    def test_shared_base_factory_advances(self):
+        abstract = _org_abstract()
+        base = NullFactory()
+        result = abstract_chase(
+            abstract, ORG_SETTING, null_factory=base, executor="processes"
+        )
+        assert result.succeeded
+        assert base.issued == result.shard_reports[0].nulls_issued > 0
+        # A second run off the same factory must not repeat null names.
+        again = abstract_chase(abstract, ORG_SETTING, null_factory=base)
+        first_nulls = {n.base for n in result.target.per_snapshot_nulls()}
+        second_nulls = {n.base for n in again.target.per_snapshot_nulls()}
+        assert first_nulls.isdisjoint(second_nulls)
+
+    def test_workers_validation(self):
+        abstract = _org_abstract()
+        with pytest.raises(InstanceError, match="workers"):
+            abstract_chase(
+                abstract, ORG_SETTING, executor="processes", workers=0
+            )
+
+    def test_unknown_executor_names_processes(self):
+        abstract = _org_abstract()
+        with pytest.raises(InstanceError, match="processes"):
+            abstract_chase(abstract, ORG_SETTING, executor="fibers")
+
+
+class TestWorkerCrash:
+    def test_crash_surfaces_shard_index(self, monkeypatch):
+        # workers=1 serializes the two shards, so shard 0 completes
+        # before the crash hook kills shard 1's worker — the error must
+        # name shard 1 and keep shard 0's report.
+        monkeypatch.setenv("REPRO_SHARD_CRASH", "1")
+        abstract = _org_abstract()
+        result = abstract_chase(
+            abstract, ORG_SETTING, shards=2, executor="processes", workers=1
+        )
+        assert result.failed
+        assert result.error is not None
+        assert result.error.shard == 1
+        assert result.failed_shard == 1
+        assert "worker process died" in str(result.error)
+        assert result.shard_reports[0].regions > 0
+        assert result.shard_reports[1].remote
+        with pytest.raises(ShardExecutionError, match="shard 1"):
+            result.unwrap()
+        # The first shard's regions merged; the dead shard's are absent.
+        assert len(result.region_results) > 0
+
+    def test_crashed_run_error_pickles(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_CRASH", "0")
+        abstract = _org_abstract()
+        result = abstract_chase(
+            abstract, ORG_SETTING, shards=1, executor="processes"
+        )
+        error = pickle.loads(pickle.dumps(result.error))
+        assert isinstance(error, ShardExecutionError)
+        assert error.shard == 0
+
+
+class TestPickleSupport:
+    def test_instance_roundtrip_drops_and_rebuilds_caches(self):
+        instance = Instance([fact("E", "ada", "ibm"), fact("E", "bob", "hp")])
+        # Force the lazy index so the pickle has something to drop.
+        assert instance.lookup("E", {0: Constant("ada")})
+        clone = pickle.loads(pickle.dumps(instance))
+        assert clone == instance
+        assert clone.lookup("E", {0: Constant("ada")}) == instance.lookup(
+            "E", {0: Constant("ada")}
+        )
+
+    def test_concrete_instance_roundtrip(self):
+        instance = ConcreteInstance(
+            [
+                concrete_fact("E", "ada", "ibm", interval=Interval(0, 5)),
+                concrete_fact("S", "ada", "10k", interval=Interval(2, 7)),
+            ]
+        )
+        assert instance.lifted()  # warm the cached view
+        clone = pickle.loads(pickle.dumps(instance))
+        assert clone == instance
+        assert clone.lifted() == instance.lifted()
+
+    def test_fact_state_excludes_caches(self):
+        item = fact("E", "ada", "ibm")
+        hash(item)
+        item.sort_key()
+        state = item.__getstate__()
+        assert state == ("E", item.args)
+        clone = pickle.loads(pickle.dumps(item))
+        assert clone == item and hash(clone) == hash(item)
+        assert clone.sort_key() == item.sort_key()
+
+    def test_null_factory_transcript_survives(self):
+        factory = NullFactory()
+        factory.fresh()
+        factory.fresh()
+        clone = pickle.loads(pickle.dumps(factory))
+        assert clone.fresh().name == factory.fresh().name
+        assert clone.fresh_annotated(Interval(0, 2)) == factory.fresh_annotated(
+            Interval(0, 2)
+        )
+        assert clone.for_shard(1, 2).prefix == factory.for_shard(1, 2).prefix
+
+    def test_remote_shard_error_pickles(self):
+        error = pickle.loads(
+            pickle.dumps(RemoteShardError("ValueError", "boom"))
+        )
+        assert error.exc_type == "ValueError"
+        assert error.message == "boom"
+
+    def test_shard_execution_error_with_unpicklable_cause(self):
+        class Local(Exception):
+            pass
+
+        error = ShardExecutionError(2, Interval(0, 3), Local("nope"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.shard == 2
+        assert clone.region == Interval(0, 3)
+        assert isinstance(clone.__cause__, RemoteShardError)
+        assert clone.__cause__.exc_type == "Local"

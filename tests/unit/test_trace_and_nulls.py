@@ -1,6 +1,5 @@
 """Unit tests for chase traces, null factories and error types."""
 
-import pytest
 
 from repro.chase import ChaseTrace, NullFactory
 from repro.chase.trace import EgdStepRecord, FailureRecord, TgdStepRecord
