@@ -3,25 +3,31 @@
 #   make test          - tier-1: full test suite (fails fast)
 #   make bench-smoke   - run every benchmark module once, timings disabled
 #   make bench         - full timed benchmark run
-#   make bench-compare - timed run into BENCH_pr4.json, then fail if any
+#   make bench-compare - timed run into $(BENCH_OUT), then fail if any
 #                        benchmark regressed >20% vs BENCH_baseline.json
+#                        (override the output: make bench-compare BENCH_OUT=x.json)
+#   make coverage      - tests under pytest-cov: fail under $(COV_MIN)%
+#                        line coverage of repro, HTML report in htmlcov/
 #   make verify-incremental - the incremental≡full abstract-chase
 #                        equivalence suite (unit chains + region-sweep
 #                        edge cases + Hypothesis property tests)
 #   make lint          - ruff over the whole tree (needs `pip install ruff`)
 #   make verify        - test + bench-smoke + verify-incremental
 #
-# CI (.github/workflows/ci.yml) runs exactly these targets — test,
-# bench-smoke and verify-incremental on a Python 3.11/3.12 matrix, lint,
-# an offline `pip install . --no-build-isolation --no-index` job, and a
-# scheduled/manual bench-compare gate — so the workflow file is the
-# canonical, always-exercised verify recipe.
+# CI (.github/workflows/ci.yml) runs exactly these targets — test and
+# verify-incremental on a Python 3.11/3.12/3.13 matrix, bench-smoke
+# (skipped on doc-only pushes), lint, coverage, a multi-core
+# shard-parity pass, an offline `pip install . --no-build-isolation
+# --no-index` job, and a scheduled/manual bench-compare gate — so the
+# workflow file is the canonical, always-exercised verify recipe.
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+BENCH_OUT ?= BENCH_pr5.json
+COV_MIN ?= 85
 
-.PHONY: test bench-smoke bench bench-compare verify verify-incremental \
-	lint install-editable install
+.PHONY: test bench-smoke bench bench-compare coverage verify \
+	verify-incremental lint install-editable install
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -34,9 +40,14 @@ bench:
 
 bench-compare:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest benchmarks -q --benchmark-only \
-		--benchmark-json=BENCH_pr4.json
-	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json BENCH_pr4.json \
+		--benchmark-json=$(BENCH_OUT)
+	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json $(BENCH_OUT) \
 		--max-regression 0.20
+
+coverage:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -q \
+		--cov=repro --cov-report=term --cov-report=html \
+		--cov-fail-under=$(COV_MIN)
 
 verify-incremental:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -q \

@@ -2,15 +2,28 @@
 
 Regenerates both figures exactly (9 facts vs 14 facts) and times the two
 algorithms — the paper's size-vs-speed trade-off (end of Section 4.2)
-made measurable.
+made measurable.  The ``scaled`` variants run the same two algorithms on
+:func:`repro.workloads.overlapping_salary_history` — dense per-person
+``E ⋈ S`` overlap groups with linear fragment output, the shape where
+overlap discovery (not fragmentation) dominates — at growing sizes.
 """
 
-from repro.concrete import concrete_fact, naive_normalize, normalize
+import pytest
+
+from repro.concrete import (
+    concrete_fact,
+    is_normalized,
+    naive_normalize,
+    normalize,
+    normalize_with_report,
+)
 from repro.serialize import render_concrete_instance
 from repro.temporal import Interval, interval
-from repro.workloads import salary_conjunction
+from repro.workloads import overlapping_salary_history, salary_conjunction
 
 from conftest import emit
+
+SCALED_SPANS = (64, 256, 512)
 
 FIGURE_5 = {
     concrete_fact("E", "Ada", "IBM", interval=Interval(2012, 2013)),
@@ -62,3 +75,48 @@ def test_fig06_naive_normalization(benchmark, source, setting):
         "FIG-6 (paper Figure 6): naïve normalization (14 facts)",
         render_concrete_instance(normalized, setting.lifted_source_schema()),
     )
+
+
+@pytest.mark.parametrize("spans", SCALED_SPANS)
+def test_fig05_scaled_algorithm1(benchmark, spans):
+    """Figure 5's algorithm on dense salary histories (big overlap groups)."""
+    workload = overlapping_salary_history(people=2, spans=spans)
+    conjunctions = [salary_conjunction()]
+    normalized = benchmark(lambda: normalize(workload.instance, conjunctions))
+    # The workload's fragment fan-out is bounded: linear output, so the
+    # timing isolates overlap discovery rather than fragment churn.
+    assert len(workload.instance) < len(normalized) <= 6 * len(workload.instance)
+    if spans == SCALED_SPANS[0]:
+        assert is_normalized(normalized, conjunctions)
+
+
+@pytest.mark.parametrize("spans", SCALED_SPANS)
+def test_fig06_scaled_naive(benchmark, spans):
+    """Figure 6's naïve algorithm on the same dense salary histories."""
+    workload = overlapping_salary_history(people=2, spans=spans)
+    normalized = benchmark(lambda: naive_normalize(workload.instance))
+    assert len(normalized) >= len(workload.instance)
+
+
+@pytest.mark.parametrize("spans", (128, 256))
+def test_fig05_scaled_replay(benchmark, spans):
+    """Fragment-level incremental normalization on a churned history.
+
+    A first run records its :class:`NormalizationLog`; the timed run
+    normalizes a history where only person 0's jobs changed, so 7 of the
+    8 per-person groups (and their components' fragment plans) replay
+    with zero re-sorting.  Output is byte-identical to from-scratch.
+    """
+    conjunctions = [salary_conjunction()]
+    base = overlapping_salary_history(people=8, spans=spans)
+    _, recorded = normalize_with_report(
+        base.instance, conjunctions, record=True
+    )
+    churned = overlapping_salary_history(people=8, spans=spans, churn=spans // 4)
+    normalized, report = benchmark(
+        lambda: normalize_with_report(
+            churned.instance, conjunctions, previous=recorded.log
+        )
+    )
+    assert report.groups_replayed == 7
+    assert normalized == normalize(churned.instance, conjunctions)

@@ -127,3 +127,112 @@ def test_parallel_speedup_summary(benchmark, abstract, pool):
             abstract, ORG_SETTING, shards=SHARDS, executor=pool
         )
     )
+
+
+# ---------------------------------------------------------------------------
+# Script mode: one-shot serial-vs-parallel parity pass for CI
+# ---------------------------------------------------------------------------
+#
+#   PYTHONPATH=src python benchmarks/bench_parallel_shards.py --smoke \
+#       --executor processes --workers 4
+#
+# The dev container is single-core, so the pytest benchmarks above can
+# only document that processes lose there; the CI multi-core job runs
+# this smoke pass on a 4-vCPU runner, asserts byte-identical output,
+# and publishes the observed serial/parallel ratio to the step summary.
+
+
+def _smoke_main(argv=None) -> int:
+    import argparse
+    import os
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="one-shot serial-vs-parallel shard parity pass"
+    )
+    parser.add_argument(
+        "--smoke", action="store_true", help="run one comparison and exit"
+    )
+    parser.add_argument(
+        "--executor", choices=["threads", "processes"], default="processes"
+    )
+    parser.add_argument("--workers", type=int, default=SHARDS)
+    parser.add_argument(
+        "--people", type=int, default=96, help="workload size (org history)"
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("this script only supports --smoke (pytest runs the rest)")
+
+    workload = random_org_history(people=args.people, timeline=384, seed=17)
+    abstract = semantics(workload.instance)
+    rows = []
+    ratios = []
+    from contextlib import nullcontext
+
+    pool_context = (
+        ProcessPoolExecutor(max_workers=args.workers)
+        if args.executor == "processes"
+        else nullcontext("threads")
+    )
+    with pool_context as executor:
+        # Warm the pool (fork + import cost is a one-time server expense).
+        abstract_chase(abstract, ORG_SETTING, shards=args.workers, executor=executor)
+        for incremental in (True, False):
+            serial_times, parallel_times = [], []
+            for _ in range(3):
+                started = time.perf_counter()
+                serial = abstract_chase(
+                    abstract,
+                    ORG_SETTING,
+                    shards=args.workers,
+                    executor="serial",
+                    incremental=incremental,
+                )
+                serial_times.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                parallel = abstract_chase(
+                    abstract,
+                    ORG_SETTING,
+                    shards=args.workers,
+                    executor=executor,
+                    incremental=incremental,
+                )
+                parallel_times.append(time.perf_counter() - started)
+            if parallel.target != serial.target:
+                print("PARITY FAILURE: parallel target differs from serial")
+                return 1
+            ratio = min(serial_times) / min(parallel_times)
+            ratios.append(ratio)
+            label = "incremental" if incremental else "from-scratch"
+            rows.append(
+                f"| {label} | {min(serial_times) * 1000:.1f} ms "
+                f"| {min(parallel_times) * 1000:.1f} ms | {ratio:.2f}x |"
+            )
+            print(
+                f"{label}: serial {min(serial_times) * 1000:.1f} ms, "
+                f"{args.executor} {min(parallel_times) * 1000:.1f} ms, "
+                f"ratio {ratio:.2f}x"
+            )
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        try:
+            with open(summary, "a", encoding="utf-8") as handle:
+                handle.write(
+                    "## Multi-core shard parity\n\n"
+                    f"`--executor {args.executor} --workers {args.workers}` on "
+                    f"{os.cpu_count()} CPUs — outputs byte-identical to serial.\n\n"
+                    "| schedule | serial | parallel | speedup |\n"
+                    "|---|---:|---:|---:|\n" + "\n".join(rows) + "\n"
+                )
+        except OSError as exc:  # pragma: no cover - CI file-system hiccup
+            print(f"(could not write GITHUB_STEP_SUMMARY: {exc})", file=sys.stderr)
+    print(
+        "PARALLEL-SMOKE: executor=%s workers=%d ratio_incr=%.2f ratio_full=%.2f"
+        % (args.executor, args.workers, ratios[0], ratios[1])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_smoke_main())

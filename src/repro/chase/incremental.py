@@ -87,7 +87,52 @@ from repro.relational.homomorphism import (
 from repro.relational.instance import Instance
 from repro.relational.terms import GroundTerm, Variable
 
-__all__ = ["IncrementalRegionChaser", "RegionReuseStats"]
+__all__ = ["IncrementalRegionChaser", "RegionReuseStats", "ReplayLedger"]
+
+
+class ReplayLedger:
+    """A signature-checked store of recorded decisions, with accounting.
+
+    The recorded-replay engines of this repository share one contract: a
+    decision recorded under some input may be replayed verbatim **only
+    while the current input provably matches the recorded one**, and any
+    mismatch must fall back to the live computation — never to a guess.
+    This class is the small shared mechanism behind that contract: each
+    key stores ``(signature, payload)``, and :meth:`recall` hands the
+    payload back only on an exact signature match, counting hits and
+    misses so callers can report replay coverage (the cross-region
+    chaser reports stream reuse through :class:`RegionReuseStats`; the
+    normalization engine reports group/component replay counts through
+    ``NormalizationReport``).
+
+    Signatures are whatever equality-comparable value captures *all* the
+    input a decision depends on — a frozenset of group members, a tuple
+    of diff facts — chosen by the caller.  A ledger never expires
+    entries; one ledger represents one recorded run.
+    """
+
+    __slots__ = ("_records", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._records: dict[object, tuple[object, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def record(self, key: object, signature: object, payload: object) -> None:
+        """Store *payload* for *key*, replayable iff *signature* recurs."""
+        self._records[key] = (signature, payload)
+
+    def recall(self, key: object, signature: object) -> object | None:
+        """The recorded payload on an exact signature match, else ``None``."""
+        entry = self._records.get(key)
+        if entry is not None and entry[0] == signature:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        return None
 
 
 @dataclass

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import pickle
 import sys
 from pathlib import Path
 
-from repro.concrete import c_chase, naive_normalize, normalize
+from repro.concrete import CChaseReplayState, c_chase, naive_normalize, normalize
 from repro.correspondence import verify_correspondence
 from repro.errors import ReproError
 from repro.query import ConjunctiveQuery, UnionQuery, certain_answers_concrete
@@ -47,6 +48,44 @@ def _load_instance(path: str):
 
 def _load_setting(path: str):
     return setting_from_json(_load_json(path))
+
+
+def _load_norm_log(path: str) -> "CChaseReplayState | bool":
+    """The previous replay state at *path*, or ``True`` when absent.
+
+    ``True`` asks the c-chase to record this run's state without
+    replaying anything — the first run of a ``--norm-log`` chain.
+
+    The file is a pickle (the state holds live fact/conjunction
+    objects), so it carries the usual pickle trust boundary: only load
+    logs this tool wrote for you — never one from an untrusted source.
+    The ``--norm-log`` help text says the same.
+    """
+    log_path = Path(path)
+    if not log_path.exists():
+        return True
+    try:
+        with open(log_path, "rb") as handle:
+            state = pickle.load(handle)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SystemExit(
+            f"error: cannot read normalization log from {path}: {exc}"
+        )
+    if not isinstance(state, CChaseReplayState):
+        raise SystemExit(
+            f"error: {path} does not contain a c-chase replay state"
+        )
+    return state
+
+
+def _save_norm_log(path: str, state: CChaseReplayState | None) -> None:
+    if state is None:
+        return
+    try:
+        with open(path, "wb") as handle:
+            pickle.dump(state, handle)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write normalization log to {path}: {exc}")
 
 
 def _write_instance(instance, out: str | None, pretty: bool) -> None:
@@ -86,6 +125,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
             ("--pretty", args.pretty),
             ("--coalesce", args.coalesce),
             ("--normalization", args.normalization != "conjunction"),
+            ("--norm-log", bool(args.norm_log)),
         ):
             if given:
                 raise SystemExit(
@@ -99,7 +139,7 @@ def _cmd_chase(args: argparse.Namespace) -> int:
             engine=args.engine,
             shards=args.shards,
             executor=args.executor,
-            incremental=args.incremental == "on",
+            incremental=args.incremental != "off",
             workers=args.workers,
         )
         if args.shards > 1:
@@ -127,13 +167,32 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         ("--shards", args.shards != 1),
         ("--executor", args.executor != "serial"),
         ("--workers", args.workers is not None),
-        ("--incremental", args.incremental != "on"),
     ):
         if given:
             raise SystemExit(
                 f"error: {flag} configures the abstract chase's region "
                 "scheduler; add --via abstract to use it"
             )
+    # For the concrete c-chase, --incremental gates the fragment-level
+    # normalization replay chained through --norm-log (on the abstract
+    # path it selects the cross-region replay instead).  An explicit
+    # --incremental without a replay chain to act on would silently do
+    # nothing — refuse it with guidance instead.
+    if args.incremental is not None and not args.norm_log:
+        raise SystemExit(
+            "error: --incremental configures replay chains; on the "
+            "concrete c-chase it needs --norm-log FILE (or add "
+            "--via abstract for cross-region replay)"
+        )
+    if args.norm_log and args.normalization == "naive":
+        raise SystemExit(
+            "error: --norm-log records Algorithm 1's group decisions; "
+            "the naive normalization has none to replay "
+            "(drop --norm-log or use --normalization conjunction)"
+        )
+    incremental = None
+    if args.norm_log and args.incremental != "off":
+        incremental = _load_norm_log(args.norm_log)
     result = c_chase(
         source,
         setting,
@@ -141,7 +200,10 @@ def _cmd_chase(args: argparse.Namespace) -> int:
         variant=args.variant,
         coalesce_result=args.coalesce,
         engine=args.engine,
+        incremental=incremental,
     )
+    if args.norm_log and args.incremental != "off":
+        _save_norm_log(args.norm_log, result.replay_state)
     if result.failed:
         print(f"chase failed: {result.failure}", file=sys.stderr)
         return 1
@@ -192,15 +254,23 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
+    # --incremental gates both replay layers here: the abstract chase's
+    # cross-region reuse and the c-chase's --norm-log chain (mirroring
+    # the chase command's concrete path).
+    use_norm_log = bool(args.norm_log) and args.incremental != "off"
+    cchase_incremental = _load_norm_log(args.norm_log) if use_norm_log else None
     report = verify_correspondence(
         source,
         setting,
         engine=args.engine,
         shards=args.shards,
         executor=args.executor,
-        incremental=args.incremental == "on",
+        incremental=args.incremental != "off",
         workers=args.workers,
+        cchase_incremental=cchase_incremental,
     )
+    if use_norm_log:
+        _save_norm_log(args.norm_log, report.concrete_result.replay_state)
     if args.shards > 1:
         _print_shard_reports(report.abstract_result)
     if report.both_failed:
@@ -305,9 +375,19 @@ def _add_scheduler_flags(command: argparse.ArgumentParser) -> None:
     command.add_argument(
         "--incremental",
         choices=["on", "off"],
-        default="on",
-        help="reuse chase work between adjacent region snapshots "
-        "(byte-identical to 'off'; default on)",
+        default=None,
+        help="reuse recorded chase work (byte-identical to 'off'; "
+        "default on): adjacent region snapshots for the abstract "
+        "chase, the --norm-log replay chain for the concrete c-chase",
+    )
+    command.add_argument(
+        "--norm-log",
+        metavar="FILE",
+        help="persist the c-chase's fragment-level normalization replay "
+        "state: when FILE exists it seeds replay of unchanged "
+        "value-equivalence groups, and the run's state is written back "
+        "(a pickle — only load files this tool wrote for you; "
+        "concrete c-chase with Algorithm 1 normalization only)",
     )
 
 

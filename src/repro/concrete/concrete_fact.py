@@ -185,6 +185,18 @@ class ConcreteFact:
             return (self,)
         return tuple(self.with_interval(stamp) for stamp in stamps)
 
+    def fragment_sorted(self, cuts: Iterable[TimePoint]) -> tuple["ConcreteFact", ...]:
+        """Trusted :meth:`fragment`: *cuts* pre-sorted and strictly interior.
+
+        The sweep engine hands each fact the bisected slice of its
+        component's sorted endpoint array, so no per-fact filtering
+        happens here (see :meth:`Interval.split_at_sorted`).
+        """
+        stamps = self.interval.split_at_sorted(cuts)  # type: ignore[arg-type]
+        if len(stamps) == 1:
+            return (self,)
+        return tuple(self.with_interval(stamp) for stamp in stamps)
+
     def at(self, point: int) -> Fact:
         """The snapshot-level fact at time ℓ (annotated nulls projected)."""
         if point not in self.interval:

@@ -127,6 +127,21 @@ class ConcreteInstance:
         self.discard(item)
         self.add_all(replacements)
 
+    def apply_fragments(
+        self,
+        planned: Iterable[tuple[ConcreteFact, Iterable[ConcreteFact]]],
+    ) -> None:
+        """Apply a batch of fact → fragments replacements.
+
+        The normalization engine plans all fragmentations first and
+        applies them in one pass; fragments of one fact never collide
+        with each other, but may merge with fragments of other facts —
+        set semantics, exactly as per-fact :meth:`replace` calls.
+        """
+        for item, fragments in planned:
+            self.discard(item)
+            self.add_all(fragments)
+
     # -- basic queries -----------------------------------------------------------
     def __contains__(self, item: object) -> bool:
         if not isinstance(item, ConcreteFact):
@@ -150,6 +165,15 @@ class ConcreteInstance:
 
     def facts_of(self, relation: str) -> frozenset[ConcreteFact]:
         return frozenset(self._facts_by_relation.get(relation, ()))
+
+    def iter_facts_of(self, relation: str) -> Iterator[ConcreteFact]:
+        """Iterate the stored facts of *relation* without copying.
+
+        Arbitrary (bucket) order — for consumers whose outcome is
+        order-independent, like the normalization sweeps, which sort by
+        interval themselves.  Do not mutate the instance mid-iteration.
+        """
+        return iter(self._facts_by_relation.get(relation, ()))
 
     def facts(self) -> frozenset[ConcreteFact]:
         return frozenset(

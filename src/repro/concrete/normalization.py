@@ -25,17 +25,39 @@ Match enumeration over the decoupled forms runs on the general flat
 written-order join of :mod:`repro.relational.homomorphism`
 (:func:`~repro.relational.homomorphism._iter_flat_join_rows`), which
 handles any number of all-variable atoms via per-atom join-key groups —
-the former two-atom-only fast-path shape detection is gone.  Algorithm 1
-additionally inlines the dominant two-atom case (interval overlap is two
-endpoint comparisons) without changing matches, Δ sets or report counts.
+the former two-atom-only fast-path shape detection is gone.
+
+For the dominant two-atom decoupled forms, Algorithm 1's overlap
+discovery runs as an **endpoint sweep** per value-equivalence group
+(:func:`repro.temporal.interval_set.sweep_overlap_clusters` /
+:func:`~repro.temporal.interval_set.sweep_bipartite_clusters`): the
+group's intervals are sorted once by their cached sort keys and swept in
+``O(g log g)``, producing the same union-find components, the same
+matchable facts and the same fragment partition the historical per-pair
+enumeration derived in ``O(g²)``.  ``engine="pairwise"`` keeps that
+per-pair enumeration as the reference mode the equivalence suites sweep
+against.  Under the sweep engine ``NormalizationReport.matched_sets``
+counts **overlap sets** (the transitively-overlapping clusters, which is
+what the paper's ``S`` collects) while ``matched_pairs`` reconstructs
+the historical per-match count exactly — see the report's docstring.
+
+A :class:`NormalizationLog` records every group's sweep outcome and
+every component's fragment decisions; a later run on an overlapping
+source hands the log back as ``previous=`` and every group whose member
+facts are unchanged replays its recorded decisions with zero re-sorting
+(the fragment-level mirror of the cross-region replay contract in
+:mod:`repro.chase.incremental`, built on the same
+:class:`~repro.chase.incremental.ReplayLedger`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Literal, Mapping, Sequence
 
 from repro.errors import FormulaError
+from repro.chase.incremental import ReplayLedger
 from repro.concrete.concrete_fact import ConcreteFact
 from repro.concrete.concrete_instance import ConcreteInstance
 from repro.relational.formulas import Atom, TemporalConjunction
@@ -46,7 +68,11 @@ from repro.relational.homomorphism import (
 )
 from repro.relational.terms import Constant, GroundTerm, Variable
 from repro.temporal.interval import Interval
-from repro.temporal.timepoint import TimePoint
+from repro.temporal.interval_set import (
+    sweep_bipartite_clusters,
+    sweep_overlap_clusters,
+)
+from repro.temporal.timepoint import Infinity
 
 __all__ = [
     "find_temporal_homomorphisms",
@@ -56,11 +82,15 @@ __all__ = [
     "find_violation",
     "has_empty_intersection_property",
     "is_normalized",
+    "NormalizationEngine",
+    "NormalizationLog",
     "NormalizationReport",
     "normalize_with_report",
     "normalize",
     "naive_normalize",
 ]
+
+NormalizationEngine = Literal["sweep", "pairwise"]
 
 
 # ---------------------------------------------------------------------------
@@ -279,14 +309,37 @@ class _FactUnionFind:
 
 @dataclass
 class NormalizationReport:
-    """What Algorithm 1 did: inputs, groups and the fragment arithmetic."""
+    """What Algorithm 1 did: inputs, groups and the fragment arithmetic.
+
+    ``matched_sets`` carries **overlap-set semantics** under the default
+    sweep engine: per two-atom value-equivalence group it counts the
+    transitively-overlapping clusters the sweep discovers (the members
+    of the paper's ``S`` after merging within one group), and on the
+    generic multi-atom path it counts matched ``Δ`` sets as before.
+    ``matched_pairs`` reconstructs the historical count exactly — one
+    per ``φ*`` homomorphism whose stamps intersect, self-matches
+    included — without enumerating pairs (the sweep counts them in
+    ``O(g log g)``).  Under ``engine="pairwise"``, the reference mode,
+    both fields carry the historical count.
+
+    ``groups``/``groups_replayed``/``components_replayed`` account for
+    fragment-level incremental replay: how many two-atom groups were
+    seen, how many replayed a :class:`NormalizationLog` decision
+    unchanged, and how many components reused their recorded fragment
+    plan.
+    """
 
     input_size: int
     output_size: int
     matched_sets: int = 0
+    matched_pairs: int = 0
     components: int = 0
     facts_fragmented: int = 0
     fragments_created: int = 0
+    groups: int = 0
+    groups_replayed: int = 0
+    components_replayed: int = 0
+    log: "NormalizationLog | None" = field(default=None, repr=False)
 
     @property
     def blowup(self) -> float:
@@ -296,9 +349,443 @@ class NormalizationReport:
         return self.output_size / self.input_size
 
 
+@dataclass
+class NormalizationLog:
+    """Recorded group→fragment decisions of one normalization run.
+
+    Two ledgers (see :class:`~repro.chase.incremental.ReplayLedger`):
+
+    * ``groups`` — key ``(conjunction index, join key)``, signature the
+      frozenset of the group's member facts, payload the sweep outcome
+      ``(kind, chains, sets, pairs)`` where *chains* are the fact chains
+      to feed the union-find;
+    * ``components`` — key and signature both the frozenset of a
+      component's members, payload the fragment plan
+      ``(planned, fragmented, created)``.
+
+    Replay is value-based: facts recorded in a previous run compare and
+    hash equal to the current run's facts, so recorded decisions apply
+    directly to the new instance.  A log only replays against the exact
+    conjunction list it was recorded for (checked by equality); the
+    generic non-two-atom shapes always re-enumerate live, mirroring the
+    cross-region replay's "shapes the patcher does not understand run
+    live" rule.
+    """
+
+    conjunctions: tuple[TemporalConjunction, ...]
+    groups: ReplayLedger = field(default_factory=ReplayLedger)
+    components: ReplayLedger = field(default_factory=ReplayLedger)
+
+
+def _build_pair_groups(
+    instance: ConcreteInstance,
+    lifted_atoms: tuple[Atom, ...],
+    plan,
+) -> tuple[bool, dict]:
+    """The two-atom value-equivalence groups of a decoupled conjunction.
+
+    Returns ``(symmetric, groups)``.  *Symmetric* shapes (one relation,
+    join key in the same positions on both atoms) group every candidate
+    fact once: ``key → members``.  Asymmetric shapes keep the sides
+    apart — ``key → (firsts, seconds)`` — because only cross-side matches
+    exist; keys no first-atom fact joins are left with an empty first
+    list and skipped by the caller.
+
+    Grouping reads the concrete relation buckets directly: the decoupled
+    form's join keys never involve the temporal variable, so every key
+    position indexes the fact's *data* tuple, and — unlike the reference
+    enumeration — no lifted view, sorted bucket or lifted→concrete
+    resolution is needed (the sweep sorts by interval itself and its
+    outcome is order-independent).
+    """
+    first_atom, second_atom = lifted_atoms
+    key_positions = plan.key_positions[1]
+    sources = tuple(position for _atom, position in plan.key_sources[1])
+    symmetric = (
+        first_atom.relation == second_atom.relation
+        and first_atom.arity == second_atom.arity
+        and sources == key_positions
+    )
+    second_arity = second_atom.arity - 1  # data arity: lifted minus interval
+    if symmetric:
+        members_by_key: dict[tuple, list[ConcreteFact]] = {}
+        for item in instance.iter_facts_of(second_atom.relation):
+            if item.arity != second_arity:
+                continue
+            data = item.data
+            key = tuple(data[position] for position in key_positions)
+            members_by_key.setdefault(key, []).append(item)
+        return True, members_by_key
+    first_arity = first_atom.arity - 1
+    sides_by_key: dict[tuple, tuple[list[ConcreteFact], list[ConcreteFact]]] = {}
+    for item in instance.iter_facts_of(second_atom.relation):
+        if item.arity != second_arity:
+            continue
+        data = item.data
+        key = tuple(data[position] for position in key_positions)
+        entry = sides_by_key.get(key)
+        if entry is None:
+            entry = sides_by_key[key] = ([], [])
+        entry[1].append(item)
+    for item in instance.iter_facts_of(first_atom.relation):
+        if item.arity != first_arity:
+            continue
+        data = item.data
+        key = tuple(data[position] for position in sources)
+        entry = sides_by_key.get(key)
+        if entry is not None:
+            entry[0].append(item)
+    return False, sides_by_key
+
+
+def _sweep_two_atom(
+    instance: ConcreteInstance,
+    lifted_atoms: tuple[Atom, ...],
+    plan,
+    conj_index: int,
+    union_find: _FactUnionFind,
+    report: NormalizationReport,
+    replay: "NormalizationLog | None",
+    log: "NormalizationLog | None",
+) -> None:
+    """Endpoint-sweep overlap discovery for a two-atom decoupled form.
+
+    Per group, one ``O(g log g)`` sweep yields the overlap clusters
+    (chained into the union-find — the same components the per-pair
+    enumeration merges) and both report counts.
+    Groups whose member set matches a recorded :class:`NormalizationLog`
+    entry replay the recorded chains and counts without sorting anything.
+    """
+    register = union_find._parent.setdefault
+    union = union_find.union
+    symmetric, groups = _build_pair_groups(instance, lifted_atoms, plan)
+    if symmetric:
+        for key, members in groups.items():
+            report.groups += 1
+            # The signature frozenset only exists for the log paths; the
+            # plain run never pays for it.
+            signature = (
+                frozenset(members)
+                if replay is not None or log is not None
+                else None
+            )
+            payload = (
+                replay.groups.recall((conj_index, key), signature)
+                if replay is not None
+                else None
+            )
+            if payload is None:
+                count = len(members)
+                if count == 1:
+                    # A lone member only self-matches: one overlap set.
+                    payload = ((), 1, 0)
+                elif count == 2:
+                    first, second = members
+                    if first.interval.overlaps(second.interval):
+                        payload = (((first, second),), 1, 1)
+                    else:
+                        payload = ((), 2, 0)
+                else:
+                    clusters, pairs = sweep_overlap_clusters(
+                        [item.interval for item in members]
+                    )
+                    chains = tuple(
+                        tuple(members[index] for index in cluster)
+                        for cluster in clusters
+                        if len(cluster) > 1
+                    )
+                    payload = (chains, len(clusters), pairs)
+            else:
+                report.groups_replayed += 1
+            chains, sets, pairs = payload
+            # Every member self-matches (both atoms onto one fact), so
+            # the whole group registers up front.
+            for item in members:
+                register(item, item)
+            for chain in chains:
+                base = chain[0]
+                for item in chain[1:]:
+                    union(base, item)
+            report.matched_sets += sets
+            report.matched_pairs += len(members) + 2 * pairs
+            if log is not None:
+                log.groups.record((conj_index, key), signature, payload)
+        return
+    for key, (firsts, seconds) in groups.items():
+        if not firsts:
+            continue
+        report.groups += 1
+        signature = (
+            frozenset(firsts).union(seconds)
+            if replay is not None or log is not None
+            else None
+        )
+        payload = (
+            replay.groups.recall((conj_index, key), signature)
+            if replay is not None
+            else None
+        )
+        if payload is None:
+            if len(firsts) == 1 or len(seconds) == 1:
+                # Star shape: the lone fact is every edge's endpoint, so
+                # all its overlap partners form one component with it.
+                if len(firsts) == 1:
+                    center, others = firsts[0], seconds
+                else:
+                    center, others = seconds[0], firsts
+                stamp = center.interval
+                start, end = stamp.start, stamp.end
+                chain = [center]
+                for item in others:
+                    other_stamp = item.interval
+                    if other_stamp.start < end and start < other_stamp.end:
+                        chain.append(item)
+                pairs = len(chain) - 1
+                if pairs:
+                    payload = ((tuple(chain),), 1, pairs)
+                else:
+                    payload = ((), 0, 0)
+            elif len(firsts) * len(seconds) <= 16:
+                # Tiny group: enumerate the few cross edges and merge
+                # component lists directly — same components as the
+                # sweep, without its event machinery (chain order is
+                # irrelevant to the union-find and the counts).
+                comp_of: dict[ConcreteFact, list[ConcreteFact]] = {}
+                comps: list[list[ConcreteFact]] = []
+                pairs = 0
+                for first in firsts:
+                    stamp = first.interval
+                    start, end = stamp.start, stamp.end
+                    for second in seconds:
+                        other_stamp = second.interval
+                        if not (other_stamp.start < end and start < other_stamp.end):
+                            continue
+                        pairs += 1
+                        first_comp = comp_of.get(first)
+                        second_comp = comp_of.get(second)
+                        if first_comp is None and second_comp is None:
+                            comp = [first] if first is second else [first, second]
+                            comps.append(comp)
+                            comp_of[first] = comp_of[second] = comp
+                        elif first_comp is None:
+                            second_comp.append(first)
+                            comp_of[first] = second_comp
+                        elif second_comp is None:
+                            first_comp.append(second)
+                            comp_of[second] = first_comp
+                        elif first_comp is not second_comp:
+                            first_comp.extend(second_comp)
+                            for member in second_comp:
+                                comp_of[member] = first_comp
+                            second_comp.clear()
+                chains = tuple(tuple(comp) for comp in comps if comp)
+                payload = (chains, len(chains), pairs)
+            else:
+                clusters, pairs = sweep_bipartite_clusters(
+                    [item.interval for item in firsts],
+                    [item.interval for item in seconds],
+                )
+                chains = tuple(
+                    tuple(firsts[index] for index in left_ids)
+                    + tuple(seconds[index] for index in right_ids)
+                    for left_ids, right_ids in clusters
+                )
+                payload = (chains, len(clusters), pairs)
+        else:
+            report.groups_replayed += 1
+        chains, sets, pairs = payload
+        # Only facts witnessing a cross-side overlap match (a component
+        # with one member has no edge): register exactly those.
+        for chain in chains:
+            base = chain[0]
+            register(base, base)
+            for item in chain[1:]:
+                union(base, item)
+        report.matched_sets += sets
+        report.matched_pairs += pairs
+        if log is not None:
+            log.groups.record((conj_index, key), signature, payload)
+
+
+def _pairwise_two_atom(
+    instance: ConcreteInstance,
+    lifted_atoms: tuple[Atom, ...],
+    plan,
+    union_find: _FactUnionFind,
+    report: NormalizationReport,
+) -> None:
+    """Reference mode: the historical inline per-pair enumeration.
+
+    The PR 2 loops (minus the never-read matchable bookkeeping) — the
+    same matches, Δ sets and counts as the generic homomorphism path,
+    with the per-match interval test collapsed to two endpoint
+    comparisons.  The equivalence suites sweep
+    the sweep engine against this; it reports the historical per-match
+    count in both ``matched_sets`` and ``matched_pairs``.
+    """
+    lifted = instance.lifted()
+    resolve = instance.resolve_lifted
+    find = union_find.find
+    # Registration of a (possibly fresh) member is just "ensure a
+    # parent entry exists" — no path to compress yet.
+    register = union_find._parent.setdefault
+    union = union_find.union
+    matched = 0
+    first_atom, second_atom = lifted_atoms
+    key_positions = plan.key_positions[1]
+    grouped: dict[tuple, list[ConcreteFact]] = {}
+    for item in lifted.lookup_ordered(second_atom.relation, {}):
+        if item.arity != second_atom.arity:
+            continue
+        key = tuple(item.args[position] for position in key_positions)
+        grouped.setdefault(key, []).append(resolve(item))
+    sources = tuple(position for _atom, position in plan.key_sources[1])
+    if (
+        first_atom.relation == second_atom.relation
+        and first_atom.arity == second_atom.arity
+        and sources == key_positions
+    ):
+        # Symmetric shape: each group joins with itself, so walk group²
+        # directly.  Every member self-matches, so the whole group is
+        # matchable up front and the inner loop only pays for the
+        # interval test and real merges.
+        for members in grouped.values():
+            matched += len(members)  # the self-pairs
+            for item in members:
+                register(item, item)
+            if len(members) == 1:
+                continue
+            enriched = [
+                (item, item.interval.start, item.interval.end)
+                for item in members
+            ]
+            for first, start, end in enriched:
+                for other, other_start, other_end in enriched:
+                    if (
+                        first is not other
+                        and other_start < end
+                        and start < other_end
+                    ):
+                        matched += 1
+                        union(first, other)
+        report.matched_sets += matched
+        report.matched_pairs += matched
+        return
+    for item in lifted.lookup_ordered(first_atom.relation, {}):
+        if item.arity != first_atom.arity:
+            continue
+        args = item.args
+        key = tuple(args[position] for position in sources)
+        partners = grouped.get(key)
+        if not partners:
+            continue
+        first = resolve(item)
+        stamp = first.interval
+        start, end = stamp.start, stamp.end
+        for other in partners:
+            if first is other or first == other:
+                matched += 1
+                find(first)
+                continue
+            second_stamp = other.interval
+            if second_stamp.start < end and start < second_stamp.end:
+                matched += 1
+                union(first, other)
+    report.matched_sets += matched
+    report.matched_pairs += matched
+
+
+def _interior_cuts(
+    cuts: list[int], stamp: Interval
+) -> "list[int]":
+    """The slice of sorted *cuts* strictly inside ``(start, end)``.
+
+    One bisection per bound; shared by Algorithm 1's fragment planner
+    and :func:`naive_normalize` so the two stay in lockstep (the
+    sweep≡naive equivalence suites rely on identical cut selection).
+    """
+    low = bisect_right(cuts, stamp.start)
+    end = stamp.end
+    high = len(cuts) if isinstance(end, Infinity) else bisect_left(cuts, end)
+    return cuts[low:high]
+
+
+def _plan_fragments(
+    union_find: _FactUnionFind,
+    report: NormalizationReport,
+    replay: "NormalizationLog | None",
+    log: "NormalizationLog | None",
+) -> list[tuple[ConcreteFact, tuple[ConcreteFact, ...]]]:
+    """Stage 3: fragment every component at its interior endpoints.
+
+    The component's distinct finite endpoints are sorted once; each
+    member takes the sub-range strictly inside its own stamp by binary
+    search and fragments through the trusted
+    :meth:`~repro.concrete.concrete_fact.ConcreteFact.fragment_sorted`
+    path — ``O(m log m)`` per component instead of the historical
+    every-point-against-every-fact filter.  Components whose member set
+    matches a recorded log entry reuse the recorded fragment plan
+    outright (the fragment objects are immutable values).
+    """
+    planned: list[tuple[ConcreteFact, tuple[ConcreteFact, ...]]] = []
+    for members in union_find.components():
+        report.components += 1
+        signature = (
+            frozenset(members)
+            if replay is not None or log is not None
+            else None
+        )
+        payload = (
+            replay.components.recall(signature, signature)
+            if replay is not None
+            else None
+        )
+        if payload is None:
+            finite: set[int] = set()
+            unbounded = False
+            for item in members:
+                stamp = item.interval
+                finite.add(stamp.start)
+                end = stamp.end
+                if isinstance(end, Infinity):
+                    unbounded = True
+                else:
+                    finite.add(end)
+            if len(finite) + (1 if unbounded else 0) == 2:
+                # Every member carries the same stamp (two endpoints
+                # total): no point can fall strictly inside.
+                payload = ((), 0, 0)
+            else:
+                cuts = sorted(finite)
+                plan_items: list[tuple[ConcreteFact, tuple[ConcreteFact, ...]]] = []
+                fragmented = 0
+                created = 0
+                for item in members:
+                    interior = _interior_cuts(cuts, item.interval)
+                    if not interior:
+                        continue
+                    fragments = item.fragment_sorted(interior)
+                    fragmented += 1
+                    created += len(fragments)
+                    plan_items.append((item, fragments))
+                payload = (tuple(plan_items), fragmented, created)
+        else:
+            report.components_replayed += 1
+        plan_items, fragmented, created = payload
+        report.facts_fragmented += fragmented
+        report.fragments_created += created
+        planned.extend(plan_items)
+        if log is not None:
+            log.components.record(signature, signature, payload)
+    return planned
+
+
 def normalize_with_report(
     instance: ConcreteInstance,
     conjunctions: Iterable[TemporalConjunction],
+    engine: NormalizationEngine = "sweep",
+    previous: NormalizationLog | None = None,
+    record: bool = False,
 ) -> tuple[ConcreteInstance, NormalizationReport]:
     """Algorithm 1 ``norm(Ic, Φ+)`` with an execution report.
 
@@ -306,140 +793,83 @@ def normalize_with_report(
 
     1. build ``N(Φ+)`` and the set ``S`` of fact sets ``∆`` jointly
        matched by some ``φ*`` whose stamps have a non-empty common
-       intersection;
+       intersection — per two-atom conjunction, an endpoint sweep per
+       value-equivalence group (``engine="pairwise"`` keeps the
+       historical per-pair enumeration as the reference mode);
     2. merge the ``∆``s that share facts until a fixpoint (connected
        components of the share-a-fact graph);
     3. fragment every fact of every component at the component's distinct
        endpoints falling strictly inside the fact's stamp.
+
+    *previous* replays an earlier run's :class:`NormalizationLog`: any
+    group or component whose facts are unchanged applies its recorded
+    decisions without re-sorting (outputs are byte-identical either
+    way).  *record* attaches this run's log to ``report.log`` for the
+    next run.  Both require the sweep engine.
     """
     conjunction_list = list(conjunctions)
-    report = NormalizationReport(input_size=len(instance), output_size=len(instance))
+    if engine == "pairwise" and (previous is not None or record):
+        raise ValueError(
+            "normalization logs require the sweep engine; "
+            "engine='pairwise' is the un-logged reference mode"
+        )
+    replay = None
+    if (
+        previous is not None
+        and previous.conjunctions == tuple(conjunction_list)
+    ):
+        replay = previous
+    log = NormalizationLog(tuple(conjunction_list)) if record else None
+    report = NormalizationReport(
+        input_size=len(instance), output_size=len(instance), log=log
+    )
 
     union_find = _FactUnionFind()
-    matchable: set[ConcreteFact] = set()
-    for conjunction in conjunction_list:
+    for conj_index, conjunction in enumerate(conjunction_list):
         decoupled = conjunction.normalized()
         lifted_atoms = _lift_atoms(decoupled)
         plan = _flat_join_plan(lifted_atoms)
         if plan is not None and len(lifted_atoms) == 2:
-            # Inline pair loop for the dominant two-atom decoupled form:
-            # the same matches, Δ sets and counts as the generic path
-            # below, with the per-match interval test collapsed to two
-            # endpoint comparisons (non-empty intersection of two
-            # half-open intervals ⟺ each starts before the other ends).
-            lifted = instance.lifted()
-            resolve = instance.resolve_lifted
-            find = union_find.find
-            # Registration of a (possibly fresh) member is just "ensure a
-            # parent entry exists" — no path to compress yet.
-            register = union_find._parent.setdefault
-            union = union_find.union
-            matched = 0
-            add_matchable = matchable.add
-            first_atom, second_atom = lifted_atoms
-            key_positions = plan.key_positions[1]
-            grouped: dict[tuple, list[ConcreteFact]] = {}
-            for item in lifted.lookup_ordered(second_atom.relation, {}):
-                if item.arity != second_atom.arity:
-                    continue
-                key = tuple(item.args[position] for position in key_positions)
-                grouped.setdefault(key, []).append(resolve(item))
-            sources = tuple(position for _atom, position in plan.key_sources[1])
-            if (
-                first_atom.relation == second_atom.relation
-                and first_atom.arity == second_atom.arity
-                and sources == key_positions
-            ):
-                # Symmetric shape (both atoms one relation, join key in the
-                # same positions): each group joins with itself, so walk
-                # group² directly — no outer scan, no per-fact key lookup.
-                # Every member self-matches (both atoms onto one fact), so
-                # the whole group is matchable up front and the inner loop
-                # only pays for the interval test and real merges.
-                for members in grouped.values():
-                    matched += len(members)  # the self-pairs
-                    matchable.update(members)
-                    for item in members:
-                        register(item, item)
-                    if len(members) == 1:
-                        continue
-                    enriched = [
-                        (item, item.interval.start, item.interval.end)
-                        for item in members
-                    ]
-                    for first, start, end in enriched:
-                        for other, other_start, other_end in enriched:
-                            if (
-                                first is not other
-                                and other_start < end
-                                and start < other_end
-                            ):
-                                matched += 1
-                                union(first, other)
-                report.matched_sets += matched
-                continue
-            for item in lifted.lookup_ordered(first_atom.relation, {}):
-                if item.arity != first_atom.arity:
-                    continue
-                args = item.args
-                key = tuple(args[position] for position in sources)
-                partners = grouped.get(key)
-                if not partners:
-                    continue
-                first = resolve(item)
-                stamp = first.interval
-                start, end = stamp.start, stamp.end
-                for other in partners:
-                    if first is other or first == other:
-                        matched += 1
-                        add_matchable(first)
-                        find(first)
-                        continue
-                    second_stamp = other.interval
-                    if second_stamp.start < end and start < second_stamp.end:
-                        matched += 1
-                        add_matchable(first)
-                        add_matchable(other)
-                        union(first, other)
-            report.matched_sets += matched
+            if engine == "pairwise":
+                _pairwise_two_atom(
+                    instance, lifted_atoms, plan, union_find, report
+                )
+            else:
+                _sweep_two_atom(
+                    instance,
+                    lifted_atoms,
+                    plan,
+                    conj_index,
+                    union_find,
+                    report,
+                    replay,
+                    log,
+                )
             continue
+        # Generic shapes (single atom, three-plus atoms, constants):
+        # enumerate Δ sets through the flat join — never replayed,
+        # mirroring the cross-region rule that shapes the patcher does
+        # not understand run live.
         for images in _iter_decoupled_images(decoupled, instance):
             delta = tuple(dict.fromkeys(images))
             stamps = [item.interval for item in delta]
             if _common_interval(stamps) is None:
                 continue
             report.matched_sets += 1
-            matchable.update(delta)
+            report.matched_pairs += 1
             first = delta[0]
             union_find.find(first)
             for other in delta[1:]:
                 union_find.union(first, other)
 
-    planned: list[tuple[ConcreteFact, tuple[ConcreteFact, ...]]] = []
-    for members in union_find.components():
-        report.components += 1
-        points: set[TimePoint] = set()
-        for item in members:
-            points.add(item.interval.start)
-            points.add(item.interval.end)
-        if len(points) == 2:
-            # Every member carries the same stamp (two endpoints total):
-            # no point can fall strictly inside, nothing fragments.
-            continue
-        for item in members:
-            fragments = item.fragment(points)
-            if len(fragments) > 1:
-                report.facts_fragmented += 1
-                report.fragments_created += len(fragments)
-                planned.append((item, fragments))
+    planned = _plan_fragments(union_find, report, replay, log)
     # The joins above probed the instance's lifted view, so it is warm.
     # When nothing fragments (the common case for chase targets) the
     # copy carries that warm view to its consumer; when fragments will
     # be replaced, a cold copy is cheaper than paying incremental index
     # maintenance on every replace.
     result = instance.copy(preserve_caches=not planned)
-    for item, fragments in planned:
-        result.replace(item, fragments)
+    result.apply_fragments(planned)
     report.output_size = len(result)
     return result, report
 
@@ -447,9 +877,10 @@ def normalize_with_report(
 def normalize(
     instance: ConcreteInstance,
     conjunctions: Iterable[TemporalConjunction],
+    engine: NormalizationEngine = "sweep",
 ) -> ConcreteInstance:
     """Algorithm 1 ``norm(Ic, Φ+)`` (see :func:`normalize_with_report`)."""
-    result, _report = normalize_with_report(instance, conjunctions)
+    result, _report = normalize_with_report(instance, conjunctions, engine=engine)
     return result
 
 
@@ -460,14 +891,21 @@ def naive_normalize(instance: ConcreteInstance) -> ConcreteInstance:
     instance falling inside its stamp.  The result is normalized w.r.t.
     *any* set of temporal conjunctions, at the price of unnecessary
     fragments (Figure 6); the ablation benchmark quantifies the excess.
+    The endpoints are sorted once and each fact takes its interior
+    sub-range by binary search, so the bound in the name actually holds
+    (the historical filter re-scanned every endpoint per fact).
     """
-    points: set[TimePoint] = set()
+    finite: set[int] = set()
     for item in instance.facts():
-        points.add(item.interval.start)
-        points.add(item.interval.end)
+        stamp = item.interval
+        finite.add(stamp.start)
+        end = stamp.end
+        if not isinstance(end, Infinity):
+            finite.add(end)
+    cuts = sorted(finite)
     result = instance.copy()
     for item in instance.facts():
-        fragments = item.fragment(points)
-        if len(fragments) > 1:
-            result.replace(item, fragments)
+        interior = _interior_cuts(cuts, item.interval)
+        if interior:
+            result.replace(item, item.fragment_sorted(interior))
     return result

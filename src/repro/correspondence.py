@@ -77,6 +77,7 @@ def verify_correspondence(
     executor: str = "serial",
     incremental: bool = True,
     workers: int | None = None,
+    cchase_incremental=None,
 ) -> CorrespondenceReport:
     """Run both chases on one source and check Corollary 20.
 
@@ -91,8 +92,20 @@ def verify_correspondence(
     region scheduler.  The correspondence is renaming-invariant, so
     sharded null namespaces do not affect the verdict, and the
     incremental schedule is byte-identical anyway.
+
+    *cchase_incremental* is the c-chase's fragment-level normalization
+    replay (see :func:`repro.concrete.cchase.c_chase`): a previous run's
+    replay state — e.g. ``report.concrete_result.replay_state`` from an
+    earlier verification of an overlapping source — or ``True`` to start
+    recording one; byte-identical either way.
     """
-    concrete_result = c_chase(source, setting, normalization=normalization, engine=engine)  # type: ignore[arg-type]
+    concrete_result = c_chase(
+        source,
+        setting,
+        normalization=normalization,  # type: ignore[arg-type]
+        engine=engine,  # type: ignore[arg-type]
+        incremental=cchase_incremental,
+    )
     abstract_result = abstract_chase(
         semantics(source),
         setting,

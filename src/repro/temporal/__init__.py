@@ -13,7 +13,12 @@ from repro.temporal.coalesce import (
     is_coalesced_intervals,
 )
 from repro.temporal.interval import Interval, interval, span_of
-from repro.temporal.interval_set import IntervalSet, refine_breakpoints
+from repro.temporal.interval_set import (
+    IntervalSet,
+    refine_breakpoints,
+    sweep_bipartite_clusters,
+    sweep_overlap_clusters,
+)
 from repro.temporal.timepoint import (
     INFINITY,
     Infinity,
@@ -39,6 +44,8 @@ __all__ = [
     "span_of",
     "IntervalSet",
     "refine_breakpoints",
+    "sweep_bipartite_clusters",
+    "sweep_overlap_clusters",
     "INFINITY",
     "Infinity",
     "TimePoint",

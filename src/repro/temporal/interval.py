@@ -61,6 +61,32 @@ class Interval:
                 f"empty interval [{self.start}, {self.end}): start must be < end"
             )
 
+    def __getstate__(self):
+        # Identity fields only: the cached hash is PYTHONHASHSEED-salted
+        # through Infinity's string hash and must never cross a process
+        # boundary (a stale one would poison every fact hash derived
+        # from it, silently defeating cross-process normalization
+        # replay); _str/_sort_key rebuild lazily.
+        return (self.start, self.end)
+
+    def __setstate__(self, state) -> None:
+        start, end = state
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+
+    @classmethod
+    def make(cls, start: int, end: TimePoint) -> "Interval":
+        """Trusted constructor: the caller guarantees the invariants
+        (finite non-negative ``start``, ``start < end``).  The sweep
+        engine fragments facts at cut points already known to lie
+        strictly inside the stamp, so re-validating every fragment would
+        only re-prove what the cut selection established.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        return self
+
     # -- basic predicates ----------------------------------------------
     @property
     def is_finite(self) -> bool:
@@ -157,9 +183,23 @@ class Interval:
         )
         if not cuts:
             return (self,)
+        return self.split_at_sorted(cuts)
+
+    def split_at_sorted(self, cuts: Sequence[int]) -> tuple["Interval", ...]:
+        """Fragment at *pre-vetted* cut points: trusted fast path.
+
+        The caller guarantees *cuts* is sorted ascending, duplicate-free,
+        and every point lies strictly inside ``(start, end)`` — which is
+        what the sweep engine's bisected slice of a component's endpoint
+        array delivers.  :meth:`split_at` filters and defers here; the
+        two produce identical fragments.
+        """
+        if not cuts:
+            return (self,)
+        make = Interval.make
         bounds: list[TimePoint] = [self.start, *cuts, self.end]
         return tuple(
-            Interval(bounds[i], bounds[i + 1])  # type: ignore[arg-type]
+            make(bounds[i], bounds[i + 1])  # type: ignore[arg-type]
             for i in range(len(bounds) - 1)
         )
 
@@ -187,8 +227,17 @@ class Interval:
 
     # -- ordering and rendering -------------------------------------------
     def sort_key(self) -> tuple[int, int, TimePoint]:
-        """Stable ordering: by start, then bounded-before-unbounded, then end."""
-        return (self.start, 1 if self.is_unbounded else 0, self.end)
+        """Stable ordering: by start, then bounded-before-unbounded, then end.
+
+        Cached (like the hash): the endpoint sweeps sort every group by
+        this key, usually over the same interned interval objects the
+        chase already touched.
+        """
+        cached = self.__dict__.get("_sort_key")
+        if cached is None:
+            cached = (self.start, 1 if self.is_unbounded else 0, self.end)
+            object.__setattr__(self, "_sort_key", cached)
+        return cached
 
     def __str__(self) -> str:
         cached = self.__dict__.get("_str")

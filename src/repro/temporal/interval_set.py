@@ -11,6 +11,8 @@ denote.
 
 from __future__ import annotations
 
+import heapq
+import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
@@ -18,7 +20,11 @@ from repro.errors import TemporalError
 from repro.temporal.interval import Interval
 from repro.temporal.timepoint import INFINITY, Infinity, TimePoint
 
-__all__ = ["IntervalSet"]
+__all__ = [
+    "IntervalSet",
+    "sweep_overlap_clusters",
+    "sweep_bipartite_clusters",
+]
 
 
 def _canonicalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
@@ -177,6 +183,169 @@ class IntervalSet:
 
     def __repr__(self) -> str:
         return f"IntervalSet({list(self.intervals)!r})"
+
+
+# ---------------------------------------------------------------------------
+# Endpoint sweeps (the normalization engine's primitives)
+# ---------------------------------------------------------------------------
+
+
+def sweep_overlap_clusters(
+    intervals: Sequence[Interval],
+) -> tuple[tuple[tuple[int, ...], ...], int]:
+    """Transitive-overlap clusters of *intervals*, plus the overlap count.
+
+    One endpoint sweep in ``O(g log g)``: indices are visited in
+    :meth:`Interval.sort_key` order while a min-heap tracks the active
+    right endpoints.  An interval whose start sees an empty active set
+    opens a new cluster; otherwise it overlaps every still-active
+    interval (their starts are not later, their ends are strictly
+    greater), which both extends the current cluster and contributes
+    ``len(active)`` to the returned count of *unordered* overlapping
+    pairs.  Clusters are the connected components of the pairwise
+    overlap graph — exactly what Algorithm 1's per-pair union-find
+    computes by enumeration — returned as index tuples in sweep order.
+
+    Half-open semantics are preserved: an end event at coordinate ``t``
+    expires before a start at ``t``, so adjacent intervals neither pair
+    up nor share a cluster.
+    """
+    order = sorted(range(len(intervals)), key=lambda i: intervals[i].sort_key())
+    clusters: list[tuple[int, ...]] = []
+    current: list[int] = []
+    active: list[float] = []  # right endpoints; ∞ as math.inf
+    pairs = 0
+    push, pop = heapq.heappush, heapq.heappop
+    for index in order:
+        item = intervals[index]
+        start = item.start
+        while active and active[0] <= start:
+            pop(active)
+        if not active and current:
+            clusters.append(tuple(current))
+            current = []
+        pairs += len(active)
+        current.append(index)
+        end = item.end
+        push(active, math.inf if isinstance(end, Infinity) else end)
+    if current:
+        clusters.append(tuple(current))
+    return tuple(clusters), pairs
+
+
+def sweep_bipartite_clusters(
+    left: Sequence[Interval],
+    right: Sequence[Interval],
+) -> tuple[tuple[tuple[tuple[int, ...], tuple[int, ...]], ...], int]:
+    """Connected components of the *bipartite* overlap graph, plus pairs.
+
+    Edges exist only between a left and a right interval that overlap —
+    the shape of an asymmetric two-atom decoupled conjunction, where two
+    same-side facts share a component only through an opposite-side
+    witness.  The sweep processes start events in time order and, for
+    each, merges the new interval with every component that still has an
+    *opposite-side* member alive; merged components collapse into one
+    list entry, so each entry is touched at most once after its
+    insertion and the whole sweep is ``O(g α(g))`` after sorting.  The
+    count accumulates ``len(active opposite facts)`` per start event —
+    the exact number of unordered left/right overlapping pairs.
+
+    Returns the components **with at least two members** (a singleton
+    has no cross edge, hence no match) as ``(left_indices,
+    right_indices)`` pairs ordered by first sweep appearance, and the
+    pair count.  (The normalization engine additionally inlines its own
+    fast path for tiny groups — see ``_sweep_two_atom`` — so this
+    function always runs the one event-sweep implementation.)
+    """
+    sizes = (len(left), len(right))
+    total = sizes[0] + sizes[1]
+    # Node ids: left 0..|L|-1, right |L|..total-1.
+    events = sorted(
+        (
+            (item.start, side, index)
+            for side, items in enumerate((left, right))
+            for index, item in enumerate(items)
+        ),
+    )
+    parent = list(range(total))
+    size = [1] * total
+    # Per component root: the latest right endpoint per side, -1 when the
+    # component has no member on that side (ends are >= 1, starts >= 0).
+    # Ends stay exact ints (only ∞ becomes math.inf): float coercion
+    # would round TimePoints beyond 2**53 and silently drop overlaps.
+    comp_max: list[list[float | int]] = [[-1, -1] for _ in range(total)]
+    # Per side: heap of active fact ends, and the list of component
+    # entries that may still have an active member on that side.
+    active_ends: tuple[list[float | int], list[float | int]] = ([], [])
+    active_comps: tuple[list[int], list[int]] = ([], [])
+    pairs = 0
+
+    def find(node: int) -> int:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    push, pop = heapq.heappush, heapq.heappop
+    for start, side, index in events:
+        other = 1 - side
+        node = index if side == 0 else sizes[0] + index
+        item = (left, right)[side][index]
+        end = item.end
+        end_coord = math.inf if isinstance(end, Infinity) else end
+        for ends in active_ends:
+            while ends and ends[0] <= start:
+                pop(ends)
+        pairs += len(active_ends[other])
+        comp_max[node][side] = end_coord
+        # Merge with every component still alive on the opposite side:
+        # each carries an opposite-side fact whose start is past and
+        # whose end is ahead, i.e. an overlap witness for the new
+        # interval.  All such components collapse into one, which
+        # becomes the list's sole entry; entries whose opposite side has
+        # expired leave the list for good (their maximum only grows by
+        # merging, which re-inserts).  Every component is listed on each
+        # side it has members on, so each entry is scanned at most once
+        # after its insertion: the sweep is near-linear after sorting.
+        root = node
+        merged = False
+        seen: set[int] = set()
+        for entry in active_comps[other]:
+            entry_root = find(entry)
+            if entry_root in seen or entry_root == root:
+                continue
+            seen.add(entry_root)
+            if comp_max[entry_root][other] <= start:
+                continue
+            if size[entry_root] < size[root]:
+                small, root = entry_root, root
+            else:
+                small, root = root, entry_root
+            parent[small] = root
+            size[root] += size[small]
+            comp_max[root][0] = max(comp_max[root][0], comp_max[small][0])
+            comp_max[root][1] = max(comp_max[root][1], comp_max[small][1])
+            merged = True
+        active_comps[other][:] = [root] if merged else []
+        active_comps[side].append(root)
+        push(active_ends[side], end_coord)
+
+    grouped: dict[int, tuple[list[int], list[int]]] = {}
+    appearance: list[int] = []
+    for _start, side, index in events:
+        node = index if side == 0 else sizes[0] + index
+        root = find(node)
+        entry = grouped.get(root)
+        if entry is None:
+            entry = grouped[root] = ([], [])
+            appearance.append(root)
+        entry[side].append(index)
+    clusters = tuple(
+        (tuple(grouped[root][0]), tuple(grouped[root][1]))
+        for root in appearance
+        if size[root] > 1
+    )
+    return clusters, pairs
 
 
 def refine_breakpoints(intervals: Sequence[Interval]) -> tuple[Interval, ...]:

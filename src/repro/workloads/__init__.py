@@ -16,6 +16,7 @@ from repro.workloads.generators import (
     exchange_setting_org,
     nested_overlap_conjunctions,
     nested_overlap_instance,
+    overlapping_salary_history,
     random_concrete_instance,
     random_employment_history,
     random_org_history,
@@ -43,6 +44,7 @@ __all__ = [
     "exchange_setting_org",
     "nested_overlap_conjunctions",
     "nested_overlap_instance",
+    "overlapping_salary_history",
     "random_concrete_instance",
     "random_employment_history",
     "random_org_history",

@@ -26,6 +26,7 @@ __all__ = [
     "random_employment_history",
     "random_org_history",
     "nested_overlap_instance",
+    "overlapping_salary_history",
     "nested_overlap_conjunctions",
     "staircase_instance",
     "random_concrete_instance",
@@ -180,6 +181,67 @@ def random_org_history(
         people=people,
         timeline=timeline,
         seed=seed,
+    )
+
+
+def overlapping_salary_history(
+    people: int,
+    spans: int,
+    companies: int = 8,
+    salary_levels: int = 12,
+    step: int = 3,
+    overlap: int = 2,
+    churn: int = 0,
+) -> EmploymentWorkload:
+    """Dense E+/S+ careers driving the salary join's overlap structure.
+
+    Per person, ``spans`` employment facts form a staircase with *overlap*
+    points of slack between consecutive jobs (``E_i = [i·step,
+    i·step+step+overlap)``, companies cycling so the chain stays
+    coalesced), while ``spans`` salary periods tile the same timeline
+    without overlapping each other (``S_i = [i·step+1, (i+1)·step+1)``) —
+    so at most one salary holds at any snapshot and the c-chase never has
+    to equate two constants.  Every ``E_i`` overlaps two or three salary
+    periods, which chains the per-person ``E ⋈ S`` value-equivalence
+    group into one long component: the group is as large as the person's
+    whole history, but each fact only fragments at the handful of
+    endpoints falling inside its own stamp, keeping the normalized output
+    *linear* in the input.  That shape — big overlap groups, small
+    fragment fan-out — is exactly where per-pair overlap enumeration is
+    quadratically slower than an endpoint sweep.
+
+    ``churn > 0`` cycles the company of person 0's first *churn* jobs by
+    one, modelling a revision of a single person's history between two
+    runs: every other person's value-equivalence group is unchanged, the
+    regime fragment-level incremental normalization replays.
+    """
+    facts = []
+    for person_id in range(people):
+        name = f"p{person_id}"
+        for index in range(spans):
+            base = index * step
+            shift = 1 if person_id == 0 and index < churn else 0
+            facts.append(
+                concrete_fact(
+                    "E",
+                    name,
+                    f"co{(index + shift) % companies}",
+                    interval=Interval(base, base + step + overlap),
+                )
+            )
+            facts.append(
+                concrete_fact(
+                    "S",
+                    name,
+                    f"{10 + index % salary_levels}k",
+                    interval=Interval(base + 1, base + step + 1),
+                )
+            )
+    return EmploymentWorkload(
+        instance=ConcreteInstance(facts),
+        people=people,
+        timeline=spans * step + overlap,
+        seed=0,  # fully deterministic: no RNG is involved
     )
 
 

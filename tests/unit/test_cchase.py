@@ -215,3 +215,114 @@ class TestOptions:
         assert is_normalized(
             result.pre_egd_target, setting.lifted_egd_lhs_conjunctions()
         )
+
+
+class TestIncrementalReplay:
+    def test_default_records_nothing(self, source, setting):
+        result = c_chase(source, setting)
+        assert result.replay_state is None
+        assert result.normalization_reports is not None  # reports are free
+
+    def test_true_records_state(self, source, setting):
+        result = c_chase(source, setting, incremental=True)
+        assert result.replay_state is not None
+        assert result.replay_state.source is not None
+        assert result.replay_state.target is not None
+
+    def test_naive_normalization_has_no_reports(self, source, setting):
+        result = c_chase(source, setting, normalization="naive", incremental=True)
+        assert result.normalization_reports is None
+        assert result.replay_state is not None
+        assert result.replay_state.source is None
+
+    def test_replay_from_result_is_byte_identical(self, source, setting):
+        first = c_chase(source, setting, incremental=True)
+        replayed = c_chase(source, setting, incremental=first)
+        fresh = c_chase(source, setting)
+        assert replayed.target == fresh.target
+        assert tuple(replayed.target) == tuple(fresh.target)
+        assert len(replayed.trace) == len(fresh.trace)
+        source_report, target_report = replayed.normalization_reports
+        assert source_report.groups_replayed == source_report.groups
+        assert target_report.groups_replayed == target_report.groups
+
+    def test_replay_from_state_object(self, source, setting):
+        first = c_chase(source, setting, incremental=True)
+        replayed = c_chase(source, setting, incremental=first.replay_state)
+        assert replayed.target == c_chase(source, setting).target
+
+    def test_churned_source_stays_identical_to_scratch(self, setting):
+        from repro.workloads import overlapping_salary_history
+
+        base = overlapping_salary_history(people=3, spans=8)
+        churned = overlapping_salary_history(people=3, spans=8, churn=3)
+        first = c_chase(base.instance, setting, incremental=True)
+        incremental = c_chase(churned.instance, setting, incremental=first)
+        fresh = c_chase(churned.instance, setting)
+        assert incremental.target == fresh.target
+        assert tuple(incremental.target) == tuple(fresh.target)
+        source_report, _ = incremental.normalization_reports
+        assert source_report.groups_replayed == 2  # persons 1 and 2
+
+    def test_state_pickles(self, source, setting):
+        import pickle
+
+        first = c_chase(source, setting, incremental=True)
+        state = pickle.loads(pickle.dumps(first.replay_state))
+        replayed = c_chase(source, setting, incremental=state)
+        assert replayed.target == c_chase(source, setting).target
+
+    def test_replay_survives_hash_seed_change(self, tmp_path):
+        # Cross-process --norm-log chains must replay even though cached
+        # hashes are PYTHONHASHSEED-salted (Infinity hashes as a string):
+        # record under one fixed seed, replay under another, and demand
+        # every group — including the unbounded-interval one — replays.
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent(
+            """
+            import pickle, sys
+            from repro.concrete import ConcreteInstance, c_chase, concrete_fact
+            from repro.temporal import interval
+            from repro.workloads import employment_setting
+
+            source = ConcreteInstance(
+                [
+                    concrete_fact("E", "ada", "co1", interval=interval(3)),
+                    concrete_fact("S", "ada", "18k", interval=interval(1, 5)),
+                    concrete_fact("E", "bob", "co2", interval=interval(0, 9)),
+                    concrete_fact("S", "bob", "13k", interval=interval(2, 6)),
+                ]
+            )
+            path, mode = sys.argv[1], sys.argv[2]
+            if mode == "record":
+                result = c_chase(source, employment_setting(), incremental=True)
+                with open(path, "wb") as fh:
+                    pickle.dump(result.replay_state, fh)
+            else:
+                with open(path, "rb") as fh:
+                    state = pickle.load(fh)
+                result = c_chase(source, employment_setting(), incremental=state)
+                report, _ = result.normalization_reports
+                assert report.groups, "expected at least one group"
+                assert report.groups_replayed == report.groups, (
+                    report.groups_replayed,
+                    report.groups,
+                )
+            """
+        )
+        log = tmp_path / "state.pkl"
+        env = dict(os.environ, PYTHONPATH="src")
+        for seed, mode in (("101", "record"), ("202", "replay")):
+            env["PYTHONHASHSEED"] = seed
+            proc = subprocess.run(
+                [sys.executable, "-c", script, str(log), mode],
+                capture_output=True,
+                text=True,
+                env=env,
+                cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            )
+            assert proc.returncode == 0, (mode, proc.stderr)

@@ -199,3 +199,32 @@ class TestSpanOf:
 
     def test_span_empty(self):
         assert span_of([]) is None
+
+
+class TestSplitAtSorted:
+    def test_matches_split_at(self):
+        stamp = Interval(5, 11)
+        assert stamp.split_at_sorted([7, 8, 10]) == stamp.split_at({10, 7, 8})
+
+    def test_empty_cuts(self):
+        stamp = Interval(5, 11)
+        assert stamp.split_at_sorted([]) == (stamp,)
+
+    def test_unbounded_tail(self):
+        assert interval(3).split_at_sorted([5]) == (Interval(3, 5), interval(5))
+
+
+class TestTrustedMakeAndSortKeyCache:
+    def test_make_equals_checked_constructor(self):
+        made = Interval.make(2, 9)
+        assert made == Interval(2, 9)
+        assert hash(made) == hash(Interval(2, 9))
+
+    def test_sort_key_cached_and_stable(self):
+        stamp = Interval(4, INFINITY)
+        first = stamp.sort_key()
+        assert first == (4, 1, INFINITY)
+        assert stamp.sort_key() is first  # cached tuple object
+
+    def test_bounded_sorts_before_unbounded(self):
+        assert Interval(4, 9).sort_key() < Interval(4, INFINITY).sort_key()

@@ -4,7 +4,11 @@ import pytest
 
 from repro.errors import TemporalError
 from repro.temporal import INFINITY, Interval, IntervalSet, interval
-from repro.temporal.interval_set import refine_breakpoints
+from repro.temporal.interval_set import (
+    refine_breakpoints,
+    sweep_bipartite_clusters,
+    sweep_overlap_clusters,
+)
 
 
 class TestCanonicalization:
@@ -153,3 +157,91 @@ class TestRefineBreakpoints:
 
     def test_empty(self):
         assert refine_breakpoints([]) == ()
+
+
+class TestSweepOverlapClusters:
+    def test_empty(self):
+        assert sweep_overlap_clusters([]) == ((), 0)
+
+    def test_disjoint_are_singletons(self):
+        clusters, pairs = sweep_overlap_clusters([Interval(0, 2), Interval(5, 7)])
+        assert clusters == ((0,), (1,)) and pairs == 0
+
+    def test_adjacent_do_not_pair(self):
+        # Half-open semantics: [0,2) and [2,4) share no point.
+        clusters, pairs = sweep_overlap_clusters([Interval(0, 2), Interval(2, 4)])
+        assert clusters == ((0,), (1,)) and pairs == 0
+
+    def test_transitive_chain_is_one_cluster(self):
+        stamps = [Interval(0, 3), Interval(2, 5), Interval(4, 7)]
+        clusters, pairs = sweep_overlap_clusters(stamps)
+        assert clusters == ((0, 1, 2),)
+        assert pairs == 2  # 0~1 and 1~2 overlap; 0~2 do not
+
+    def test_duplicated_endpoints(self):
+        stamps = [Interval(1, 4), Interval(1, 4), Interval(1, 4)]
+        clusters, pairs = sweep_overlap_clusters(stamps)
+        assert len(clusters) == 1 and pairs == 3  # all three pairs
+
+    def test_unbounded_overlaps_every_later_start(self):
+        stamps = [interval(0), Interval(10, 11), Interval(50, 51)]
+        clusters, pairs = sweep_overlap_clusters(stamps)
+        assert clusters == ((0, 1, 2),) and pairs == 2
+
+    def test_width_one_interval(self):
+        clusters, pairs = sweep_overlap_clusters([Interval(3, 4), Interval(3, 4)])
+        assert clusters == ((0, 1),) and pairs == 1
+
+
+class TestSweepBipartiteClusters:
+    def test_no_edges_no_clusters(self):
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(0, 2)], [Interval(5, 7)]
+        )
+        assert clusters == () and pairs == 0
+
+    def test_same_side_overlap_is_not_an_edge(self):
+        # Two left intervals overlap each other but have no right
+        # witness: they stay separate (singletons are not reported).
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(0, 5), Interval(3, 8)], []
+        )
+        assert clusters == () and pairs == 0
+
+    def test_witness_connects_same_side(self):
+        # One right interval overlapping both left intervals joins them.
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(0, 3), Interval(6, 9)], [Interval(2, 7)]
+        )
+        assert pairs == 2
+        assert clusters == (((0, 1), (0,)),)
+
+    def test_adjacent_cross_pair_is_no_edge(self):
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(0, 2)], [Interval(2, 4)]
+        )
+        assert clusters == () and pairs == 0
+
+    def test_identical_stamps_pair_once(self):
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(1, 4)], [Interval(1, 4)]
+        )
+        assert pairs == 1
+        assert clusters == (((0,), (0,)),)
+
+    def test_unbounded_witness(self):
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(0, 1), Interval(100, 101)], [interval(0)]
+        )
+        assert pairs == 2
+        assert clusters == (((0, 1), (0,)),)
+
+    def test_exact_integer_ends_beyond_float_precision(self):
+        # Ends must stay exact ints in the sweep: float coercion would
+        # round 2**53 + 1 down and silently drop this overlap.
+        big = 2**53
+        clusters, pairs = sweep_bipartite_clusters(
+            [Interval(0, big + 1)] * 3,
+            [Interval(big, big + 2)] * 2 + [Interval(big + 1, big + 3)] * 4,
+        )
+        assert pairs == 6  # every left overlaps both [big, big+2) rights
