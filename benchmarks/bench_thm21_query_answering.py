@@ -5,6 +5,8 @@ answers agree across views) on the running example and a generated
 history, and times both evaluation routes.
 """
 
+import pytest
+
 from repro.abstract_view import semantics
 from repro.concrete import c_chase
 from repro.query import (
@@ -24,6 +26,23 @@ UNION = UnionQuery.of(
     "q(n) :- Emp(n, 'IBM', s)",
     "q(n) :- Emp(n, 'Google', s)",
 )
+JOIN_QUERY = ConjunctiveQuery.parse("q(n, m) :- Emp(n, c, s) & Emp(m, c, s)")
+
+# Scaled variants: chased targets large enough that evaluation cost —
+# not fixture noise — is what the timer sees.  The chase runs once per
+# size (module cache); only evaluation is inside the timed lambda.
+SCALED_SIZES = (24, 96, 192)
+_SCALED_CACHE: dict = {}
+
+
+def _scaled_workload(people):
+    cached = _SCALED_CACHE.get(people)
+    if cached is None:
+        setting = exchange_setting_join()
+        history = random_employment_history(people=people, timeline=120, seed=9)
+        solution = c_chase(history.instance, setting).unwrap()
+        cached = _SCALED_CACHE[people] = (solution, semantics(solution))
+    return cached
 
 
 def test_thm21_concrete_route(benchmark, source, setting):
@@ -63,3 +82,29 @@ def test_cor22_union_query_on_generated_history(benchmark):
         lambda: naive_evaluate_concrete(UNION, solution).to_temporal()
     )
     assert answers == naive_evaluate_abstract(UNION, semantics(solution))
+
+
+@pytest.mark.parametrize("people", SCALED_SIZES)
+def test_thm21_scaled_abstract_route(benchmark, people):
+    solution, abstract = _scaled_workload(people)
+    answers = benchmark(lambda: naive_evaluate_abstract(QUERY, abstract))
+    # Theorem 21 at scale: the region-wise answers match the four-step route.
+    assert answers == naive_evaluate_concrete(QUERY, solution).to_temporal()
+
+
+@pytest.mark.parametrize("people", SCALED_SIZES)
+def test_thm21_scaled_concrete_route(benchmark, people):
+    solution, _ = _scaled_workload(people)
+    answers = benchmark(
+        lambda: naive_evaluate_concrete(QUERY, solution).to_temporal()
+    )
+    assert len(answers) > people  # every person has some certain history
+
+
+@pytest.mark.parametrize("people", SCALED_SIZES)
+def test_thm21_scaled_join_query(benchmark, people):
+    solution, abstract = _scaled_workload(people)
+    answers = benchmark(
+        lambda: naive_evaluate_concrete(JOIN_QUERY, solution).to_temporal()
+    )
+    assert answers == naive_evaluate_abstract(JOIN_QUERY, abstract)
