@@ -6,6 +6,8 @@
 #   make bench-compare - timed run into $(BENCH_OUT), then fail if any
 #                        benchmark regressed >20% vs BENCH_baseline.json
 #                        (override the output: make bench-compare BENCH_OUT=x.json)
+#   make bench-trend   - per-benchmark minimums across the whole committed
+#                        BENCH_*.json series (informational, no gate)
 #   make coverage      - tests under pytest-cov: fail under $(COV_MIN)%
 #                        line coverage of repro, HTML report in htmlcov/
 #   make verify-incremental - the incremental≡full abstract-chase
@@ -23,10 +25,10 @@
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
-BENCH_OUT ?= BENCH_pr5.json
+BENCH_OUT ?= BENCH_pr6.json
 COV_MIN ?= 85
 
-.PHONY: test bench-smoke bench bench-compare coverage verify \
+.PHONY: test bench-smoke bench bench-compare bench-trend coverage verify \
 	verify-incremental lint install-editable install
 
 test:
@@ -43,6 +45,9 @@ bench-compare:
 		--benchmark-json=$(BENCH_OUT)
 	$(PYTHON) benchmarks/compare_bench.py BENCH_baseline.json $(BENCH_OUT) \
 		--max-regression 0.20
+
+bench-trend:
+	$(PYTHON) benchmarks/compare_bench.py --trend BENCH_*.json
 
 coverage:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -q \

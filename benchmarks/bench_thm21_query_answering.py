@@ -11,6 +11,7 @@ from repro.abstract_view import semantics
 from repro.concrete import c_chase
 from repro.query import (
     ConjunctiveQuery,
+    QueryLog,
     UnionQuery,
     certain_answers_abstract,
     certain_answers_concrete,
@@ -108,3 +109,17 @@ def test_thm21_scaled_join_query(benchmark, people):
         lambda: naive_evaluate_concrete(JOIN_QUERY, solution).to_temporal()
     )
     assert answers == naive_evaluate_abstract(JOIN_QUERY, abstract)
+
+
+def test_query_log_replayed_join(benchmark):
+    # The incremental path: a warm QueryLog turns re-asking the join
+    # query on an unchanged solution into a signature check + lookup.
+    # (New benchmark — informational, exempt from the baseline gate.)
+    solution, _ = _scaled_workload(192)
+    log = QueryLog()
+    cold = naive_evaluate_concrete(JOIN_QUERY, solution, log=log)
+    answers = benchmark(
+        lambda: naive_evaluate_concrete(JOIN_QUERY, solution, log=log)
+    )
+    assert answers.rows == cold.rows
+    assert log.hits > 0 and log.misses == 1

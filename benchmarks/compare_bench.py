@@ -26,6 +26,17 @@ input).  The run always ends with one machine-readable line::
 
 and, when ``$GITHUB_STEP_SUMMARY`` is set (GitHub Actions), appends a
 markdown summary table to it so the verdict lands on the workflow page.
+
+Trend mode reports deltas across the whole committed series instead of
+gating one pair::
+
+    python benchmarks/compare_bench.py --trend BENCH_*.json
+
+Files are ordered baseline-first, then by PR number; each benchmark
+prints one row of per-file minimums plus the overall speedup from its
+first to its last appearance.  Trend mode is informational only — it
+always exits 0 (given readable inputs) and applies no regression gate;
+``make bench-trend`` wraps it.
 """
 
 from __future__ import annotations
@@ -66,17 +77,78 @@ def load_minimums(path: Path) -> dict[str, float]:
     return minimums
 
 
+def _series_key(path: Path) -> tuple:
+    """Baseline first, then PR files by number, then everything else."""
+    stem = path.stem
+    if stem == "BENCH_baseline":
+        return (0, 0, stem)
+    if stem.startswith("BENCH_pr") and stem[len("BENCH_pr"):].isdigit():
+        return (1, int(stem[len("BENCH_pr"):]), stem)
+    return (2, 0, stem)
+
+
+def _label(path: Path) -> str:
+    stem = path.stem
+    return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+
+
+def run_trend(files: list[Path]) -> int:
+    """Per-benchmark minimums across the whole series, oldest first."""
+    series = sorted(files, key=_series_key)
+    minimums = [load_minimums(path) for path in series]
+    labels = [_label(path) for path in series]
+    names = sorted({name for data in minimums for name in data})
+    name_width = max(
+        (len(name.split("::")[-1]) for name in names), default=10
+    )
+    column = max(max((len(label) for label in labels), default=7), 9)
+    header = " ".join(f"{label:>{column}s}" for label in labels)
+    print(f"{'benchmark':{name_width}s} {header} {'trend':>8s}")
+    for name in names:
+        cells = []
+        observed: list[float] = []
+        for data in minimums:
+            value = data.get(name)
+            if value is None:
+                cells.append(f"{'—':>{column}s}")
+            else:
+                observed.append(value)
+                cells.append(f"{value * 1000:{column - 2}.3f}ms")
+        trend = (
+            f"{observed[0] / observed[-1]:7.2f}x"
+            if len(observed) > 1 and observed[-1]
+            else f"{'—':>8s}"
+        )
+        print(f"{name.split('::')[-1]:{name_width}s} {' '.join(cells)} {trend}")
+    print(
+        f"BENCH-TREND: files={len(series)} benchmarks={len(names)} "
+        f"({' -> '.join(labels)})"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", type=Path)
-    parser.add_argument("candidate", type=Path)
+    parser.add_argument("files", type=Path, nargs="+")
     parser.add_argument(
         "--max-regression",
         type=float,
         default=0.20,
         help="allowed slowdown ratio before failing (default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="report minimums across the whole series instead of gating "
+        "a baseline/candidate pair",
+    )
     args = parser.parse_args(argv)
+
+    if args.trend:
+        return run_trend(args.files)
+    if len(args.files) != 2:
+        parser.error("pair mode takes exactly BASELINE and CANDIDATE files")
+    args.baseline, args.candidate = args.files
 
     baseline = load_minimums(args.baseline)
     candidate = load_minimums(args.candidate)

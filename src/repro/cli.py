@@ -24,7 +24,12 @@ from pathlib import Path
 from repro.concrete import CChaseReplayState, c_chase, naive_normalize, normalize
 from repro.correspondence import verify_correspondence
 from repro.errors import ReproError
-from repro.query import ConjunctiveQuery, UnionQuery, certain_answers_concrete
+from repro.query import (
+    ConjunctiveQuery,
+    QueryLog,
+    UnionQuery,
+    certain_answers_concrete,
+)
 from repro.serialize import (
     concrete_instance_from_json,
     concrete_instance_to_json,
@@ -86,6 +91,35 @@ def _save_norm_log(path: str, state: CChaseReplayState | None) -> None:
             pickle.dump(state, handle)
     except OSError as exc:
         raise SystemExit(f"error: cannot write normalization log to {path}: {exc}")
+
+
+def _load_query_log(path: str) -> QueryLog:
+    """The previous query log at *path*, or a fresh one when absent.
+
+    A fresh log records this run's state without replaying anything —
+    the first run of a ``--query-log`` chain.  Same pickle trust
+    boundary as ``--norm-log``: only load logs this tool wrote for you —
+    never one from an untrusted source.
+    """
+    log_path = Path(path)
+    if not log_path.exists():
+        return QueryLog()
+    try:
+        with open(log_path, "rb") as handle:
+            log = pickle.load(handle)
+    except Exception as exc:  # pickle raises a zoo of types
+        raise SystemExit(f"error: cannot read query log from {path}: {exc}")
+    if not isinstance(log, QueryLog):
+        raise SystemExit(f"error: {path} does not contain a query log")
+    return log
+
+
+def _save_query_log(path: str, log: QueryLog) -> None:
+    try:
+        with open(path, "wb") as handle:
+            pickle.dump(log, handle)
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write query log to {path}: {exc}")
 
 
 def _write_instance(instance, out: str | None, pretty: bool) -> None:
@@ -236,6 +270,24 @@ def _cmd_normalize(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    # The replay chain mirrors chase's --norm-log contract: both flags
+    # travel together, and a dangling half would silently do nothing —
+    # refuse it with guidance instead.
+    if args.incremental and not args.query_log:
+        raise SystemExit(
+            "error: --incremental replays a recorded query log; "
+            "it needs --query-log FILE to chain runs through"
+        )
+    if args.query_log and not args.incremental:
+        raise SystemExit(
+            "error: --query-log only records when replay is enabled; "
+            "add --incremental to use the chain"
+        )
+    if args.incremental and args.engine == "scan":
+        raise SystemExit(
+            "error: --incremental requires --engine indexed; the scan "
+            "reference engine re-evaluates from scratch by design"
+        )
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
     rules = [rule for rule in args.query.split(";") if rule.strip()]
@@ -244,7 +296,20 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = ConjunctiveQuery.parse(rules[0])
     else:
         query = UnionQuery.of(*rules)
-    answers = certain_answers_concrete(query, source, setting)
+    log = _load_query_log(args.query_log) if args.incremental else None
+    seen = (log.hits, log.misses) if log is not None else (0, 0)
+    answers = certain_answers_concrete(
+        query, source, setting, engine=args.engine, log=log
+    )
+    if log is not None:
+        _save_query_log(args.query_log, log)
+        # The ledger's counters are cumulative across the pickled chain;
+        # report this run's share only.
+        print(
+            f"query log: {log.hits - seen[0]} replayed, "
+            f"{log.misses - seen[1]} evaluated",
+            file=sys.stderr,
+        )
     for row, support in answers:
         values = ", ".join(str(v) for v in row)
         print(f"({values})\t{support}")
@@ -447,6 +512,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--query",
         required=True,
         help="rule(s) like \"q(n,s) :- Emp(n,c,s)\"; ';'-separated for unions",
+    )
+    query.add_argument(
+        "--engine",
+        choices=["indexed", "scan"],
+        default="indexed",
+        help="evaluation engine: indexed plan probing (default) or the "
+        "scan reference mode",
+    )
+    query.add_argument(
+        "--incremental",
+        action="store_true",
+        help="replay the recorded query log (chase state, normalization "
+        "plans and per-disjunct answers); needs --query-log",
+    )
+    query.add_argument(
+        "--query-log",
+        metavar="FILE",
+        help="query replay chain: read the recorded log here (if present) "
+        "and write this run's state back.  Pickle format — only reuse "
+        "files this tool wrote",
     )
     query.set_defaults(handler=_cmd_query)
 

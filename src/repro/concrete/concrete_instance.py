@@ -35,7 +35,15 @@ __all__ = ["ConcreteInstance"]
 class ConcreteInstance:
     """A mutable set of concrete facts with a cached lifted relational view."""
 
-    __slots__ = ("_facts_by_relation", "_lifted", "_by_lifted", "schema")
+    # __weakref__ lets the query layer keep weak per-target memos (the
+    # normalization memo of repro.query.eval) without pinning instances.
+    __slots__ = (
+        "_facts_by_relation",
+        "_lifted",
+        "_by_lifted",
+        "schema",
+        "__weakref__",
+    )
 
     def __init__(
         self,

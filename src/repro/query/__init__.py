@@ -1,6 +1,13 @@
 """Query answering over exchanged temporal data (Section 5)."""
 
 from repro.query.answers import AnswerTuple, ConcreteAnswerSet, TemporalAnswerSet
+from repro.query.builder import (
+    QueryBuilder,
+    nonsequenced_join,
+    select,
+    sequenced_join,
+    val,
+)
 from repro.query.certain import (
     certain_answers_abstract,
     certain_answers_concrete,
@@ -13,6 +20,7 @@ from repro.query.containment import (
     minimize,
     union_contained_in,
 )
+from repro.query.eval import Engine, QueryLog, check_engine
 from repro.query.naive_eval import (
     evaluate_snapshot,
     naive_evaluate_abstract,
@@ -26,6 +34,11 @@ __all__ = [
     "AnswerTuple",
     "ConcreteAnswerSet",
     "TemporalAnswerSet",
+    "QueryBuilder",
+    "select",
+    "val",
+    "sequenced_join",
+    "nonsequenced_join",
     "certain_answers_abstract",
     "certain_answers_concrete",
     "certain_contained_in_solution",
@@ -34,6 +47,9 @@ __all__ = [
     "is_contained_in",
     "minimize",
     "union_contained_in",
+    "Engine",
+    "QueryLog",
+    "check_engine",
     "evaluate_snapshot",
     "naive_evaluate_abstract",
     "naive_evaluate_concrete",

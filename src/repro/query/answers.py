@@ -54,13 +54,37 @@ class ConcreteAnswerSet:
         return frozenset(item for item, _stamp in self.rows)
 
     def to_temporal(self) -> "TemporalAnswerSet":
-        """Canonicalize: group by tuple, coalesce the stamps."""
+        """Canonicalize: group by tuple, coalesce the stamps.
+
+        One sort-and-sweep per tuple builds the canonical interval set
+        directly (merging overlap and adjacency on raw endpoints), so no
+        per-pair ``Interval.union`` objects are allocated; runs that stay
+        a single stamp reuse the stamp object itself.
+        """
         grouped: dict[AnswerTuple, list[Interval]] = {}
         for item, stamp in self.rows:
             grouped.setdefault(item, []).append(stamp)
-        return TemporalAnswerSet(
-            {item: IntervalSet(stamps) for item, stamps in grouped.items()}
-        )
+        answers: dict[AnswerTuple, IntervalSet] = {}
+        for item, stamps in grouped.items():
+            if len(stamps) > 1:
+                stamps.sort(key=Interval.sort_key)
+            pieces: list[Interval] = []
+            current: Interval | None = stamps[0]
+            start, end = stamps[0].start, stamps[0].end
+            for stamp in stamps[1:]:
+                if stamp.start <= end:
+                    if stamp.end > end:
+                        end = stamp.end
+                        current = None  # extended: the original object is stale
+                else:
+                    pieces.append(
+                        current if current is not None else Interval(start, end)
+                    )
+                    current = stamp
+                    start, end = stamp.start, stamp.end
+            pieces.append(current if current is not None else Interval(start, end))
+            answers[item] = IntervalSet._from_canonical(pieces)
+        return TemporalAnswerSet(answers)
 
     def __str__(self) -> str:
         rendered = ", ".join(

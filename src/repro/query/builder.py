@@ -1,0 +1,266 @@
+"""A compositional builder for temporal queries.
+
+Programs rarely want to splice datalog strings together; this module
+grows :class:`~repro.query.query.ConjunctiveQuery` /
+:class:`~repro.query.query.UnionQuery` objects from small combinators::
+
+    query = (
+        select("n", "s")
+        .where("Emp", "n", "c", "s")
+        .join("Dept", "c", "m")
+        .build()
+    )
+
+``select`` names the output columns, ``where`` adds a body atom, ``join``
+adds a body atom that must share at least one variable with the body so
+far (a genuine join condition), and ``project`` re-selects the output
+columns.  Plain strings are variables; wrap data values in :func:`val`
+(or pass any non-string Python value directly).  ``build`` compiles to a
+:class:`ConjunctiveQuery` — the same object the parser produces, so the
+whole evaluation stack (naive evaluation, certain answers, both engines,
+:class:`~repro.query.eval.QueryLog` replay) applies unchanged; ``|``
+unions builders/queries into a :class:`UnionQuery`.
+
+Two temporal-join combinators follow TSQL2's taxonomy ("Language-
+Integrated Query for Temporal Data" carries the same pair):
+
+* :func:`sequenced_join` — *snapshot-wise* join: the result holds at
+  time ℓ iff both operands hold at ℓ.  It composes at the **query**
+  level: body concatenation with the operands' non-exported variables
+  renamed apart, so the compiled query evaluates under the one shared
+  temporal variable of ``q+`` and every engine and replay path applies.
+* :func:`nonsequenced_join` — timestamps are treated as plain data: rows
+  pair up on the shared output columns regardless of *when* each side
+  holds.  That is not expressible as a single snapshot query, so it
+  composes at the **answer** level and returns plain (non-temporal)
+  rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormulaError
+from repro.query.answers import AnswerTuple, TemporalAnswerSet
+from repro.query.query import ConjunctiveQuery, UnionQuery
+from repro.relational.formulas import Atom, Conjunction
+from repro.relational.terms import Constant, Term, Variable
+
+__all__ = [
+    "QueryBuilder",
+    "select",
+    "val",
+    "sequenced_join",
+    "nonsequenced_join",
+]
+
+
+def val(value: object) -> Constant:
+    """A data value as a query term (``"IBM"`` the string, not a variable)."""
+    return Constant(value)
+
+
+def _as_term(arg: object) -> Term:
+    if isinstance(arg, (Variable, Constant)):
+        return arg
+    if isinstance(arg, str):
+        return Variable(arg)
+    return Constant(arg)
+
+
+@dataclass(frozen=True)
+class QueryBuilder:
+    """An immutable, growable query: every method returns a new builder."""
+
+    head_names: tuple[Variable, ...]
+    atoms: tuple[Atom, ...] = ()
+    name: str = "q"
+
+    # -- growing the body --------------------------------------------------
+    def where(self, relation: str, *args: object) -> "QueryBuilder":
+        """Add the body atom ``relation(*args)``."""
+        atom = Atom(relation, tuple(_as_term(arg) for arg in args))
+        return QueryBuilder(self.head_names, self.atoms + (atom,), self.name)
+
+    def join(self, relation: str, *args: object) -> "QueryBuilder":
+        """Like :meth:`where`, but the new atom must share a variable with
+        the body so far — catching accidental cross products at build
+        time."""
+        if not self.atoms:
+            raise FormulaError(
+                "join() needs an existing body to join against; "
+                "start with where()"
+            )
+        atom = Atom(relation, tuple(_as_term(arg) for arg in args))
+        existing = frozenset(
+            var for item in self.atoms for var in item.variables()
+        )
+        if not (atom.variable_set() & existing):
+            raise FormulaError(
+                f"join atom {atom} shares no variable with the body; "
+                "use where() if a cross product is intended"
+            )
+        return QueryBuilder(self.head_names, self.atoms + (atom,), self.name)
+
+    # -- shaping the head --------------------------------------------------
+    def project(self, *names: object) -> "QueryBuilder":
+        """Re-select the output columns."""
+        head = tuple(
+            arg if isinstance(arg, Variable) else Variable(str(arg))
+            for arg in names
+        )
+        return QueryBuilder(head, self.atoms, self.name)
+
+    def named(self, name: str) -> "QueryBuilder":
+        """Set the compiled query's head relation name."""
+        return QueryBuilder(self.head_names, self.atoms, name)
+
+    # -- compiling ---------------------------------------------------------
+    def build(self) -> ConjunctiveQuery:
+        """Compile to a :class:`ConjunctiveQuery` (head safety checked)."""
+        if not self.atoms:
+            raise FormulaError("a query needs at least one body atom")
+        return ConjunctiveQuery(
+            head=self.head_names,
+            body=Conjunction(self.atoms),
+            name=self.name,
+        )
+
+    def union(
+        self, *others: "QueryBuilder | ConjunctiveQuery"
+    ) -> UnionQuery:
+        """Compile this builder and *others* into a :class:`UnionQuery`."""
+        disjuncts = [self.build()]
+        for other in others:
+            disjuncts.append(
+                other.build() if isinstance(other, QueryBuilder) else other
+            )
+        return UnionQuery(tuple(disjuncts))
+
+    def __or__(
+        self, other: "QueryBuilder | ConjunctiveQuery"
+    ) -> UnionQuery:
+        return self.union(other)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(var) for var in self.head_names)
+        body = " ∧ ".join(str(atom) for atom in self.atoms) or "⊤"
+        return f"{self.name}({rendered}) :- {body}"
+
+
+def select(*names: object) -> QueryBuilder:
+    """Start a query by naming its output columns."""
+    head = tuple(
+        arg if isinstance(arg, Variable) else Variable(str(arg))
+        for arg in names
+    )
+    return QueryBuilder(head)
+
+
+# ---------------------------------------------------------------------------
+# Temporal-join combinators
+# ---------------------------------------------------------------------------
+
+
+def _freshen(
+    query: ConjunctiveQuery, taken: frozenset[Variable]
+) -> ConjunctiveQuery:
+    """Rename *query*'s non-exported variables apart from *taken*."""
+    exported = frozenset(query.head)
+    rename: dict[Variable, Variable] = {}
+    for var in query.body.variables():
+        if var in exported or var not in taken:
+            continue
+        candidate = var
+        suffix = 1
+        while candidate in taken or candidate in rename.values():
+            candidate = Variable(f"{var.name}_{suffix}")
+            suffix += 1
+        rename[var] = candidate
+    if not rename:
+        return query
+    atoms = tuple(
+        Atom(
+            atom.relation,
+            tuple(
+                rename.get(arg, arg) if isinstance(arg, Variable) else arg
+                for arg in atom.args
+            ),
+        )
+        for atom in query.body.atoms
+    )
+    return ConjunctiveQuery(
+        head=query.head, body=Conjunction(atoms), name=query.name
+    )
+
+
+def sequenced_join(
+    left: ConjunctiveQuery | QueryBuilder,
+    right: ConjunctiveQuery | QueryBuilder,
+    name: str | None = None,
+) -> ConjunctiveQuery:
+    """The snapshot-wise (sequenced) join of two conjunctive queries.
+
+    Shared **head** variables are the join columns; each side's
+    non-exported variables are renamed apart so they cannot capture.
+    The result's head is the left head followed by the right head's new
+    columns, and its body is the concatenation — one query, evaluated
+    under the single shared temporal variable of ``q+``, so the answer
+    holds at exactly the snapshots where both operands hold (answer-level
+    ``intersect`` of the supports, per joined row).
+    """
+    if isinstance(left, QueryBuilder):
+        left = left.build()
+    if isinstance(right, QueryBuilder):
+        right = right.build()
+    taken = frozenset(left.body.variables()) | frozenset(left.head)
+    right = _freshen(right, taken)
+    head = left.head + tuple(
+        var for var in right.head if var not in frozenset(left.head)
+    )
+    return ConjunctiveQuery(
+        head=head,
+        body=Conjunction(left.body.atoms + right.body.atoms),
+        name=name if name is not None else left.name,
+    )
+
+
+def nonsequenced_join(
+    left: ConjunctiveQuery | QueryBuilder,
+    right: ConjunctiveQuery | QueryBuilder,
+    left_answers: TemporalAnswerSet,
+    right_answers: TemporalAnswerSet,
+) -> frozenset[AnswerTuple]:
+    """The nonsequenced join: timestamps are data, not synchronization.
+
+    Rows pair up on the queries' shared head variables whenever each side
+    holds *somewhere* on the timeline — the two sides need not overlap —
+    so the result carries no timestamps (TSQL2's nonsequenced semantics).
+    Output columns are the left head followed by the right head's new
+    columns, matching :func:`sequenced_join`.
+    """
+    if isinstance(left, QueryBuilder):
+        left = left.build()
+    if isinstance(right, QueryBuilder):
+        right = right.build()
+    left_positions = {var: index for index, var in enumerate(left.head)}
+    shared = [
+        (left_positions[var], index)
+        for index, var in enumerate(right.head)
+        if var in left_positions
+    ]
+    extra = tuple(
+        index
+        for index, var in enumerate(right.head)
+        if var not in left_positions
+    )
+    by_key: dict[tuple, list[AnswerTuple]] = {}
+    for row, _support in right_answers:
+        key = tuple(row[right_index] for _left_index, right_index in shared)
+        by_key.setdefault(key, []).append(row)
+    joined: set[AnswerTuple] = set()
+    for row, _support in left_answers:
+        key = tuple(row[left_index] for left_index, _right_index in shared)
+        for partner in by_key.get(key, ()):
+            joined.add(row + tuple(partner[index] for index in extra))
+    return frozenset(joined)

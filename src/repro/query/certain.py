@@ -10,6 +10,14 @@ this to the concrete view: ``certain(q, ⟦Ic⟧, M) = ⟦q+(Jc)↓⟧`` where
 Both routes are implemented, plus a falsification helper used by tests:
 certain answers must be contained in the (plain) answers of every witness
 solution.
+
+Both routes accept the shared ``engine`` switch and, on the indexed
+engine, a :class:`~repro.query.eval.QueryLog`.  The log threads replay
+through the whole pipeline: the concrete route passes the recorded
+:class:`~repro.concrete.cchase.CChaseReplayState` into ``c_chase`` and
+stores the new state back, and both routes keep per-query answers in the
+log's ledger so a repeat call against an unchanged source replays
+instead of re-running.
 """
 
 from __future__ import annotations
@@ -21,6 +29,12 @@ from repro.concrete.cchase import c_chase
 from repro.concrete.concrete_instance import ConcreteInstance
 from repro.dependencies.mapping import DataExchangeSetting
 from repro.query.answers import TemporalAnswerSet
+from repro.query.eval import (
+    Engine,
+    QueryLog,
+    abstract_query_signature,
+    check_engine,
+)
 from repro.query.naive_eval import (
     evaluate_snapshot,
     naive_evaluate_abstract,
@@ -37,54 +51,105 @@ __all__ = [
 ]
 
 
+def _check_log(engine: Engine, log: QueryLog | None) -> None:
+    if log is not None and check_engine(engine) == "scan":
+        raise ValueError(
+            "engine='scan' does not support a QueryLog; "
+            "use engine='indexed' for recorded replay"
+        )
+
+
 def certain_answers_abstract(
     query: ConjunctiveQuery | UnionQuery,
     source: AbstractInstance,
     setting: DataExchangeSetting,
+    engine: Engine = "indexed",
+    log: QueryLog | None = None,
 ) -> TemporalAnswerSet:
     """``certain(q, Ia, M)`` via the abstract chase's universal solution.
 
     Raises :class:`~repro.errors.ChaseFailureError` when no solution
     exists (certain answers are then vacuously everything; following the
     data exchange literature we surface the failure instead).
+
+    With *log*, the computed answer set is kept in the log's ledger
+    keyed by the query and signed by the universal solution's templates
+    of the query's body relations, so a repeat call whose relevant
+    templates are unchanged replays the recorded answers.  (The abstract
+    chase keeps no cross-run state of its own — its incremental engine
+    works region-to-region within one run.)
     """
+    _check_log(engine, log)
     result = abstract_chase(source, setting)
     universal = result.unwrap()
-    return naive_evaluate_abstract(query, universal)
+    if log is not None:
+        signature = abstract_query_signature(query, universal)
+        key = ("abstract", query)
+        cached = log.answers.recall(key, signature)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        answers = naive_evaluate_abstract(query, universal, engine=engine)
+        log.answers.record(key, signature, answers)
+        return answers
+    return naive_evaluate_abstract(query, universal, engine=engine)
 
 
 def certain_answers_concrete(
     query: ConjunctiveQuery | UnionQuery,
     source: ConcreteInstance,
     setting: DataExchangeSetting,
+    engine: Engine = "indexed",
+    log: QueryLog | None = None,
 ) -> TemporalAnswerSet:
     """``certain(q, ⟦Ic⟧, M)`` computed wholly on the concrete side.
 
     Runs the c-chase and naive-evaluates ``q+`` on the concrete solution
     (Corollary 22).  Agreement with :func:`certain_answers_abstract` is a
     theorem — and a test in this repository.
+
+    With *log*, the chase replays its recorded
+    :class:`~repro.concrete.cchase.CChaseReplayState` (normalization
+    group/fragment plans) and stores the new state back on the log, and
+    evaluation replays per-disjunct answers against the chased target —
+    so a repeat call on an unchanged source does no join work at all.
     """
-    result = c_chase(source, setting)
+    _check_log(engine, log)
+    if log is not None:
+        result = c_chase(
+            source,
+            setting,
+            incremental=log.chase if log.chase is not None else True,
+        )
+        log.chase = result.replay_state
+    else:
+        result = c_chase(source, setting)
     solution = result.unwrap()
-    return naive_evaluate_concrete(query, solution).to_temporal()
+    return naive_evaluate_concrete(
+        query, solution, engine=engine, log=log
+    ).to_temporal()
 
 
 def certain_contained_in_solution(
     certain: TemporalAnswerSet,
     query: ConjunctiveQuery | UnionQuery,
     solution: AbstractInstance,
+    engine: Engine = "indexed",
 ) -> bool:
     """Soundness probe: certain answers must hold in *solution* too.
 
-    Evaluates ``q`` (plain, nulls allowed) region-wise on the witness
-    solution and checks pointwise containment of the certain answers.
-    Used by tests to falsify the certain-answer computation against
-    hand-built alternative solutions.
+    Evaluates ``q`` naively (null-carrying rows dropped) region-wise on
+    the witness solution and checks pointwise containment of the certain
+    answers.  Used by tests to falsify the certain-answer computation
+    against hand-built alternative solutions.
     """
+    if check_engine(engine) == "indexed":
+        # Identical to the scan loop below: naive abstract evaluation is
+        # exactly region-wise plain evaluation with null rows dropped.
+        return certain.is_subset_of(naive_evaluate_abstract(query, solution))
     witness: dict = {}
     for region in solution.regions():
         snapshot = solution.snapshot(region.start)
-        for item in evaluate_snapshot(query, snapshot):
+        for item in evaluate_snapshot(query, snapshot, engine="scan"):
             if any(isinstance(v, (LabeledNull, AnnotatedNull)) for v in item):
                 continue
             existing = witness.get(item, IntervalSet.empty())

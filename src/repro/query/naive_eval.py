@@ -13,6 +13,16 @@ Three evaluation modes are provided:
   nulls by fresh constants, evaluate with ``t`` ranging over stamps,
   and drop rows mentioning a fresh constant.
 
+Each mode runs on one of two engines.  ``engine="indexed"`` (the
+default) is the plan-probing evaluator of :mod:`repro.query.eval`: flat
+join plans over the warm ``(position, value)`` indexes, one live swept
+instance with counting-based maintenance on the abstract route, and a
+freeze-free concrete route with optional :class:`~repro.query.eval.QueryLog`
+replay.  ``engine="scan"`` is the historical reference implementation
+kept in this module — a literal transcription of the paper's procedures
+— which the property suite sweeps against the indexed engine for
+byte-identical answers.
+
 Theorem 21 states ``⟦q+(Jc)↓⟧ = q(⟦Jc⟧)↓``;
 :func:`verify_evaluation_correspondence` checks it on concrete inputs.
 """
@@ -33,6 +43,14 @@ from repro.query.answers import (
     AnswerTuple,
     ConcreteAnswerSet,
     TemporalAnswerSet,
+)
+from repro.query.eval import (
+    Engine,
+    QueryLog,
+    check_engine,
+    evaluate_abstract_indexed,
+    evaluate_concrete_indexed,
+    evaluate_snapshot_indexed,
 )
 from repro.query.query import ConjunctiveQuery, UnionQuery
 from repro.relational.homomorphism import find_homomorphisms
@@ -66,9 +84,13 @@ def _as_union(query: ConjunctiveQuery | UnionQuery) -> UnionQuery:
 
 
 def evaluate_snapshot(
-    query: ConjunctiveQuery | UnionQuery, snapshot: Instance
+    query: ConjunctiveQuery | UnionQuery,
+    snapshot: Instance,
+    engine: Engine = "indexed",
 ) -> frozenset[AnswerTuple]:
     """Plain evaluation: nulls behave as constants and *are* returned."""
+    if check_engine(engine) == "indexed":
+        return evaluate_snapshot_indexed(query, snapshot)
     results: set[AnswerTuple] = set()
     for disjunct in _as_union(query):
         for assignment in find_homomorphisms(disjunct.body, snapshot):
@@ -77,12 +99,14 @@ def evaluate_snapshot(
 
 
 def naive_evaluate_snapshot(
-    query: ConjunctiveQuery | UnionQuery, snapshot: Instance
+    query: ConjunctiveQuery | UnionQuery,
+    snapshot: Instance,
+    engine: Engine = "indexed",
 ) -> frozenset[AnswerTuple]:
     """``q(db)↓``: evaluate, then drop tuples containing any null."""
     return frozenset(
         item
-        for item in evaluate_snapshot(query, snapshot)
+        for item in evaluate_snapshot(query, snapshot, engine=engine)
         if not any(isinstance(v, (LabeledNull, AnnotatedNull)) for v in item)
     )
 
@@ -93,19 +117,25 @@ def naive_evaluate_snapshot(
 
 
 def naive_evaluate_abstract(
-    query: ConjunctiveQuery | UnionQuery, instance: AbstractInstance
+    query: ConjunctiveQuery | UnionQuery,
+    instance: AbstractInstance,
+    engine: Engine = "indexed",
 ) -> TemporalAnswerSet:
     """``q(Ja)↓`` computed region-wise.
 
     Inside a region the snapshot is constant up to per-snapshot null
     renaming; since naive evaluation only keeps null-free tuples, the
     answer set at one representative point is the answer set everywhere
-    in the region.
+    in the region.  The indexed engine maintains one live instance and
+    per-answer match counts across the region sweep; the scan engine
+    re-evaluates a fresh snapshot per region.
     """
+    if check_engine(engine) == "indexed":
+        return evaluate_abstract_indexed(query, instance)
     grouped: dict[AnswerTuple, IntervalSet] = {}
     for region in instance.regions():
         snapshot = instance.snapshot(region.start)
-        for item in naive_evaluate_snapshot(query, snapshot):
+        for item in naive_evaluate_snapshot(query, snapshot, engine="scan"):
             existing = grouped.get(item, IntervalSet.empty())
             grouped[item] = existing.union(region)
     return TemporalAnswerSet(grouped)
@@ -146,9 +176,26 @@ def _is_frozen(value: GroundTerm) -> bool:
 
 
 def naive_evaluate_concrete(
-    query: ConjunctiveQuery | UnionQuery, solution: ConcreteInstance
+    query: ConjunctiveQuery | UnionQuery,
+    solution: ConcreteInstance,
+    engine: Engine = "indexed",
+    log: QueryLog | None = None,
 ) -> ConcreteAnswerSet:
-    """``q+(Jc)↓``: the union over disjuncts of the four-step procedure."""
+    """``q+(Jc)↓``: the union over disjuncts of the four-step procedure.
+
+    The indexed engine skips the freeze copy (annotated nulls already
+    join as themselves; step 4 becomes a type check at projection time)
+    and accepts a :class:`QueryLog` for recorded replay.  The scan
+    engine is the literal four-step transcription and does not support
+    a log.
+    """
+    if check_engine(engine) == "indexed":
+        return evaluate_concrete_indexed(query, solution, log=log)
+    if log is not None:
+        raise ValueError(
+            "engine='scan' does not support a QueryLog; "
+            "use engine='indexed' for recorded replay"
+        )
     rows: set[tuple[AnswerTuple, object]] = set()
     for disjunct in _as_union(query):
         lifted = disjunct.lift()
@@ -168,9 +215,13 @@ def naive_evaluate_concrete(
 
 
 def verify_evaluation_correspondence(
-    query: ConjunctiveQuery | UnionQuery, solution: ConcreteInstance
+    query: ConjunctiveQuery | UnionQuery,
+    solution: ConcreteInstance,
+    engine: Engine = "indexed",
 ) -> bool:
     """Theorem 21: ``⟦q+(Jc)↓⟧ = q(⟦Jc⟧)↓`` on this input."""
-    concrete = naive_evaluate_concrete(query, solution).to_temporal()
-    abstract = naive_evaluate_abstract(query, semantics(solution))
-    return concrete == abstract
+    concrete = naive_evaluate_concrete(query, solution, engine=engine)
+    abstract = naive_evaluate_abstract(
+        query, semantics(solution), engine=engine
+    )
+    return concrete.to_temporal() == abstract

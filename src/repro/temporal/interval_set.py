@@ -69,6 +69,15 @@ class IntervalSet:
         """The singleton set ``{ℓ}`` as ``[ℓ, ℓ+1)``."""
         return cls((Interval(time_point, time_point + 1),))
 
+    @classmethod
+    def _from_canonical(cls, pieces: Sequence[Interval]) -> "IntervalSet":
+        """Trusted constructor: *pieces* must already be sorted, pairwise
+        disjoint and non-adjacent.  The merge sweeps below produce exactly
+        that shape, so they skip the ``_canonicalize`` sort."""
+        result = object.__new__(cls)
+        object.__setattr__(result, "intervals", tuple(pieces))
+        return result
+
     # -- predicates --------------------------------------------------------
     @property
     def is_empty(self) -> bool:
@@ -106,24 +115,59 @@ class IntervalSet:
         return IntervalSet(self.intervals + tuple(other_intervals))
 
     def intersect(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Intersection by a linear merge over the two sorted piece lists.
+
+        Both operands are canonical (sorted, disjoint, non-adjacent), so
+        advancing whichever piece ends first visits every overlapping pair
+        exactly once — ``O(n + m)`` instead of the pairwise ``O(n·m)`` —
+        and the output pieces inherit canonical order.
+        """
         other_intervals = (other,) if isinstance(other, Interval) else other.intervals
+        mine = self.intervals
         pieces: list[Interval] = []
-        for mine in self.intervals:
-            for theirs in other_intervals:
-                common = mine.intersect(theirs)
-                if common is not None:
-                    pieces.append(common)
-        return IntervalSet(pieces)
+        i = j = 0
+        size_mine, size_other = len(mine), len(other_intervals)
+        while i < size_mine and j < size_other:
+            a, b = mine[i], other_intervals[j]
+            start = a.start if a.start >= b.start else b.start
+            end = a.end if a.end <= b.end else b.end
+            if start < end:
+                pieces.append(Interval(start, end))
+            if a.end <= b.end:
+                i += 1
+            else:
+                j += 1
+        return IntervalSet._from_canonical(pieces)
 
     def difference(self, other: "IntervalSet | Interval") -> "IntervalSet":
+        """Difference by one forward sweep over both sorted piece lists.
+
+        Each of our pieces is cut by the other pieces overlapping it; the
+        cursor ``j`` never moves backwards, so the whole call is
+        ``O(n + m)`` rather than re-cutting every piece per operand.
+        """
         other_intervals = (other,) if isinstance(other, Interval) else other.intervals
-        pieces: list[Interval] = list(self.intervals)
-        for theirs in other_intervals:
-            next_pieces: list[Interval] = []
-            for mine in pieces:
-                next_pieces.extend(mine.difference(theirs))
-            pieces = next_pieces
-        return IntervalSet(pieces)
+        pieces: list[Interval] = []
+        j = 0
+        size_other = len(other_intervals)
+        for mine in self.intervals:
+            start, end = mine.start, mine.end
+            while j < size_other and other_intervals[j].end <= start:
+                j += 1
+            k = j
+            while k < size_other and other_intervals[k].start < end:
+                cut = other_intervals[k]
+                if cut.start > start:
+                    pieces.append(Interval(start, cut.start))
+                if cut.end >= end:
+                    start = end
+                    break
+                start = cut.end
+                k += 1
+            if start < end:
+                pieces.append(Interval(start, end))
+            j = k
+        return IntervalSet._from_canonical(pieces)
 
     def complement(self) -> "IntervalSet":
         """Complement with respect to the full time line ``[0, ∞)``."""
@@ -134,9 +178,21 @@ class IntervalSet:
 
     # -- queries ---------------------------------------------------------------
     def covers(self, other: "IntervalSet | Interval") -> bool:
-        """``True`` iff *other* ⊆ *self*."""
-        other_set = IntervalSet((other,)) if isinstance(other, Interval) else other
-        return other_set.difference(self).is_empty
+        """``True`` iff *other* ⊆ *self*.
+
+        One early-exit merge pass: each of *other*'s pieces must sit inside
+        a single one of ours (canonical pieces never bridge our gaps), and
+        both piece lists are sorted, so the cursor only moves forward.
+        """
+        other_intervals = (other,) if isinstance(other, Interval) else other.intervals
+        mine = self.intervals
+        i, size_mine = 0, len(mine)
+        for piece in other_intervals:
+            while i < size_mine and mine[i].end < piece.end:
+                i += 1
+            if i == size_mine or mine[i].start > piece.start:
+                return False
+        return True
 
     def min_point(self) -> int:
         """Earliest covered time point."""

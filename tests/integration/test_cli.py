@@ -136,6 +136,89 @@ class TestQueryCommand:
         output = capsys.readouterr().out
         assert "(Ada)" in output and "(Bob)" in output
 
+    QUERY = "q(n, s) :- Emp(n, c, s)"
+
+    def _query(self, mapping_file, source_file, *extra):
+        return main(
+            [
+                "query",
+                "--mapping",
+                mapping_file,
+                "--source",
+                source_file,
+                "--query",
+                self.QUERY,
+                *extra,
+            ]
+        )
+
+    def test_scan_engine_agrees(self, mapping_file, source_file, capsys):
+        assert self._query(mapping_file, source_file) == 0
+        indexed = capsys.readouterr().out
+        assert self._query(mapping_file, source_file, "--engine", "scan") == 0
+        assert capsys.readouterr().out == indexed
+
+    def test_incremental_replay_chain(
+        self, mapping_file, source_file, tmp_path, capsys
+    ):
+        log = str(tmp_path / "query.log")
+        code = self._query(
+            mapping_file, source_file, "--incremental", "--query-log", log
+        )
+        assert code == 0
+        first = capsys.readouterr()
+        assert "0 replayed" in first.err
+        code = self._query(
+            mapping_file, source_file, "--incremental", "--query-log", log
+        )
+        assert code == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "1 replayed, 0 evaluated" in second.err
+
+    def test_incremental_requires_query_log(self, mapping_file, source_file):
+        with pytest.raises(SystemExit):
+            self._query(mapping_file, source_file, "--incremental")
+
+    def test_query_log_requires_incremental(
+        self, mapping_file, source_file, tmp_path
+    ):
+        with pytest.raises(SystemExit):
+            self._query(
+                mapping_file,
+                source_file,
+                "--query-log",
+                str(tmp_path / "query.log"),
+            )
+
+    def test_incremental_rejects_scan_engine(
+        self, mapping_file, source_file, tmp_path
+    ):
+        with pytest.raises(SystemExit):
+            self._query(
+                mapping_file,
+                source_file,
+                "--engine",
+                "scan",
+                "--incremental",
+                "--query-log",
+                str(tmp_path / "query.log"),
+            )
+
+    def test_corrupt_query_log_rejected(
+        self, mapping_file, source_file, tmp_path
+    ):
+        log = tmp_path / "query.log"
+        log.write_bytes(b"not a pickle")
+        with pytest.raises(SystemExit):
+            self._query(
+                mapping_file,
+                source_file,
+                "--incremental",
+                "--query-log",
+                str(log),
+            )
+
 
 class TestVerifyAndFigures:
     def test_verify_success(self, mapping_file, source_file, capsys):

@@ -1,0 +1,171 @@
+"""The compositional query builder and its temporal-join combinators."""
+
+import pytest
+
+from repro.abstract_view import semantics
+from repro.concrete import c_chase
+from repro.errors import FormulaError
+from repro.query import (
+    ConjunctiveQuery,
+    UnionQuery,
+    naive_evaluate_abstract,
+    naive_evaluate_concrete,
+    nonsequenced_join,
+    select,
+    sequenced_join,
+    val,
+)
+from repro.relational.terms import Constant, Variable
+from repro.workloads import (
+    employment_setting,
+    employment_source_concrete,
+)
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return c_chase(
+        employment_source_concrete(), employment_setting()
+    ).unwrap()
+
+
+class TestBuilder:
+    def test_builds_the_parsed_query(self):
+        built = select("n", "s").where("Emp", "n", "c", "s").build()
+        assert built == ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+
+    def test_strings_are_variables_values_need_val(self):
+        query = select("n").where("Emp", "n", val("IBM"), "s").build()
+        atom = query.body.atoms[0]
+        assert atom.args[0] == Variable("n")
+        assert atom.args[1] == Constant("IBM")
+
+    def test_non_string_values_become_constants(self):
+        query = select("x").where("R", "x", 7).build()
+        assert query.body.atoms[0].args[1] == Constant(7)
+
+    def test_project_reselects_the_head(self):
+        query = (
+            select("n", "s").where("Emp", "n", "c", "s").project("c").build()
+        )
+        assert query.head == (Variable("c"),)
+
+    def test_named_sets_the_head_relation(self):
+        assert select("n").where("R", "n").named("people").build().name == (
+            "people"
+        )
+
+    def test_join_requires_a_shared_variable(self):
+        with pytest.raises(FormulaError, match="shares no variable"):
+            select("n").where("Emp", "n", "c", "s").join("Dept", "x", "y")
+
+    def test_join_with_shared_variable_is_where(self):
+        joined = (
+            select("n").where("Emp", "n", "c", "s").join("Dept", "c", "m")
+        )
+        plain = select("n").where("Emp", "n", "c", "s").where("Dept", "c", "m")
+        assert joined.build() == plain.build()
+
+    def test_join_needs_a_body(self):
+        with pytest.raises(FormulaError, match="existing body"):
+            select("n").join("Emp", "n", "c", "s")
+
+    def test_build_rejects_empty_body(self):
+        with pytest.raises(FormulaError):
+            select("n").build()
+
+    def test_unsafe_head_rejected_at_build(self):
+        with pytest.raises(FormulaError, match="unsafe"):
+            select("missing").where("R", "x").build()
+
+    def test_union_operator(self):
+        union = select("n").where("Emp", "n", val("IBM"), "s") | select(
+            "n"
+        ).where("Emp", "n", val("Google"), "s")
+        assert isinstance(union, UnionQuery)
+        assert union == UnionQuery.of(
+            "q(n) :- Emp(n, 'IBM', s)", "q(n) :- Emp(n, 'Google', s)"
+        )
+
+    def test_builders_are_immutable(self):
+        base = select("n").where("Emp", "n", "c", "s")
+        base.where("Dept", "c", "m")
+        assert len(base.atoms) == 1
+
+    def test_built_queries_evaluate(self, solution):
+        built = select("n", "s").where("Emp", "n", "c", "s").build()
+        parsed = ConjunctiveQuery.parse("q(n, s) :- Emp(n, c, s)")
+        assert naive_evaluate_concrete(built, solution).rows == (
+            naive_evaluate_concrete(parsed, solution).rows
+        )
+
+
+class TestSequencedJoin:
+    def test_renames_non_exported_variables_apart(self):
+        joined = sequenced_join(
+            select("n", "c").where("Emp", "n", "c", "s"),
+            select("m", "c").where("Emp", "m", "c", "s"),
+        )
+        atoms = joined.body.atoms
+        # The right atom's salary variable may not capture the left's.
+        assert atoms[0].args[2] != atoms[1].args[2]
+        assert joined.head == (Variable("n"), Variable("c"), Variable("m"))
+
+    def test_snapshot_semantics_is_support_intersection(self, solution):
+        left = select("n", "c").where("Emp", "n", "c", "s").build()
+        right = select("m", "c").where("Emp", "m", "c", "s").build()
+        joined = sequenced_join(left, right)
+        abstract = semantics(solution)
+        answers = naive_evaluate_abstract(joined, abstract)
+        left_answers = naive_evaluate_abstract(left, abstract)
+        right_answers = naive_evaluate_abstract(right, abstract)
+        for row, support in answers:
+            n, c, m = row
+            expected = left_answers.support((n, c)).intersect(
+                right_answers.support((m, c))
+            )
+            assert support == expected
+
+    def test_theorem_21_holds_for_joined_queries(self, solution):
+        joined = sequenced_join(
+            select("n", "c").where("Emp", "n", "c", "s"),
+            select("m", "c").where("Emp", "m", "c", "s"),
+        )
+        assert naive_evaluate_concrete(joined, solution).to_temporal() == (
+            naive_evaluate_abstract(joined, semantics(solution))
+        )
+
+    def test_accepts_builders_and_queries(self):
+        builder = select("n").where("Emp", "n", "c", "s")
+        query = builder.build()
+        assert sequenced_join(builder, builder) == sequenced_join(query, query)
+
+
+class TestNonsequencedJoin:
+    def test_pairs_rows_regardless_of_time(self, solution):
+        left = select("n", "c").where("Emp", "n", "c", "s").build()
+        right = select("m", "c").where("Emp", "m", "c", "s").build()
+        abstract = semantics(solution)
+        left_answers = naive_evaluate_abstract(left, abstract)
+        right_answers = naive_evaluate_abstract(right, abstract)
+        rows = nonsequenced_join(left, right, left_answers, right_answers)
+        # Every sequenced pair also pairs nonsequenced …
+        sequenced = naive_evaluate_abstract(
+            sequenced_join(left, right), abstract
+        )
+        assert {row for row, _ in sequenced} <= rows
+        # … and the join key is the shared head column.
+        for n, c, m in rows:
+            assert (n, c) in left_answers
+            assert (m, c) in right_answers
+
+    def test_disjoint_supports_still_join(self):
+        from repro.query.answers import TemporalAnswerSet
+        from repro.temporal import Interval, IntervalSet
+
+        left = select("x", "k").where("R", "x", "k").build()
+        right = select("y", "k").where("S", "y", "k").build()
+        a, b, j = Constant("a"), Constant("b"), Constant("j")
+        la = TemporalAnswerSet({(a, j): IntervalSet.of(Interval(0, 5))})
+        ra = TemporalAnswerSet({(b, j): IntervalSet.of(Interval(10, 20))})
+        assert nonsequenced_join(left, right, la, ra) == {(a, j, b)}
