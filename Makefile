@@ -25,7 +25,7 @@
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 COV_MIN ?= 85
 
 .PHONY: test bench-smoke bench bench-compare bench-trend coverage verify \
@@ -47,7 +47,7 @@ bench-compare:
 		--max-regression 0.20
 
 bench-trend:
-	$(PYTHON) benchmarks/compare_bench.py --trend BENCH_*.json
+	$(PYTHON) benchmarks/compare_bench.py --trend
 
 coverage:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -q \

@@ -130,6 +130,95 @@ def test_parallel_speedup_summary(benchmark, abstract, pool):
 
 
 # ---------------------------------------------------------------------------
+# The parent's serial share: task encode + outcome decode + merge
+# ---------------------------------------------------------------------------
+#
+# Amdahl's bound for the processes executor: whatever the parent does
+# serially — encoding four shard tasks, decoding four outcomes, merging
+# — caps the speedup no matter how many workers chase.  This benchmark
+# times exactly that share, with the workers' compute done once outside
+# the timed region (the outcomes are byte payloads, so re-decoding them
+# is the real per-run parent cost).
+
+
+def _shard_blocks(abstract):
+    from repro.abstract_view.abstract_chase import _partition
+    from repro.chase.nulls import NullFactory
+
+    blocks = _partition(abstract.regions(), SHARDS)
+    base = NullFactory()
+    generation = base.new_generation()
+    factories = [
+        base.for_shard(index, generation) for index in range(len(blocks))
+    ]
+    return blocks, factories
+
+
+def _encode_tasks(abstract, blocks, factories):
+    from repro.serialize import shard_codec
+    from repro.temporal.interval import Interval
+
+    payloads = []
+    for index, block in enumerate(blocks):
+        span = Interval(block[0].start, block[-1].end)
+        templates = tuple(
+            template
+            for template in abstract.templates
+            if template.interval.overlaps(span)
+        )
+        payloads.append(
+            shard_codec.encode_shard_task(
+                shard_codec.ShardTask(
+                    shard=index,
+                    prefix=factories[index].prefix,
+                    counter=factories[index].issued,
+                    variant="standard",
+                    engine="delta",
+                    incremental=True,
+                    regions=block,
+                    templates=templates,
+                    setting=ORG_SETTING,
+                )
+            )
+        )
+    return payloads
+
+
+def test_parent_wire_share(benchmark, abstract):
+    from repro.abstract_view.abstract_chase import (
+        _BlockOutcome,
+        _merge,
+        _process_worker,
+    )
+    from repro.serialize import shard_codec
+
+    blocks, factories = _shard_blocks(abstract)
+    payloads = _encode_tasks(abstract, blocks, factories)
+    # Worker compute, once, untimed: the timed region below replays only
+    # the parent's wire work against these recorded outcome payloads.
+    raw_outcomes = [_process_worker(payload) for payload in payloads]
+
+    def parent_share():
+        _encode_tasks(abstract, blocks, factories)
+        outcomes = []
+        for raw in raw_outcomes:
+            decoded = shard_codec.decode_shard_outcome(raw)
+            outcomes.append(
+                _BlockOutcome(
+                    results=list(decoded.results),
+                    region_reuse=decoded.region_reuse,
+                    error=decoded.error,
+                    report=decoded.report,
+                    merged_templates=decoded.merged_templates,
+                )
+            )
+        return _merge(outcomes)
+
+    result = benchmark(parent_share)
+    assert result.succeeded
+
+
+# ---------------------------------------------------------------------------
 # Script mode: one-shot serial-vs-parallel parity pass for CI
 # ---------------------------------------------------------------------------
 #
@@ -175,6 +264,7 @@ def _smoke_main(argv=None) -> int:
         if args.executor == "processes"
         else nullcontext("threads")
     )
+    transport = "n/a"
     with pool_context as executor:
         # Warm the pool (fork + import cost is a one-time server expense).
         abstract_chase(abstract, ORG_SETTING, shards=args.workers, executor=executor)
@@ -205,14 +295,28 @@ def _smoke_main(argv=None) -> int:
             ratio = min(serial_times) / min(parallel_times)
             ratios.append(ratio)
             label = "incremental" if incremental else "from-scratch"
+            # The parent's serial share of the last parallel run: task
+            # encode, outcome decode, merge (only the processes executor
+            # reports it — Amdahl's cap on the speedup column).
+            timings = parallel.parent_timings
+            if timings is not None:
+                transport = timings.transport
+                wire = (
+                    f"{timings.encode_seconds * 1000:.1f} / "
+                    f"{timings.decode_seconds * 1000:.1f} / "
+                    f"{timings.merge_seconds * 1000:.1f}"
+                )
+            else:
+                wire = "—"
             rows.append(
                 f"| {label} | {min(serial_times) * 1000:.1f} ms "
-                f"| {min(parallel_times) * 1000:.1f} ms | {ratio:.2f}x |"
+                f"| {min(parallel_times) * 1000:.1f} ms | {ratio:.2f}x "
+                f"| {wire} |"
             )
             print(
                 f"{label}: serial {min(serial_times) * 1000:.1f} ms, "
                 f"{args.executor} {min(parallel_times) * 1000:.1f} ms, "
-                f"ratio {ratio:.2f}x"
+                f"ratio {ratio:.2f}x, parent encode/decode/merge {wire} ms"
             )
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:
@@ -221,15 +325,18 @@ def _smoke_main(argv=None) -> int:
                 handle.write(
                     "## Multi-core shard parity\n\n"
                     f"`--executor {args.executor} --workers {args.workers}` on "
-                    f"{os.cpu_count()} CPUs — outputs byte-identical to serial.\n\n"
-                    "| schedule | serial | parallel | speedup |\n"
-                    "|---|---:|---:|---:|\n" + "\n".join(rows) + "\n"
+                    f"{os.cpu_count()} CPUs, wire transport `{transport}` — "
+                    "outputs byte-identical to serial.\n\n"
+                    "| schedule | serial | parallel | speedup "
+                    "| parent enc/dec/merge (ms) |\n"
+                    "|---|---:|---:|---:|---:|\n" + "\n".join(rows) + "\n"
                 )
         except OSError as exc:  # pragma: no cover - CI file-system hiccup
             print(f"(could not write GITHUB_STEP_SUMMARY: {exc})", file=sys.stderr)
     print(
-        "PARALLEL-SMOKE: executor=%s workers=%d ratio_incr=%.2f ratio_full=%.2f"
-        % (args.executor, args.workers, ratios[0], ratios[1])
+        "PARALLEL-SMOKE: executor=%s workers=%d transport=%s "
+        "ratio_incr=%.2f ratio_full=%.2f"
+        % (args.executor, args.workers, transport, ratios[0], ratios[1])
     )
     return 0
 

@@ -28,6 +28,7 @@ from repro.abstract_view import abstract_chase, semantics
 from repro.workloads import (
     exchange_setting_join,
     exchange_setting_org,
+    melting_org_history,
     random_employment_history,
     random_org_history,
 )
@@ -79,6 +80,26 @@ def test_fullchase_employment_chase(benchmark):
         lambda: abstract_chase(abstract, JOIN_SETTING, incremental=False)
     )
     assert result.succeeded
+
+
+@pytest.mark.parametrize("people", [48, 96])
+def test_replay_melting_org_chase(benchmark, people):
+    """The ≥90%-replay regime: every region boundary is removal-only.
+
+    ``melting_org_history`` never adds a fact after time 0, so every
+    region past the first replays the previous region's firing log with
+    no live matches — the workload where a fully-replayed region's cost
+    is dominated by the *output* floor (target build, trace, null
+    renaming) that copy-on-write region results eliminate.
+    """
+    abstract = semantics(melting_org_history(people).instance)
+    result = benchmark(
+        lambda: abstract_chase(abstract, ORG_SETTING, incremental=True)
+    )
+    assert result.succeeded
+    totals = result.reuse_totals()
+    matches = totals.replayed_matches + totals.live_matches
+    assert totals.replayed_matches >= 0.9 * matches
 
 
 def test_incremental_reuse_summary(benchmark):

@@ -30,9 +30,12 @@ markdown summary table to it so the verdict lands on the workflow page.
 Trend mode reports deltas across the whole committed series instead of
 gating one pair::
 
-    python benchmarks/compare_bench.py --trend BENCH_*.json
+    python benchmarks/compare_bench.py --trend
 
-Files are ordered baseline-first, then by PR number; each benchmark
+With no explicit file list, trend mode globs ``BENCH_*.json`` from the
+repository root itself, so a freshly committed ``BENCH_prN.json`` joins
+the series without touching the Makefile.  An explicit list still
+works.  Files are ordered baseline-first, then by PR number; each benchmark
 prints one row of per-file minimums plus the overall speedup from its
 first to its last appearance.  Trend mode is informational only — it
 always exits 0 (given readable inputs) and applies no regression gate;
@@ -129,7 +132,7 @@ def run_trend(files: list[Path]) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("files", type=Path, nargs="+")
+    parser.add_argument("files", type=Path, nargs="*")
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -145,7 +148,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.trend:
-        return run_trend(args.files)
+        files = args.files
+        if not files:
+            # The committed series lives next to this script's parent:
+            # glob it so new BENCH_prN.json files join automatically.
+            root = Path(__file__).resolve().parent.parent
+            files = sorted(root.glob("BENCH_*.json"))
+            if not files:
+                print(
+                    f"error: no BENCH_*.json files found under {root}",
+                    file=sys.stderr,
+                )
+                return 2
+        return run_trend(files)
     if len(args.files) != 2:
         parser.error("pair mode takes exactly BASELINE and CANDIDATE files")
     args.baseline, args.candidate = args.files

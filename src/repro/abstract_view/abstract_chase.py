@@ -49,7 +49,8 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
 
 from repro.errors import ChaseFailureError, InstanceError, ShardExecutionError
 from repro.abstract_view.abstract_instance import AbstractInstance, TemplateFact
@@ -64,6 +65,7 @@ from repro.temporal.interval import Interval
 
 __all__ = [
     "AbstractChaseResult",
+    "ParentTimings",
     "RegionReuseStats",
     "ShardReport",
     "abstract_chase",
@@ -89,6 +91,23 @@ class ShardReport:
     remote: bool = False
 
 
+@dataclass(frozen=True, slots=True)
+class ParentTimings:
+    """The parent's serial wire share of one ``processes``-executor run.
+
+    Amdahl's bound for the pool: whatever the parent does serially —
+    encoding and publishing the shard tasks, decoding the outcomes,
+    merging — caps the speedup no matter how many workers chase.
+    *transport* records which wire path ran (``"shm"`` segments or the
+    ``"pickle"`` pipe fallback).
+    """
+
+    encode_seconds: float
+    decode_seconds: float
+    merge_seconds: float
+    transport: str
+
+
 @dataclass
 class AbstractChaseResult:
     """Outcome of the snapshot-wise chase over the whole timeline."""
@@ -102,6 +121,9 @@ class AbstractChaseResult:
     region_results: dict[Interval, SnapshotChaseResult] = field(default_factory=dict)
     region_reuse: dict[Interval, RegionReuseStats] = field(default_factory=dict)
     shard_reports: tuple[ShardReport, ...] = ()
+    # Set by the "processes" executor only: the parent's measured
+    # encode/decode/merge share of this run.
+    parent_timings: ParentTimings | None = None
 
     @property
     def succeeded(self) -> bool:
@@ -248,7 +270,7 @@ class _BlockOutcome:
     region_reuse: dict[Interval, RegionReuseStats]
     error: ShardExecutionError | None
     report: ShardReport
-    merged_templates: tuple[TemplateFact, ...] | None = None
+    merged_templates: Sequence[TemplateFact] | None = None
 
 
 def _region_templates(
@@ -276,6 +298,25 @@ def _region_templates(
         # above, and factory null names never contain '@'.
         templates.append(TemplateFact.make(item.relation, args, region))
     return templates
+
+
+class _LazyRegionTemplates:
+    """One region's merged-target contribution, computed on first read.
+
+    Re-iterable so the deferred :class:`AbstractInstance` can hold it as
+    a piece; until something walks the merged template set, the region's
+    chase result never has to materialize its target (which, for a
+    fully-replayed region, is itself a lazy view over the firing log).
+    """
+
+    __slots__ = ("_region", "_result")
+
+    def __init__(self, region: Interval, result: SnapshotChaseResult):
+        self._region = region
+        self._result = result
+
+    def __iter__(self):
+        return iter(_region_templates(self._region, self._result))
 
 
 def _execute_block(
@@ -380,6 +421,57 @@ def _process_worker(payload: bytes) -> bytes:
     )
 
 
+def _process_worker_shm(task_name: str, outcome_name: str) -> str:
+    """Chase one shard whose task lives in a shared-memory segment.
+
+    The decode-free variant of :func:`_process_worker`: the future
+    carries only two segment *names*.  The worker maps the task segment
+    in place (nothing crosses the pool's pickle pipe), chases, and
+    publishes the encoded outcome under the parent-assigned name —
+    giving the registration away so the parent (which knows every name
+    it handed out) is the sole cleaner-upper.  Task-segment unlinking
+    stays with the parent: a worker killed at any point here leaks
+    nothing.
+    """
+    from repro.serialize import shard_codec, shm
+
+    segment = shm.attach(task_name)
+    try:
+        task = shard_codec.decode_shard_task(segment.buf)
+    finally:
+        segment.close()
+    crash = os.environ.get("REPRO_SHARD_CRASH")
+    if crash is not None and crash == str(task.shard):
+        os._exit(17)
+    source = AbstractInstance(task.templates)
+    factory = NullFactory(prefix=task.prefix)
+    factory.fast_forward(task.counter)
+    outcome = _execute_block(
+        source,
+        task.regions,
+        task.setting,
+        factory,
+        task.variant,  # type: ignore[arg-type]
+        task.engine,  # type: ignore[arg-type]
+        task.incremental,
+        task.shard,
+        remote=True,
+    )
+    assert outcome.merged_templates is not None
+    payload = shard_codec.encode_shard_outcome(
+        shard_codec.ShardOutcome(
+            results=tuple(outcome.results),
+            region_reuse=outcome.region_reuse,
+            error=outcome.error,
+            report=outcome.report,
+            merged_templates=outcome.merged_templates,
+        )
+    )
+    shm.write(outcome_name, payload)
+    shm.give_away(outcome_name)
+    return outcome_name
+
+
 def _run_blocks_in_processes(
     source: AbstractInstance,
     blocks: list[tuple[Interval, ...]],
@@ -390,17 +482,24 @@ def _run_blocks_in_processes(
     incremental: bool,
     workers: int | None,
     pool: ProcessPoolExecutor | None,
-) -> list[_BlockOutcome]:
+) -> tuple[list[_BlockOutcome], ParentTimings]:
     """Ship every block to a worker process and gather the outcomes.
 
     Each task carries only the templates overlapping its block's span
     (block regions come from the canonical partition, so overlap is
-    exactly "contributes to some block snapshot").  A worker that dies
-    or raises before returning a payload yields an error outcome for its
-    shard — a :class:`ShardExecutionError` with the shard index and the
-    executor's exception chained — while every shard whose payload *did*
-    come back keeps its results and report, mirroring the in-process
-    failure contract.  One caveat: a single worker death breaks the
+    exactly "contributes to some block snapshot").  Where the platform
+    supports it (see :func:`repro.serialize.shm.transport_enabled`),
+    tasks and outcomes travel through named shared-memory segments and
+    the pool's pickle pipe carries only segment names; otherwise the
+    payload bytes ride the pipe directly.  Either way the merged result
+    is byte-identical.  A worker that dies or raises before returning
+    yields an error outcome for its shard — a
+    :class:`ShardExecutionError` with the shard index and the executor's
+    exception chained — while every shard whose payload *did* come back
+    keeps its results and report, mirroring the in-process failure
+    contract.  On the shared-memory path the parent finally-sweeps every
+    segment name it assigned, so a crashed shard cannot leak
+    ``/dev/shm`` blocks.  One caveat: a single worker death breaks the
     whole ``ProcessPoolExecutor`` (standard ``concurrent.futures``
     semantics), so every still-pending shard's result is lost with it
     and the merge reports the earliest such shard; which worker actually
@@ -409,7 +508,10 @@ def _run_blocks_in_processes(
     recreated.
     """
     from repro.serialize import shard_codec
+    from repro.serialize import shm as shm_transport
 
+    use_shm = shm_transport.transport_enabled()
+    encode_started = time.perf_counter()
     payloads: list[bytes] = []
     for index, block in enumerate(blocks):
         span = Interval(block[0].start, block[-1].end)
@@ -433,6 +535,18 @@ def _run_blocks_in_processes(
                 )
             )
         )
+    task_names: list[str] = []
+    outcome_names: list[str] = []
+    if use_shm:
+        # Every segment name is fixed before any worker runs: cleanup
+        # after a worker death is a sweep over known names.
+        run = shm_transport.new_run_id()
+        for index, payload in enumerate(payloads):
+            name = shm_transport.segment_name(run, index, "t")
+            shm_transport.write(name, payload)
+            task_names.append(name)
+            outcome_names.append(shm_transport.segment_name(run, index, "o"))
+    encode_seconds = time.perf_counter() - encode_started
 
     owned = pool is None
     if owned:
@@ -440,10 +554,17 @@ def _run_blocks_in_processes(
         pool = ProcessPoolExecutor(max_workers=min(limit, len(blocks)))
     assert pool is not None
     try:
-        futures = [
-            pool.submit(_process_worker, payload) for payload in payloads
-        ]
+        if use_shm:
+            futures = [
+                pool.submit(_process_worker_shm, task, outcome)
+                for task, outcome in zip(task_names, outcome_names)
+            ]
+        else:
+            futures = [
+                pool.submit(_process_worker, payload) for payload in payloads
+            ]
         outcomes: list[_BlockOutcome] = []
+        decode_seconds = 0.0
         for index, future in enumerate(futures):
             try:
                 raw = future.result()
@@ -475,7 +596,19 @@ def _run_blocks_in_processes(
                     )
                 )
                 continue
-            outcome = shard_codec.decode_shard_outcome(raw)
+            decode_started = time.perf_counter()
+            if use_shm:
+                # The worker returned its outcome segment's name; the
+                # decoder copies the flat sections out of the mapping,
+                # so the segment is released again before decode returns.
+                segment = shm_transport.attach(raw)
+                try:
+                    outcome = shard_codec.decode_shard_outcome(segment.buf)
+                finally:
+                    segment.close()
+                    shm_transport.unlink(raw)
+            else:
+                outcome = shard_codec.decode_shard_outcome(raw)
             # Replay the worker's issuance count onto the parent-side
             # factory so a shared base factory (shards=1) stays globally
             # distinct across runs.
@@ -489,8 +622,19 @@ def _run_blocks_in_processes(
                     merged_templates=outcome.merged_templates,
                 )
             )
-        return outcomes
+            decode_seconds += time.perf_counter() - decode_started
+        timings = ParentTimings(
+            encode_seconds=encode_seconds,
+            decode_seconds=decode_seconds,
+            merge_seconds=0.0,
+            transport="shm" if use_shm else "pickle",
+        )
+        return outcomes, timings
     finally:
+        for name in task_names:
+            shm_transport.unlink(name)
+        for name in outcome_names:
+            shm_transport.unlink(name)
         if owned:
             pool.shutdown()
 
@@ -577,8 +721,9 @@ def abstract_chase(
         )
 
     indices = range(len(blocks))
+    timings: ParentTimings | None = None
     if executor == "processes" or isinstance(executor, ProcessPoolExecutor):
-        outcomes = _run_blocks_in_processes(
+        outcomes, timings = _run_blocks_in_processes(
             source,
             blocks,
             factories,
@@ -605,7 +750,13 @@ def abstract_chase(
             "'processes', or a concurrent.futures.Executor"
         )
 
-    return _merge(outcomes)
+    merge_started = time.perf_counter()
+    result = _merge(outcomes)
+    if timings is not None:
+        result.parent_timings = replace(
+            timings, merge_seconds=time.perf_counter() - merge_started
+        )
+    return result
 
 
 def _merge(outcomes: list[_BlockOutcome]) -> AbstractChaseResult:
@@ -621,7 +772,11 @@ def _merge(outcomes: list[_BlockOutcome]) -> AbstractChaseResult:
     convert their region results here.
     """
     reports = tuple(outcome.report for outcome in outcomes)
-    templates: list[TemplateFact] = []
+    # Pieces, not facts: each shard's contribution stays an opaque
+    # iterable (a wire-mapped section for remote blocks, a lazy
+    # per-region view for in-process ones) until someone reads the
+    # merged instance's template set.
+    pieces: list[Iterable[TemplateFact]] = []
     region_results: dict[Interval, SnapshotChaseResult] = {}
     region_reuse: dict[Interval, RegionReuseStats] = {}
     for outcome in outcomes:
@@ -634,16 +789,16 @@ def _merge(outcomes: list[_BlockOutcome]) -> AbstractChaseResult:
                 # nothing follows this region in the results list.
                 failed = (region, result)
         if outcome.merged_templates is not None:
-            templates.extend(outcome.merged_templates)
+            pieces.append(outcome.merged_templates)
         else:
             for region, result in outcome.results:
                 if result.failed:
                     break
-                templates.extend(_region_templates(region, result))
+                pieces.append(_LazyRegionTemplates(region, result))
         if failed is not None:
             region, result = failed
             return AbstractChaseResult(
-                target=AbstractInstance(templates),
+                target=AbstractInstance.deferred(tuple(pieces)),
                 failed=True,
                 failure=result.failure,
                 failed_region=region,
@@ -654,7 +809,7 @@ def _merge(outcomes: list[_BlockOutcome]) -> AbstractChaseResult:
             )
         if outcome.error is not None:
             return AbstractChaseResult(
-                target=AbstractInstance(templates),
+                target=AbstractInstance.deferred(tuple(pieces)),
                 failed=True,
                 failed_region=outcome.error.region,
                 failed_shard=outcome.report.shard,
@@ -665,7 +820,7 @@ def _merge(outcomes: list[_BlockOutcome]) -> AbstractChaseResult:
             )
 
     return AbstractChaseResult(
-        target=AbstractInstance(templates),
+        target=AbstractInstance.deferred(tuple(pieces)),
         region_results=region_results,
         region_reuse=region_reuse,
         shard_reports=reports,

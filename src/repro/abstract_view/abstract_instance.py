@@ -129,12 +129,49 @@ class TemplateFact:
 class AbstractInstance:
     """An abstract temporal instance as a finite set of template facts."""
 
-    __slots__ = ("_templates",)
+    __slots__ = ("_templates_source", "_templates_cache")
 
     def __init__(self, templates: Iterable[TemplateFact] = ()):
-        self._templates: frozenset[TemplateFact] = frozenset(templates)
+        self._templates_source: tuple[Iterable[TemplateFact], ...] | None = None
+        self._templates_cache: frozenset[TemplateFact] = frozenset(templates)
+
+    @property
+    def _templates(self) -> frozenset[TemplateFact]:
+        found = self._templates_cache
+        if found is None:
+            pieces = self._templates_source
+            self._templates_source = None
+            found = frozenset(
+                template for piece in pieces for template in piece
+            )
+            self._templates_cache = found
+        return found
+
+    def __getstate__(self) -> frozenset[TemplateFact]:
+        return self._templates
+
+    def __setstate__(self, state: frozenset[TemplateFact]) -> None:
+        self._templates_source = None
+        self._templates_cache = state
 
     # -- constructors -----------------------------------------------------------
+    @classmethod
+    def deferred(
+        cls, pieces: tuple[Iterable[TemplateFact], ...]
+    ) -> "AbstractInstance":
+        """Build an instance whose template set materializes on first use.
+
+        *pieces* are iterated (once, lazily) and unioned when any
+        structural operation first needs the set.  The parallel
+        scheduler hands wire-mapped shard sections here so a caller
+        that only serializes or samples the result never pays for
+        decoding every merged template.
+        """
+        found = cls.__new__(cls)
+        found._templates_source = pieces
+        found._templates_cache = None
+        return found
+
     @classmethod
     def from_snapshot_runs(
         cls, runs: Iterable[tuple[Instance, Interval]]

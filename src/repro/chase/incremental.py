@@ -198,17 +198,40 @@ class _MatchEntry:
 
 
 class _RegionRecord:
-    """Everything the next region needs to replay this one."""
+    """Everything the next region needs to replay this one.
 
-    __slots__ = ("task_logs", "outer_choices")
+    *egd_clean* marks a region whose egd fixpoint recorded nothing (so
+    its target is exactly the tgd pass's output) — the precondition for
+    the next region's copy-on-write replay to skip the fixpoint.
+    """
+
+    __slots__ = ("task_logs", "outer_choices", "egd_clean", "_totals")
 
     def __init__(
         self,
         task_logs: list[list[_MatchEntry]],
         outer_choices: list[int | None],
+        egd_clean: bool = False,
     ) -> None:
         self.task_logs = task_logs
         self.outer_choices = outer_choices
+        self.egd_clean = egd_clean
+        self._totals: tuple[int, int, int] | None = None
+
+    def totals(self) -> tuple[int, int, int]:
+        """``(matches, firings, fresh nulls)`` across all logs, cached."""
+        found = self._totals
+        if found is None:
+            matches = firings = nulls = 0
+            for log in self.task_logs:
+                matches += len(log)
+                for entry in log:
+                    firing = entry.firing
+                    if firing is not None:
+                        firings += 1
+                        nulls += len(firing.record.fresh_nulls)
+            self._totals = found = (matches, firings, nulls)
+        return found
 
 
 # ---------------------------------------------------------------------------
@@ -332,6 +355,105 @@ def _insert_all(target: Instance, facts) -> None:
             max_arity[item.relation] = item.arity
 
 
+class _ReplaySnapshotResult(SnapshotChaseResult):
+    """A fully-replayed region's outcome as a copy-on-write view.
+
+    When a region's every stream reuses the recorded log verbatim and
+    the recorded egd fixpoint was a no-op, its result is the recorded
+    run's image under the replay renaming ρ — determined entirely by the
+    recorded log and the null counter at region start.  This view holds
+    exactly those two things; the target instance and the renamed trace
+    are built on first access, so a caller that never reads them (the
+    deferred merge of the parallel scheduler, coverage accounting) skips
+    the region's target build and null renaming entirely.
+
+    Mutation goes through the ``target``/``trace`` setters, which
+    simply replace the lazy view — copy-on-write at result granularity.
+    """
+
+    def __init__(self, record: _RegionRecord, nulls: NullFactory) -> None:
+        self._record = record
+        self._nulls = nulls  # private clone positioned at region start
+        self._target: Instance | None = None
+        self._trace: ChaseTrace | None = None
+        self.failed = False
+        self.failure = None
+
+    def _materialize(self) -> None:
+        # Mirrors _replay_log minus the accounting: same task order,
+        # same insertion order, same renaming — byte-identical output.
+        target = Instance()
+        trace = ChaseTrace()
+        nulls = self._nulls
+        record_step = trace.record
+        for log in self._record.task_logs:
+            for entry in log:
+                recorded = entry.firing
+                if recorded is None:
+                    continue
+                record = recorded.record
+                transcript = record.fresh_nulls
+                if not transcript:
+                    _insert_all(target, record.added_facts)
+                    record_step(record)
+                    continue
+                rename = nulls.reissue(transcript)
+                fact_list = list(recorded.facts)
+                for index in recorded.null_fact_indices:
+                    item = fact_list[index]
+                    fact_list[index] = Fact.make(
+                        item.relation,
+                        tuple(rename.get(arg, arg) for arg in item.args),
+                    )
+                new_facts = tuple(
+                    fact_list[index] for index in recorded.added_indices
+                )
+                _insert_all(target, new_facts)
+                record_step(
+                    TgdStepRecord(
+                        dependency=record.dependency,
+                        assignment=entry.assignment,
+                        added_facts=new_facts,
+                        fresh_nulls=tuple(rename.values()),
+                    )
+                )
+        if self._target is None:
+            self._target = target
+        if self._trace is None:
+            self._trace = trace
+
+    @property
+    def target(self) -> Instance:
+        if self._target is None:
+            self._materialize()
+        return self._target
+
+    @target.setter
+    def target(self, value: Instance) -> None:
+        self._target = value
+
+    @property
+    def trace(self) -> ChaseTrace:
+        if self._trace is None:
+            self._materialize()
+        return self._trace
+
+    @trace.setter
+    def trace(self, value: ChaseTrace) -> None:
+        self._trace = value
+
+    def __reduce__(self):
+        return (
+            SnapshotChaseResult,
+            (
+                self.target,
+                self.failed,
+                self.failure,
+                ChaseTrace(list(self.trace.steps)),
+            ),
+        )
+
+
 def _analyze_stream_shape(tgd) -> _SingleShape | _PairShape | None:
     atoms = tuple(tgd.lhs.atoms)
     if len(atoms) == 1:
@@ -398,6 +520,14 @@ class IncrementalRegionChaser:
         counter = self.nulls.state()
         previous = self.previous
         stats = RegionReuseStats()
+
+        diff_relations = {item.relation for item in added}
+        diff_relations.update(item.relation for item in removed)
+        if previous is not None and previous.egd_clean:
+            lazy = self._pure_replay(snapshot, diff_relations, previous, stats)
+            if lazy is not None:
+                return lazy, stats
+
         trace = ChaseTrace()
         target = Instance()
         domain = _SnapshotDomain(
@@ -416,8 +546,6 @@ class IncrementalRegionChaser:
             for task in self.tasks
         ]
 
-        diff_relations = {item.relation for item in added}
-        diff_relations.update(item.relation for item in removed)
         removed_set = frozenset(removed)
         self._deviated = self._dropped = previous is None
 
@@ -471,9 +599,27 @@ class IncrementalRegionChaser:
             task_logs.append(entries)
             outer_choices.append(outer_choice)
 
-        failure = run_egd_fixpoint(
-            domain, self.egd_tasks, trace, mode=self.engine
-        )
+        tgd_steps = len(trace.steps)
+        if (
+            previous is not None
+            and previous.egd_clean
+            and stats.live_firings == 0
+        ):
+            # Every target fact is a recorded fact under the (injective)
+            # replay renaming: replayed firings rename recorded rhs
+            # instantiations, drops and skips only remove content, and
+            # no live firing minted anything outside a recorded
+            # transcript.  The target is therefore a subset of the
+            # renamed recorded target, on which every egd equation was
+            # trivially satisfied (the recorded fixpoint merged
+            # nothing), and injective renaming preserves every equality
+            # an egd can observe — so the fixpoint is a no-op and the
+            # seed-round enumeration is skipped outright.
+            failure = None
+        else:
+            failure = run_egd_fixpoint(
+                domain, self.egd_tasks, trace, mode=self.engine
+            )
         if failure is not None:
             self.previous = None
             if previous is not None:
@@ -496,8 +642,55 @@ class IncrementalRegionChaser:
                 ),
                 stats,
             )
-        self.previous = _RegionRecord(task_logs, outer_choices)
+        self.previous = _RegionRecord(
+            task_logs, outer_choices, egd_clean=len(trace.steps) == tgd_steps
+        )
         return SnapshotChaseResult(target=target, trace=trace), stats
+
+    def _pure_replay(
+        self,
+        snapshot: Instance,
+        diff_relations: set[str],
+        previous: _RegionRecord,
+        stats: RegionReuseStats,
+    ) -> _ReplaySnapshotResult | None:
+        """The whole-region copy-on-write fast path, when it is forced.
+
+        Applicable when every stream would reuse the recorded log
+        verbatim — every shape is patchable, no lhs relation is touched
+        by the diff, no pair join flips orientation — and the recorded
+        egd fixpoint was a no-op.  The region's result is then the
+        recorded run's image under the replay renaming (the fixpoint on
+        that image is a no-op too: renaming fresh nulls injectively
+        preserves every equality an egd can observe), so nothing needs
+        to be built now: the null counter advances by the recorded
+        issuance count, and a lazy view over the recorded log is
+        returned.  The next region replays off the same base log — its
+        images and assignments are diff-untouched snapshot content, and
+        firing facts are renamed from the base transcripts under
+        whatever the counter is by then.
+        """
+        outer_choices: list[int | None] = []
+        for task_index, shape in enumerate(self.shapes):
+            if shape is None or (shape.relations & diff_relations):
+                return None
+            choice: int | None = None
+            if isinstance(shape, _PairShape):
+                choice = shape.outer_choice(snapshot)
+                if choice != previous.outer_choices[task_index]:
+                    return None
+            outer_choices.append(choice)
+        matches, firings, null_count = previous.totals()
+        stats.streams_reused += len(self.shapes)
+        stats.replayed_matches += matches
+        stats.replayed_firings += firings
+        start = self.nulls.state()
+        self.nulls.advance(null_count)
+        self.previous = _RegionRecord(
+            previous.task_logs, outer_choices, egd_clean=True
+        )
+        self.previous._totals = previous._totals
+        return _ReplaySnapshotResult(previous, self.nulls.spawn_at(start))
 
     # -- tgd side ----------------------------------------------------------
 

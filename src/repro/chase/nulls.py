@@ -101,6 +101,28 @@ class NullFactory:
             )
         self._counter = state
 
+    def advance(self, count: int) -> None:
+        """Issue *count* names without materializing any of them.
+
+        Names are a pure function of ``(prefix, counter)``, so a caller
+        that defers building its nulls (the incremental chase's
+        copy-on-write replay of a fully-reused region) can reserve the
+        counter range up front and mint the identical names later from a
+        :meth:`spawn_at` clone.
+        """
+        if count < 0:
+            raise ValueError(f"cannot advance factory counter by {count}")
+        self._counter += count
+
+    def spawn_at(self, state: int) -> "NullFactory":
+        """An independent factory positioned at *state*.
+
+        Issues exactly the names this factory would have issued from
+        that position, without touching this factory's counter — the
+        deferred half of :meth:`advance`.
+        """
+        return NullFactory(prefix=self.prefix, _counter=state)
+
     def fast_forward(self, issued: int) -> None:
         """Adopt a counter position ≥ the current one.
 

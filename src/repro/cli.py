@@ -30,6 +30,7 @@ from repro.query import (
     UnionQuery,
     certain_answers_concrete,
 )
+from repro.relational.homomorphism import set_join_mode
 from repro.serialize import (
     concrete_instance_from_json,
     concrete_instance_to_json,
@@ -148,6 +149,7 @@ def _print_shard_reports(abstract_result) -> None:
 
 
 def _cmd_chase(args: argparse.Namespace) -> int:
+    set_join_mode(args.join)
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
     if args.via == "abstract":
@@ -288,6 +290,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "error: --incremental requires --engine indexed; the scan "
             "reference engine re-evaluates from scratch by design"
         )
+    set_join_mode(args.join)
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
     rules = [rule for rule in args.query.split(";") if rule.strip()]
@@ -317,6 +320,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    set_join_mode(args.join)
     setting = _load_setting(args.mapping)
     source = _load_instance(args.source)
     # --incremental gates both replay layers here: the abstract chase's
@@ -413,6 +417,26 @@ def _shard_count(value: str) -> int:
     return parsed
 
 
+def _add_join_flag(command: argparse.ArgumentParser) -> None:
+    """The join-engine selector, shared by chase/query/verify.
+
+    Both engines enumerate byte-identical rows in the identical order,
+    so the flag only changes how long the run takes — ``auto`` picks the
+    worst-case-optimal join for large-enough cyclic ≥3-atom bodies and
+    the flat written-order join everywhere else.
+    """
+    command.add_argument(
+        "--join",
+        choices=["auto", "flat", "wcoj"],
+        default="auto",
+        help="join algorithm for multi-atom rule bodies and queries: "
+        "auto (default) uses the worst-case-optimal join for cyclic "
+        "bodies of three or more atoms over large-enough relations and "
+        "the flat join elsewhere; flat/wcoj force one engine (the "
+        "answers are identical either way — only the runtime differs)",
+    )
+
+
 def _add_scheduler_flags(command: argparse.ArgumentParser) -> None:
     """The abstract chase's region-scheduler flags, shared by chase/verify."""
     command.add_argument(
@@ -494,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(prints snapshot tables; honors --shards/--executor/--incremental)",
     )
     _add_scheduler_flags(chase)
+    _add_join_flag(chase)
     chase.set_defaults(handler=_cmd_chase)
 
     norm = commands.add_parser("normalize", help="normalize an instance")
@@ -533,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
         "and write this run's state back.  Pickle format — only reuse "
         "files this tool wrote",
     )
+    _add_join_flag(query)
     query.set_defaults(handler=_cmd_query)
 
     verify = commands.add_parser(
@@ -547,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="chase engine mode for both procedures",
     )
     _add_scheduler_flags(verify)
+    _add_join_flag(verify)
     verify.set_defaults(handler=_cmd_verify)
 
     figures = commands.add_parser(

@@ -41,6 +41,7 @@ class ConcreteInstance:
         "_facts_by_relation",
         "_lifted",
         "_by_lifted",
+        "_group_indexes",
         "schema",
         "__weakref__",
     )
@@ -53,6 +54,9 @@ class ConcreteInstance:
         self._facts_by_relation: dict[str, set[ConcreteFact]] = {}
         self._lifted: Instance | None = None
         self._by_lifted: dict[Fact, ConcreteFact] = {}
+        self._group_indexes: dict[
+            tuple[str, int, tuple[int, ...]], dict[tuple, list[ConcreteFact]]
+        ] = {}
         self.schema = schema
         for item in facts:
             self.add(item)
@@ -81,6 +85,21 @@ class ConcreteInstance:
             lifted_fact = item.lifted()
             self._lifted.add(lifted_fact)
             self._by_lifted[lifted_fact] = item
+        if self._group_indexes:
+            relation = item.relation
+            arity = item.arity
+            data = item.data
+            for (rel, want_arity, positions), groups in (
+                self._group_indexes.items()
+            ):
+                if rel != relation or want_arity != arity:
+                    continue
+                key = tuple(data[position] for position in positions)
+                members = groups.get(key)
+                if members is None:
+                    groups[key] = [item]
+                else:
+                    members.append(item)
         return True
 
     def add_all(self, items: Iterable[ConcreteFact]) -> int:
@@ -114,6 +133,7 @@ class ConcreteInstance:
         }
         self._lifted = None
         self._by_lifted = {}
+        self._group_indexes = {}
 
     def discard(self, item: ConcreteFact) -> bool:
         bucket = self._facts_by_relation.get(item.relation)
@@ -126,6 +146,21 @@ class ConcreteInstance:
             lifted_fact = item.lifted()
             self._lifted.discard(lifted_fact)
             self._by_lifted.pop(lifted_fact, None)
+        if self._group_indexes:
+            relation = item.relation
+            arity = item.arity
+            data = item.data
+            for (rel, want_arity, positions), groups in (
+                self._group_indexes.items()
+            ):
+                if rel != relation or want_arity != arity:
+                    continue
+                key = tuple(data[position] for position in positions)
+                members = groups.get(key)
+                if members is not None:
+                    members.remove(item)
+                    if not members:
+                        del groups[key]
         return True
 
     def replace(
@@ -182,6 +217,39 @@ class ConcreteInstance:
         interval themselves.  Do not mutate the instance mid-iteration.
         """
         return iter(self._facts_by_relation.get(relation, ()))
+
+    def group_index(
+        self, relation: str, data_arity: int, key_positions: tuple[int, ...]
+    ) -> dict[tuple, list[ConcreteFact]]:
+        """Facts of *relation* (data arity *data_arity*) grouped by the
+        values at *key_positions* of their data tuple.
+
+        Built on first request and maintained incrementally by
+        :meth:`add` / :meth:`discard` from then on, so consumers that
+        re-group between mutations — the normalization sweep's
+        value-equivalence groups, re-requested by every chained
+        ``c_chase`` round — pay one index update per change instead of
+        re-hashing every fact.  The returned mapping is the live index:
+        treat it as read-only, and do not mutate the instance while
+        iterating it.  Groups hold no facts of other arities; empty
+        groups are pruned.
+        """
+        signature = (relation, data_arity, key_positions)
+        groups = self._group_indexes.get(signature)
+        if groups is None:
+            groups = {}
+            for item in self._facts_by_relation.get(relation, ()):
+                if item.arity != data_arity:
+                    continue
+                data = item.data
+                key = tuple(data[position] for position in key_positions)
+                members = groups.get(key)
+                if members is None:
+                    groups[key] = [item]
+                else:
+                    members.append(item)
+            self._group_indexes[signature] = groups
+        return groups
 
     def facts(self) -> frozenset[ConcreteFact]:
         return frozenset(

@@ -63,7 +63,7 @@ from repro.concrete.concrete_instance import ConcreteInstance
 from repro.relational.formulas import Atom, TemporalConjunction
 from repro.relational.homomorphism import (
     _flat_join_plan,
-    _iter_flat_join_rows,
+    _iter_join_rows,
     find_homomorphisms_with_images,
 )
 from repro.relational.terms import Constant, GroundTerm, Variable
@@ -195,7 +195,7 @@ def _iter_decoupled_images(
         ):
             yield tuple(resolve(item) for item in images)
         return
-    for row in _iter_flat_join_rows(plan, lifted):
+    for row in _iter_join_rows(plan, lifted):
         yield tuple(resolve(item) for item in row)
 
 
@@ -391,12 +391,15 @@ def _build_pair_groups(
     exist; keys no first-atom fact joins are left with an empty first
     list and skipped by the caller.
 
-    Grouping reads the concrete relation buckets directly: the decoupled
-    form's join keys never involve the temporal variable, so every key
-    position indexes the fact's *data* tuple, and — unlike the reference
-    enumeration — no lifted view, sorted bucket or lifted→concrete
-    resolution is needed (the sweep sorts by interval itself and its
-    outcome is order-independent).
+    Grouping goes through :meth:`ConcreteInstance.group_index`: the
+    decoupled form's join keys never involve the temporal variable, so
+    every key position indexes the fact's *data* tuple, and — unlike the
+    reference enumeration — no lifted view, sorted bucket or
+    lifted→concrete resolution is needed (the sweep sorts by interval
+    itself and its outcome is order-independent).  The index is
+    maintained incrementally across mutations, so a chained ``c_chase``
+    run re-grouping the same shape pays only for the facts that changed
+    since the last sweep.
     """
     first_atom, second_atom = lifted_atoms
     key_positions = plan.key_positions[1]
@@ -407,34 +410,22 @@ def _build_pair_groups(
         and sources == key_positions
     )
     second_arity = second_atom.arity - 1  # data arity: lifted minus interval
+    seconds_by_key = instance.group_index(
+        second_atom.relation, second_arity, key_positions
+    )
     if symmetric:
-        members_by_key: dict[tuple, list[ConcreteFact]] = {}
-        for item in instance.iter_facts_of(second_atom.relation):
-            if item.arity != second_arity:
-                continue
-            data = item.data
-            key = tuple(data[position] for position in key_positions)
-            members_by_key.setdefault(key, []).append(item)
-        return True, members_by_key
-    first_arity = first_atom.arity - 1
+        return True, seconds_by_key
+    firsts_by_key = instance.group_index(
+        first_atom.relation, first_atom.arity - 1, sources
+    )
+    # Only keys with facts on *both* sides can produce a cross-side
+    # match; the empty-firsts entries the bucket scan used to carry were
+    # skipped by the caller anyway.
     sides_by_key: dict[tuple, tuple[list[ConcreteFact], list[ConcreteFact]]] = {}
-    for item in instance.iter_facts_of(second_atom.relation):
-        if item.arity != second_arity:
-            continue
-        data = item.data
-        key = tuple(data[position] for position in key_positions)
-        entry = sides_by_key.get(key)
-        if entry is None:
-            entry = sides_by_key[key] = ([], [])
-        entry[1].append(item)
-    for item in instance.iter_facts_of(first_atom.relation):
-        if item.arity != first_arity:
-            continue
-        data = item.data
-        key = tuple(data[position] for position in sources)
-        entry = sides_by_key.get(key)
-        if entry is not None:
-            entry[0].append(item)
+    for key, seconds in seconds_by_key.items():
+        firsts = firsts_by_key.get(key)
+        if firsts is not None:
+            sides_by_key[key] = (firsts, seconds)
     return False, sides_by_key
 
 

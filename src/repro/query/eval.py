@@ -78,7 +78,7 @@ from repro.relational.fact import Fact
 from repro.relational.formulas import Atom
 from repro.relational.homomorphism import (
     _flat_join_plan,
-    _iter_flat_join_rows,
+    _iter_join_rows,
     find_homomorphisms_with_images,
     match_atom_against_fact,
 )
@@ -141,7 +141,7 @@ def _iter_head_rows(
     plan = _flat_join_plan(atoms)
     if plan is not None:
         slots = tuple(plan.slot_of[var] for var in head)
-        for row in _iter_flat_join_rows(plan, instance):
+        for row in _iter_join_rows(plan, instance):
             yield tuple(row[index].args[position] for index, position in slots)
         return
     for assignment, _images in find_homomorphisms_with_images(
@@ -473,7 +473,7 @@ def _concrete_disjunct_rows(
     if plan is not None:
         head_slots = tuple(plan.slot_of[var] for var in head)
         t_index, t_position = plan.slot_of[lifted_conjunction.shared_variable]
-        for row in _iter_flat_join_rows(plan, lifted_view):
+        for row in _iter_join_rows(plan, lifted_view):
             item = tuple(
                 row[index].args[position] for index, position in head_slots
             )

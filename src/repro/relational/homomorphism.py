@@ -27,8 +27,11 @@ The search is plain backtracking, engineered for the chase hot path:
 
 from __future__ import annotations
 
+from collections import Counter
+from contextlib import contextmanager
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.errors import FormulaError
 from repro.relational.fact import Fact
 from repro.relational.formulas import Atom, Conjunction
 from repro.relational.instance import Instance
@@ -37,6 +40,7 @@ from repro.relational.terms import (
     GroundTerm,
     Term,
     Variable,
+    term_sort_key,
 )
 
 __all__ = [
@@ -50,7 +54,57 @@ __all__ = [
     "find_instance_homomorphism",
     "has_instance_homomorphism",
     "is_homomorphism",
+    "set_join_mode",
+    "get_join_mode",
+    "join_mode",
 ]
+
+
+# ---------------------------------------------------------------------------
+# Join-mode selection (flat written-order join vs worst-case-optimal join)
+# ---------------------------------------------------------------------------
+
+_JOIN_MODES = ("auto", "flat", "wcoj")
+_join_mode = "auto"
+
+
+def set_join_mode(mode: str) -> None:
+    """Select the join algorithm for multi-atom all-variable conjunctions.
+
+    * ``"auto"`` (default): worst-case-optimal generic join for ≥3-atom
+      *cyclic* bodies over large-enough relations (see
+      ``_WCOJ_MIN_FACTS``), flat written-order join everywhere else;
+    * ``"flat"``: always the flat written-order join (the reference
+      engine for equivalence sweeps);
+    * ``"wcoj"``: generic join for every ≥3-atom plan, cyclic or not.
+
+    The setting is process-global (the CLI maps ``--join`` onto it); both
+    modes enumerate rows in the identical written-variable-order sequence,
+    so switching never changes results or their order — only the work done
+    to produce them.
+    """
+    if mode not in _JOIN_MODES:
+        raise FormulaError(
+            f"unknown join mode {mode!r}; expected one of {_JOIN_MODES}"
+        )
+    global _join_mode
+    _join_mode = mode
+
+
+def get_join_mode() -> str:
+    """The current process-global join mode."""
+    return _join_mode
+
+
+@contextmanager
+def join_mode(mode: str):
+    """Temporarily switch the join mode (tests and benchmarks)."""
+    previous = get_join_mode()
+    set_join_mode(mode)
+    try:
+        yield
+    finally:
+        set_join_mode(previous)
 
 
 class _AtomPlan:
@@ -218,6 +272,21 @@ def find_homomorphisms_with_images(
                 ]
                 outer_index = 1 if counts[1] < counts[0] else 0
             yield from _iter_pair_matches(atom_list, outer_index, instance, copy)
+            return
+    if not assignment and len(atom_list) > 2:
+        plan = _flat_join_plan(atom_list)
+        if plan is not None and _wcoj_selected(plan, instance):
+            # Cyclic ≥3-atom bodies (or forced "wcoj" mode): per-variable
+            # intersection beats any atom-at-a-time order here, and its
+            # enumeration order is content-determined (written-order
+            # lexicographic) rather than cardinality-driven — the same
+            # rows for every engine, index state, and mutation history.
+            slots = tuple(plan.slot_of.items())
+            live: dict[Variable, GroundTerm] = {}
+            for row in _iter_wcoj_rows(plan, instance):
+                for variable, (index, position) in slots:
+                    live[variable] = row[index].args[position]
+                yield (dict(live) if copy else live), row
             return
     yield from search(list(range(len(atom_list))))
 
@@ -441,13 +510,23 @@ class _FlatJoinPlan:
     chosen facts, with no assignment dict in sight.
     """
 
-    __slots__ = ("atoms", "slot_of", "key_positions", "key_sources")
+    __slots__ = (
+        "atoms",
+        "slot_of",
+        "key_positions",
+        "key_sources",
+        "cyclic",
+        "wcoj_plan",
+    )
 
     def __init__(self, atoms: tuple[Atom, ...]) -> None:
         self.atoms = atoms
         self.slot_of: dict[Term, tuple[int, int]] = {}
         self.key_positions: list[tuple[int, ...]] = []
         self.key_sources: list[tuple[tuple[int, int], ...]] = []
+        # Both lazily computed on the first auto-mode selection probe.
+        self.cyclic: bool | None = None
+        self.wcoj_plan: _WcojPlan | None = None
         for index, atom in enumerate(atoms):
             positions: list[int] = []
             sources: list[tuple[int, int]] = []
@@ -556,6 +635,263 @@ def _iter_flat_join_rows(
         yield from descend(1)
 
 
+# ---------------------------------------------------------------------------
+# Worst-case-optimal (generic) join over the same plans
+# ---------------------------------------------------------------------------
+#
+# The flat join binds one *atom* at a time, so a cyclic body enumerates
+# every binding of a prefix of its atoms before the closing atom gets to
+# prune — Θ(paths) intermediate work for Θ(triangles) output on the
+# canonical skew shapes.  The generic join binds one *variable* at a
+# time instead: the candidate values for each variable come from the
+# smallest index bucket among the atoms containing it, and every other
+# such atom filters the value by an exact index probe (a leapfrog over
+# the existing ``(position, value)`` buckets — no new index structures).
+#
+# Order contract: the variable order is the plan's first-occurrence
+# order (``slot_of`` insertion order), and candidate values enumerate in
+# ``term_sort_key`` order.  Because ``Fact.sort_key`` compares arguments
+# componentwise in position order, the flat join's row sequence is
+# exactly the lexicographic order in those same variable values — so
+# :func:`_iter_wcoj_rows` yields byte-identical rows in the identical
+# sequence to :func:`_iter_flat_join_rows`, for *any* plan shape.  The
+# property suite sweeps this equality; everything downstream (traces,
+# null numbering, goldens) is therefore unchanged by the mode switch.
+
+
+def _plan_is_cyclic(plan: _FlatJoinPlan) -> bool:
+    """GYO ear reduction on the body's variable hypergraph.
+
+    Repeatedly drop variables occurring in a single atom and atoms whose
+    variable set is contained in another's; the body is *cyclic* iff a
+    non-empty irreducible core remains.  Acyclic bodies (paths, stars,
+    hierarchical shapes) keep the flat join in auto mode: atom-at-a-time
+    with group maps is cheaper there than per-variable intersection.
+    """
+    edges = [set(atom.args) for atom in plan.atoms]
+    changed = True
+    while changed and edges:
+        changed = False
+        counts = Counter(var for edge in edges for var in edge)
+        for edge in edges:
+            ears = [var for var in edge if counts[var] == 1]
+            if ears:
+                edge.difference_update(ears)
+                for var in ears:
+                    del counts[var]
+                changed = True
+        kept: list[set] = []
+        for index, edge in enumerate(edges):
+            if not edge:
+                changed = True
+                continue
+            absorbed = False
+            for other_index, other in enumerate(edges):
+                if other_index == index or not other:
+                    continue
+                if edge <= other and (
+                    len(edge) < len(other) or index > other_index
+                ):
+                    absorbed = True
+                    break
+            if absorbed:
+                changed = True
+                continue
+            kept.append(edge)
+        edges = kept
+    return bool(edges)
+
+
+# Below this many facts in every body relation, auto mode keeps the
+# flat join even for cyclic bodies: the generic join's per-variable
+# candidate probes are a constant-factor overhead, and the flat join's
+# quadratic intermediate is bounded by the input size anyway.  Measured
+# crossover on the hub-skewed triangle workload sits between 144 and
+# 432 facts per relation; either engine enumerates byte-identical rows,
+# so the cutoff can never change results.
+_WCOJ_MIN_FACTS = 256
+
+
+def _wcoj_selected(plan: _FlatJoinPlan, instance: Instance | None = None) -> bool:
+    """Whether the current join mode routes *plan* to the generic join.
+
+    Two-atom plans always stay flat (the pair paths are already optimal);
+    ``auto`` selects the generic join for ≥3-atom cyclic bodies whose
+    input is big enough to matter (some body relation holds at least
+    ``_WCOJ_MIN_FACTS`` facts — skipped when no *instance* is supplied),
+    ``wcoj`` forces it for every ≥3-atom plan, ``flat`` never selects it.
+    """
+    if len(plan.atoms) < 3 or _join_mode == "flat":
+        return False
+    if _join_mode == "wcoj":
+        return True
+    cyclic = plan.cyclic
+    if cyclic is None:
+        cyclic = plan.cyclic = _plan_is_cyclic(plan)
+    if not cyclic:
+        return False
+    if instance is None:
+        return True
+    return any(
+        instance.candidate_count(atom.relation, _EMPTY_BINDINGS)
+        >= _WCOJ_MIN_FACTS
+        for atom in plan.atoms
+    )
+
+
+class _WcojPlan:
+    """Static per-variable schedule for the generic join of one plan.
+
+    ``steps[k]`` lists the occurrences of the k-th variable (in
+    first-occurrence order) as ``(atom, position, completes, sorted)``
+    tuples: *completes* marks the occurrence whose binding fixes the
+    atom's last open position (the exact probe there also fetches the
+    image fact), and *sorted* marks positions where the driving atom's
+    candidate projection is already in ``term_sort_key`` order (the
+    position is the atom's first still-open one, so the pre-sorted
+    bucket order projects monotonically — no per-node sort needed).
+    """
+
+    __slots__ = ("var_order", "steps", "relations", "arities")
+
+    def __init__(self, plan: _FlatJoinPlan) -> None:
+        atoms = plan.atoms
+        var_order = tuple(plan.slot_of)
+        index_of = {var: index for index, var in enumerate(var_order)}
+        completes_at = [
+            max(index_of[arg] for arg in atom.args) for atom in atoms
+        ]
+        steps: list[tuple[tuple[int, int, bool, bool], ...]] = []
+        for rank, var in enumerate(var_order):
+            entries: list[tuple[int, int, bool, bool]] = []
+            for atom_index, atom in enumerate(atoms):
+                for position, arg in enumerate(atom.args):
+                    if arg != var:
+                        continue
+                    first_open = min(
+                        open_position
+                        for open_position, open_arg in enumerate(atom.args)
+                        if index_of[open_arg] >= rank
+                    )
+                    entries.append(
+                        (
+                            atom_index,
+                            position,
+                            completes_at[atom_index] == rank,
+                            position == first_open,
+                        )
+                    )
+            steps.append(tuple(entries))
+        self.var_order = var_order
+        self.steps = tuple(steps)
+        self.relations = tuple(atom.relation for atom in atoms)
+        self.arities = tuple(atom.arity for atom in atoms)
+
+
+def _iter_wcoj_rows(
+    plan: _FlatJoinPlan, instance: Instance
+) -> Iterator[tuple[Fact, ...]]:
+    """Generic-join enumeration of the plan's image tuples.
+
+    Byte-identical rows in the identical sequence to
+    :func:`_iter_flat_join_rows` (see the order contract above); only
+    the work to produce them differs — per-variable candidate
+    intersection instead of atom-at-a-time enumeration.
+    """
+    wplan = plan.wcoj_plan
+    if wplan is None:
+        wplan = plan.wcoj_plan = _WcojPlan(plan)
+    steps = wplan.steps
+    relations = wplan.relations
+    arities = wplan.arities
+    last_rank = len(steps) - 1
+    lookup = instance.lookup_ordered
+    candidate_count = instance.candidate_count
+    atom_count = len(relations)
+    bindings: list[dict[int, GroundTerm]] = [{} for _ in range(atom_count)]
+    images: list[Fact | None] = [None] * atom_count
+
+    def descend(rank: int) -> Iterator[tuple[Fact, ...]]:
+        entries = steps[rank]
+        driver = entries[0]
+        best = candidate_count(relations[driver[0]], bindings[driver[0]])
+        for entry in entries[1:]:
+            if best == 0:
+                return
+            count = candidate_count(relations[entry[0]], bindings[entry[0]])
+            if count < best:
+                driver, best = entry, count
+        if best == 0:
+            return
+        driver_atom, driver_position, _completes, projection_sorted = driver
+        driver_arity = arities[driver_atom]
+        candidates = lookup(relations[driver_atom], bindings[driver_atom])
+        values: list[GroundTerm] = []
+        if projection_sorted:
+            for item in candidates:
+                if item.arity != driver_arity:
+                    continue
+                value = item.args[driver_position]
+                if not values or values[-1] != value:
+                    values.append(value)
+        else:
+            seen: set[GroundTerm] = set()
+            for item in candidates:
+                if item.arity != driver_arity:
+                    continue
+                value = item.args[driver_position]
+                if value not in seen:
+                    seen.add(value)
+                    values.append(value)
+            values.sort(key=term_sort_key)
+        last = rank == last_rank
+        for value in values:
+            for atom_index, position, _c, _s in entries:
+                bindings[atom_index][position] = value
+            supported = True
+            for atom_index, position, completes, _s in entries:
+                hits = lookup(relations[atom_index], bindings[atom_index])
+                if completes:
+                    arity = arities[atom_index]
+                    image = None
+                    for item in hits:
+                        if item.arity == arity:
+                            image = item
+                            break
+                    if image is None:
+                        supported = False
+                        break
+                    images[atom_index] = image
+                elif not hits:
+                    supported = False
+                    break
+            if supported:
+                if last:
+                    yield tuple(images)  # type: ignore[misc]
+                else:
+                    yield from descend(rank + 1)
+            for atom_index, position, _c, _s in entries:
+                del bindings[atom_index][position]
+
+    if steps:
+        yield from descend(0)
+
+
+def _iter_join_rows(
+    plan: _FlatJoinPlan, instance: Instance
+) -> Iterator[tuple[Fact, ...]]:
+    """The plan's image tuples via whichever join the mode selects.
+
+    The single dispatch point shared by the chase engine's match
+    enumeration, egd equation enumeration, normalization's decoupled
+    matching, and the query evaluator — one ``--join`` switch covers
+    them all, and the two engines' row sequences are identical.
+    """
+    if _wcoj_selected(plan, instance):
+        return _iter_wcoj_rows(plan, instance)
+    return _iter_flat_join_rows(plan, instance)
+
+
 def iter_egd_equations(
     atoms: Sequence[Atom],
     left_var: Variable,
@@ -625,7 +961,7 @@ def iter_egd_equations(
                         partner_args[right_position],
                     )
         return
-    for row in _iter_flat_join_rows(plan, instance):
+    for row in _iter_join_rows(plan, instance):
         yield row[left_atom].args[left_position], row[right_atom].args[
             right_position
         ]

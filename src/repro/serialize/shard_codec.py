@@ -28,10 +28,20 @@ embedded through the existing JSON codec (:func:`setting_to_json`): they
 are tiny, and the textual dependency syntax is the library's canonical
 serialized form.
 
-Messages are only meant to cross a pipe between processes of one run on
-one machine; the header still carries a magic, a version and the byte
-order so a stale or foreign payload fails loudly instead of decoding
-garbage.
+Messages are only meant to cross a pipe — or a shared-memory segment,
+see :mod:`repro.serialize.shm` — between processes of one run on one
+machine; the header still carries a magic, a version and the byte order
+so a stale or foreign payload fails loudly instead of decoding garbage.
+
+Decoding is *lazy by section*: the term, fact and record tables are each
+length-prefixed, so constructing a decoder copies the flat ``int64``
+stream (one ``frombytes``) and parses nothing else.  The tables
+materialize on first access — the parent of a process-pool run merges
+pre-annotated templates and never touches the per-region fact tables or
+traces, so the dominant decode cost simply never runs on its critical
+path.  Payloads may be ``bytes`` or a ``memoryview`` (a mapped
+shared-memory segment); either way nothing references the buffer once
+the decoder is constructed, so the segment can be unmapped immediately.
 """
 
 from __future__ import annotations
@@ -42,7 +52,7 @@ import struct
 import sys
 from array import array
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import (
     RemoteShardError,
@@ -90,7 +100,7 @@ __all__ = [
     "decode_setting",
 ]
 
-_MAGIC = b"TDX1"
+_MAGIC = b"TDX2"
 _BYTEORDER = 0 if sys.byteorder == "little" else 1
 _INT64_MIN = -(2**63)
 _INT64_MAX = 2**63 - 1
@@ -161,7 +171,7 @@ class ShardOutcome:
     region_reuse: dict[Interval, RegionReuseStats]
     error: ShardExecutionError | None
     report: "ShardReport"
-    merged_templates: tuple[TemplateFact, ...] = ()
+    merged_templates: Sequence[TemplateFact] = ()
 
 
 # ---------------------------------------------------------------------------
@@ -337,13 +347,17 @@ class _Encoder:
         ints: list[int] = [kind]
         ints.append(len(self._interval_ids))
         ints.extend(self._intervals)
+        # Terms, facts and records are each length-prefixed so the
+        # decoder can skip any of them wholesale and materialize it on
+        # first access — the parent of a process-pool run merges
+        # pre-annotated templates (terms only) and never reads the
+        # per-region fact tables or traces.
         ints.append(self._term_count)
+        ints.append(len(self._terms))
         ints.extend(self._terms)
         ints.append(self._fact_count)
+        ints.append(len(self._facts))
         ints.extend(self._facts)
-        # The record section is length-prefixed so the decoder can skip
-        # it wholesale: traces are inspection data, not merge data, and
-        # decode lazily on first access.
         ints.append(self._record_count)
         ints.append(len(self._records))
         ints.extend(self._records)
@@ -383,8 +397,21 @@ class _Encoder:
 
 
 class _Decoder:
-    def __init__(self, payload: bytes, expected_kind: int) -> None:
-        if payload[:4] != _MAGIC:
+    """Copies the payload's flat sections, then decodes tables lazily.
+
+    *payload* may be ``bytes`` or any buffer (e.g. the ``memoryview`` of
+    a mapped shared-memory segment): construction copies the side
+    sections and the ``int64`` stream out of the buffer and keeps no
+    reference to it, so a segment can be closed as soon as the decoder
+    exists.  The term, fact and record tables decode on first property
+    access; everything the parent's merge reads (intervals, body ints,
+    strings) is available without touching them.
+    """
+
+    def __init__(
+        self, payload: bytes | memoryview, expected_kind: int
+    ) -> None:
+        if bytes(payload[:4]) != _MAGIC:
             raise SerializationError(
                 "not a shard-codec payload (bad magic header)"
             )
@@ -427,39 +454,41 @@ class _Decoder:
             )
         self._variables: dict[str, Variable] = {}
         self.intervals = self._decode_intervals()
-        self.terms = self._decode_terms()
-        self.facts = self._decode_facts()
-        # Skip the length-prefixed record section; it materializes on
-        # first access of `records` (traces are rarely inspected, and
-        # the parent merge never touches them).
+        # Skip the three length-prefixed table sections; each
+        # materializes on first access of its property.
+        self._term_table: list[GroundTerm] | None = None
+        self._term_header = self.pos
+        self.pos += 2 + self.ints[self.pos + 1]
+        self._fact_table: list[Fact] | None = None
+        self._fact_header = self.pos
+        self.pos += 2 + self.ints[self.pos + 1]
         self._record_table: (
             list[TgdStepRecord | EgdStepRecord | FailureRecord] | None
         ) = None
         self._record_header = self.pos
-        record_ints = self.ints[self.pos + 1]
-        self.pos += 2 + record_ints
+        self.pos += 2 + self.ints[self.pos + 1]
 
     @staticmethod
-    def _parse_strings(payload: bytes, offset: int) -> list[str]:
+    def _parse_strings(payload: bytes | memoryview, offset: int) -> list[str]:
         (count,) = struct.unpack_from("<I", payload, offset)
         offset += 4
         out: list[str] = []
         for _ in range(count):
             (length,) = struct.unpack_from("<I", payload, offset)
             offset += 4
-            out.append(payload[offset : offset + length].decode("utf-8"))
+            out.append(str(payload[offset : offset + length], "utf-8"))
             offset += length
         return out
 
     @staticmethod
-    def _parse_blobs(payload: bytes, offset: int) -> list[bytes]:
+    def _parse_blobs(payload: bytes | memoryview, offset: int) -> list[bytes]:
         (count,) = struct.unpack_from("<I", payload, offset)
         offset += 4
         out: list[bytes] = []
         for _ in range(count):
             (length,) = struct.unpack_from("<I", payload, offset)
             offset += 4
-            out.append(payload[offset : offset + length])
+            out.append(bytes(payload[offset : offset + length]))
             offset += length
         return out
 
@@ -493,8 +522,31 @@ class _Decoder:
             out.append(Interval(start, INFINITY if end < 0 else end))
         return out
 
+    @property
+    def terms(self) -> list[GroundTerm]:
+        found = self._term_table
+        if found is None:
+            saved = self.pos
+            self.pos = self._term_header
+            found = self._decode_terms()
+            self._term_table = found
+            self.pos = saved
+        return found
+
+    @property
+    def facts(self) -> list[Fact]:
+        found = self._fact_table
+        if found is None:
+            saved = self.pos
+            self.pos = self._fact_header
+            found = self._decode_facts()
+            self._fact_table = found
+            self.pos = saved
+        return found
+
     def _decode_terms(self) -> list[GroundTerm]:
         count = self.read()
+        self.read()  # section length, used by the lazy skip
         out: list[GroundTerm] = []
         strings = self.strings
         for _ in range(count):
@@ -526,6 +578,7 @@ class _Decoder:
 
     def _decode_facts(self) -> list[Fact]:
         count = self.read()
+        self.read()  # section length, used by the lazy skip
         out: list[Fact] = []
         strings = self.strings
         terms = self.terms
@@ -629,6 +682,52 @@ class _WireTrace(ChaseTrace):
         return (ChaseTrace, (list(self.steps),))
 
 
+class _WireSnapshotResult(SnapshotChaseResult):
+    """A region result whose target instance decodes from the wire lazily.
+
+    The parent of a process-pool run merges the worker's pre-annotated
+    templates and stores region results purely for inspection, so
+    decoding every region's fact table into an :class:`Instance` on the
+    critical path is wasted work.  This subclass keeps only the fact
+    *references* plus the payload's decoder; the target materializes on
+    first ``target`` access (tests, CLI diagnostics, failure analysis).
+    """
+
+    def __init__(
+        self,
+        decoder: _Decoder,
+        fact_refs: Sequence[int],
+        failed: bool,
+        failure: FailureRecord | None,
+        trace: ChaseTrace,
+    ) -> None:
+        self._decoder = decoder
+        self._refs = fact_refs
+        self._target: Instance | None = None
+        self.failed = failed
+        self.failure = failure
+        self.trace = trace
+
+    @property
+    def target(self) -> Instance:  # type: ignore[override]
+        found = self._target
+        if found is None:
+            facts = self._decoder.facts
+            found = _rebuild_instance(facts[ref] for ref in self._refs)
+            self._target = found
+        return found
+
+    @target.setter
+    def target(self, value: Instance) -> None:
+        self._target = value
+
+    def __reduce__(self):
+        return (
+            SnapshotChaseResult,
+            (self.target, self.failed, self.failure, ChaseTrace(list(self.trace.steps))),
+        )
+
+
 def _rebuild_instance(facts: Iterable[Fact]) -> Instance:
     """An :class:`Instance` from decoded table facts, bypassing ``add``.
 
@@ -706,17 +805,73 @@ def _encode_templates(
 
 
 def _decode_templates(dec: _Decoder) -> tuple[TemplateFact, ...]:
-    count = dec.read()
+    ints = dec.ints
+    pos = dec.pos
+    count = ints[pos]
+    pos += 1
+    strings = dec.strings
+    intervals = dec.intervals
+    terms = dec.terms
+    make = TemplateFact.make
     out: list[TemplateFact] = []
+    append = out.append
     for _ in range(count):
-        relation = dec.string()
-        interval = dec.intervals[dec.read()]
-        arity = dec.read()
-        args = tuple(dec.terms[ref] for ref in dec.read_many(arity))
+        relation = strings[ints[pos]]
+        interval = intervals[ints[pos + 1]]
+        arity = ints[pos + 2]
+        stop = pos + 3 + arity
+        args = tuple(terms[ref] for ref in ints[pos + 3 : stop])
+        pos = stop
         # Trusted: encoded from validated templates, so annotated nulls
         # carry the template interval and rigid null names are '@'-free.
-        out.append(TemplateFact.make(relation, args, interval))
+        append(make(relation, args, interval))
+    dec.pos = pos
     return tuple(out)
+
+
+class _WireTemplates(Sequence[TemplateFact]):
+    """Merged-template section of an outcome, decoded on first access.
+
+    The merged templates are the *last* body section, so deferring them
+    is a matter of remembering where the section starts.  The parent's
+    merge keeps these around as opaque pieces; a run whose caller never
+    touches the final instance's template set (serialization round
+    trips, sampling, failure paths) skips the dominant decode cost —
+    each shard contributes tens of thousands of templates.
+    """
+
+    __slots__ = ("_decoder", "_start", "_cache")
+
+    def __init__(self, decoder: _Decoder, start: int):
+        self._decoder = decoder
+        self._start = start
+        self._cache: tuple[TemplateFact, ...] | None = None
+
+    def _materialize(self) -> tuple[TemplateFact, ...]:
+        found = self._cache
+        if found is None:
+            dec = self._decoder
+            saved = dec.pos
+            dec.pos = self._start
+            try:
+                found = _decode_templates(dec)
+            finally:
+                dec.pos = saved
+            self._cache = found
+            self._decoder = None
+        return found
+
+    def __iter__(self) -> Iterator[TemplateFact]:
+        return iter(self._materialize())
+
+    def __len__(self) -> int:
+        return self._decoder.ints[self._start] if self._cache is None else len(self._cache)
+
+    def __getitem__(self, index):  # pragma: no cover — Sequence protocol
+        return self._materialize()[index]
+
+    def __reduce__(self):
+        return (tuple, (self._materialize(),))
 
 
 # ---------------------------------------------------------------------------
@@ -741,7 +896,7 @@ def encode_shard_task(task: ShardTask) -> bytes:
     return enc.assemble(_MSG_TASK)
 
 
-def decode_shard_task(payload: bytes) -> ShardTask:
+def decode_shard_task(payload: bytes | memoryview) -> ShardTask:
     dec = _Decoder(payload, _MSG_TASK)
     shard = dec.read()
     counter = dec.read()
@@ -824,7 +979,7 @@ def encode_shard_outcome(outcome: ShardOutcome) -> bytes:
     return enc.assemble(_MSG_OUTCOME)
 
 
-def decode_shard_outcome(payload: bytes) -> ShardOutcome:
+def decode_shard_outcome(payload: bytes | memoryview) -> ShardOutcome:
     from repro.abstract_view.abstract_chase import ShardReport
 
     dec = _Decoder(payload, _MSG_OUTCOME)
@@ -867,17 +1022,12 @@ def decode_shard_outcome(payload: bytes) -> ShardOutcome:
                 raise SerializationError(
                     "shard outcome failure record has the wrong type"
                 )
-        facts = dec.facts
-        target = _rebuild_instance(
-            facts[ref] for ref in dec.read_many(dec.read())
-        )
+        fact_refs = dec.read_many(dec.read())
         trace = _WireTrace(dec, dec.read_many(dec.read()))
         results.append(
             (
                 region,
-                SnapshotChaseResult(
-                    target=target, failed=failed, failure=failure, trace=trace
-                ),
+                _WireSnapshotResult(dec, fact_refs, failed, failure, trace),
             )
         )
     return ShardOutcome(
@@ -885,7 +1035,7 @@ def decode_shard_outcome(payload: bytes) -> ShardOutcome:
         region_reuse=region_reuse,
         error=error,
         report=report,
-        merged_templates=_decode_templates(dec),
+        merged_templates=_WireTemplates(dec, dec.pos),
     )
 
 

@@ -25,15 +25,18 @@ __all__ = [
     "EmploymentWorkload",
     "random_employment_history",
     "random_org_history",
+    "melting_org_history",
     "nested_overlap_instance",
     "overlapping_salary_history",
     "nested_overlap_conjunctions",
     "staircase_instance",
     "random_concrete_instance",
+    "triangle_graph_instance",
     "exchange_setting_copy",
     "exchange_setting_join",
     "exchange_setting_org",
     "exchange_setting_decompose",
+    "exchange_setting_triangle",
 ]
 
 
@@ -184,6 +187,64 @@ def random_org_history(
     )
 
 
+def melting_org_history(
+    people: int,
+    tasks_per_person: int = 2,
+    departments: int | None = None,
+) -> EmploymentWorkload:
+    """An org chart that only *melts*: every fact starts at 0, ends apart.
+
+    ``Dept`` reference facts are unbounded; each person's ``Emp`` fact and
+    ``tasks_per_person`` ``Task`` facts all start at time 0 and end at
+    pairwise-distinct points, so every region boundary of the abstract
+    view is a *removal-only* delta — the regime where the incremental
+    cross-region chase replays ≈100% of the previous region's firing log
+    (nothing new ever appears, so no live matches and no deviations).
+    Task names are unique per ``(person, slot)``, so the key egd of
+    :func:`exchange_setting_org` never fires — fully-replayed regions are
+    also egd-free, which is what the copy-on-write region results exploit.
+    Fully deterministic: no RNG is involved.
+    """
+    departments = departments or max(4, people // 8)
+    width = tasks_per_person + 1
+    facts = []
+    for department in range(departments):
+        facts.append(
+            concrete_fact(
+                "Dept",
+                f"d{department}",
+                f"mgr{department}",
+                interval=interval(0),
+            )
+        )
+    for person_id in range(people):
+        name = f"p{person_id}"
+        base = 4 + width * person_id
+        facts.append(
+            concrete_fact(
+                "Emp",
+                name,
+                f"d{person_id % departments}",
+                interval=interval(0, base),
+            )
+        )
+        for slot in range(tasks_per_person):
+            facts.append(
+                concrete_fact(
+                    "Task",
+                    name,
+                    f"t{person_id}_{slot}",
+                    interval=interval(0, base + 1 + slot),
+                )
+            )
+    return EmploymentWorkload(
+        instance=ConcreteInstance(facts),
+        people=people,
+        timeline=4 + width * people,
+        seed=0,
+    )
+
+
 def overlapping_salary_history(
     people: int,
     spans: int,
@@ -295,6 +356,47 @@ def staircase_instance(
 
 
 # ---------------------------------------------------------------------------
+# Cyclic join structures (worst-case-optimal join territory)
+# ---------------------------------------------------------------------------
+
+
+def triangle_graph_instance(
+    spokes: int,
+    closures: int | None = None,
+    relation: str = "R",
+) -> ConcreteInstance:
+    """A hub-and-spoke digraph whose triangles all pass through the hub.
+
+    ``spokes`` in-edges ``R(u_i, hub)`` and ``spokes`` out-edges
+    ``R(hub, w_j)`` meet at one high-degree vertex; ``closures`` back
+    edges ``R(w_j, u_j)`` (default ``spokes // 4``) close that many
+    triangles ``u_j → hub → w_j → u_j``.  The triangle body
+    ``R(x,y) ∧ R(y,z) ∧ R(z,x)`` then has ``Θ(spokes²)`` length-2 paths
+    through the hub but only ``Θ(closures)`` closing edges — the
+    canonical skew shape where a pairwise (flat) join enumerates a
+    quadratic intermediate while a worst-case-optimal join stays near
+    the output size.  All edges share one unbounded stamp, so the
+    temporal machinery adds a single region and the join cost dominates.
+    Fully deterministic: no RNG is involved.
+    """
+    closures = spokes // 4 if closures is None else closures
+    stamp = interval(0)
+    facts = []
+    for index in range(spokes):
+        facts.append(
+            concrete_fact(relation, f"u{index}", "hub", interval=stamp)
+        )
+        facts.append(
+            concrete_fact(relation, "hub", f"w{index}", interval=stamp)
+        )
+    for index in range(closures):
+        facts.append(
+            concrete_fact(relation, f"w{index}", f"u{index}", interval=stamp)
+        )
+    return ConcreteInstance(facts)
+
+
+# ---------------------------------------------------------------------------
 # Generic random instances
 # ---------------------------------------------------------------------------
 
@@ -380,6 +482,21 @@ def exchange_setting_org() -> DataExchangeSetting:
             "Task(e, t) -> EXISTS s . Log(e, t, s)",
         ],
         egds=["Log(e, t, s) & Log(e, t, s2) -> s = s2"],
+    )
+
+
+def exchange_setting_triangle() -> DataExchangeSetting:
+    """Triangle listing as an exchange: a 3-atom *cyclic* tgd lhs.
+
+    ``R(x, y) ∧ R(y, z) ∧ R(z, x) → Tri(x, y, z)`` — the smallest body
+    the flat written-order join handles quadratically on skewed inputs
+    (see :func:`triangle_graph_instance`) and the target shape for the
+    worst-case-optimal join.  No egds: the benchmark isolates join cost.
+    """
+    return DataExchangeSetting.create(
+        Schema.of(R=("From", "To")),
+        Schema.of(Tri=("A", "B", "C")),
+        st_tgds=["R(x, y) & R(y, z) & R(z, x) -> Tri(x, y, z)"],
     )
 
 

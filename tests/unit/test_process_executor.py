@@ -1,5 +1,6 @@
 """The process-pool region scheduler: parity, crashes, pickling."""
 
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 
@@ -155,6 +156,37 @@ class TestWorkerCrash:
             result.unwrap()
         # The first shard's regions merged; the dead shard's are absent.
         assert len(result.region_results) > 0
+
+    def test_crash_leaves_no_shared_memory_segments(self, monkeypatch):
+        # Regression: a worker hard-killed mid-shard (REPRO_SHARD_CRASH)
+        # on the shared-memory wire path must not leak its task or
+        # outcome segments — the parent's finally-sweep unlinks every
+        # name it assigned, whether or not the worker ever published.
+        from repro.serialize import shm
+
+        if not shm.available():  # pragma: no cover — no shm filesystem
+            pytest.skip("platform has no shared-memory support")
+        monkeypatch.setenv("REPRO_SHM", "on")
+        monkeypatch.setenv("REPRO_SHARD_CRASH", "1")
+        shm_dir = "/dev/shm"
+        can_list = os.path.isdir(shm_dir)
+        before = set(os.listdir(shm_dir)) if can_list else set()
+        abstract = _org_abstract()
+        result = abstract_chase(
+            abstract, ORG_SETTING, shards=2, executor="processes", workers=1
+        )
+        assert result.failed
+        assert result.failed_shard == 1
+        assert result.shard_reports[0].regions > 0  # shard 0 decoded fine
+        with pytest.raises(ShardExecutionError, match="shard 1"):
+            result.unwrap()
+        if can_list:
+            leaked = {
+                name
+                for name in set(os.listdir(shm_dir)) - before
+                if name.startswith("tdx")
+            }
+            assert leaked == set()
 
     def test_crashed_run_error_pickles(self, monkeypatch):
         monkeypatch.setenv("REPRO_SHARD_CRASH", "0")
