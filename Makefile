@@ -14,7 +14,9 @@
 #                        equivalence suite (unit chains + region-sweep
 #                        edge cases + Hypothesis property tests)
 #   make lint          - ruff over the whole tree (needs `pip install ruff`)
-#   make verify        - test + bench-smoke + verify-incremental
+#   make analyze       - repro.analysis invariant linter over src/
+#                        (stdlib-only; TDX001-TDX006, see docs/architecture.md)
+#   make verify        - test + bench-smoke + verify-incremental + analyze
 #
 # CI (.github/workflows/ci.yml) runs exactly these targets — test and
 # verify-incremental on a Python 3.11/3.12/3.13 matrix, bench-smoke
@@ -25,11 +27,11 @@
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
-BENCH_OUT ?= BENCH_pr7.json
+BENCH_OUT ?= BENCH_pr8.json
 COV_MIN ?= 85
 
 .PHONY: test bench-smoke bench bench-compare bench-trend coverage verify \
-	verify-incremental lint install-editable install
+	verify-incremental lint analyze install-editable install
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -63,7 +65,10 @@ verify-incremental:
 lint:
 	ruff check src tests benchmarks examples setup.py
 
-verify: test bench-smoke verify-incremental
+analyze:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro.analysis src
+
+verify: test bench-smoke verify-incremental analyze
 
 install-editable:
 	pip install -e . --no-build-isolation

@@ -61,10 +61,10 @@ def load_minimums(path: Path) -> dict[str, float]:
             "regenerate it with `pytest benchmarks --benchmark-json=...`)",
             file=sys.stderr,
         )
-        raise SystemExit(2)
+        raise SystemExit(2) from None
     except json.JSONDecodeError as exc:
         print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
-        raise SystemExit(2)
+        raise SystemExit(2) from exc
     minimums: dict[str, float] = {}
     skipped: list[str] = []
     for bench in payload.get("benchmarks", ()):

@@ -31,6 +31,8 @@ import re
 import shutil
 import zipfile
 
+from typing import ClassVar
+
 from setuptools import setup
 
 
@@ -132,7 +134,7 @@ class _MiniWheelFile(zipfile.ZipFile):
 
     def close(self):
         if self.fp is not None and self.mode == "w":
-            record = "\n".join(self._record_entries + [f"{self.record_path},,", ""])
+            record = "\n".join([*self._record_entries, f"{self.record_path},,", ""])
             super().writestr(self.record_path, record.encode("utf-8"))
         super().close()
 
@@ -208,7 +210,7 @@ def _make_shim_bdist_wheel():
         """
 
         description = "minimal offline bdist_wheel stand-in (pure Python)"
-        user_options = [
+        user_options: ClassVar = [
             ("dist-dir=", "d", "directory to put the final wheel in"),
         ]
 

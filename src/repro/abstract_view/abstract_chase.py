@@ -557,7 +557,7 @@ def _run_blocks_in_processes(
         if use_shm:
             futures = [
                 pool.submit(_process_worker_shm, task, outcome)
-                for task, outcome in zip(task_names, outcome_names)
+                for task, outcome in zip(task_names, outcome_names, strict=True)
             ]
         else:
             futures = [

@@ -108,6 +108,18 @@ class TemplateFact:
             object.__setattr__(self, "_pointless", result)
         return result
 
+    def __getstate__(self) -> tuple:
+        # Identity only: the at() cache holds a Fact whose cached hash
+        # is salted per process and must not cross a pickle boundary.
+        return (self.relation, self.args, self.interval)
+
+    def __setstate__(self, state: tuple) -> None:
+        relation, args, interval = state
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "interval", interval)
+        object.__setattr__(self, "_pointless", None)
+
     def rigid_nulls(self) -> tuple[LabeledNull, ...]:
         return tuple(v for v in self.args if isinstance(v, LabeledNull))
 
@@ -250,7 +262,7 @@ class AbstractInstance:
         """
         points = self.breakpoints()
         pieces: list[Interval] = []
-        for left, right in zip(points, points[1:]):
+        for left, right in zip(points, points[1:], strict=False):
             pieces.append(Interval(left, right))
         pieces.append(Interval(points[-1], INFINITY))
         return tuple(pieces)
@@ -433,7 +445,7 @@ class AbstractInstance:
         combined region.
         """
         points = sorted(set(self.breakpoints()) | set(other.breakpoints()))
-        probes = list(points) + [points[-1] + 1 if points else 1]
+        probes = [*points, points[-1] + 1 if points else 1]
         return all(
             self.snapshot(point) == other.snapshot(point) for point in probes
         )

@@ -78,7 +78,7 @@ def combined_regions(
     """The coarsest partition of ``[0, ∞)`` refining both instances'
     region partitions; both are homogeneous inside every piece."""
     points = sorted(set(first.breakpoints()) | set(second.breakpoints()))
-    pieces = [Interval(p, q) for p, q in zip(points, points[1:])]
+    pieces = [Interval(p, q) for p, q in zip(points, points[1:], strict=False)]
     pieces.append(Interval(points[-1], INFINITY))
     return tuple(pieces)
 
@@ -122,7 +122,7 @@ def _iter_snapshot_homs(
 
     def try_extend(item: Fact, image: Fact) -> list[LabeledNull] | None:
         added: list[LabeledNull] = []
-        for arg, value in zip(item.args, image.args):
+        for arg, value in zip(item.args, image.args, strict=True):
             if isinstance(arg, Constant):
                 if arg != value:
                     return None

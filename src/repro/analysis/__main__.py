@@ -1,0 +1,81 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage error (argparse).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.framework import all_rules, analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific invariant linter (stdlib-ast static analysis).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is one object with a findings array)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these rule codes (repeatable, e.g. --select TDX001)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+    if args.select:
+        known = {rule.code for rule in all_rules()}
+        unknown = sorted(set(args.select) - known)
+        if unknown:
+            print(f"unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    findings, checked = analyze_paths(
+        [Path(p) for p in args.paths], select=args.select
+    )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "files_checked": checked,
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        label = "finding" if len(findings) == 1 else "findings"
+        print(f"{len(findings)} {label} in {checked} files")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,7 +51,7 @@ def _iter_endomorphisms(instance: Instance) -> Iterator[dict[Term, GroundTerm]]:
 
     def try_extend(item: Fact, image: Fact) -> list[Term] | None:
         added: list[Term] = []
-        for arg, value in zip(item.args, image.args):
+        for arg, value in zip(item.args, image.args, strict=True):
             if isinstance(arg, Constant):
                 if arg != value:
                     return None

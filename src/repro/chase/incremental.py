@@ -552,7 +552,7 @@ class IncrementalRegionChaser:
         task_logs: list[list[_MatchEntry]] = []
         outer_choices: list[int | None] = []
         for task_index, (task, shape) in enumerate(
-            zip(self.tasks, self.shapes)
+            zip(self.tasks, self.shapes, strict=True)
         ):
             stream, outer_choice, reuse_log = self._stream(
                 task,
@@ -968,7 +968,7 @@ class IncrementalRegionChaser:
             bindings = {
                 outer_position: item.args[inner_position]
                 for outer_position, inner_position in zip(
-                    outer_key_positions, inner_key_positions
+                    outer_key_positions, inner_key_positions, strict=True
                 )
             }
             for outer_fact in snapshot.lookup_ordered(
@@ -1027,7 +1027,7 @@ class IncrementalRegionChaser:
                 bindings = {
                     inner_position: outer_fact.args[outer_position]
                     for outer_position, inner_position in zip(
-                        outer_key_positions, inner_key_positions
+                        outer_key_positions, inner_key_positions, strict=True
                     )
                 }
                 partners: Iterable[Fact] = (

@@ -45,7 +45,7 @@ def _load_json(path: str) -> dict:
     try:
         return json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
-        raise SystemExit(f"error: cannot read JSON from {path}: {exc}")
+        raise SystemExit(f"error: cannot read JSON from {path}: {exc}") from exc
 
 
 def _load_instance(path: str):
@@ -76,7 +76,7 @@ def _load_norm_log(path: str) -> "CChaseReplayState | bool":
     except Exception as exc:  # pickle raises a zoo of types
         raise SystemExit(
             f"error: cannot read normalization log from {path}: {exc}"
-        )
+        ) from exc
     if not isinstance(state, CChaseReplayState):
         raise SystemExit(
             f"error: {path} does not contain a c-chase replay state"
@@ -91,7 +91,7 @@ def _save_norm_log(path: str, state: CChaseReplayState | None) -> None:
         with open(path, "wb") as handle:
             pickle.dump(state, handle)
     except OSError as exc:
-        raise SystemExit(f"error: cannot write normalization log to {path}: {exc}")
+        raise SystemExit(f"error: cannot write normalization log to {path}: {exc}") from exc
 
 
 def _load_query_log(path: str) -> QueryLog:
@@ -109,7 +109,7 @@ def _load_query_log(path: str) -> QueryLog:
         with open(log_path, "rb") as handle:
             log = pickle.load(handle)
     except Exception as exc:  # pickle raises a zoo of types
-        raise SystemExit(f"error: cannot read query log from {path}: {exc}")
+        raise SystemExit(f"error: cannot read query log from {path}: {exc}") from exc
     if not isinstance(log, QueryLog):
         raise SystemExit(f"error: {path} does not contain a query log")
     return log
@@ -120,7 +120,7 @@ def _save_query_log(path: str, log: QueryLog) -> None:
         with open(path, "wb") as handle:
             pickle.dump(log, handle)
     except OSError as exc:
-        raise SystemExit(f"error: cannot write query log to {path}: {exc}")
+        raise SystemExit(f"error: cannot write query log to {path}: {exc}") from exc
 
 
 def _write_instance(instance, out: str | None, pretty: bool) -> None:
@@ -411,7 +411,7 @@ def _shard_count(value: str) -> int:
     try:
         parsed = int(value)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}")
+        raise argparse.ArgumentTypeError(f"invalid int value: {value!r}") from None
     if parsed < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
     return parsed

@@ -16,7 +16,7 @@ objects, which the c-chase and the normalization algorithms consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.errors import FormulaError
 from repro.relational.formulas import Conjunction, TemporalConjunction
@@ -47,6 +47,23 @@ class Dependency:
             cached = TemporalConjunction.from_conjunction(self.lhs, None)
             object.__setattr__(self, "_lifted_lhs", cached)
         return cached  # type: ignore[return-value]
+
+    def __getstate__(self) -> dict:
+        # Identity fields only: the lifted-form caches hold conjunctions
+        # whose own caches embed salted hashes; rebuild them lazily on
+        # the other side of any pickle boundary.
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)  # type: ignore[arg-type]
+            if f.init
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+        for f in fields(self):  # type: ignore[arg-type]
+            if not f.init:
+                object.__setattr__(self, f.name, f.default)
 
 
 @dataclass(frozen=True)

@@ -99,6 +99,22 @@ class DataExchangeSetting:
             used.update(egd.lhs.relations())
         return frozenset(used)
 
+    def __getstate__(self) -> dict:
+        # Identity fields only.  The chase engines stash derived task
+        # caches (e.g. _snapshot_egd_tasks / _concrete_egd_tasks) in the
+        # setting's __dict__; those hold compiled per-process state and
+        # must not cross a pickle boundary.
+        return {
+            "source_schema": self.source_schema,
+            "target_schema": self.target_schema,
+            "st_tgds": self.st_tgds,
+            "egds": self.egds,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def describe(self) -> str:
         """A multi-line human-readable rendering of the setting."""
         lines = [

@@ -89,7 +89,7 @@ class PastTGD:
 def _probe_points(source: AbstractInstance, target: AbstractInstance) -> list[int]:
     """All region representatives of both instances plus one tail point."""
     points = sorted(set(source.breakpoints()) | set(target.breakpoints()))
-    return points + [points[-1] + 1]
+    return [*points, points[-1] + 1]
 
 
 def satisfies_past_tgd(
@@ -195,7 +195,7 @@ def past_chase(
                 continue
             stamp = Interval(first_fire - 1, first_fire)
             extension: dict[Variable, GroundTerm] = dict(
-                zip(dependency.exported_variables, key)
+                zip(dependency.exported_variables, key, strict=True)
             )
             for variable in dependency.existential_variables:
                 extension[variable] = nulls.fresh_annotated(stamp)

@@ -65,7 +65,7 @@ def is_contained_in(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
     if first.arity != second.arity:
         return False
     frozen_body, frozen_head = canonical_instance(first)
-    initial = dict(zip(second.head, frozen_head))
+    initial = dict(zip(second.head, frozen_head, strict=True))
     for _assignment in find_homomorphisms(
         second.body, frozen_body, initial=initial
     ):

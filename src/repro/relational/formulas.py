@@ -94,6 +94,17 @@ class Atom:
         """Arity/existence check against a schema."""
         schema.validate_arity(self.relation, self.arity)
 
+    def __getstate__(self) -> tuple:
+        # Identity only: the search plan is a per-process derived object
+        # and is rebuilt lazily after unpickling.
+        return (self.relation, self.args)
+
+    def __setstate__(self, state: tuple) -> None:
+        relation, args = state
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "_search_plan", None)
+
     def __str__(self) -> str:
         body = ", ".join(
             str(arg) if isinstance(arg, Variable) else repr(arg.value)
@@ -242,11 +253,23 @@ class TemporalConjunction:
         """Drop the temporal variables: the snapshot-level ``φ(x)``."""
         return Conjunction(self.atoms)
 
+    def __getstate__(self) -> tuple:
+        # Identity only: normalized/lifted-atom caches are derived and
+        # rebuilt lazily after unpickling.
+        return (self.atoms, self.temporal_variables)
+
+    def __setstate__(self, state: tuple) -> None:
+        atoms, temporal_variables = state
+        object.__setattr__(self, "atoms", atoms)
+        object.__setattr__(self, "temporal_variables", temporal_variables)
+        object.__setattr__(self, "_normalized", None)
+        object.__setattr__(self, "_lifted_atoms", None)
+
     def __len__(self) -> int:
         return len(self.atoms)
 
     def __iter__(self) -> Iterator[tuple[Atom, Variable]]:
-        return iter(zip(self.atoms, self.temporal_variables))
+        return iter(zip(self.atoms, self.temporal_variables, strict=True))
 
     def variables(self) -> tuple[Variable, ...]:
         """Data variables then temporal variables, first-occurrence order."""
@@ -261,6 +284,6 @@ class TemporalConjunction:
     def __str__(self) -> str:
         parts = [
             f"{atom.relation}+({', '.join(map(str, atom.args + (tvar,)))})"
-            for atom, tvar in zip(self.atoms, self.temporal_variables)
+            for atom, tvar in zip(self.atoms, self.temporal_variables, strict=True)
         ]
         return " ∧ ".join(parts)

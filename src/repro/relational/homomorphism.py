@@ -849,7 +849,7 @@ def _iter_wcoj_rows(
             for atom_index, position, _c, _s in entries:
                 bindings[atom_index][position] = value
             supported = True
-            for atom_index, position, completes, _s in entries:
+            for atom_index, _position, completes, _s in entries:
                 hits = lookup(relations[atom_index], bindings[atom_index])
                 if completes:
                     arity = arities[atom_index]
@@ -978,7 +978,7 @@ def match_atom_against_fact(
     if atom.relation != item.relation or atom.arity != item.arity:
         return None
     assignment: dict[Variable, GroundTerm] = {}
-    for arg, value in zip(atom.args, item.args):
+    for arg, value in zip(atom.args, item.args, strict=True):
         if isinstance(arg, Constant):
             if arg != value:
                 return None
@@ -1065,7 +1065,7 @@ def find_instance_homomorphism(
     def extend(item: Fact, image: Fact) -> list[Term] | None:
         """Bind unbound nulls of *item* to the values in *image*."""
         newly_bound: list[Term] = []
-        for arg, value in zip(item.args, image.args):
+        for arg, value in zip(item.args, image.args, strict=True):
             if isinstance(arg, Constant):
                 if arg != value:
                     return None

@@ -52,6 +52,7 @@ def _value_for(cell: str, stamp: Interval) -> GroundTerm:
     return Constant(cell)
 
 
+# repro: ordered-output
 def relation_to_csv(
     instance: ConcreteInstance,
     relation: str,
@@ -69,7 +70,7 @@ def relation_to_csv(
             raise SerializationError(
                 f"{len(headers)} headers for arity-{arity} relation {relation}"
             )
-        writer.writerow(list(headers) + ["start", "end"])
+        writer.writerow([*headers, "start", "end"])
     for item in facts:
         row = [_cell_for(value) for value in item.data]
         row.append(str(item.interval.start))
@@ -109,6 +110,7 @@ def relation_from_csv(relation: str, text: str) -> ConcreteInstance:
     return result
 
 
+# repro: ordered-output
 def instance_to_csv_dict(instance: ConcreteInstance) -> dict[str, str]:
     """The whole instance as ``{relation: csv_text}``."""
     return {

@@ -97,6 +97,7 @@ def concrete_fact_from_json(payload: dict[str, Any]) -> ConcreteFact:
         raise SerializationError(f"missing field {exc} in concrete fact") from exc
 
 
+# repro: ordered-output
 def concrete_instance_to_json(instance: ConcreteInstance) -> dict[str, Any]:
     return {"facts": [concrete_fact_to_json(item) for item in instance]}
 
@@ -111,6 +112,7 @@ def concrete_instance_from_json(payload: dict[str, Any]) -> ConcreteInstance:
 # -- snapshot instances --------------------------------------------------------------
 
 
+# repro: ordered-output
 def instance_to_json(instance: Instance) -> dict[str, Any]:
     return {
         "facts": [

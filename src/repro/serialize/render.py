@@ -58,9 +58,10 @@ def _headers_for(
         if len(attributes) == arity:  # data-only schema
             attributes.append("Time")
         return attributes
-    return [f"A{i + 1}" for i in range(arity)] + ["Time"]
+    return [*(f"A{i + 1}" for i in range(arity)), "Time"]
 
 
+# repro: ordered-output
 def render_concrete_relation(
     instance: ConcreteInstance, relation: str, schema: Schema | None = None
 ) -> str:
@@ -70,12 +71,13 @@ def render_concrete_relation(
         return f"{relation}+ (empty)"
     headers = _headers_for(instance, relation, schema)
     rows = [
-        [str(value) for value in item.data] + [str(item.interval)]
+        [*(str(value) for value in item.data), str(item.interval)]
         for item in facts
     ]
     return render_table(f"{relation}+", headers, rows)
 
 
+# repro: ordered-output
 def render_concrete_instance(
     instance: ConcreteInstance, schema: Schema | None = None
 ) -> str:
@@ -89,6 +91,7 @@ def render_concrete_instance(
     return "\n\n".join(tables)
 
 
+# repro: ordered-output
 def render_snapshot(snapshot: Instance) -> str:
     """One snapshot as the set notation of Figures 1 and 3."""
     if not snapshot:
@@ -96,6 +99,7 @@ def render_snapshot(snapshot: Instance) -> str:
     return "{" + ", ".join(str(item) for item in snapshot) + "}"
 
 
+# repro: ordered-output
 def render_abstract_snapshots(
     instance: AbstractInstance, points: Iterable[int]
 ) -> str:

@@ -131,6 +131,7 @@ def write(name: str, payload: bytes) -> None:
     an unexpected death before the hand-off still cleans the segment up;
     call :func:`give_away` once another process has taken responsibility.
     """
+    # repro: ignore[TDX004]: ownership protocol — the creator stays tracker-registered; the receiving process unlinks by name (scheduler sweep / give_away), see module docstring
     segment = shared_memory.SharedMemory(
         name=name, create=True, size=max(1, len(payload))
     )

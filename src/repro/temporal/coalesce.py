@@ -55,7 +55,7 @@ def coalesce_pairs(
 def is_coalesced_intervals(intervals: Sequence[Interval]) -> bool:
     """``True`` iff the intervals are pairwise disjoint and non-adjacent."""
     ordered = sorted(intervals, key=Interval.sort_key)
-    for left, right in zip(ordered, ordered[1:]):
+    for left, right in zip(ordered, ordered[1:], strict=False):
         if left.overlaps(right) or left.adjacent(right):
             return False
     return True

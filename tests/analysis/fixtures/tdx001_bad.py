@@ -1,0 +1,24 @@
+"""Known-bad: the PR 5 stale-Interval-hash replay bug, reconstructed.
+
+A frozen+slots dataclass caches its salted hash in an ``init=False``
+field; without an identity-only ``__getstate__``/``__setstate__`` the
+default slots pickling ships the cache, and the hash disagrees with
+every hash computed in the receiving process — replay lookups silently
+miss.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    start: int
+    end: int
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.start, self.end)) or -2
+            object.__setattr__(self, "_hash", cached)
+        return cached

@@ -1,0 +1,26 @@
+"""Known-good: cached salted hash with identity-only pickling."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    start: int
+    end: int
+    _hash: int = field(default=0, init=False, repr=False, compare=False)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = (self.start, self.end).__hash__() or -2
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self) -> tuple:
+        return (self.start, self.end)
+
+    def __setstate__(self, state: tuple) -> None:
+        start, end = state
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+        object.__setattr__(self, "_hash", 0)

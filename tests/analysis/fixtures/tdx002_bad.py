@@ -1,0 +1,19 @@
+"""Known-bad: trusted constructors called outside the engine boundary.
+
+This module is not on the allowlist, so skipping validation here can
+build facts whose construction invariants never held.
+"""
+
+from repro.temporal.interval import Interval
+
+
+def rebuild(payload):
+    return [Interval.make(start, end) for start, end in payload]
+
+
+def refragment(fact, points):
+    return fact.fragment_sorted(points)
+
+
+def restore(interval_set_cls, pieces):
+    return interval_set_cls._from_canonical(pieces)

@@ -1,0 +1,7 @@
+"""Known-good: validating constructors only, outside the engine."""
+
+from repro.temporal.interval import Interval
+
+
+def rebuild(payload):
+    return [Interval(start, end) for start, end in payload]

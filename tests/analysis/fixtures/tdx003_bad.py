@@ -1,0 +1,20 @@
+"""Known-bad: an ordered-output function iterating sets in hash order.
+
+The PR 4 premerge regression: a merge feeding the wire encode walked a
+set, so two runs of the same exchange produced differently-ordered
+traces (caught only by interleaved A/B benchmarking).
+"""
+
+
+# repro: ordered-output
+def encode_trace(instance):
+    merged = instance.facts_of("R") | instance.facts_of("S")
+    return [str(fact) for fact in merged]
+
+
+# repro: ordered-output
+def merge_regions(instance):
+    lines = []
+    for fact in instance.facts_of("Emp"):
+        lines.append(str(fact))
+    return lines

@@ -1,0 +1,16 @@
+"""Known-good: ordered-output functions iterate sets through sorted()."""
+
+
+# repro: ordered-output
+def encode_trace(instance):
+    merged = instance.facts_of("R") | instance.facts_of("S")
+    return [str(fact) for fact in sorted(merged, key=lambda f: f.sort_key())]
+
+
+# repro: ordered-output
+def merge_regions(instance):
+    lines = []
+    for fact in sorted(instance.facts_of("Emp"), key=lambda f: f.sort_key()):
+        lines.append(str(fact))
+    # Order-insensitive consumption of a set needs no sorting.
+    return lines, len({line for line in lines})

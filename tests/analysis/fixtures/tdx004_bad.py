@@ -1,0 +1,27 @@
+"""Known-bad: the PR 7 shared-memory leak class, reconstructed.
+
+The segment is created and closed but never unlink()ed by anyone — the
+backing /dev/shm block outlives the process.  A second function closes
+only on the happy path.
+"""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload: bytes) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    segment.buf[: len(payload)] = payload
+    segment.close()
+    return segment.name
+
+
+def copy_once(payload: bytes) -> bytes:
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    segment.buf[: len(payload)] = payload
+    data = bytes(segment.buf[: len(payload)])
+    if data:
+        # close()/unlink() only on the happy path: the empty-payload
+        # branch leaks the mapping and the /dev/shm block.
+        segment.close()
+        segment.unlink()
+    return data

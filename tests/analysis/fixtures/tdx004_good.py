@@ -1,0 +1,14 @@
+"""Known-good: create/close/unlink paired on every control-flow path."""
+
+from multiprocessing import shared_memory
+
+
+def copy_once(payload: bytes) -> bytes:
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    try:
+        segment.buf[: len(payload)] = payload
+        data = bytes(segment.buf[: len(payload)])
+    finally:
+        segment.close()
+        segment.unlink()
+    return data

@@ -1,0 +1,19 @@
+"""Known-bad: salted hash() flowing into replay-ledger signatures.
+
+``hash()`` is salted per process (PYTHONHASHSEED): a signature built
+from it never matches on replay in another process, so every recorded
+decision silently becomes a cache miss.
+"""
+
+
+def remember(ledger, key, facts, payload):
+    signature = hash(frozenset(facts))
+    ledger.record(key, signature, payload)
+
+
+def replay(ledger, key, facts):
+    return ledger.recall(key, hash(frozenset(facts)))
+
+
+def _decision_signature(facts):
+    return hash(tuple(sorted(str(fact) for fact in facts)))

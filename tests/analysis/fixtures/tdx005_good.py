@@ -1,0 +1,14 @@
+"""Known-good: process-stable replay signatures (sort keys, not hash())."""
+
+
+def remember(ledger, key, facts, payload):
+    signature = tuple(sorted(fact.sort_key() for fact in facts))
+    ledger.record(key, signature, payload)
+
+
+def replay(ledger, key, facts):
+    return ledger.recall(key, tuple(sorted(fact.sort_key() for fact in facts)))
+
+
+def _decision_signature(facts):
+    return frozenset(facts)

@@ -1,0 +1,15 @@
+"""Known-bad: wall-clock and RNG reads in a deterministic core module."""
+
+import random
+import time
+from datetime import datetime
+
+
+def pick_witness(candidates):
+    return random.choice(sorted(candidates))
+
+
+def stamp_trace(trace):
+    trace.append(("at", time.time()))
+    trace.append(("day", datetime.now().isoformat()))
+    return trace

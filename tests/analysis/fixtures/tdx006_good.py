@@ -1,0 +1,13 @@
+"""Known-good: deterministic witness choice; monotonic duration clocks."""
+
+import time
+
+
+def pick_witness(candidates):
+    return min(candidates)
+
+
+def timed(run):
+    started = time.perf_counter()
+    result = run()
+    return result, time.perf_counter() - started

@@ -1,0 +1,20 @@
+"""The tree's own source must stay clean under the invariant linter.
+
+This is the enforcement half of the analyzer: the fixture tests prove
+the rules *can* fire; this test proves nothing in ``src/`` makes them
+fire — which is exactly what ``make analyze`` gates in CI.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_tree_is_clean():
+    findings, checked = analyze_paths([REPO_ROOT / "src"])
+    rendered = "\n".join(item.render() for item in findings)
+    assert not findings, f"invariant linter findings in src/:\n{rendered}"
+    # Sanity: the walk actually visited the tree.
+    assert checked > 50

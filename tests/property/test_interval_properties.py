@@ -56,7 +56,7 @@ class TestIntervalPointSemantics:
     @given(intervals(), st.lists(st.integers(0, 40), max_size=5))
     def test_split_pieces_are_contiguous(self, item, cuts):
         pieces = item.split_at(cuts)
-        for left, right in zip(pieces, pieces[1:]):
+        for left, right in zip(pieces, pieces[1:], strict=False):
             assert left.end == right.start
 
     @given(intervals(), intervals())
@@ -92,7 +92,7 @@ class TestIntervalSetAlgebra:
     @given(interval_lists())
     def test_canonical_form_is_coalesced(self, xs):
         canonical = IntervalSet(xs).intervals
-        for left, right in zip(canonical, canonical[1:]):
+        for left, right in zip(canonical, canonical[1:], strict=False):
             assert not left.overlaps(right)
             assert not left.adjacent(right)
             assert left.start < right.start
@@ -126,5 +126,5 @@ class TestCoalescing:
         # No smaller family of intervals can denote the same point set:
         # the canonical pieces are separated by true gaps.
         pieces = coalesce_intervals(xs)
-        for left, right in zip(pieces, pieces[1:]):
+        for left, right in zip(pieces, pieces[1:], strict=False):
             assert left.end < right.start

@@ -97,7 +97,7 @@ class TestIndexedEqualsScan:
             assert indexed == scan
             # Canonical interval sets piece by piece, and sorted order.
             assert list(indexed) == list(scan)
-            for (_, lhs), (_, rhs) in zip(indexed, scan):
+            for (_, lhs), (_, rhs) in zip(indexed, scan, strict=True):
                 assert lhs.intervals == rhs.intervals
 
     @settings(max_examples=40, deadline=None)

@@ -105,12 +105,12 @@ def _scan_rows(atoms, instance):
         for item in candidates[index]:
             extended = dict(binding)
             ok = True
-            for variable, value in zip(atom.args, item.args):
+            for variable, value in zip(atom.args, item.args, strict=True):
                 if extended.setdefault(variable, value) != value:
                     ok = False
                     break
             if ok:
-                descend(index + 1, extended, row + [item])
+                descend(index + 1, extended, [*row, item])
 
     descend(0, {}, [])
     return rows
@@ -197,7 +197,7 @@ class TestTgdMatchingModeEquivalence:
         for assignment, images in find_homomorphisms_with_images(
             atoms, instance
         ):
-            for atom, image in zip(atoms, images):
+            for atom, image in zip(atoms, images, strict=True):
                 assert {
                     variable: image.args[position]
                     for position, variable in enumerate(atom.args)

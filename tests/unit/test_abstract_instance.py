@@ -86,7 +86,7 @@ class TestTimeline:
         regions = abstract_source.regions()
         assert regions[0].start == 0
         assert regions[-1].is_unbounded
-        for left, right in zip(regions, regions[1:]):
+        for left, right in zip(regions, regions[1:], strict=False):
             assert left.end == right.start
 
     def test_horizon(self, abstract_source):

@@ -146,14 +146,14 @@ class TestEvaluateConjunction:
 class TestDifferentialAgainstHomomorphisms:
     """The algebra plan and the homomorphism search must agree exactly."""
 
-    CASES = [
+    CASES = (
         "E(n, c)",
         "E(n, 'IBM')",
         "E(n, c) & S(n, s)",
         "E(n, c) & E(n2, c)",
         "E(n, c) & M(n, m) & E(m, c)",
         "S(n, s) & M(n, m)",
-    ]
+    )
 
     @pytest.mark.parametrize("text", CASES)
     def test_same_assignments(self, employment, text):

@@ -127,7 +127,7 @@ class TestShardedNullFactory:
         base = NullFactory()
         shards = [base.for_shard(index) for index in range(4)]
         issued: list[str] = []
-        for round_index in range(50):
+        for _round_index in range(50):
             for factory in shards:
                 issued.append(factory.fresh_name())
             issued.append(base.fresh_name())

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FormulaError
+from repro.errors import FormulaError, SchemaError
 from repro.relational import (
     Atom,
     Conjunction,
@@ -56,7 +56,7 @@ class TestAtom:
     def test_validate_against_schema(self):
         schema = Schema.of(E=("A", "B"))
         atom("E", "x", "y").validate_against(schema)
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError):
             atom("E", "x").validate_against(schema)
 
 

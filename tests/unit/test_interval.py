@@ -152,7 +152,7 @@ class TestSplitting:
         pieces = Interval(3, 20).split_at([5, 11, 17])
         assert pieces[0].start == 3
         assert pieces[-1].end == 20
-        for left, right in zip(pieces, pieces[1:]):
+        for left, right in zip(pieces, pieces[1:], strict=False):
             assert left.end == right.start
 
 

@@ -294,12 +294,14 @@ class TestSweepEngineAndLog:
             concrete_fact("S", "a", interval=Interval(3, 9)),
         ]
         base = ConcreteInstance(
-            shared + [concrete_fact("R", "b", interval=Interval(1, 5)),
-                      concrete_fact("S", "b", interval=Interval(3, 9))]
+            [*shared,
+             concrete_fact("R", "b", interval=Interval(1, 5)),
+             concrete_fact("S", "b", interval=Interval(3, 9))]
         )
         churned = ConcreteInstance(
-            shared + [concrete_fact("R", "b", interval=Interval(2, 5)),
-                      concrete_fact("S", "b", interval=Interval(3, 9))]
+            [*shared,
+             concrete_fact("R", "b", interval=Interval(2, 5)),
+             concrete_fact("S", "b", interval=Interval(3, 9))]
         )
         conjs = [tc("R(x) & S(x)")]
         _, rec = normalize_with_report(base, conjs, record=True)

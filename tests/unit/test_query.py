@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import FormulaError, ParseError
+from repro.errors import FormulaError, ParseError, SchemaError
 from repro.query import ConjunctiveQuery, UnionQuery
 from repro.relational import Schema, Variable
 
@@ -52,7 +52,7 @@ class TestConjunctiveQuery:
     def test_validate_against_schema(self):
         q = ConjunctiveQuery.parse("q(n) :- Emp(n, c, s)")
         q.validate_against(Schema.of(Emp=("N", "C", "S")))
-        with pytest.raises(Exception):
+        with pytest.raises(SchemaError):
             q.validate_against(Schema.of(Emp=("N", "C")))
 
     def test_str(self):

@@ -228,7 +228,7 @@ class TestOutcomeMessage:
         for region, stats in outcome.region_reuse.items():
             assert vars(decoded.region_reuse[region]) == vars(stats)
         for (region, result), (dregion, dresult) in zip(
-            outcome.results, decoded.results
+            outcome.results, decoded.results, strict=True
         ):
             assert dregion == region
             assert dresult.target == result.target
