@@ -16,6 +16,10 @@
 #   make lint          - ruff over the whole tree (needs `pip install ruff`)
 #   make analyze       - repro.analysis invariant linter over src/
 #                        (stdlib-only; TDX001-TDX006, see docs/architecture.md)
+#   make serve         - run the resident chase daemon on $(SERVE_PORT)
+#                        (chase-as-a-service; see docs/server.md)
+#   make verify-server - the daemon's end-to-end suite + a short
+#                        throughput smoke over real HTTP
 #   make verify        - test + bench-smoke + verify-incremental + analyze
 #
 # CI (.github/workflows/ci.yml) runs exactly these targets — test and
@@ -27,11 +31,13 @@
 
 PYTHON ?= python
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
-BENCH_OUT ?= BENCH_pr8.json
+BENCH_OUT ?= BENCH_pr9.json
 COV_MIN ?= 85
+SERVE_PORT ?= 8765
 
 .PHONY: test bench-smoke bench bench-compare bench-trend coverage verify \
-	verify-incremental lint analyze install-editable install
+	verify-incremental verify-server serve lint analyze \
+	install-editable install
 
 test:
 	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -x -q
@@ -61,6 +67,13 @@ verify-incremental:
 		tests/unit/test_incremental_chase.py \
 		tests/property/test_incremental_equivalence.py \
 		tests/integration/test_chase_equivalence_goldens.py
+
+serve:
+	$(PYTHONPATH_SRC) $(PYTHON) -m repro serve --port $(SERVE_PORT)
+
+verify-server:
+	$(PYTHONPATH_SRC) $(PYTHON) -m pytest -q tests/integration/test_server.py
+	$(PYTHONPATH_SRC) $(PYTHON) benchmarks/bench_server.py --smoke --seconds 10
 
 lint:
 	ruff check src tests benchmarks examples setup.py

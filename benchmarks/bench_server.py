@@ -1,0 +1,229 @@
+"""SERVE-1: the resident chase daemon vs the cold CLI.
+
+The daemon (``python -m repro serve``) keeps each session's chased
+target and replay ledgers resident between requests, so the org-chart
+churn workload pays three very different prices for the same answers:
+
+* a **warm delta** is one HTTP round-trip plus incremental replay of
+  the unchanged normalization groups — no process start, no JSON reload
+  of the mapping, no from-scratch chase;
+* a **cold CLI chase** of the same cumulative instance pays interpreter
+  start-up, input parsing and a full c-chase on every call — the
+  pre-server workflow this PR replaces (>10× slower per update);
+* an **identical re-chase** digests to the same content address and is
+  served straight from the chase cache — O(1) in the chase size.
+
+The query benchmark times the session answer ledger: a repeated query
+replays recorded per-disjunct answers instead of re-evaluating.
+
+Also a script: ``python benchmarks/bench_server.py --smoke`` boots a
+daemon, drives ~30 seconds of churn over real HTTP, and prints req/sec
+(appended to ``$GITHUB_STEP_SUMMARY`` when set) for the CI smoke job.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serialize import (
+    concrete_fact_to_json,
+    concrete_instance_to_json,
+    setting_to_json,
+)
+from repro.server import ServerClient, ServerThread
+from repro.workloads import exchange_setting_org, random_org_history
+
+ORG_SETTING_JSON = setting_to_json(exchange_setting_org())
+_WORKLOAD = random_org_history(people=32, timeline=64, seed=23)
+ORG_FACTS = list(_WORKLOAD.instance)
+BASE_FACTS = len(ORG_FACTS) - 8  # keep 8 aside as the churn stream
+
+REPORTS_QUERY = "answer(e, m) :- Reports(e, m)"
+
+
+def _base_instance():
+    instance = type(_WORKLOAD.instance)()
+    for fact in ORG_FACTS[:BASE_FACTS]:
+        instance.add(fact)
+    return instance
+
+
+def _base_source_json():
+    return concrete_instance_to_json(_base_instance())
+
+
+def _churn_pair_json(index):
+    fact = ORG_FACTS[BASE_FACTS + (index % 8)]
+    return [concrete_fact_to_json(fact)]
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread() as thread:
+        yield thread
+
+
+@pytest.fixture(scope="module")
+def warm_client(server):
+    with ServerClient(port=server.port) as client:
+        client.create("bench", ORG_SETTING_JSON, _base_source_json())
+        yield client
+
+
+def test_server_warm_delta(benchmark, warm_client):
+    """One churn cycle (add + remove) over HTTP against warm ledgers."""
+    batch = _churn_pair_json(0)
+
+    def cycle():
+        warm_client.delta("bench", add=batch)
+        warm_client.delta("bench", remove=batch)
+
+    benchmark(cycle)
+    info = warm_client.info("bench")
+    assert info["source_facts"] == BASE_FACTS
+
+
+def test_server_query_replay(benchmark, warm_client):
+    """A repeated query replays the session's answer ledger."""
+    first = warm_client.query("bench", REPORTS_QUERY)
+    assert first["answers"]
+    result = benchmark(lambda: warm_client.query("bench", REPORTS_QUERY))
+    assert result["replayed"] >= 1
+    assert result["evaluated"] == 0
+
+
+def test_server_cached_rechase(benchmark, server):
+    """Re-creating a session from identical inputs is a cache hit."""
+    source = _base_source_json()
+    with ServerClient(port=server.port) as client:
+        client.create("cached", ORG_SETTING_JSON, source)
+
+        def recreate():
+            return client.create(
+                "cached", ORG_SETTING_JSON, source, replace=True
+            )
+
+        result = benchmark(recreate)
+        assert result["cached"] is True
+        client.evict("cached")
+
+
+def test_cold_cli_chase(benchmark, tmp_path):
+    """The pre-server unit of work: a full CLI chase per update."""
+    mapping = tmp_path / "mapping.json"
+    source = tmp_path / "source.json"
+    out = tmp_path / "solution.json"
+    mapping.write_text(json.dumps(ORG_SETTING_JSON))
+    source.write_text(json.dumps(_base_source_json()))
+
+    def cold_chase():
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "chase",
+                "--mapping",
+                str(mapping),
+                "--source",
+                str(source),
+                "--out",
+                str(out),
+            ],
+            check=True,
+            env=_cli_env(),
+        )
+
+    benchmark.pedantic(cold_chase, rounds=5, iterations=1, warmup_rounds=1)
+    assert json.loads(out.read_text())["facts"]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+# ---------------------------------------------------------------------------
+# --smoke: the CI server-smoke job's throughput probe
+# ---------------------------------------------------------------------------
+
+
+def _smoke(seconds: float = 30.0) -> int:
+    with ServerThread() as thread, ServerClient(port=thread.port) as client:
+        client.create("smoke", ORG_SETTING_JSON, _base_source_json())
+
+        requests = 0
+        deadline = time.perf_counter() + seconds
+        index = 0
+        while time.perf_counter() < deadline:
+            batch = _churn_pair_json(index)
+            client.delta("smoke", add=batch)
+            client.delta("smoke", remove=batch)
+            client.query("smoke", REPORTS_QUERY)
+            requests += 3
+            index += 1
+        elapsed = seconds
+        rate = requests / elapsed
+
+        cli_start = time.perf_counter()
+        with tempfile.TemporaryDirectory() as tmp:
+            mapping = Path(tmp) / "mapping.json"
+            source = Path(tmp) / "source.json"
+            mapping.write_text(json.dumps(ORG_SETTING_JSON))
+            source.write_text(json.dumps(_base_source_json()))
+            subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "chase",
+                    "--mapping",
+                    str(mapping),
+                    "--source",
+                    str(source),
+                    "--out",
+                    str(Path(tmp) / "out.json"),
+                ],
+                check=True,
+                env=_cli_env(),
+            )
+        cli_seconds = time.perf_counter() - cli_start
+        speedup = rate * cli_seconds  # warm requests per cold-CLI unit
+
+        stats = client.stats()
+        lines = [
+            "### repro server smoke",
+            "",
+            f"- warm requests: **{requests}** in {elapsed:.0f}s "
+            f"(**{rate:.1f} req/sec**)",
+            f"- one cold CLI chase: {cli_seconds:.2f}s "
+            f"(warm throughput ≈ {speedup:.0f}× per cold-CLI unit)",
+            f"- chase cache: {stats['cache']['hits']} hits / "
+            f"{stats['cache']['misses']} misses",
+        ]
+        report = "\n".join(lines)
+        print(report)
+        summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary:
+            with open(summary, "a") as handle:
+                handle.write(report + "\n")
+        return 0 if rate > 1.0 else 1
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if "--smoke" in argv:
+        seconds = 30.0
+        if "--seconds" in argv:
+            seconds = float(argv[argv.index("--seconds") + 1])
+        sys.exit(_smoke(seconds))
+    print("usage: python benchmarks/bench_server.py --smoke [--seconds N]")
+    sys.exit(2)

@@ -610,6 +610,7 @@ class SharedMemoryLifecycleRule(Rule):
 _PERSIST_MODULES = frozenset(
     {
         "repro.serialize.shard_codec",
+        "repro.serialize.digest",
         "repro.serialize.jsonio",
         "repro.serialize.csvio",
         "repro.serialize.render",

@@ -134,6 +134,23 @@ class ReplayLedger:
         self.misses += 1
         return None
 
+    def counters(self) -> tuple[int, int]:
+        """The cumulative ``(hits, misses)`` pair.
+
+        A ledger that persists across runs (``--norm-log`` chains, the
+        resident server's sessions) accumulates counters over its whole
+        lifetime; callers that report *per-run* or *per-request* replay
+        coverage take a mark before the run and difference it after with
+        :meth:`delta_since`.  This is the public attach/detach surface
+        the CLI and :mod:`repro.server` share — neither reaches into the
+        counter attributes directly.
+        """
+        return (self.hits, self.misses)
+
+    def delta_since(self, mark: tuple[int, int]) -> tuple[int, int]:
+        """``(hits, misses)`` accrued since *mark* (a prior :meth:`counters`)."""
+        return (self.hits - mark[0], self.misses - mark[1])
+
 
 @dataclass
 class RegionReuseStats:

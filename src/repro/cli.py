@@ -6,7 +6,9 @@ Commands:
 * ``normalize``  — normalize an instance w.r.t. a mapping's lhs sets;
 * ``query``      — certain answers for a conjunctive query;
 * ``verify``     — check the Figure 10 correspondence on an input;
-* ``figures``    — print every regenerated figure of the paper.
+* ``figures``    — print every regenerated figure of the paper;
+* ``serve``      — run the resident chase daemon (chase-as-a-service);
+* ``client``     — talk to a running daemon (create/delta/query/…).
 
 Instances and mappings travel as JSON in the :mod:`repro.serialize`
 format.  Exit status: 0 on success, 1 on chase failure (no solution),
@@ -17,7 +19,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import pickle
 import sys
 from pathlib import Path
 
@@ -36,6 +37,13 @@ from repro.serialize import (
     concrete_instance_to_json,
     render_concrete_instance,
     setting_from_json,
+)
+from repro.state import (
+    StateError,
+    load_chase_state,
+    load_query_log,
+    save_chase_state,
+    save_query_log,
 )
 
 __all__ = ["main", "build_parser"]
@@ -56,71 +64,37 @@ def _load_setting(path: str):
     return setting_from_json(_load_json(path))
 
 
+# The state round-trip lives in repro.state (shared with the resident
+# server, so the two persistence paths cannot drift); the CLI's only
+# added behavior is turning a StateError into the usual SystemExit.
+
+
 def _load_norm_log(path: str) -> "CChaseReplayState | bool":
-    """The previous replay state at *path*, or ``True`` when absent.
-
-    ``True`` asks the c-chase to record this run's state without
-    replaying anything — the first run of a ``--norm-log`` chain.
-
-    The file is a pickle (the state holds live fact/conjunction
-    objects), so it carries the usual pickle trust boundary: only load
-    logs this tool wrote for you — never one from an untrusted source.
-    The ``--norm-log`` help text says the same.
-    """
-    log_path = Path(path)
-    if not log_path.exists():
-        return True
     try:
-        with open(log_path, "rb") as handle:
-            state = pickle.load(handle)
-    except Exception as exc:  # pickle raises a zoo of types
-        raise SystemExit(
-            f"error: cannot read normalization log from {path}: {exc}"
-        ) from exc
-    if not isinstance(state, CChaseReplayState):
-        raise SystemExit(
-            f"error: {path} does not contain a c-chase replay state"
-        )
-    return state
+        return load_chase_state(path)
+    except StateError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _save_norm_log(path: str, state: CChaseReplayState | None) -> None:
-    if state is None:
-        return
     try:
-        with open(path, "wb") as handle:
-            pickle.dump(state, handle)
-    except OSError as exc:
-        raise SystemExit(f"error: cannot write normalization log to {path}: {exc}") from exc
+        save_chase_state(path, state)
+    except StateError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _load_query_log(path: str) -> QueryLog:
-    """The previous query log at *path*, or a fresh one when absent.
-
-    A fresh log records this run's state without replaying anything —
-    the first run of a ``--query-log`` chain.  Same pickle trust
-    boundary as ``--norm-log``: only load logs this tool wrote for you —
-    never one from an untrusted source.
-    """
-    log_path = Path(path)
-    if not log_path.exists():
-        return QueryLog()
     try:
-        with open(log_path, "rb") as handle:
-            log = pickle.load(handle)
-    except Exception as exc:  # pickle raises a zoo of types
-        raise SystemExit(f"error: cannot read query log from {path}: {exc}") from exc
-    if not isinstance(log, QueryLog):
-        raise SystemExit(f"error: {path} does not contain a query log")
-    return log
+        return load_query_log(path)
+    except StateError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _save_query_log(path: str, log: QueryLog) -> None:
     try:
-        with open(path, "wb") as handle:
-            pickle.dump(log, handle)
-    except OSError as exc:
-        raise SystemExit(f"error: cannot write query log to {path}: {exc}") from exc
+        save_query_log(path, log)
+    except StateError as exc:
+        raise SystemExit(f"error: {exc}") from exc
 
 
 def _write_instance(instance, out: str | None, pretty: bool) -> None:
@@ -300,7 +274,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         query = UnionQuery.of(*rules)
     log = _load_query_log(args.query_log) if args.incremental else None
-    seen = (log.hits, log.misses) if log is not None else (0, 0)
+    mark = log.answers.counters() if log is not None else None
     answers = certain_answers_concrete(
         query, source, setting, engine=args.engine, log=log
     )
@@ -308,9 +282,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         _save_query_log(args.query_log, log)
         # The ledger's counters are cumulative across the pickled chain;
         # report this run's share only.
+        replayed, evaluated = log.answers.delta_since(mark)
         print(
-            f"query log: {log.hits - seen[0]} replayed, "
-            f"{log.misses - seen[1]} evaluated",
+            f"query log: {replayed} replayed, {evaluated} evaluated",
             file=sys.stderr,
         )
     for row, support in answers:
@@ -403,6 +377,104 @@ def _cmd_figures(_args: argparse.Namespace) -> int:
     )
     print("\n== Figure 10: correspondence ==")
     print("holds:", verify_correspondence(source, setting).holds)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        snapshot_dir=args.snapshot_dir,
+        cache_entries=args.cache_entries,
+    )
+    return 0
+
+
+def _load_fact_list(path: str | None, flag: str) -> list:
+    if path is None:
+        return []
+    payload = _load_json(path)
+    if not isinstance(payload, list):
+        raise SystemExit(f"error: {flag} file must hold a JSON list of facts")
+    return payload
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.server import ClientError, ServerClient
+
+    def need_session() -> str:
+        if not args.session:
+            raise SystemExit(f"error: client {args.action} requires --session NAME")
+        return args.session
+
+    client = ServerClient(host=args.host, port=args.port)
+    try:
+        if args.action == "health":
+            result = client.healthz()
+        elif args.action == "stats":
+            result = client.stats()
+        elif args.action == "sessions":
+            result = {"sessions": client.sessions()}
+        elif args.action == "create":
+            if not args.mapping or not args.source:
+                raise SystemExit(
+                    "error: client create requires --mapping and --source"
+                )
+            result = client.create(
+                need_session(),
+                _load_json(args.mapping),
+                _load_json(args.source),
+                replace=args.replace,
+            )
+        elif args.action == "delta":
+            if not args.add and not args.remove:
+                raise SystemExit(
+                    "error: client delta requires --add and/or --remove "
+                    "(JSON files holding fact lists)"
+                )
+            result = client.delta(
+                need_session(),
+                add=_load_fact_list(args.add, "--add"),
+                remove=_load_fact_list(args.remove, "--remove"),
+            )
+        elif args.action == "query":
+            if not args.query:
+                raise SystemExit("error: client query requires --query RULE")
+            result = client.query(need_session(), args.query, engine=args.engine)
+        elif args.action in ("target", "source"):
+            getter = client.target if args.action == "target" else client.source
+            payload = getter(need_session())
+            if args.pretty:
+                print(render_concrete_instance(
+                    concrete_instance_from_json(payload)
+                ))
+                return 0
+            result = payload
+        elif args.action == "info":
+            result = client.info(need_session())
+        elif args.action == "snapshot":
+            result = client.snapshot(need_session())
+        elif args.action == "load":
+            result = client.load(need_session())
+        elif args.action == "evict":
+            result = client.evict(need_session(), snapshot=args.snapshot)
+        else:  # pragma: no cover - argparse restricts the choices
+            raise SystemExit(f"error: unknown client action {args.action!r}")
+    except ClientError as exc:
+        print(f"error: server returned {exc.status}: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(
+            f"error: cannot reach server at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    finally:
+        client.close()
+    print(json.dumps(result, indent=2))
     return 0
 
 
@@ -580,6 +652,99 @@ def build_parser() -> argparse.ArgumentParser:
         "figures", help="print every regenerated paper figure"
     )
     figures.set_defaults(handler=_cmd_figures)
+
+    server = commands.add_parser(
+        "serve",
+        help="run the resident chase daemon (see docs/server.md)",
+    )
+    server.add_argument("--host", default="127.0.0.1", help="bind address")
+    server.add_argument("--port", type=int, default=8765, help="listen port")
+    server.add_argument(
+        "--workers",
+        type=_shard_count,
+        default=None,
+        help="process-pool size for sharded abstract chases "
+        "(default: one per shard, capped at the CPU count)",
+    )
+    server.add_argument(
+        "--snapshot-dir",
+        metavar="DIR",
+        help="spool directory for session snapshot/load "
+        "(pickles — treat it like the CLI's --norm-log files)",
+    )
+    server.add_argument(
+        "--cache-entries",
+        type=_shard_count,
+        default=64,
+        help="capacity of the content-addressed chase cache (default 64)",
+    )
+    server.set_defaults(handler=_cmd_serve)
+
+    client = commands.add_parser(
+        "client",
+        help="talk to a running daemon",
+        description="One request against a running `repro serve` daemon; "
+        "responses print as JSON.",
+    )
+    client.add_argument(
+        "action",
+        choices=[
+            "health",
+            "stats",
+            "sessions",
+            "create",
+            "delta",
+            "query",
+            "target",
+            "source",
+            "info",
+            "snapshot",
+            "load",
+            "evict",
+        ],
+        help="which endpoint to call",
+    )
+    client.add_argument("--host", default="127.0.0.1")
+    client.add_argument("--port", type=int, default=8765)
+    client.add_argument("--session", metavar="NAME", help="session name")
+    client.add_argument("--mapping", help="mapping JSON file (create)")
+    client.add_argument("--source", help="source instance JSON file (create)")
+    client.add_argument(
+        "--replace",
+        action="store_true",
+        help="create: rebuild the session if it already exists",
+    )
+    client.add_argument(
+        "--add", metavar="FILE", help="delta: JSON file with a list of facts to add"
+    )
+    client.add_argument(
+        "--remove",
+        metavar="FILE",
+        help="delta: JSON file with a list of facts to remove",
+    )
+    client.add_argument(
+        "--query",
+        help="query: rule(s) like \"q(n,s) :- Emp(n,c,s)\"; "
+        "';'-separated for unions",
+    )
+    client.add_argument(
+        "--engine",
+        choices=["indexed", "scan"],
+        default="indexed",
+        help="query evaluation engine (indexed replays the session's "
+        "answer ledger)",
+    )
+    client.add_argument(
+        "--pretty",
+        action="store_true",
+        help="target/source: print ASCII tables instead of JSON",
+    )
+    client.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="evict: snapshot the session to the spool directory first",
+    )
+    client.set_defaults(handler=_cmd_client)
 
     return parser
 

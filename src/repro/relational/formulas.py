@@ -203,8 +203,22 @@ class TemporalConjunction:
     def shared(
         cls, atoms: Sequence[Atom], temporal_variable: Variable | None = None
     ) -> "TemporalConjunction":
-        """The lifted form ``φ+(x, t)``: one ``t`` shared by every atom."""
-        tvar = temporal_variable if temporal_variable is not None else Variable("t")
+        """The lifted form ``φ+(x, t)``: one ``t`` shared by every atom.
+
+        With no explicit variable the shared ``t`` is chosen to avoid the
+        conjunction's data variables (``t``, then ``t0``, ``t1``, …), so
+        formulas that happen to use ``t`` as data still lift.  An explicit
+        ``temporal_variable`` that collides remains an error.
+        """
+        tvar = temporal_variable
+        if tvar is None:
+            data_names = {var.name for atom in atoms for var in atom.variables()}
+            name = "t"
+            for index in count():
+                if name not in data_names:
+                    break
+                name = f"t{index}"
+            tvar = Variable(name)
         return cls(tuple(atoms), tuple(tvar for _ in atoms))
 
     @classmethod

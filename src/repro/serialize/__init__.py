@@ -8,7 +8,14 @@ from repro.serialize.csvio import (
     relation_from_csv,
     relation_to_csv,
 )
+from repro.serialize.digest import (
+    chase_request_digest,
+    instance_digest,
+    setting_digest,
+)
 from repro.serialize.jsonio import (
+    concrete_fact_from_json,
+    concrete_fact_to_json,
     concrete_instance_from_json,
     concrete_instance_to_json,
     dumps,
@@ -60,10 +67,15 @@ __all__ = [
     "encode_abstract_instance",
     "encode_instance",
     "encode_setting",
+    "chase_request_digest",
+    "instance_digest",
+    "setting_digest",
     "instance_from_csv_dict",
     "instance_to_csv_dict",
     "relation_from_csv",
     "relation_to_csv",
+    "concrete_fact_from_json",
+    "concrete_fact_to_json",
     "concrete_instance_from_json",
     "concrete_instance_to_json",
     "dumps",

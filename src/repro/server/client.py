@@ -1,0 +1,164 @@
+"""A thin client for the chase service, on :mod:`http.client`.
+
+One persistent HTTP/1.1 connection (the server speaks keep-alive), JSON
+both ways, one transparent reconnect when the connection has gone stale.
+Any non-2xx response raises :class:`ClientError` carrying the server's
+error message and status — the calling code never parses envelopes.
+
+Used by ``python -m repro client``, the integration tests and the
+server benchmark; scripting against a daemon looks like::
+
+    client = ServerClient(port=8765)
+    client.create("hr", setting_json, source_json)
+    diff = client.delta("hr", add=[fact_json, ...])
+    answers = client.query("hr", "answer(N) :- employee(N, D)")
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any
+
+__all__ = ["ClientError", "ServerClient"]
+
+
+class ClientError(Exception):
+    """A non-2xx response from the server."""
+
+    def __init__(self, message: str, status: int):
+        super().__init__(message)
+        self.status = status
+
+
+class ServerClient:
+    """A persistent-connection JSON client for one repro daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport ---------------------------------------------------------
+
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        self._connection.request(method, path, body=body, headers=headers)
+        response = self._connection.getresponse()
+        raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ClientError(
+                f"server returned non-JSON response: {raw[:200]!r}", response.status
+            ) from exc
+        if response.status >= 400:
+            message = decoded.get("error", raw.decode("utf-8", "replace"))
+            raise ClientError(message, response.status)
+        return decoded
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One round-trip; reconnects once if the kept-alive socket died."""
+        try:
+            return self._request_once(method, path, payload)
+        except (ConnectionError, http.client.HTTPException, OSError):
+            self.close()
+            return self._request_once(method, path, payload)
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def sessions(self) -> list[dict]:
+        return self.request("GET", "/sessions")["sessions"]
+
+    def create(
+        self,
+        name: str,
+        setting: dict,
+        source: dict,
+        replace: bool = False,
+    ) -> dict:
+        return self.request(
+            "POST",
+            "/sessions",
+            {"name": name, "setting": setting, "source": source, "replace": replace},
+        )
+
+    def info(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}")
+
+    def target(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/target")
+
+    def source(self, name: str) -> dict:
+        return self.request("GET", f"/sessions/{name}/source")
+
+    def delta(
+        self,
+        name: str,
+        add: list[dict] | None = None,
+        remove: list[dict] | None = None,
+    ) -> dict:
+        return self.request(
+            "POST",
+            f"/sessions/{name}/delta",
+            {"add": add or [], "remove": remove or []},
+        )
+
+    def query(self, name: str, query: str, engine: str = "indexed") -> dict:
+        return self.request(
+            "POST", f"/sessions/{name}/query", {"query": query, "engine": engine}
+        )
+
+    def abstract(
+        self,
+        name: str,
+        shards: int = 1,
+        executor: str = "serial",
+        incremental: bool = True,
+    ) -> dict:
+        return self.request(
+            "POST",
+            f"/sessions/{name}/abstract",
+            {"shards": shards, "executor": executor, "incremental": incremental},
+        )
+
+    def snapshot(self, name: str) -> dict:
+        return self.request("POST", f"/sessions/{name}/snapshot", {})
+
+    def load(self, name: str) -> dict:
+        return self.request("POST", f"/sessions/{name}/load", {})
+
+    def evict(self, name: str, snapshot: bool = False) -> dict:
+        suffix = "?snapshot=1" if snapshot else ""
+        return self.request("DELETE", f"/sessions/{name}{suffix}")
+
+
+def fact_json(relation: str, data: list[Any], interval: str) -> dict:
+    """Convenience for scripting: the wire form of one concrete fact."""
+    return {"relation": relation, "data": data, "interval": interval}

@@ -1,0 +1,113 @@
+"""Request/response vocabulary of the chase service.
+
+The wire format is the JSON codec of :mod:`repro.serialize.jsonio` —
+facts, instances and settings travel exactly as they do in the CLI's
+files — wrapped in small request envelopes.  This module holds the
+pieces both sides of the wire share: payload validation that turns
+malformed requests into :class:`ProtocolError` (an HTTP 4xx, never a
+5xx), fact-list decoding, and the target-diff encoding every delta
+response uses.
+
+A target **diff** is two fact lists, both in the instance's canonical
+iteration order (relation-major, then :meth:`ConcreteFact.sort_key`), so
+two byte-identical targets always diff to byte-identical JSON::
+
+    {"added": [{"relation": …, "data": […], "interval": "[2, 5)"}, …],
+     "removed": […]}
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Sequence
+
+from repro.concrete.concrete_fact import ConcreteFact
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.serialize.jsonio import concrete_fact_from_json, concrete_fact_to_json
+
+__all__ = [
+    "ProtocolError",
+    "SESSION_NAME_PATTERN",
+    "check_session_name",
+    "diff_to_json",
+    "facts_from_json",
+    "instance_diff",
+    "require_list",
+    "require_str",
+]
+
+#: Session names are path components (URLs, snapshot file names) and are
+#: validated on both sides of the wire.
+SESSION_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class ProtocolError(Exception):
+    """A malformed or unsatisfiable request; maps to an HTTP 4xx."""
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+def check_session_name(name: object) -> str:
+    if not isinstance(name, str) or not SESSION_NAME_PATTERN.match(name):
+        raise ProtocolError(
+            "session name must be 1-64 characters of [A-Za-z0-9._-] "
+            "starting with an alphanumeric, got "
+            f"{name!r}"
+        )
+    return name
+
+
+def require_str(payload: dict, key: str, default: str | None = None) -> str:
+    value = payload.get(key, default)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"request field {key!r} must be a non-empty string")
+    return value
+
+
+def require_list(payload: dict, key: str, default: "list | None" = None) -> list:
+    if key not in payload:
+        if default is not None:
+            return default
+        raise ProtocolError(f"request field {key!r} is required")
+    value = payload[key]
+    if not isinstance(value, list):
+        raise ProtocolError(f"request field {key!r} must be a list")
+    return value
+
+
+def facts_from_json(items: Sequence[Any], what: str) -> list[ConcreteFact]:
+    """Decode a fact list, reporting the offending index on failure."""
+    facts = []
+    for index, item in enumerate(items):
+        if not isinstance(item, dict):
+            raise ProtocolError(f"{what}[{index}] must be a fact object")
+        try:
+            facts.append(concrete_fact_from_json(item))
+        except Exception as exc:  # parse errors come in several types
+            raise ProtocolError(f"{what}[{index}] is not a valid fact: {exc}") from exc
+    return facts
+
+
+def instance_diff(
+    old: ConcreteInstance, new: ConcreteInstance
+) -> tuple[list[ConcreteFact], list[ConcreteFact]]:
+    """``(added, removed)`` between two targets, in canonical order.
+
+    Instance iteration is already content-sorted, so the diff of two
+    byte-identical instances is empty and the diff between any two is
+    deterministic regardless of how either was built.
+    """
+    added = [item for item in new if item not in old]
+    removed = [item for item in old if item not in new]
+    return added, removed
+
+
+def diff_to_json(
+    added: Iterable[ConcreteFact], removed: Iterable[ConcreteFact]
+) -> dict[str, Any]:
+    return {
+        "added": [concrete_fact_to_json(item) for item in added],
+        "removed": [concrete_fact_to_json(item) for item in removed],
+    }

@@ -1,0 +1,514 @@
+"""Named sessions: warm chased state, resident between requests.
+
+A **session** is the unit of residency: it owns the cumulative source
+instance, the chased target, the c-chase's
+:class:`~repro.concrete.cchase.CChaseReplayState` (normalization
+group/fragment plans), and a :class:`~repro.query.QueryLog` whose
+answer ledger is signed by the maintained target's facts.  Requests
+mutate the source by *deltas*; the chase that follows replays every
+ledger the delta left intact, and the response is the target *diff* —
+never the whole target, never a from-scratch chase when the ledgers
+apply.
+
+In front of the chase sits the :class:`~repro.server.cache.ChaseCache`:
+every chase this manager runs is keyed by the content digest of its
+(setting, cumulative source), so an identical re-chase — a second
+session created from the same inputs, or a delta that returns a session
+to a previous state — is served from the cache without any chase work.
+
+Locking: the manager's lock guards the session map and the process
+pool; each session's lock serializes its own chase/query/snapshot work.
+Different sessions therefore proceed concurrently (the HTTP front-end
+runs handlers on a thread pool), while one session's requests are
+strictly ordered — which is what makes its replay ledgers coherent.
+
+Snapshots are pickles (live fact/ledger objects) written only under the
+manager's spool directory and loaded only from there — the server-side
+mirror of the CLI's ``--norm-log`` trust boundary: never point the
+spool at a directory untrusted writers can reach.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.concrete.cchase import CChaseReplayState, c_chase
+from repro.concrete.concrete_instance import ConcreteInstance
+from repro.dependencies.mapping import DataExchangeSetting
+from repro.errors import ReproError
+from repro.query import ConjunctiveQuery, QueryLog, UnionQuery
+from repro.query.naive_eval import naive_evaluate_concrete
+from repro.relational.terms import term_sort_key
+from repro.serialize.digest import chase_request_digest, instance_digest
+from repro.serialize.jsonio import (
+    concrete_instance_to_json,
+    setting_from_json,
+    setting_to_json,
+    term_to_json,
+)
+from repro.server.cache import CachedChase, ChaseCache
+from repro.server.protocol import (
+    ProtocolError,
+    check_session_name,
+    diff_to_json,
+    instance_diff,
+)
+
+__all__ = ["Session", "SessionManager", "SessionSnapshot", "UnknownSessionError"]
+
+#: Bumped when the pickled snapshot layout changes.
+SNAPSHOT_FORMAT = 1
+
+
+class UnknownSessionError(ProtocolError):
+    def __init__(self, name: str):
+        super().__init__(f"no session named {name!r}", status=404)
+
+
+@dataclass
+class SessionSnapshot:
+    """The pickled on-disk form of one evicted/persisted session."""
+
+    format: int
+    name: str
+    setting_json: dict
+    source: ConcreteInstance
+    target: ConcreteInstance
+    replay_state: CChaseReplayState | None
+    query_log: QueryLog
+    stats: dict[str, int]
+
+
+@dataclass
+class Session:
+    """One resident exchange: setting, cumulative source, chased target."""
+
+    name: str
+    setting: DataExchangeSetting
+    setting_json: dict
+    source: ConcreteInstance
+    target: ConcreteInstance
+    replay_state: CChaseReplayState | None = None
+    query_log: QueryLog = field(default_factory=QueryLog)
+    stats: dict[str, int] = field(
+        default_factory=lambda: {
+            "chases": 0,
+            "cache_hits": 0,
+            "deltas": 0,
+            "queries": 0,
+            "queries_replayed": 0,
+        }
+    )
+    lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+
+    def info(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "source_facts": len(self.source),
+            "target_facts": len(self.target),
+            "source_digest": instance_digest(self.source),
+            "stats": dict(self.stats),
+        }
+
+
+def _answers_to_json(answers) -> list[dict[str, Any]]:
+    """A TemporalAnswerSet as JSON rows, deterministically ordered."""
+    rows = sorted(
+        answers,
+        key=lambda item: tuple(term_sort_key(value) for value in item[0]),
+    )
+    return [
+        {
+            "row": [term_to_json(value) for value in row],
+            "support": str(support),
+        }
+        for row, support in rows
+    ]
+
+
+class SessionManager:
+    """The daemon's resident state: sessions, cache, warm worker pool."""
+
+    def __init__(
+        self,
+        cache_entries: int = 64,
+        workers: int | None = None,
+        snapshot_dir: "str | Path | None" = None,
+    ):
+        self.cache = ChaseCache(max_entries=cache_entries)
+        self.workers = workers
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self._sessions: dict[str, Session] = {}
+        self._lock = threading.Lock()
+        self._pool = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the worker pool (sessions die with the process)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def pool(self):
+        """The shared warm ``ProcessPoolExecutor``, created on first use.
+
+        Per-daemon rather than per-request on purpose: process startup
+        and module import dominate small sharded chases, so the whole
+        point of a resident server is that every request after the
+        first finds the workers already up (PR 4's warm-pool detection
+        reuses the shard-codec wire path for user-supplied pools).
+        """
+        with self._lock:
+            if self._pool is None:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    # -- session map -------------------------------------------------------
+
+    def _get(self, name: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(name)
+        if session is None:
+            raise UnknownSessionError(name)
+        return session
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def list_sessions(self) -> list[dict[str, Any]]:
+        with self._lock:
+            sessions = list(self._sessions.values())
+        return [session.info() for session in sorted(sessions, key=lambda s: s.name)]
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "sessions": self.names(),
+            "cache": self.cache.stats(),
+            "workers": self.workers,
+            "pool_started": self._pool is not None,
+        }
+
+    # -- the chase front door ---------------------------------------------
+
+    def _chase(
+        self,
+        session: Session,
+        source: ConcreteInstance,
+        incremental: "CChaseReplayState | bool",
+    ) -> tuple[ConcreteInstance, CChaseReplayState | None, dict[str, Any]]:
+        """Chase *source*, cache-first.  Raises 409 on chase failure.
+
+        The cache is consulted before any work: a digest hit
+        materializes the recorded (target, replay state) and the chase
+        machinery is never touched.  A miss runs the c-chase with the
+        session's replay state attached — so even misses replay every
+        normalization group the delta left unchanged — and the outcome
+        (success or failure) is recorded under its digest.
+        """
+        digest = chase_request_digest(session.setting, source)
+        cached = self.cache.get(digest)
+        if cached is None:
+            result = c_chase(source, session.setting, incremental=incremental)
+            cached = CachedChase.from_result(digest, result)
+            self.cache.put(cached)
+            hit = False
+        else:
+            hit = True
+            session.stats["cache_hits"] += 1
+        session.stats["chases"] += 1
+        if cached.failed:
+            raise ProtocolError(f"chase failed: {cached.failure}", status=409)
+        target, replay_state = cached.materialize()
+        meta = {
+            "digest": digest,
+            "cached": hit,
+            "target_facts": cached.facts,
+            "chase_steps": cached.steps,
+        }
+        return target, replay_state, meta
+
+    # -- operations --------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        setting_json: dict,
+        source_json: dict,
+        replace: bool = False,
+    ) -> dict[str, Any]:
+        check_session_name(name)
+        try:
+            setting = setting_from_json(setting_json)
+        except ReproError as exc:
+            raise ProtocolError(f"invalid setting: {exc}") from exc
+        try:
+            from repro.serialize.jsonio import concrete_instance_from_json
+
+            source = concrete_instance_from_json(source_json)
+        except ReproError as exc:
+            raise ProtocolError(f"invalid source instance: {exc}") from exc
+        with self._lock:
+            if name in self._sessions and not replace:
+                raise ProtocolError(
+                    f"session {name!r} already exists (pass replace=true "
+                    "to rebuild it)",
+                    status=409,
+                )
+        probe = Session(
+            name=name,
+            setting=setting,
+            setting_json=setting_to_json(setting),
+            source=source,
+            target=ConcreteInstance(),
+        )
+        target, replay_state, meta = self._chase(probe, source, incremental=True)
+        probe.target = target
+        probe.replay_state = replay_state
+        with self._lock:
+            self._sessions[name] = probe
+        return {"session": probe.info(), **meta}
+
+    def delta(
+        self,
+        name: str,
+        add: list,
+        remove: list,
+    ) -> dict[str, Any]:
+        """Apply a source delta; respond with the *target* diff.
+
+        Strict by design: removing an absent fact or adding a duplicate
+        is a 400 — silently absorbing either would let a client's view
+        of the cumulative source drift from the server's, and the
+        byte-identity guarantee (server target ≡ from-scratch chase of
+        the cumulative source) is only meaningful when both sides agree
+        on what that source is.
+        """
+        session = self._get(name)
+        with session.lock:
+            source = session.source.copy()
+            for item in remove:
+                if not source.discard(item):
+                    raise ProtocolError(
+                        f"cannot remove absent source fact {item}"
+                    )
+            for item in add:
+                if not source.add(item):
+                    raise ProtocolError(
+                        f"source fact {item} is already present"
+                    )
+            incremental = (
+                session.replay_state if session.replay_state is not None else True
+            )
+            target, replay_state, meta = self._chase(session, source, incremental)
+            added, removed = instance_diff(session.target, target)
+            session.source = source
+            session.target = target
+            session.replay_state = replay_state
+            session.stats["deltas"] += 1
+            return {
+                "session": session.name,
+                "source_facts": len(source),
+                "diff": diff_to_json(added, removed),
+                **meta,
+            }
+
+    def query(
+        self,
+        name: str,
+        query_text: str,
+        engine: str = "indexed",
+    ) -> dict[str, Any]:
+        """Certain answers against the maintained target, ledger-first.
+
+        The session's target *is* the chased solution, so no chase runs
+        here at all; evaluation goes through the session's
+        :class:`QueryLog`, whose answer ledger is signed by the target
+        facts of each disjunct's body relations — a repeated query
+        against an unchanged target replays in O(1).
+        """
+        if engine not in ("indexed", "scan"):
+            raise ProtocolError(
+                f"unknown engine {engine!r}: expected 'indexed' or 'scan'"
+            )
+        session = self._get(name)
+        rules = [rule for rule in query_text.split(";") if rule.strip()]
+        if not rules:
+            raise ProtocolError("empty query")
+        try:
+            query: ConjunctiveQuery | UnionQuery
+            if len(rules) == 1:
+                query = ConjunctiveQuery.parse(rules[0])
+            else:
+                query = UnionQuery.of(*rules)
+        except ReproError as exc:
+            raise ProtocolError(f"invalid query: {exc}") from exc
+        with session.lock:
+            log = session.query_log if engine == "indexed" else None
+            mark = log.answers.counters() if log is not None else (0, 0)
+            answers = naive_evaluate_concrete(
+                query, session.target, engine=engine, log=log
+            ).to_temporal()
+            replayed, evaluated = (
+                log.answers.delta_since(mark) if log is not None else (0, 0)
+            )
+            session.stats["queries"] += 1
+            session.stats["queries_replayed"] += 1 if replayed and not evaluated else 0
+            return {
+                "session": session.name,
+                "engine": engine,
+                "answers": _answers_to_json(answers),
+                "replayed": replayed,
+                "evaluated": evaluated,
+            }
+
+    def abstract(
+        self,
+        name: str,
+        shards: int = 1,
+        executor: str = "serial",
+        incremental: bool = True,
+    ) -> dict[str, Any]:
+        """A sharded abstract chase of the session's source, warm-pooled.
+
+        ``executor="processes"`` reuses the daemon's shared
+        :class:`ProcessPoolExecutor` (see :meth:`pool`), so repeated
+        requests never pay worker startup.
+        """
+        if executor not in ("serial", "threads", "processes"):
+            raise ProtocolError(f"unknown executor {executor!r}")
+        if not isinstance(shards, int) or shards < 1:
+            raise ProtocolError(f"shards must be a positive integer, got {shards!r}")
+        session = self._get(name)
+        from repro.abstract_view import abstract_chase, semantics
+
+        runner = self.pool() if executor == "processes" else executor
+        with session.lock:
+            result = abstract_chase(
+                semantics(session.source),
+                session.setting,
+                shards=shards,
+                executor=runner,
+                incremental=incremental,
+            )
+        if result.error is not None:
+            raise result.error
+        if result.failed:
+            raise ProtocolError(f"chase failed: {result.failure}", status=409)
+        totals = result.reuse_totals()
+        return {
+            "session": session.name,
+            "regions": len(result.region_results),
+            "templates": len(result.unwrap().templates),
+            "replayed_matches": totals.replayed_matches,
+            "live_matches": totals.live_matches,
+            "shards": [
+                {
+                    "shard": report.shard,
+                    "regions": report.regions,
+                    "nulls": report.nulls_issued,
+                    "ms": round(report.seconds * 1000.0, 3),
+                    "remote": report.remote,
+                }
+                for report in result.shard_reports
+            ],
+        }
+
+    def target_json(self, name: str) -> dict[str, Any]:
+        session = self._get(name)
+        with session.lock:
+            return concrete_instance_to_json(session.target)
+
+    def source_json(self, name: str) -> dict[str, Any]:
+        session = self._get(name)
+        with session.lock:
+            return concrete_instance_to_json(session.source)
+
+    def info(self, name: str) -> dict[str, Any]:
+        return self._get(name).info()
+
+    # -- persistence -------------------------------------------------------
+
+    def _snapshot_path(self, name: str) -> Path:
+        if self.snapshot_dir is None:
+            raise ProtocolError(
+                "this server has no snapshot directory (start it with "
+                "--snapshot-dir to enable session persistence)",
+                status=409,
+            )
+        return self.snapshot_dir / f"{name}.session"
+
+    def snapshot(self, name: str) -> dict[str, Any]:
+        """Persist the session to the spool directory (session stays live)."""
+        session = self._get(name)
+        path = self._snapshot_path(name)
+        with session.lock:
+            payload = SessionSnapshot(
+                format=SNAPSHOT_FORMAT,
+                name=session.name,
+                setting_json=session.setting_json,
+                source=session.source,
+                target=session.target,
+                replay_state=session.replay_state,
+                query_log=session.query_log,
+                stats=dict(session.stats),
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "wb") as handle:
+                pickle.dump(payload, handle)
+        return {"session": name, "path": str(path)}
+
+    def load(self, name: str) -> dict[str, Any]:
+        """Rebuild an evicted session from its snapshot, warm state intact."""
+        check_session_name(name)
+        path = self._snapshot_path(name)
+        if not path.exists():
+            raise ProtocolError(f"no snapshot for session {name!r}", status=404)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except Exception as exc:
+            raise ProtocolError(
+                f"cannot read snapshot for {name!r}: {exc}", status=409
+            ) from exc
+        if (
+            not isinstance(payload, SessionSnapshot)
+            or payload.format != SNAPSHOT_FORMAT
+            or payload.name != name
+        ):
+            raise ProtocolError(
+                f"snapshot for {name!r} is not a compatible session snapshot",
+                status=409,
+            )
+        session = Session(
+            name=name,
+            setting=setting_from_json(payload.setting_json),
+            setting_json=payload.setting_json,
+            source=payload.source,
+            target=payload.target,
+            replay_state=payload.replay_state,
+            query_log=payload.query_log,
+            stats=dict(payload.stats),
+        )
+        with self._lock:
+            self._sessions[name] = session
+        return {"session": session.info(), "path": str(path)}
+
+    def evict(self, name: str, snapshot: bool = False) -> dict[str, Any]:
+        """Drop a session from memory, optionally snapshotting it first."""
+        result: dict[str, Any] = {"session": name, "snapshotted": snapshot}
+        if snapshot:
+            result.update(self.snapshot(name))
+            result["snapshotted"] = True
+        with self._lock:
+            if self._sessions.pop(name, None) is None:
+                raise UnknownSessionError(name)
+        return result

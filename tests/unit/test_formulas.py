@@ -98,9 +98,18 @@ class TestTemporalConjunction:
         with pytest.raises(FormulaError):
             TemporalConjunction((atom("E", "n"),), (Variable("t"), Variable("u")))
 
-    def test_temporal_variable_clash_with_data_rejected(self):
+    def test_default_temporal_variable_avoids_data_clash(self):
+        # A formula using t as data still lifts: the default shared
+        # variable sidesteps to the first free name.
+        conj = TemporalConjunction.shared([atom("E", "t")])
+        assert conj.is_shared
+        assert conj.shared_variable == Variable("t0")
+        crowded = TemporalConjunction.shared([atom("E", "t", "t0", "t1")])
+        assert crowded.shared_variable == Variable("t2")
+
+    def test_explicit_temporal_variable_clash_with_data_rejected(self):
         with pytest.raises(FormulaError):
-            TemporalConjunction.shared([atom("E", "t")])
+            TemporalConjunction.shared([atom("E", "t")], Variable("t"))
 
     def test_normalized_decouples_variables(self):
         # N(Φ+) of Example 9: R+(x,t) ∧ S+(y,t) becomes R+(x,t1) ∧ S+(y,t2).
