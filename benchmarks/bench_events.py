@@ -1,0 +1,188 @@
+"""EVENTS-1: event-log ingestion and the follow-delta pipeline.
+
+The ingestion layer adds two units of work in front of the chase —
+parsing/resolving event records and compiling the resolved set into a
+coalesced source instance — and this module prices both, plus the live
+path they feed:
+
+* **ingest + compile** is the cost of accepting one batch: parse,
+  resolve corrections, trial-compile the merged log (the compile
+  dominates; resolution is a dict merge);
+* a **warm /events cycle** is the full server round trip — ingest the
+  batch, diff against the cursor's last snapshot, incrementally chase
+  the delta — the live-feed unit of work this PR introduces;
+* the matching **raw /delta cycle** is the same source change delivered
+  pre-compiled, isolating what the event layer costs over handing the
+  server finished facts.
+
+Also a script: ``python benchmarks/bench_events.py --smoke`` boots a
+daemon, streams an org event log through ``/events`` in late-arrival
+batches, checks the served target equals a cold chase of the compiled
+log, and prints events/sec (appended to ``$GITHUB_STEP_SUMMARY`` when
+set) for the CI examples-smoke job.
+"""
+
+import json
+import os
+import sys
+import time
+
+import pytest
+
+from repro import EventLog, c_chase
+from repro.serialize import concrete_instance_to_json, setting_to_json
+from repro.server import ServerClient, ServerThread
+from repro.workloads import (
+    exchange_setting_org,
+    late_arrival_batches,
+    org_event_mapping,
+    org_event_stream,
+)
+
+ORG_SETTING_JSON = setting_to_json(exchange_setting_org())
+MAPPING = org_event_mapping()
+STREAM = org_event_stream(people=24, timeline=48, seed=31)
+
+
+def test_events_ingest_compile(benchmark):
+    """Ingest the whole stream into a fresh log (parse + resolve + compile)."""
+
+    def ingest():
+        log = EventLog(MAPPING)
+        return log.ingest(STREAM)
+
+    report = benchmark(ingest)
+    assert report.accepted > len(STREAM) // 2
+    assert report.pending == 0
+
+
+def test_events_snapshot_replay(benchmark):
+    """Replaying a cold snapshot at an interior time point (no cache)."""
+    log = EventLog(MAPPING)
+    log.ingest(STREAM)
+
+    def snapshot():
+        log._compiled.pop(24, None)  # defeat the per-horizon cache
+        return log.snapshot_at(24)
+
+    instance = benchmark(snapshot)
+    assert len(list(instance.facts())) > 0
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread() as thread:
+        yield thread
+
+
+def _churn_events(index: int) -> list[dict]:
+    """A create/delete pair on a throwaway entity, unique per cycle."""
+    scale = MAPPING.scale
+    return [
+        {
+            "id": f"bench-add-{index}",
+            "entity_id": f"tmp{index}",
+            "event_type": "created",
+            "timestamp": scale.timestamp(50),
+            "payload": {"type": "employee", "dept": "d0"},
+        },
+        {
+            "id": f"bench-del-{index}",
+            "entity_id": f"tmp{index}",
+            "event_type": "deleted",
+            "timestamp": scale.timestamp(55),
+            "payload": {},
+        },
+    ]
+
+
+def test_server_events_cycle(benchmark, server):
+    """One warm ``/events`` batch: ingest, cursor diff, incremental chase."""
+    with ServerClient(port=server.port) as client:
+        client.create("events-bench", ORG_SETTING_JSON, {"facts": []})
+        client.events("events-bench", STREAM, mapping=MAPPING.to_json())
+        counter = iter(range(1_000_000))
+
+        def cycle():
+            return client.events("events-bench", _churn_events(next(counter)))
+
+        result = benchmark(cycle)
+        assert result["chased"]
+        client.evict("events-bench")
+
+
+def test_server_raw_delta_cycle(benchmark, server):
+    """The same source change delivered as a pre-compiled ``/delta``."""
+    log = EventLog(MAPPING)
+    log.ingest(STREAM)
+    source = concrete_instance_to_json(log.snapshot_at(None))
+    with ServerClient(port=server.port) as client:
+        client.create("delta-bench", ORG_SETTING_JSON, source)
+        # The fact one churn create/delete pair compiles to, pre-built.
+        fact = {
+            "relation": "Emp",
+            "data": [
+                {"kind": "const", "value": "tmpX"},
+                {"kind": "const", "value": "d0"},
+            ],
+            "interval": "[50, 55)",
+        }
+
+        def cycle():
+            client.delta("delta-bench", add=[fact])
+            return client.delta("delta-bench", remove=[fact])
+
+        result = benchmark(cycle)
+        assert "diff" in result
+        client.evict("delta-bench")
+
+
+# ---------------------------------------------------------------------------
+# --smoke: the CI examples-smoke job's live-ingestion probe
+# ---------------------------------------------------------------------------
+
+
+def _smoke() -> int:
+    events = org_event_stream(people=16, timeline=48, seed=42)
+    batches = late_arrival_batches(events, batches=4, late_fraction=0.25, seed=7)
+    with ServerThread() as thread, ServerClient(port=thread.port) as client:
+        client.create("smoke", ORG_SETTING_JSON, {"facts": []})
+        started = time.perf_counter()
+        total = 0
+        for number, batch in enumerate(batches):
+            result = client.events(
+                "smoke", batch, mapping=MAPPING.to_json() if number == 0 else None
+            )
+            total += result["ingest"]["accepted"] + result["ingest"]["corrections"]
+        elapsed = time.perf_counter() - started
+
+        log = EventLog(MAPPING)
+        log.ingest(events)
+        cold = c_chase(log.snapshot_at(None), exchange_setting_org())
+        served = client.target("smoke")
+        identical = json.dumps(served, sort_keys=True) == json.dumps(
+            concrete_instance_to_json(cold.target), sort_keys=True
+        )
+
+        lines = [
+            "### repro events smoke",
+            "",
+            f"- streamed **{total}** events in {len(batches)} late-arrival "
+            f"batches over HTTP in {elapsed:.2f}s "
+            f"(**{total / elapsed:.1f} events/sec**)",
+            f"- served target ≡ cold chase of the compiled log: **{identical}**",
+        ]
+        report = "\n".join(lines)
+        print(report)
+        summary = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary:
+            with open(summary, "a") as handle:
+                handle.write(report + "\n")
+        return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(_smoke())
+    print("usage: python benchmarks/bench_events.py --smoke")
+    sys.exit(2)

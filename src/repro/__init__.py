@@ -17,6 +17,9 @@ A complete implementation of the paper's framework:
   (:mod:`repro.concrete`);
 * **query answering** — naive evaluation, certain answers
   (:mod:`repro.query`);
+* **change feeds** — the canonical :class:`~repro.deltas.SourceDelta`
+  and the event-sourced ingestion layer that compiles live event logs
+  into it (:mod:`repro.deltas`, :mod:`repro.events`);
 * the Figure 10 **correspondence** checks (:mod:`repro.correspondence`);
 * workloads, serialization and the Section 7 extension
   (:mod:`repro.workloads`, :mod:`repro.serialize`,
@@ -36,6 +39,8 @@ Quickstart::
 
 from repro.errors import (
     ChaseFailureError,
+    DeltaError,
+    EventError,
     FormulaError,
     InstanceError,
     NotNormalizedError,
@@ -90,6 +95,16 @@ from repro.concrete import (
     naive_normalize,
     normalize,
 )
+from repro.deltas import SourceDelta
+from repro.events import (
+    EntityRule,
+    Event,
+    EventLog,
+    EventMapping,
+    FollowCursor,
+    RelationshipRule,
+    TimeScale,
+)
 from repro.correspondence import (
     concrete_is_solution,
     verify_correspondence,
@@ -115,6 +130,8 @@ __version__ = "1.0.0"
 __all__ = [
     # errors
     "ChaseFailureError",
+    "DeltaError",
+    "EventError",
     "FormulaError",
     "InstanceError",
     "NotNormalizedError",
@@ -171,6 +188,15 @@ __all__ = [
     "is_normalized",
     "naive_normalize",
     "normalize",
+    # deltas + events
+    "SourceDelta",
+    "EntityRule",
+    "Event",
+    "EventLog",
+    "EventMapping",
+    "FollowCursor",
+    "RelationshipRule",
+    "TimeScale",
     # correspondence
     "concrete_is_solution",
     "verify_correspondence",

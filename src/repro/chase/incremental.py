@@ -87,7 +87,12 @@ from repro.relational.homomorphism import (
 from repro.relational.instance import Instance
 from repro.relational.terms import GroundTerm, Variable
 
-__all__ = ["IncrementalRegionChaser", "RegionReuseStats", "ReplayLedger"]
+__all__ = [
+    "IncrementalRegionChaser",
+    "RegionReuseStats",
+    "ReplayLedger",
+    "chase_source_delta",
+]
 
 
 class ReplayLedger:
@@ -1335,3 +1340,40 @@ class IncrementalRegionChaser:
             assignment,
             _FiringRecord(record, facts, null_fact_indices, added_indices),
         )
+
+
+def chase_source_delta(
+    source,
+    delta,
+    setting: DataExchangeSetting,
+    *,
+    state=None,
+    **chase_kw,
+):
+    """Apply a :class:`~repro.deltas.SourceDelta` and re-chase, warm.
+
+    The delta entry point shared by the server's ``/delta``/``/events``
+    paths, the event-log examples, and scripts maintaining a target by
+    hand: strictly apply *delta* to a copy of *source* (the input is
+    never mutated), then run the concrete c-chase with *state* — a
+    :class:`~repro.concrete.cchase.CChaseReplayState` from a previous
+    result — attached, so every normalization group and query ledger
+    the delta left intact replays instead of recomputing.  Returns
+    ``(new_source, result)``; feed ``result.replay_state`` back in as
+    *state* on the next delta.
+
+    Extra keyword arguments pass through to
+    :func:`~repro.concrete.cchase.c_chase` unchanged.
+    """
+    # Imported lazily: repro.concrete imports this module at package
+    # import time, so a top-level import would be circular.
+    from repro.concrete.cchase import c_chase
+
+    new_source = delta.applied_to(source)
+    result = c_chase(
+        new_source,
+        setting,
+        incremental=state if state is not None else True,
+        **chase_kw,
+    )
+    return new_source, result

@@ -8,7 +8,9 @@ Commands:
 * ``verify``     — check the Figure 10 correspondence on an input;
 * ``figures``    — print every regenerated figure of the paper;
 * ``serve``      — run the resident chase daemon (chase-as-a-service);
-* ``client``     — talk to a running daemon (create/delta/query/…).
+* ``client``     — talk to a running daemon (create/delta/query/…);
+* ``ingest``     — compile a JSON-lines event log into a source
+  instance or delta, or follow it into a server session.
 
 Instances and mappings travel as JSON in the :mod:`repro.serialize`
 format.  Exit status: 0 on success, 1 on chase failure (no solution),
@@ -478,6 +480,94 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _when(value: str | None) -> "int | str | None":
+    """Parse a ``--at``/``--since``/``--until`` value.
+
+    Bare integers are time points on the mapping's scale; anything else
+    is handed to the mapping's ISO-8601 parser.
+    """
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return value
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.events import EventLog, EventMapping
+
+    mapping = EventMapping.from_json(_load_json(args.event_mapping))
+    if args.events == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            text = Path(args.events).read_text()
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot read events from {args.events}: {exc}"
+            ) from exc
+    lines = [line for line in text.splitlines() if line.strip()]
+
+    if args.follow:
+        if not args.session:
+            raise SystemExit("error: ingest --follow requires --session NAME")
+        from repro.server import ClientError, ServerClient
+
+        client = ServerClient(host=args.host, port=args.port)
+        batch = max(1, args.batch)
+        mapping_json = mapping.to_json()
+        try:
+            for number, start in enumerate(range(0, len(lines), batch)):
+                chunk = lines[start : start + batch]
+                result = client.events(
+                    args.session,
+                    chunk,
+                    mapping=mapping_json if start == 0 else None,
+                )
+                ingest = result["ingest"]
+                diff = result["diff"]
+                print(
+                    f"batch {number}: {ingest['accepted']} new events, "
+                    f"{ingest['corrections']} corrections, "
+                    f"{ingest['duplicates']} duplicates, "
+                    f"{ingest['out_of_order']} out of order, "
+                    f"{ingest['pending']} pending; "
+                    f"target +{len(diff['add'])}/-{len(diff['remove'])}",
+                    file=sys.stderr,
+                )
+            info = client.info(args.session)
+        except ClientError as exc:
+            print(f"error: server returned {exc.status}: {exc}", file=sys.stderr)
+            return 2
+        except OSError as exc:
+            print(
+                f"error: cannot reach server at {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        finally:
+            client.close()
+        print(json.dumps(info, indent=2))
+        return 0
+
+    log = EventLog(mapping)
+    report = log.ingest(lines)
+    print(
+        f"ingested {len(lines)} lines: {report.accepted} events, "
+        f"{report.corrections} corrections, {report.duplicates} duplicates, "
+        f"{report.pending} pending; horizon {log.horizon}",
+        file=sys.stderr,
+    )
+    if args.since is not None:
+        delta = log.delta_between(_when(args.since), _when(args.until))
+        print(json.dumps(delta.to_json(), indent=2))
+        return 0
+    instance = log.snapshot_at(_when(args.at))
+    _write_instance(instance, args.out, args.pretty)
+    return 0
+
+
 def _shard_count(value: str) -> int:
     """Argparse type for ``--shards``: a clean error instead of a traceback."""
     try:
@@ -745,6 +835,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="evict: snapshot the session to the spool directory first",
     )
     client.set_defaults(handler=_cmd_client)
+
+    ingest = commands.add_parser(
+        "ingest",
+        help="compile a JSON-lines event log (see docs/api.md)",
+        description="Compile an event log through an event mapping: print "
+        "the snapshot-at-T source instance (default), a SourceDelta "
+        "between two times (--since/--until), or follow the log into a "
+        "running server session in batches (--follow).",
+    )
+    ingest.add_argument(
+        "--events",
+        required=True,
+        metavar="FILE",
+        help="JSON-lines event file, or '-' for stdin",
+    )
+    ingest.add_argument(
+        "--event-mapping",
+        required=True,
+        metavar="FILE",
+        help="event mapping JSON (time scale + entity/relationship rules)",
+    )
+    ingest.add_argument(
+        "--at",
+        metavar="T",
+        help="snapshot time: a time point or ISO-8601 timestamp "
+        "(default: the log's horizon)",
+    )
+    ingest.add_argument(
+        "--since",
+        metavar="T0",
+        help="emit the SourceDelta from snapshot_at(T0) instead of a snapshot",
+    )
+    ingest.add_argument(
+        "--until",
+        metavar="T1",
+        help="end time for --since (default: the log's horizon)",
+    )
+    ingest.add_argument("--out", help="write the snapshot JSON here")
+    ingest.add_argument("--pretty", action="store_true", help="print ASCII tables")
+    ingest.add_argument(
+        "--follow",
+        action="store_true",
+        help="stream the log into a server session via POST /events "
+        "(requires --session; the session becomes a live materialized "
+        "view of the log)",
+    )
+    ingest.add_argument("--session", metavar="NAME", help="target session name")
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, default=8765)
+    ingest.add_argument(
+        "--batch",
+        type=_shard_count,
+        default=64,
+        help="events per request in --follow mode (default 64)",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
 
     return parser
 

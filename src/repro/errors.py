@@ -145,3 +145,23 @@ class SolutionError(ReproError):
 
 class SerializationError(ReproError):
     """JSON/CSV payload cannot be decoded into library objects."""
+
+
+class DeltaError(ReproError):
+    """A source delta is malformed or cannot be strictly applied.
+
+    Raised by :class:`repro.deltas.SourceDelta` when a delta's fact sets
+    conflict (a fact both added and removed), when its JSON form cannot
+    be decoded, or when a strict :meth:`~repro.deltas.SourceDelta.apply`
+    would remove an absent fact or add a duplicate."""
+
+
+class EventError(ReproError):
+    """An event record is malformed.
+
+    Raised by :mod:`repro.events` for unparseable event lines, unknown
+    event types, missing required fields, timestamps before the
+    mapping's epoch, and non-scalar payload values under mapped
+    columns.  History inconsistencies (updating an entity nobody
+    created, say) are *not* errors — compilation parks such events as
+    pending until the missing history arrives."""

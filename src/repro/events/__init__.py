@@ -1,0 +1,36 @@
+"""Event-sourced ingestion: compile live event logs into source deltas.
+
+The subsystem has three layers, bottom-up:
+
+- :mod:`repro.events.model` — the event records themselves
+  (:class:`Event`) and the calendar → time-point bridge
+  (:class:`TimeScale`).
+- :mod:`repro.events.mapping` — per-setting schema mappings
+  (:class:`EventMapping` built from :class:`EntityRule` /
+  :class:`RelationshipRule`) that say which relations an entity or
+  relationship type projects onto.
+- :mod:`repro.events.log` — the :class:`EventLog` itself: atomic
+  ingestion, ``snapshot_at`` compilation, ``delta_between`` diffs, and
+  the :class:`FollowCursor` that feeds live consumers canonical
+  :class:`~repro.deltas.SourceDelta` objects.
+
+See ``docs/architecture.md`` §"Event-sourced ingestion (PR 10)" for the
+design rationale and the invariants (permutation-invariant compilation,
+atomic batches, coalesced output) the test suite pins down.
+"""
+
+from repro.events.log import EventLog, FollowCursor, IngestReport
+from repro.events.mapping import EntityRule, EventMapping, RelationshipRule
+from repro.events.model import EVENT_TYPES, Event, TimeScale
+
+__all__ = [
+    "EVENT_TYPES",
+    "EntityRule",
+    "Event",
+    "EventLog",
+    "EventMapping",
+    "FollowCursor",
+    "IngestReport",
+    "RelationshipRule",
+    "TimeScale",
+]

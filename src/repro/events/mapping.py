@@ -1,0 +1,206 @@
+"""``EventMapping`` — how a setting reads an event stream.
+
+An event log knows entities and relationships; an exchange setting
+knows relations over constants.  The mapping is the bridge, declared
+per setting: each :class:`EntityRule` projects the live state of one
+entity type onto a source relation, each :class:`RelationshipRule`
+projects one relationship type.  Compilation (in
+:mod:`repro.events.log`) walks the resolved event sequence, maintains
+entity state, and emits one interval-stamped fact per maximal span over
+which a rule's projected values are constant — i.e. the compiled source
+is coalesced by construction, matching the paper's assumption on
+inputs.
+
+Column templates are plain strings: for entities, ``"$id"`` takes the
+entity id and any other name reads that field of the entity's current
+state; for relationships, ``"$from"``/``"$to"`` take the two entity
+ids and other names read relationship properties.  An entity segment
+in which a referenced field is absent (or ``None``) simply emits no
+fact for that rule — partial state is not an error, it is an entity
+that is not yet visible through that relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import EventError
+from repro.events.model import TimeScale
+
+__all__ = ["EntityRule", "RelationshipRule", "EventMapping"]
+
+
+def _check_columns(columns: tuple, what: str) -> tuple[str, ...]:
+    if not columns:
+        raise EventError(f"{what} must project at least one column")
+    out = []
+    for column in columns:
+        if not isinstance(column, str) or not column:
+            raise EventError(f"{what} column names must be non-empty strings")
+        out.append(column)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class EntityRule:
+    """Project the live state of one entity type onto a relation.
+
+    Each column is ``"$id"`` or the name of a state field (as built up
+    by ``created``/``updated`` payloads).
+    """
+
+    entity_type: str
+    relation: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "columns",
+            _check_columns(tuple(self.columns), f"entity rule for {self.relation!r}"),
+        )
+
+    def values(self, entity_id: str, state: Mapping[str, Any]):
+        """The projected tuple, or ``None`` if a referenced field is unset."""
+        row = []
+        for column in self.columns:
+            value = entity_id if column == "$id" else state.get(column)
+            if value is None:
+                return None
+            row.append(value)
+        return tuple(row)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": self.entity_type,
+            "relation": self.relation,
+            "columns": list(self.columns),
+        }
+
+
+@dataclass(frozen=True)
+class RelationshipRule:
+    """Project one relationship type onto a relation.
+
+    Columns are ``"$from"`` (the owning entity's id), ``"$to"`` (the
+    other entity's id), or names of relationship properties from the
+    ``relationship_added`` payload.
+    """
+
+    rel_type: str
+    relation: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "columns",
+            _check_columns(
+                tuple(self.columns), f"relationship rule for {self.relation!r}"
+            ),
+        )
+
+    def values(self, from_id: str, to_id: str, properties: Mapping[str, Any]):
+        """The projected tuple, or ``None`` if a referenced property is unset."""
+        row = []
+        for column in self.columns:
+            if column == "$from":
+                value = from_id
+            elif column == "$to":
+                value = to_id
+            else:
+                value = properties.get(column)
+            if value is None:
+                return None
+            row.append(value)
+        return tuple(row)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "type": self.rel_type,
+            "relation": self.relation,
+            "columns": list(self.columns),
+        }
+
+
+@dataclass(frozen=True)
+class EventMapping:
+    """A complete event-stream → source-schema mapping for one setting."""
+
+    entities: tuple[EntityRule, ...] = ()
+    relationships: tuple[RelationshipRule, ...] = ()
+    scale: TimeScale = field(default_factory=TimeScale)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entities", tuple(self.entities))
+        object.__setattr__(self, "relationships", tuple(self.relationships))
+        if not self.entities and not self.relationships:
+            raise EventError("an event mapping needs at least one rule")
+
+    def entity_rules(self, entity_type: str) -> tuple[EntityRule, ...]:
+        return tuple(
+            rule for rule in self.entities if rule.entity_type == entity_type
+        )
+
+    def relationship_rules(self, rel_type: str) -> tuple[RelationshipRule, ...]:
+        return tuple(
+            rule for rule in self.relationships if rule.rel_type == rel_type
+        )
+
+    # -- codec -------------------------------------------------------------
+
+    def to_json(self) -> dict[str, Any]:
+        """The canonical JSON form (rule order is preserved)."""
+        return {
+            "time": self.scale.to_json(),
+            "entities": [rule.to_json() for rule in self.entities],
+            "relationships": [rule.to_json() for rule in self.relationships],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "EventMapping":
+        if not isinstance(payload, Mapping):
+            raise EventError(
+                f"an event mapping must be a JSON object, got {payload!r}"
+            )
+        unknown = set(payload) - {"time", "entities", "relationships"}
+        if unknown:
+            raise EventError(
+                f"unknown event-mapping field(s) {sorted(unknown)!r}"
+            )
+        scale = (
+            TimeScale.from_json(payload["time"])
+            if "time" in payload
+            else TimeScale()
+        )
+        entities = []
+        for index, entry in enumerate(payload.get("entities", [])):
+            entities.append(
+                _rule_from_json(entry, f"entities[{index}]", EntityRule)
+            )
+        relationships = []
+        for index, entry in enumerate(payload.get("relationships", [])):
+            relationships.append(
+                _rule_from_json(entry, f"relationships[{index}]", RelationshipRule)
+            )
+        return cls(
+            entities=tuple(entities),
+            relationships=tuple(relationships),
+            scale=scale,
+        )
+
+
+def _rule_from_json(entry: Any, where: str, rule_cls):
+    if not isinstance(entry, Mapping):
+        raise EventError(f"{where} must be a rule object")
+    unknown = set(entry) - {"type", "relation", "columns"}
+    if unknown:
+        raise EventError(f"{where} has unknown field(s) {sorted(unknown)!r}")
+    for key in ("type", "relation"):
+        if not isinstance(entry.get(key), str) or not entry.get(key):
+            raise EventError(f"{where} field {key!r} must be a non-empty string")
+    columns = entry.get("columns")
+    if not isinstance(columns, list):
+        raise EventError(f"{where} field 'columns' must be a list of names")
+    return rule_cls(entry["type"], entry["relation"], tuple(columns))

@@ -1,0 +1,316 @@
+"""The event model: immutable change records over a discrete time scale.
+
+Follows the temporal-event-model shape: an event records *that*
+something changed at a specific time — never why, or whether it
+matters.  Five event types cover everything::
+
+    created               entity now exists; payload is its initial state
+    updated               payload holds the changed fields (partial merge)
+    deleted               entity no longer exists
+    relationship_added    payload names the relationship type + other entity
+    relationship_removed  payload names which relationship ended
+
+Events are **immutable**: a producer that got something wrong emits a
+*correction* — a new event with the same ``id`` and a higher
+``revision`` — rather than editing the old one.  Resolution (which
+revision of an id wins) is a pure function of the event *set*, so any
+arrival order yields the same resolved log (see
+:meth:`Event.supersedes`).
+
+Timestamps arrive as ISO-8601 strings (or bare integers already on the
+time-point domain); a :class:`TimeScale` maps them onto the paper's
+discrete ``N0`` time points.  Nothing here ever reads the wall clock —
+"now" is always the log's own horizon.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import EventError
+
+__all__ = ["EVENT_TYPES", "RELATIONSHIP_TYPES", "Event", "TimeScale"]
+
+#: The complete list.  Anything else is a variant of ``updated`` with a
+#: different payload structure — by design, not by omission.
+EVENT_TYPES = (
+    "created",
+    "updated",
+    "deleted",
+    "relationship_added",
+    "relationship_removed",
+)
+RELATIONSHIP_TYPES = ("relationship_added", "relationship_removed")
+
+_UNITS = {
+    "seconds": datetime.timedelta(seconds=1),
+    "minutes": datetime.timedelta(minutes=1),
+    "hours": datetime.timedelta(hours=1),
+    "days": datetime.timedelta(days=1),
+}
+
+#: Same-point application order: a deletion at point ``p`` applies
+#: before a (re-)creation at ``p``, which applies before updates at
+#: ``p`` — so "replace an entity at p" expressed as deleted+created
+#: works, and an update issued together with a create lands on the new
+#: state.  Relationship removals likewise apply before re-adds.
+_TYPE_RANK = {
+    "deleted": 0,
+    "created": 1,
+    "updated": 2,
+    "relationship_removed": 0,
+    "relationship_added": 1,
+}
+
+
+@dataclass(frozen=True)
+class TimeScale:
+    """Maps ISO-8601 timestamps onto the paper's ``N0`` time points.
+
+    Point ``p`` covers the half-open wall interval
+    ``[epoch + p·unit, epoch + (p+1)·unit)``.  Timestamps before the
+    epoch have no point and raise :class:`EventError`; bare non-negative
+    integers pass through as points unchanged, so synthetic logs can
+    skip the calendar entirely.
+    """
+
+    epoch: str = "1970-01-01T00:00:00+00:00"
+    unit: str = "days"
+
+    def __post_init__(self) -> None:
+        if self.unit not in _UNITS:
+            raise EventError(
+                f"unknown time unit {self.unit!r}: expected one of "
+                f"{', '.join(sorted(_UNITS))}"
+            )
+        # Validate eagerly so a bad epoch fails at mapping-build time,
+        # not on the first event.
+        self._parse_instant(self.epoch, role="epoch")
+
+    @staticmethod
+    def _parse_instant(text: str, role: str) -> datetime.datetime:
+        raw = text.strip()
+        if raw.endswith(("Z", "z")):
+            raw = raw[:-1] + "+00:00"
+        try:
+            instant = datetime.datetime.fromisoformat(raw)
+        except ValueError as exc:
+            raise EventError(f"cannot parse {role} {text!r}: {exc}") from exc
+        if instant.tzinfo is None:
+            # The event model mandates timezones ("use UTC if in doubt");
+            # be forgiving on input but pin the meaning.
+            instant = instant.replace(tzinfo=datetime.timezone.utc)
+        return instant
+
+    def point(self, timestamp: object) -> int:
+        """The time point covering *timestamp* (int points pass through)."""
+        if isinstance(timestamp, bool):
+            raise EventError(f"timestamp must be an ISO-8601 string, got {timestamp!r}")
+        if isinstance(timestamp, int):
+            if timestamp < 0:
+                raise EventError(f"integer time point must be >= 0, got {timestamp}")
+            return timestamp
+        if not isinstance(timestamp, str):
+            raise EventError(
+                f"timestamp must be an ISO-8601 string or a time point, "
+                f"got {timestamp!r}"
+            )
+        instant = self._parse_instant(timestamp, role="timestamp")
+        origin = self._parse_instant(self.epoch, role="epoch")
+        delta = instant - origin
+        point, _ = divmod(delta, _UNITS[self.unit])
+        if point < 0:
+            raise EventError(
+                f"timestamp {timestamp!r} is before the mapping epoch "
+                f"{self.epoch!r}"
+            )
+        return point
+
+    def timestamp(self, point: int) -> str:
+        """The ISO-8601 instant opening time point *point* (inverse of
+        :meth:`point` up to sub-unit truncation) — used by the event
+        generators to stamp synthetic logs."""
+        if not isinstance(point, int) or isinstance(point, bool) or point < 0:
+            raise EventError(f"time point must be a non-negative int, got {point!r}")
+        origin = self._parse_instant(self.epoch, role="epoch")
+        return (origin + point * _UNITS[self.unit]).isoformat()
+
+    def to_json(self) -> dict[str, Any]:
+        return {"epoch": self.epoch, "unit": self.unit}
+
+    @classmethod
+    def from_json(cls, payload: Any) -> "TimeScale":
+        if not isinstance(payload, Mapping):
+            raise EventError(
+                f"time scale must be an object with 'epoch'/'unit', got {payload!r}"
+            )
+        unknown = set(payload) - {"epoch", "unit"}
+        if unknown:
+            raise EventError(f"unknown time-scale field(s) {sorted(unknown)!r}")
+        return cls(
+            epoch=payload.get("epoch", cls.epoch),
+            unit=payload.get("unit", cls.unit),
+        )
+
+
+def _require_str(payload: Mapping, key: str, what: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise EventError(f"{what} field {key!r} must be a non-empty string")
+    return value
+
+
+@dataclass(frozen=True)
+class Event:
+    """One immutable, resolved change record.
+
+    ``point`` is the event's position on the log's :class:`TimeScale`;
+    the original ``timestamp`` string is retained for rendering.
+    ``revision`` orders corrections sharing an ``id``; ``source`` and
+    ``correlation_id`` are carried through untouched (the model does not
+    interpret them — multi-source logs just merge on ingestion).
+    """
+
+    id: str
+    entity_id: str
+    event_type: str
+    point: int
+    timestamp: object
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    revision: int = 0
+    source: str | None = None
+    correlation_id: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.event_type not in EVENT_TYPES:
+            raise EventError(
+                f"unknown event type {self.event_type!r} in event "
+                f"{self.id!r}: expected one of {', '.join(EVENT_TYPES)}"
+            )
+        if self.event_type in RELATIONSHIP_TYPES:
+            _require_str(self.payload, "type", f"event {self.id!r} payload")
+            _require_str(self.payload, "other", f"event {self.id!r} payload")
+        elif self.event_type == "created":
+            # The initial state must say what kind of entity this is —
+            # the mapping layer matches rules on it.
+            _require_str(self.payload, "type", f"event {self.id!r} payload")
+
+    # -- parsing -----------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload: Any, scale: TimeScale) -> "Event":
+        """Decode one event object (one JSON-lines record)."""
+        if not isinstance(payload, Mapping):
+            raise EventError(f"an event must be a JSON object, got {payload!r}")
+        event_id = _require_str(payload, "id", "event")
+        entity_id = _require_str(payload, "entity_id", f"event {event_id!r}")
+        event_type = _require_str(payload, "event_type", f"event {event_id!r}")
+        if "timestamp" not in payload:
+            raise EventError(f"event {event_id!r} lacks a timestamp")
+        timestamp = payload["timestamp"]
+        body = payload.get("payload", {})
+        if not isinstance(body, Mapping):
+            raise EventError(f"event {event_id!r} payload must be an object")
+        revision = payload.get("revision", 0)
+        if not isinstance(revision, int) or isinstance(revision, bool) or revision < 0:
+            raise EventError(
+                f"event {event_id!r} revision must be a non-negative int, "
+                f"got {revision!r}"
+            )
+        for optional in ("source", "correlation_id"):
+            value = payload.get(optional)
+            if value is not None and not isinstance(value, str):
+                raise EventError(
+                    f"event {event_id!r} field {optional!r} must be a string"
+                )
+        known = {
+            "id",
+            "entity_id",
+            "event_type",
+            "timestamp",
+            "payload",
+            "revision",
+            "source",
+            "correlation_id",
+            "evidence",
+            "metadata",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise EventError(
+                f"event {event_id!r} has unknown field(s) {sorted(unknown)!r}"
+            )
+        return cls(
+            id=event_id,
+            entity_id=entity_id,
+            event_type=event_type,
+            point=scale.point(timestamp),
+            timestamp=timestamp,
+            payload=dict(body),
+            revision=revision,
+            source=payload.get("source"),
+            correlation_id=payload.get("correlation_id"),
+        )
+
+    @classmethod
+    def parse_line(cls, line: str, scale: TimeScale) -> "Event":
+        """Decode one JSON-lines record from its raw text."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise EventError(f"event line is not valid JSON: {exc}") from exc
+        return cls.from_json(payload, scale)
+
+    # -- resolution --------------------------------------------------------
+
+    def content_key(self) -> str:
+        """A canonical rendering of everything but the revision.
+
+        Two deliveries of the same event compare equal through this key;
+        it also breaks the (pathological) tie between two *different*
+        corrections claiming the same revision, keeping resolution a
+        pure function of the event set.
+        """
+        return json.dumps(
+            {
+                "entity_id": self.entity_id,
+                "event_type": self.event_type,
+                "point": self.point,
+                "payload": dict(self.payload),
+                "source": self.source,
+                "correlation_id": self.correlation_id,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+            default=str,
+        )
+
+    def supersedes(self, other: "Event") -> bool:
+        """``True`` iff *self* wins resolution against *other* (same id)."""
+        return (self.revision, self.content_key()) > (
+            other.revision,
+            other.content_key(),
+        )
+
+    def order_key(self) -> tuple:
+        """The resolved log's total order: time, entity, same-point rank, id.
+
+        A pure function of the event's content, so any ingestion order
+        sorts the resolved set identically — the permutation-invariance
+        guarantee rests on this.
+        """
+        return (
+            self.point,
+            self.entity_id,
+            _TYPE_RANK[self.event_type],
+            self.id,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.event_type}({self.entity_id!r} @ {self.point}"
+            f"{', rev ' + str(self.revision) if self.revision else ''})"
+        )

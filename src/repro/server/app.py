@@ -14,6 +14,11 @@ library :class:`~repro.errors.ReproError`\\ s (parse errors, schema
 violations) map to 400, an unknown session to 404, a failing chase to
 409.  Only a genuine server-side defect produces a 500.
 
+Every POST body is read through the versioned request envelope
+(``{"v": 1, ...}``; bodies without ``"v"`` are the legacy PR 9 dialect
+— see :func:`~repro.server.protocol.unwrap_envelope`); unknown
+versions are a 400 before any routing happens.
+
 Endpoints (full reference with examples in ``docs/server.md``)::
 
     GET    /healthz                      liveness + session count
@@ -24,7 +29,8 @@ Endpoints (full reference with examples in ``docs/server.md``)::
     DELETE /sessions/{name}[?snapshot=1] evict (optionally snapshot first)
     GET    /sessions/{name}/target       the maintained target instance
     GET    /sessions/{name}/source       the cumulative source instance
-    POST   /sessions/{name}/delta        {add: [facts], remove: [facts]} → target diff
+    POST   /sessions/{name}/delta        {delta: {add, remove}} → target diff
+    POST   /sessions/{name}/events       {events: [...][, mapping]} → ingest + diff
     POST   /sessions/{name}/query        {query[, engine]} → certain answers
     POST   /sessions/{name}/abstract     {shards[, executor]} → sharded abstract chase
     POST   /sessions/{name}/snapshot     persist to the spool directory
@@ -60,7 +66,7 @@ _REASONS = {
 
 _SESSION_PATH = re.compile(
     r"^/sessions/(?P<name>[A-Za-z0-9][A-Za-z0-9._-]{0,63})"
-    r"(?P<rest>/(?:target|source|delta|query|abstract|snapshot|load))?$"
+    r"(?P<rest>/(?:target|source|delta|events|query|abstract|snapshot|load))?$"
 )
 
 
@@ -263,7 +269,9 @@ class ReproServer:
             if method == "GET":
                 return lambda: {"sessions": manager.list_sessions()}, {}
             if method == "POST":
-                payload = request.payload
+                from repro.server.protocol import unwrap_envelope
+
+                _version, payload = unwrap_envelope(request.payload)
                 if "setting" not in payload or "source" not in payload:
                     raise ProtocolError(
                         "session creation needs 'name', 'setting' and 'source'"
@@ -296,16 +304,27 @@ class ReproServer:
             return handler, {"name": name}
         if method != "POST":
             raise ProtocolError(f"use POST on /sessions/{{name}}/{rest}", status=405)
-        payload = request.payload
+        from repro.server.protocol import unwrap_envelope
+
+        version, payload = unwrap_envelope(request.payload)
         if rest == "delta":
-            from repro.server.protocol import facts_from_json, require_list
+            from repro.server.protocol import delta_from_payload
 
             return manager.delta, {
                 "name": name,
-                "add": facts_from_json(require_list(payload, "add", []), "add"),
-                "remove": facts_from_json(
-                    require_list(payload, "remove", []), "remove"
-                ),
+                "delta": delta_from_payload(version, payload),
+                "legacy": version is None,
+            }
+        if rest == "events":
+            from repro.server.protocol import require_list
+
+            mapping = payload.get("mapping")
+            if mapping is not None and not isinstance(mapping, dict):
+                raise ProtocolError("request field 'mapping' must be an object")
+            return manager.events, {
+                "name": name,
+                "events": require_list(payload, "events"),
+                "mapping_json": mapping,
             }
         if rest == "query":
             from repro.server.protocol import require_str

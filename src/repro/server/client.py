@@ -1,9 +1,12 @@
 """A thin client for the chase service, on :mod:`http.client`.
 
 One persistent HTTP/1.1 connection (the server speaks keep-alive), JSON
-both ways, one transparent reconnect when the connection has gone stale.
-Any non-2xx response raises :class:`ClientError` carrying the server's
-error message and status — the calling code never parses envelopes.
+both ways, transparent reconnects where that is safe (see
+:meth:`ServerClient.request`).  Every POST body travels in the
+versioned request envelope (``{"v": 1, ...}``); deltas use the
+canonical :class:`~repro.deltas.SourceDelta` codec.  Any non-2xx
+response raises :class:`ClientError` carrying the server's error
+message and status — the calling code never parses envelopes.
 
 Used by ``python -m repro client``, the integration tests and the
 server benchmark; scripting against a daemon looks like::
@@ -19,6 +22,8 @@ from __future__ import annotations
 import http.client
 import json
 from typing import Any
+
+from repro.server.protocol import PROTOCOL_VERSION
 
 __all__ = ["ClientError", "ServerClient"]
 
@@ -78,12 +83,31 @@ class ServerClient:
         return decoded
 
     def request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One round-trip; reconnects once if the kept-alive socket died."""
-        try:
-            return self._request_once(method, path, payload)
-        except (ConnectionError, http.client.HTTPException, OSError):
-            self.close()
-            return self._request_once(method, path, payload)
+        """One round-trip, with transparent reconnects where safe.
+
+        A failure on a *reused* keep-alive socket gets one reconnect
+        for any method — the daemon idles connections out, and a
+        request on a dead socket was never processed.  A failure on a
+        *fresh* connection (including the reconnect attempt itself) is
+        retried only for idempotent GETs: that is the daemon-restart-
+        mid-action window, and a non-idempotent request may have been
+        applied before the socket died, so replaying it could double-
+        apply a delta.
+        """
+        attempts = 0
+        while True:
+            reused = self._connection is not None
+            try:
+                return self._request_once(method, path, payload)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                attempts += 1
+                if attempts > 2 or not (reused or method == "GET"):
+                    raise
+
+    def post(self, path: str, fields: dict) -> dict:
+        """POST *fields* wrapped in the versioned request envelope."""
+        return self.request("POST", path, {"v": PROTOCOL_VERSION, **fields})
 
     # -- endpoints ---------------------------------------------------------
 
@@ -103,8 +127,7 @@ class ServerClient:
         source: dict,
         replace: bool = False,
     ) -> dict:
-        return self.request(
-            "POST",
+        return self.post(
             "/sessions",
             {"name": name, "setting": setting, "source": source, "replace": replace},
         )
@@ -124,15 +147,27 @@ class ServerClient:
         add: list[dict] | None = None,
         remove: list[dict] | None = None,
     ) -> dict:
-        return self.request(
-            "POST",
+        """Apply a source delta (canonical ``SourceDelta`` codec)."""
+        return self.post(
             f"/sessions/{name}/delta",
-            {"add": add or [], "remove": remove or []},
+            {"delta": {"add": add or [], "remove": remove or []}},
         )
 
+    def events(
+        self,
+        name: str,
+        events: list,
+        mapping: dict | None = None,
+    ) -> dict:
+        """Ingest an event batch (the first batch must carry *mapping*)."""
+        fields: dict = {"events": events}
+        if mapping is not None:
+            fields["mapping"] = mapping
+        return self.post(f"/sessions/{name}/events", fields)
+
     def query(self, name: str, query: str, engine: str = "indexed") -> dict:
-        return self.request(
-            "POST", f"/sessions/{name}/query", {"query": query, "engine": engine}
+        return self.post(
+            f"/sessions/{name}/query", {"query": query, "engine": engine}
         )
 
     def abstract(
@@ -142,17 +177,16 @@ class ServerClient:
         executor: str = "serial",
         incremental: bool = True,
     ) -> dict:
-        return self.request(
-            "POST",
+        return self.post(
             f"/sessions/{name}/abstract",
             {"shards": shards, "executor": executor, "incremental": incremental},
         )
 
     def snapshot(self, name: str) -> dict:
-        return self.request("POST", f"/sessions/{name}/snapshot", {})
+        return self.post(f"/sessions/{name}/snapshot", {})
 
     def load(self, name: str) -> dict:
-        return self.request("POST", f"/sessions/{name}/load", {})
+        return self.post(f"/sessions/{name}/load", {})
 
     def evict(self, name: str, snapshot: bool = False) -> dict:
         suffix = "?snapshot=1" if snapshot else ""

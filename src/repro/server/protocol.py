@@ -2,18 +2,25 @@
 
 The wire format is the JSON codec of :mod:`repro.serialize.jsonio` —
 facts, instances and settings travel exactly as they do in the CLI's
-files — wrapped in small request envelopes.  This module holds the
-pieces both sides of the wire share: payload validation that turns
-malformed requests into :class:`ProtocolError` (an HTTP 4xx, never a
-5xx), fact-list decoding, and the target-diff encoding every delta
-response uses.
+files — wrapped in **one versioned request envelope**.  A POST body is
+either::
 
-A target **diff** is two fact lists, both in the instance's canonical
-iteration order (relation-major, then :meth:`ConcreteFact.sort_key`), so
-two byte-identical targets always diff to byte-identical JSON::
+    {"v": 1, ...fields...}
 
-    {"added": [{"relation": …, "data": […], "interval": "[2, 5)"}, …],
-     "removed": […]}
+or, for backward compatibility, the bare ``{...fields...}`` object PR 9
+clients send (treated as the legacy pre-envelope dialect).  Unknown
+versions are a 400; :func:`unwrap_envelope` is the single place that
+rule lives.  This module holds the pieces both sides of the wire share:
+payload validation that turns malformed requests into
+:class:`ProtocolError` (an HTTP 4xx, never a 5xx), fact-list decoding,
+source-delta decoding onto :class:`repro.deltas.SourceDelta`, and the
+target-diff encoding every delta response uses.
+
+A target **diff** travels as the :class:`~repro.deltas.SourceDelta`
+codec (``{"add": [...], "remove": [...]}``, facts in canonical
+:meth:`ConcreteFact.sort_key` order) on versioned requests; legacy
+requests still receive the pre-envelope ``{"added": [...],
+"removed": [...]}`` shape from :func:`diff_to_json`.
 """
 
 from __future__ import annotations
@@ -23,18 +30,26 @@ from typing import Any, Iterable, Sequence
 
 from repro.concrete.concrete_fact import ConcreteFact
 from repro.concrete.concrete_instance import ConcreteInstance
+from repro.deltas import SourceDelta
+from repro.errors import DeltaError
 from repro.serialize.jsonio import concrete_fact_from_json, concrete_fact_to_json
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "ProtocolError",
     "SESSION_NAME_PATTERN",
     "check_session_name",
+    "delta_from_payload",
     "diff_to_json",
     "facts_from_json",
     "instance_diff",
     "require_list",
     "require_str",
+    "unwrap_envelope",
 ]
+
+#: The one request-envelope version this server speaks.
+PROTOCOL_VERSION = 1
 
 #: Session names are path components (URLs, snapshot file names) and are
 #: validated on both sides of the wire.
@@ -75,6 +90,59 @@ def require_list(payload: dict, key: str, default: "list | None" = None) -> list
     if not isinstance(value, list):
         raise ProtocolError(f"request field {key!r} must be a list")
     return value
+
+
+def unwrap_envelope(payload: dict) -> tuple[int | None, dict]:
+    """Split a request body into ``(version, fields)``.
+
+    A body carrying ``"v"`` must carry :data:`PROTOCOL_VERSION`; any
+    other value — including non-integers — is a 400, so a future client
+    never has a v2 request misread as v1.  A body without ``"v"`` is
+    the legacy pre-envelope dialect: version ``None``, fields as-is.
+    """
+    if "v" not in payload:
+        return None, payload
+    version = payload["v"]
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(f"envelope field 'v' must be an integer, got {version!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} "
+            f"(this server speaks v{PROTOCOL_VERSION})"
+        )
+    fields = {key: value for key, value in payload.items() if key != "v"}
+    return version, fields
+
+
+def delta_from_payload(version: int | None, payload: dict) -> SourceDelta:
+    """Decode a delta request body into a :class:`SourceDelta`.
+
+    Versioned bodies carry the canonical codec under ``"delta"``;
+    legacy bodies carry bare top-level ``add``/``remove`` fact lists.
+    Either way a malformed delta (bad fact, duplicate, fact on both
+    sides) is a 400 via :class:`ProtocolError`.
+    """
+    try:
+        if version is not None:
+            if "delta" not in payload:
+                raise ProtocolError(
+                    "a versioned delta request carries the delta under "
+                    "the 'delta' field"
+                )
+            unknown = set(payload) - {"delta"}
+            if unknown:
+                raise ProtocolError(
+                    f"unknown delta request field(s) {sorted(unknown)!r}"
+                )
+            return SourceDelta.from_json(payload["delta"])
+        return SourceDelta(
+            add=tuple(facts_from_json(require_list(payload, "add", []), "add")),
+            remove=tuple(
+                facts_from_json(require_list(payload, "remove", []), "remove")
+            ),
+        )
+    except DeltaError as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 def facts_from_json(items: Sequence[Any], what: str) -> list[ConcreteFact]:

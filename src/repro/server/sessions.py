@@ -38,8 +38,10 @@ from typing import Any
 
 from repro.concrete.cchase import CChaseReplayState, c_chase
 from repro.concrete.concrete_instance import ConcreteInstance
+from repro.deltas import SourceDelta
 from repro.dependencies.mapping import DataExchangeSetting
-from repro.errors import ReproError
+from repro.errors import DeltaError, EventError, ReproError
+from repro.events import EventLog, EventMapping, FollowCursor
 from repro.query import ConjunctiveQuery, QueryLog, UnionQuery
 from repro.query.naive_eval import naive_evaluate_concrete
 from repro.relational.terms import term_sort_key
@@ -61,7 +63,8 @@ from repro.server.protocol import (
 __all__ = ["Session", "SessionManager", "SessionSnapshot", "UnknownSessionError"]
 
 #: Bumped when the pickled snapshot layout changes.
-SNAPSHOT_FORMAT = 1
+#: 2: the snapshot carries the session's event log (PR 10).
+SNAPSHOT_FORMAT = 2
 
 
 class UnknownSessionError(ProtocolError):
@@ -81,6 +84,7 @@ class SessionSnapshot:
     replay_state: CChaseReplayState | None
     query_log: QueryLog
     stats: dict[str, int]
+    event_log: EventLog | None = None
 
 
 @dataclass
@@ -99,20 +103,32 @@ class Session:
             "chases": 0,
             "cache_hits": 0,
             "deltas": 0,
+            "events": 0,
             "queries": 0,
             "queries_replayed": 0,
         }
     )
+    #: Set by the first /events request; the cursor tracks how much of
+    #: the log this session's source already reflects.
+    event_log: EventLog | None = None
+    event_cursor: FollowCursor | None = field(default=None, repr=False)
     lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def info(self) -> dict[str, Any]:
-        return {
+        out = {
             "name": self.name,
             "source_facts": len(self.source),
             "target_facts": len(self.target),
             "source_digest": instance_digest(self.source),
             "stats": dict(self.stats),
         }
+        if self.event_log is not None:
+            out["event_log"] = {
+                "events": len(self.event_log),
+                "horizon": self.event_log.horizon,
+                "generation": self.event_log.generation,
+            }
+        return out
 
 
 def _answers_to_json(answers) -> list[dict[str, Any]]:
@@ -277,49 +293,141 @@ class SessionManager:
             self._sessions[name] = probe
         return {"session": probe.info(), **meta}
 
+    def _apply_delta(
+        self, session: Session, delta: SourceDelta
+    ) -> tuple[SourceDelta, dict[str, Any]]:
+        """Apply *delta* to the session's source and re-chase (locked by
+        the caller).  Returns the *target* diff as a delta plus the
+        chase metadata; the session is untouched if anything fails.
+        """
+        try:
+            source = delta.applied_to(session.source)
+        except DeltaError as exc:
+            raise ProtocolError(str(exc)) from exc
+        incremental = (
+            session.replay_state if session.replay_state is not None else True
+        )
+        target, replay_state, meta = self._chase(session, source, incremental)
+        target_diff = SourceDelta.between(session.target, target)
+        session.source = source
+        session.target = target
+        session.replay_state = replay_state
+        return target_diff, meta
+
     def delta(
         self,
         name: str,
-        add: list,
-        remove: list,
+        delta: SourceDelta,
+        legacy: bool = False,
     ) -> dict[str, Any]:
         """Apply a source delta; respond with the *target* diff.
 
-        Strict by design: removing an absent fact or adding a duplicate
-        is a 400 — silently absorbing either would let a client's view
-        of the cumulative source drift from the server's, and the
-        byte-identity guarantee (server target ≡ from-scratch chase of
-        the cumulative source) is only meaningful when both sides agree
-        on what that source is.
+        Strict by design (via :meth:`SourceDelta.apply`): removing an
+        absent fact or adding a duplicate is a 400 — silently absorbing
+        either would let a client's view of the cumulative source drift
+        from the server's, and the byte-identity guarantee (server
+        target ≡ from-scratch chase of the cumulative source) is only
+        meaningful when both sides agree on what that source is.
+
+        *legacy* selects the response dialect: pre-envelope clients get
+        the old ``{"added": ..., "removed": ...}`` diff shape,
+        versioned clients get the canonical :class:`SourceDelta` codec.
         """
         session = self._get(name)
         with session.lock:
-            source = session.source.copy()
-            for item in remove:
-                if not source.discard(item):
-                    raise ProtocolError(
-                        f"cannot remove absent source fact {item}"
-                    )
-            for item in add:
-                if not source.add(item):
-                    raise ProtocolError(
-                        f"source fact {item} is already present"
-                    )
-            incremental = (
-                session.replay_state if session.replay_state is not None else True
-            )
-            target, replay_state, meta = self._chase(session, source, incremental)
-            added, removed = instance_diff(session.target, target)
-            session.source = source
-            session.target = target
-            session.replay_state = replay_state
+            target_diff, meta = self._apply_delta(session, delta)
             session.stats["deltas"] += 1
+            diff_json = (
+                diff_to_json(target_diff.add, target_diff.remove)
+                if legacy
+                else target_diff.to_json()
+            )
             return {
                 "session": session.name,
-                "source_facts": len(source),
-                "diff": diff_to_json(added, removed),
+                "source_facts": len(session.source),
+                "diff": diff_json,
                 **meta,
             }
+
+    def events(
+        self,
+        name: str,
+        events: list,
+        mapping_json: dict | None = None,
+    ) -> dict[str, Any]:
+        """Ingest an event batch; compile, apply, chase, diff.
+
+        The first batch must carry (or the session must already have)
+        an event mapping; later batches may repeat it verbatim but may
+        not change it.  Ingestion is atomic — a bad batch is a 400 and
+        the session's log, source and target are untouched.  The
+        response's ``diff`` is the *target* diff in the canonical
+        :class:`SourceDelta` codec; a batch that changes nothing (all
+        duplicates, or changes cancelling out) reports ``chased: false``
+        and an empty diff without running any chase.
+        """
+        session = self._get(name)
+        with session.lock:
+            if session.event_log is None:
+                if mapping_json is None:
+                    raise ProtocolError(
+                        "the first events request for a session must carry "
+                        "a 'mapping' (entity/relationship rules; see "
+                        "docs/server.md)"
+                    )
+                try:
+                    session.event_log = EventLog(EventMapping.from_json(mapping_json))
+                except EventError as exc:
+                    raise ProtocolError(f"invalid event mapping: {exc}") from exc
+                session.event_cursor = session.event_log.follow()
+            elif (
+                mapping_json is not None
+                and mapping_json != session.event_log.mapping.to_json()
+            ):
+                raise ProtocolError(
+                    f"session {name!r} already follows an event log with a "
+                    "different mapping",
+                    status=409,
+                )
+            try:
+                report = session.event_log.ingest(events)
+            except EventError as exc:
+                raise ProtocolError(str(exc)) from exc
+            assert session.event_cursor is not None
+            # Peek now, advance only after the apply lands: if the chase
+            # fails the cursor stays pending and the next batch (even an
+            # empty one) retries the same delta.
+            source_delta = session.event_cursor.peek()
+            session.stats["events"] = session.stats.get("events", 0) + 1
+            response: dict[str, Any] = {
+                "session": session.name,
+                "ingest": report.to_json(),
+                "applied": {
+                    "add": len(source_delta.add),
+                    "remove": len(source_delta.remove),
+                },
+            }
+            if source_delta.is_empty:
+                session.event_cursor.advance()
+                response.update(
+                    {
+                        "source_facts": len(session.source),
+                        "chased": False,
+                        "diff": SourceDelta.empty().to_json(),
+                    }
+                )
+                return response
+            target_diff, meta = self._apply_delta(session, source_delta)
+            session.event_cursor.advance()
+            response.update(
+                {
+                    "source_facts": len(session.source),
+                    "chased": True,
+                    "diff": target_diff.to_json(),
+                    **meta,
+                }
+            )
+            return response
 
     def query(
         self,
@@ -460,6 +568,7 @@ class SessionManager:
                 replay_state=session.replay_state,
                 query_log=session.query_log,
                 stats=dict(session.stats),
+                event_log=session.event_log,
             )
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "wb") as handle:
@@ -497,7 +606,15 @@ class SessionManager:
             replay_state=payload.replay_state,
             query_log=payload.query_log,
             stats=dict(payload.stats),
+            event_log=payload.event_log,
         )
+        if session.event_log is not None:
+            # The snapshotted source already reflects the whole log;
+            # fast-forward a fresh cursor so the next batch diffs
+            # against the right baseline (cursors are derived state and
+            # are never pickled).
+            session.event_cursor = session.event_log.follow()
+            session.event_cursor.advance()
         with self._lock:
             self._sessions[name] = session
         return {"session": session.info(), "path": str(path)}

@@ -1,0 +1,214 @@
+"""Seeded synthetic *event streams* for the ingestion layer.
+
+Where :mod:`repro.workloads.generators` builds static concrete
+instances, this module builds the upstream artifact those instances
+would be derived from: JSON-lines event logs in the
+:mod:`repro.events` wire shape, over the same org-chart domain as
+:func:`~repro.workloads.generators.exchange_setting_org` — so the
+compiled source feeds the existing org mapping unchanged.
+
+The streams exercise exactly the ingestion features the event model
+calls out:
+
+* **multi-source logs** — reference data arrives from ``"hr"``, task
+  churn from ``"tracker"``, merged into one log on ingestion;
+* **late-arriving facts** — :func:`late_arrival_batches` re-orders a
+  chronological stream so earlier events land in later batches,
+  splitting already-compiled (and, downstream, already-normalized)
+  fragments;
+* **corrections** — a fraction of hires are first recorded against the
+  wrong department and later superseded by a same-id, higher-revision
+  event.
+
+Everything is deterministic given the seed (this package is exempt
+from the repository's no-RNG rule precisely so generators can be).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.events import EntityRule, EventMapping, RelationshipRule, TimeScale
+
+__all__ = ["late_arrival_batches", "org_event_mapping", "org_event_stream"]
+
+
+def org_event_mapping() -> EventMapping:
+    """The event mapping matching ``exchange_setting_org()``'s source.
+
+    ``dept`` entities project onto ``Dept(Dept, Manager)``, ``employee``
+    entities onto ``Emp(Name, Dept)``, and ``assigned`` relationships
+    onto ``Task(Name, Task)``; days since 2020-01-01 are the time
+    points.
+    """
+    return EventMapping(
+        entities=(
+            EntityRule("dept", "Dept", ("$id", "manager")),
+            EntityRule("employee", "Emp", ("$id", "dept")),
+        ),
+        relationships=(RelationshipRule("assigned", "Task", ("$from", "$to")),),
+        scale=TimeScale(epoch="2020-01-01T00:00:00+00:00", unit="days"),
+    )
+
+
+def org_event_stream(
+    people: int,
+    timeline: int = 64,
+    departments: int | None = None,
+    tasks_per_person: int = 3,
+    transfer_fraction: float = 0.3,
+    correction_fraction: float = 0.2,
+    seed: int = 0,
+) -> list[dict[str, Any]]:
+    """An org history as a shuffled wire-shape event list.
+
+    Departments are created at time 0 by ``"hr"``; each person is hired
+    once (``correction_fraction`` of them into the *wrong* department,
+    fixed by a revision-1 correction of the same event id), a
+    ``transfer_fraction`` of them transfer mid-life (an ``updated``
+    event that splits the compiled ``Emp`` fact), and everyone works
+    through short ``assigned`` relationships from ``"tracker"`` whose
+    add/remove pairs share a ``correlation_id``.  The returned list is
+    shuffled, so ingesting it in order already exercises out-of-order
+    re-sequencing; compile it against :func:`org_event_mapping`.
+    """
+    rng = random.Random(seed)
+    scale = org_event_mapping().scale
+    departments = departments or max(4, people // 8)
+    counter = 0
+
+    def next_id() -> str:
+        nonlocal counter
+        counter += 1
+        return f"ev{counter}"
+
+    def record(
+        entity_id: str,
+        event_type: str,
+        point: int,
+        payload: dict[str, Any],
+        **extra: Any,
+    ) -> dict[str, Any]:
+        return {
+            "id": next_id(),
+            "entity_id": entity_id,
+            "event_type": event_type,
+            "timestamp": scale.timestamp(point),
+            "payload": payload,
+            **extra,
+        }
+
+    events: list[dict[str, Any]] = []
+    for department in range(departments):
+        events.append(
+            record(
+                f"d{department}",
+                "created",
+                0,
+                {"type": "dept", "manager": f"mgr{department}"},
+                source="hr",
+            )
+        )
+    for person_id in range(people):
+        name = f"p{person_id}"
+        joined = rng.randrange(0, max(1, timeline // 4))
+        dept = rng.randrange(departments)
+        hire = record(
+            name,
+            "created",
+            joined,
+            {"type": "employee", "dept": f"d{dept}"},
+            source="hr",
+        )
+        events.append(hire)
+        if rng.random() < correction_fraction:
+            # HR filed the hire against the wrong department; the
+            # correction reuses the id with a higher revision.
+            wrong = (dept + 1 + rng.randrange(departments - 1)) % departments
+            hire["payload"] = {"type": "employee", "dept": f"d{wrong}"}
+            events.append(
+                {
+                    **hire,
+                    "payload": {"type": "employee", "dept": f"d{dept}"},
+                    "revision": 1,
+                }
+            )
+        if rng.random() < transfer_fraction and joined + 2 < timeline:
+            moved = rng.randrange(joined + 2, timeline)
+            target = (dept + 1) % departments
+            events.append(
+                record(
+                    name,
+                    "updated",
+                    moved,
+                    {"dept": f"d{target}"},
+                    source="hr",
+                )
+            )
+        cursor = rng.randrange(joined, max(joined + 1, timeline))
+        for _ in range(tasks_per_person):
+            if cursor >= timeline:
+                break
+            task = f"t{rng.randrange(1000)}"
+            correlation = f"task-{name}-{task}"
+            duration = rng.randint(2, 10)
+            events.append(
+                record(
+                    name,
+                    "relationship_added",
+                    cursor,
+                    {"type": "assigned", "other": task},
+                    source="tracker",
+                    correlation_id=correlation,
+                )
+            )
+            end = cursor + duration
+            if end < timeline:
+                events.append(
+                    record(
+                        name,
+                        "relationship_removed",
+                        end,
+                        {"type": "assigned", "other": task},
+                        source="tracker",
+                        correlation_id=correlation,
+                    )
+                )
+            cursor = end + rng.randint(1, max(2, timeline // 4))
+    rng.shuffle(events)
+    return events
+
+
+def late_arrival_batches(
+    events: list[dict[str, Any]],
+    batches: int = 3,
+    late_fraction: float = 0.2,
+    seed: int = 0,
+) -> list[list[dict[str, Any]]]:
+    """Split a stream into delivery batches with genuine late arrivals.
+
+    The events are sorted chronologically, cut into *batches* equal
+    slices, and then a *late_fraction* of each non-final slice is
+    deferred into a strictly later one — so every batch after the first
+    contains events older than ones already delivered, forcing the
+    consumer to split fragments it has already compiled (and, behind a
+    server session, already chased and normalized).
+    """
+    if batches < 1:
+        raise ValueError(f"batches must be >= 1, got {batches}")
+    rng = random.Random(seed)
+    ordered = sorted(events, key=lambda item: (item["timestamp"], item["id"]))
+    size = max(1, (len(ordered) + batches - 1) // batches)
+    slices = [ordered[i : i + size] for i in range(0, len(ordered), size)]
+    while len(slices) < batches:
+        slices.append([])
+    for index in range(len(slices) - 1):
+        kept = []
+        for event in slices[index]:
+            if rng.random() < late_fraction:
+                slices[rng.randrange(index + 1, len(slices))].append(event)
+            else:
+                kept.append(event)
+        slices[index] = kept
+    return slices

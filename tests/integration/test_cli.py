@@ -615,3 +615,93 @@ class TestNormLogPersistence:
                 ]
             )
         assert "--norm-log" in str(excinfo.value)
+
+
+class TestIngestCommand:
+    @pytest.fixture
+    def event_files(self, tmp_path):
+        from repro.workloads import org_event_mapping, org_event_stream
+
+        events = org_event_stream(people=6, timeline=32, seed=4)
+        stream = tmp_path / "events.jsonl"
+        stream.write_text("\n".join(json.dumps(item) for item in events) + "\n")
+        mapping = tmp_path / "event-mapping.json"
+        mapping.write_text(json.dumps(org_event_mapping().to_json()))
+        return str(stream), str(mapping)
+
+    def test_snapshot_to_file(self, event_files, tmp_path, capsys):
+        stream, mapping = event_files
+        out = tmp_path / "snapshot.json"
+        code = main(
+            ["ingest", "--events", stream, "--event-mapping", mapping, "--out", str(out)]
+        )
+        assert code == 0
+        assert "ingested" in capsys.readouterr().err
+        payload = json.loads(out.read_text())
+        assert payload["facts"]
+
+    def test_snapshot_matches_library(self, event_files, tmp_path):
+        from repro.events import EventLog, EventMapping
+
+        stream, mapping = event_files
+        out = tmp_path / "snapshot.json"
+        assert (
+            main(
+                [
+                    "ingest",
+                    "--events",
+                    stream,
+                    "--event-mapping",
+                    mapping,
+                    "--at",
+                    "12",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        log = EventLog(EventMapping.from_json(json.loads(open(mapping).read())))
+        log.ingest(open(stream).read())
+        expected = concrete_instance_to_json(log.snapshot_at(12))
+        assert json.loads(out.read_text()) == expected
+
+    def test_delta_between(self, event_files, capsys):
+        stream, mapping = event_files
+        code = main(
+            [
+                "ingest",
+                "--events",
+                stream,
+                "--event-mapping",
+                mapping,
+                "--since",
+                "8",
+                "--until",
+                "16",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"add", "remove"}
+
+    def test_missing_events_file(self, event_files):
+        _, mapping = event_files
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["ingest", "--events", "/no/such/file.jsonl", "--event-mapping", mapping]
+            )
+        assert "cannot read events" in str(excinfo.value)
+
+    def test_stdin_input(self, event_files, capsys, monkeypatch, tmp_path):
+        import io
+
+        stream, mapping = event_files
+        text = open(stream).read()
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        out = tmp_path / "snapshot.json"
+        code = main(
+            ["ingest", "--events", "-", "--event-mapping", mapping, "--out", str(out)]
+        )
+        assert code == 0
+        assert json.loads(out.read_text())["facts"]

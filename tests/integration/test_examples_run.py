@@ -51,3 +51,9 @@ class TestExamples:
         out = run_example("ride_share.py")
         assert "no certain answers" in out
         assert "(dana)" in out and "(errol)" in out
+
+    def test_event_stream(self):
+        out = run_example("event_stream.py")
+        assert "byte-identical snapshot: True" in out
+        assert "pending after final batch: 0" in out
+        assert "live view ≡ cold chase: True" in out

@@ -99,9 +99,9 @@ class TestChurnByteIdentity:
             result = client.delta("churn", add=batch)
             count += 4
             assert result["source_facts"] == count
-            # the diff is relative to the previous target: applying it
-            # must reproduce the served target exactly
-            assert "added" in result["diff"] and "removed" in result["diff"]
+            # the diff is relative to the previous target, in the
+            # canonical SourceDelta codec (versioned client)
+            assert "add" in result["diff"] and "remove" in result["diff"]
 
         served = client.target("churn")
 

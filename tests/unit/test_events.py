@@ -1,0 +1,405 @@
+"""Unit tests for the event-sourced ingestion layer (repro.events)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.concrete import concrete_fact
+from repro.errors import EventError
+from repro.events import (
+    EntityRule,
+    Event,
+    EventLog,
+    EventMapping,
+    RelationshipRule,
+    TimeScale,
+)
+from repro.temporal import interval
+
+
+def org_mapping(**scale_kw):
+    return EventMapping(
+        entities=(
+            EntityRule("dept", "Dept", ("$id", "manager")),
+            EntityRule("employee", "Emp", ("$id", "dept")),
+        ),
+        relationships=(RelationshipRule("assigned", "Task", ("$from", "$to")),),
+        scale=TimeScale(**scale_kw) if scale_kw else TimeScale(),
+    )
+
+
+def ev(eid, entity, etype, point, payload=None, **extra):
+    return {
+        "id": eid,
+        "entity_id": entity,
+        "event_type": etype,
+        "timestamp": point,
+        "payload": payload or {},
+        **extra,
+    }
+
+
+def hire(eid, who, dept, point, **extra):
+    return ev(eid, who, "created", point, {"type": "employee", "dept": dept}, **extra)
+
+
+class TestTimeScale:
+    def test_integer_points_pass_through(self):
+        assert TimeScale().point(17) == 17
+
+    def test_iso_to_point_days(self):
+        scale = TimeScale(epoch="2020-01-01T00:00:00+00:00", unit="days")
+        assert scale.point("2020-01-01T00:00:00+00:00") == 0
+        assert scale.point("2020-01-03T12:00:00+00:00") == 2
+        assert scale.point("2020-01-03T00:00:00Z") == 2  # Zulu suffix
+
+    def test_naive_timestamps_read_as_utc(self):
+        scale = TimeScale(epoch="2020-01-01T00:00:00+00:00", unit="hours")
+        assert scale.point("2020-01-01T05:30:00") == 5
+
+    def test_timestamp_inverse(self):
+        scale = TimeScale(epoch="2020-01-01T00:00:00+00:00", unit="days")
+        assert scale.point(scale.timestamp(41)) == 41
+
+    def test_pre_epoch_rejected(self):
+        scale = TimeScale(epoch="2020-01-01T00:00:00+00:00")
+        with pytest.raises(EventError):
+            scale.point("2019-12-31T23:00:00+00:00")
+
+    def test_bad_inputs(self):
+        with pytest.raises(EventError):
+            TimeScale(unit="fortnights")
+        with pytest.raises(EventError):
+            TimeScale(epoch="not a date")
+        with pytest.raises(EventError):
+            TimeScale().point(-1)
+        with pytest.raises(EventError):
+            TimeScale().point(True)
+        with pytest.raises(EventError):
+            TimeScale().point({"when": "now"})
+
+    def test_codec(self):
+        scale = TimeScale(epoch="2021-06-01T00:00:00+00:00", unit="hours")
+        assert TimeScale.from_json(scale.to_json()) == scale
+        with pytest.raises(EventError):
+            TimeScale.from_json({"unit": "days", "tz": "UTC"})
+
+
+class TestEventParsing:
+    SCALE = TimeScale()
+
+    def test_parse_line(self):
+        event = Event.parse_line(json.dumps(hire("e1", "p1", "d1", 3)), self.SCALE)
+        assert (event.id, event.entity_id, event.point) == ("e1", "p1", 3)
+
+    def test_bad_json_line(self):
+        with pytest.raises(EventError):
+            Event.parse_line("{not json", self.SCALE)
+
+    def test_unknown_event_type(self):
+        with pytest.raises(EventError):
+            Event.from_json(ev("e1", "p1", "renamed", 0), self.SCALE)
+
+    def test_missing_fields(self):
+        for broken in (
+            {"entity_id": "p1", "event_type": "deleted", "timestamp": 0},
+            {"id": "e1", "event_type": "deleted", "timestamp": 0},
+            {"id": "e1", "entity_id": "p1", "timestamp": 0},
+            {"id": "e1", "entity_id": "p1", "event_type": "deleted"},
+        ):
+            with pytest.raises(EventError):
+                Event.from_json(broken, self.SCALE)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(EventError):
+            Event.from_json(ev("e1", "p1", "deleted", 0, tags=["x"]), self.SCALE)
+
+    def test_created_needs_entity_type(self):
+        with pytest.raises(EventError):
+            Event.from_json(ev("e1", "p1", "created", 0, {"dept": "d1"}), self.SCALE)
+
+    def test_relationship_needs_type_and_other(self):
+        with pytest.raises(EventError):
+            Event.from_json(
+                ev("e1", "p1", "relationship_added", 0, {"type": "assigned"}),
+                self.SCALE,
+            )
+
+    def test_bad_revision(self):
+        with pytest.raises(EventError):
+            Event.from_json(hire("e1", "p1", "d1", 0, revision=-1), self.SCALE)
+        with pytest.raises(EventError):
+            Event.from_json(hire("e1", "p1", "d1", 0, revision=True), self.SCALE)
+
+    def test_supersedes_is_total_on_same_id(self):
+        original = Event.from_json(hire("e1", "p1", "d1", 0), self.SCALE)
+        fixed = Event.from_json(hire("e1", "p1", "d2", 0, revision=1), self.SCALE)
+        assert fixed.supersedes(original) and not original.supersedes(fixed)
+
+
+class TestMappingCodec:
+    def test_round_trip(self):
+        mapping = org_mapping(epoch="2020-01-01T00:00:00+00:00", unit="days")
+        again = EventMapping.from_json(mapping.to_json())
+        assert again.to_json() == mapping.to_json()
+
+    def test_needs_at_least_one_rule(self):
+        with pytest.raises(EventError):
+            EventMapping(entities=(), relationships=(), scale=TimeScale())
+
+    def test_bad_rule_payloads(self):
+        base = org_mapping().to_json()
+        for mutate in (
+            lambda p: p["entities"].append({"type": "x"}),
+            lambda p: p["entities"][0].pop("relation"),
+            lambda p: p.update(extra=1),
+        ):
+            payload = json.loads(json.dumps(base))
+            mutate(payload)
+            with pytest.raises(EventError):
+                EventMapping.from_json(payload)
+
+
+class TestCompile:
+    MAPPING = org_mapping()
+
+    def test_entity_lifecycle_coalesces(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                hire("e1", "p1", "d1", 2),
+                ev("e2", "p1", "deleted", 9),
+            ]
+        )
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2, 9))
+        }
+
+    def test_open_fact_extends_to_infinity(self):
+        log = EventLog(self.MAPPING)
+        log.ingest([hire("e1", "p1", "d1", 2)])
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2))
+        }
+
+    def test_update_splits_fact(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                hire("e1", "p1", "d1", 2),
+                ev("e2", "p1", "updated", 6, {"dept": "d2"}),
+            ]
+        )
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2, 6)),
+            concrete_fact("Emp", "p1", "d2", interval=interval(6)),
+        }
+
+    def test_noop_update_does_not_split(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                hire("e1", "p1", "d1", 2),
+                ev("e2", "p1", "updated", 6, {"dept": "d1"}),
+            ]
+        )
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2))
+        }
+
+    def test_delete_and_recreate_same_point_stays_coalesced(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                hire("e1", "p1", "d1", 2),
+                ev("e2", "p1", "deleted", 6),
+                hire("e3", "p1", "d1", 6),
+            ]
+        )
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2))
+        }
+
+    def test_relationships(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                ev("e1", "p1", "relationship_added", 3, {"type": "assigned", "other": "t1"}),
+                ev("e2", "p1", "relationship_removed", 8, {"type": "assigned", "other": "t1"}),
+            ]
+        )
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Task", "p1", "t1", interval=interval(3, 8))
+        }
+
+    def test_unmapped_entity_type_compiles_to_nothing(self):
+        log = EventLog(self.MAPPING)
+        log.ingest([ev("e1", "x1", "created", 0, {"type": "contractor"})])
+        assert not set(log.snapshot_at(None).facts())
+
+    def test_non_scalar_mapped_value_rejected(self):
+        log = EventLog(self.MAPPING)
+        with pytest.raises(EventError):
+            log.ingest(
+                [ev("e1", "p1", "created", 0, {"type": "employee", "dept": ["d1"]})]
+            )
+
+    def test_snapshot_prefix(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                hire("e1", "p1", "d1", 2),
+                ev("e2", "p1", "updated", 6, {"dept": "d2"}),
+            ]
+        )
+        # At t=4 the transfer has not happened: the d1 fact is still open.
+        assert set(log.snapshot_at(4).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2))
+        }
+
+
+class TestIngest:
+    MAPPING = org_mapping()
+
+    def test_report_counts(self):
+        log = EventLog(self.MAPPING)
+        report = log.ingest(
+            [
+                hire("e1", "p1", "d1", 5),
+                hire("e2", "p2", "d9", 3),  # behind e1? no — same batch
+            ]
+        )
+        assert report.accepted == 2
+        assert report.out_of_order == 0  # horizon is pre-batch
+        report = log.ingest([hire("e3", "p3", "d1", 1)])
+        assert report.out_of_order == 1
+
+    def test_duplicates_and_corrections(self):
+        log = EventLog(self.MAPPING)
+        log.ingest([hire("e1", "p1", "d1", 5)])
+        assert log.ingest([hire("e1", "p1", "d1", 5)]).duplicates == 1
+        fixed = hire("e1", "p1", "d2", 5, revision=1)
+        assert log.ingest([fixed]).corrections == 1
+        # The stale original arriving after its correction is a duplicate.
+        assert log.ingest([hire("e1", "p1", "d1", 5)]).duplicates == 1
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d2", interval=interval(5))
+        }
+
+    def test_correction_before_original_wins_either_way(self):
+        original = hire("e1", "p1", "d1", 5)
+        fixed = hire("e1", "p1", "d2", 5, revision=1)
+        forward, backward = EventLog(self.MAPPING), EventLog(self.MAPPING)
+        forward.ingest([original, fixed])
+        backward.ingest([fixed, original])
+        assert set(forward.snapshot_at(None).facts()) == set(
+            backward.snapshot_at(None).facts()
+        )
+
+    def test_text_blob_and_event_objects(self):
+        log = EventLog(self.MAPPING)
+        blob = "\n".join(json.dumps(hire(f"e{i}", f"p{i}", "d1", i)) for i in range(3))
+        assert log.ingest(blob).accepted == 3
+        event = Event.from_json(hire("e9", "p9", "d1", 9), self.MAPPING.scale)
+        assert log.ingest([event]).accepted == 1
+
+    def test_single_mapping_rejected(self):
+        log = EventLog(self.MAPPING)
+        with pytest.raises(EventError):
+            log.ingest(hire("e1", "p1", "d1", 0))
+
+    def test_malformed_batch_is_atomic(self):
+        log = EventLog(self.MAPPING)
+        log.ingest([hire("e1", "p1", "d1", 0)])
+        generation = log.generation
+        with pytest.raises(EventError):
+            log.ingest([hire("e2", "p2", "d1", 1), {"id": "e3"}])
+        assert log.generation == generation
+        assert len(log) == 1
+
+
+class TestPending:
+    MAPPING = org_mapping()
+
+    def test_orphan_update_parks(self):
+        log = EventLog(self.MAPPING)
+        report = log.ingest([ev("e1", "p1", "updated", 5, {"dept": "d2"})])
+        assert report.pending == 1
+        assert [event.id for event in log.pending_events()] == ["e1"]
+        assert not set(log.snapshot_at(None).facts())
+
+    def test_pending_drains_when_history_arrives(self):
+        log = EventLog(self.MAPPING)
+        log.ingest([ev("e1", "p1", "updated", 5, {"dept": "d2"})])
+        report = log.ingest([hire("e0", "p1", "d1", 2)])
+        assert report.pending == 0
+        assert log.pending_events() == ()
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Emp", "p1", "d1", interval=interval(2, 5)),
+            concrete_fact("Emp", "p1", "d2", interval=interval(5)),
+        }
+
+    def test_removed_before_added(self):
+        log = EventLog(self.MAPPING)
+        removed = ev("e2", "p1", "relationship_removed", 8, {"type": "assigned", "other": "t1"})
+        added = ev("e1", "p1", "relationship_added", 3, {"type": "assigned", "other": "t1"})
+        assert log.ingest([removed]).pending == 1
+        assert log.ingest([added]).pending == 0
+        assert set(log.snapshot_at(None).facts()) == {
+            concrete_fact("Task", "p1", "t1", interval=interval(3, 8))
+        }
+
+    def test_double_create_parks_second(self):
+        log = EventLog(self.MAPPING)
+        report = log.ingest(
+            [hire("e1", "p1", "d1", 2), hire("e2", "p1", "d2", 4)]
+        )
+        assert report.pending == 1
+        assert [event.id for event in log.pending_events()] == ["e2"]
+
+
+class TestDerivation:
+    MAPPING = org_mapping()
+
+    def test_delta_between(self):
+        log = EventLog(self.MAPPING)
+        log.ingest(
+            [
+                hire("e1", "p1", "d1", 2),
+                ev("e2", "p1", "updated", 6, {"dept": "d2"}),
+            ]
+        )
+        delta = log.delta_between(4, None)
+        assert delta.applied_to(log.snapshot_at(4)) == log.snapshot_at(None)
+
+    def test_follow_bootstrap_and_advance(self):
+        log = EventLog(self.MAPPING)
+        cursor = log.follow()
+        assert not cursor.pending or log.generation == 0
+        log.ingest([hire("e1", "p1", "d1", 2)])
+        assert cursor.pending
+        first = cursor.advance()
+        assert len(first.add) == 1 and not first.remove
+        assert cursor.advance().is_empty
+        log.ingest([ev("e2", "p1", "updated", 6, {"dept": "d2"})])
+        peeked = cursor.peek()
+        assert cursor.pending  # peek does not commit
+        assert cursor.advance() == peeked
+
+    def test_follow_iter_drains(self):
+        log = EventLog(self.MAPPING)
+        cursor = log.follow()
+        log.ingest([hire("e1", "p1", "d1", 2)])
+        assert len(list(cursor)) == 1
+        assert list(cursor) == []
+
+    def test_pickle_round_trip(self):
+        log = EventLog(self.MAPPING)
+        log.ingest([hire("e1", "p1", "d1", 2)])
+        log.snapshot_at(None)  # populate the cache
+        clone = pickle.loads(pickle.dumps(log))
+        assert clone.generation == log.generation
+        assert set(clone.snapshot_at(None).facts()) == set(
+            log.snapshot_at(None).facts()
+        )
